@@ -1,0 +1,43 @@
+//! Engine datapath benches: the read/write processing PT-Guard adds at the
+//! memory controller, base vs Optimized (the mechanism behind Figures 6/7).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use pagetable::addr::PhysAddr;
+use ptguard::{PtGuardConfig, PtGuardEngine};
+use ptguard_bench::{sample_data_line, sample_pte_line};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(30);
+    let addr = PhysAddr::new(0x7_0000);
+
+    for (label, cfg) in [
+        ("base", PtGuardConfig::default()),
+        ("optimized", PtGuardConfig::optimized()),
+        ("armv8", PtGuardConfig::armv8()),
+    ] {
+        let mut engine = PtGuardEngine::new(cfg);
+        let pte = sample_pte_line();
+        let data = sample_data_line();
+        let stored_pte = engine.process_write(pte, addr).line;
+
+        g.bench_with_input(BenchmarkId::new("write_pte_line", label), &(), |b, ()| {
+            b.iter(|| engine.process_write(black_box(pte), addr))
+        });
+        g.bench_with_input(BenchmarkId::new("write_data_line", label), &(), |b, ()| {
+            b.iter(|| engine.process_write(black_box(data), addr))
+        });
+        g.bench_with_input(BenchmarkId::new("read_pte_walk", label), &(), |b, ()| {
+            b.iter(|| engine.process_read(black_box(stored_pte), addr, true))
+        });
+        // The Figure 7 mechanism in miniature: data reads skip the MAC
+        // entirely under the identifier optimization.
+        g.bench_with_input(BenchmarkId::new("read_data_line", label), &(), |b, ()| {
+            b.iter(|| engine.process_read(black_box(data), addr, false))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Page-walk overhead microbench: a TLB-missing load through the full
+//! hierarchy, unprotected vs PT-Guard vs Optimized — the per-access
+//! mechanism Figure 6 aggregates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dram::{DramDevice, RowhammerConfig};
+use memsys::system::OsPort;
+use memsys::{MemSysConfig, MemoryController, MemorySystem};
+use pagetable::addr::VirtAddr;
+use pagetable::space::AddressSpace;
+use pagetable::x86_64::PteFlags;
+use ptguard::{PtGuardConfig, PtGuardEngine};
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Baseline,
+    PtGuard(PtGuardConfig),
+    FullMem,
+}
+
+fn build(mode: Mode, pages: u64) -> (MemorySystem, u64) {
+    let device = DramDevice::ddr4_4gb(RowhammerConfig::immune());
+    let controller = match mode {
+        Mode::Baseline => MemoryController::new(device, None, 3.0),
+        Mode::PtGuard(cfg) => MemoryController::new(device, Some(PtGuardEngine::new(cfg)), 3.0),
+        Mode::FullMem => MemoryController::with_full_memory_mac(device, 3.0),
+    };
+    let mut sys = MemorySystem::new(MemSysConfig::default(), controller);
+    let base = 0x30_0000_0000u64;
+    let mut port = OsPort::new(&mut sys);
+    let mut space = AddressSpace::new(&mut port, 32).unwrap();
+    for i in 0..pages {
+        space.map_new(&mut port, VirtAddr::new(base + i * 4096), PteFlags::user_data()).unwrap();
+    }
+    let root = space.root();
+    sys.set_root(root, 32);
+    sys.flush_caches();
+    (sys, base)
+}
+
+fn bench_walks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("walk_overhead");
+    g.sample_size(20);
+    const PAGES: u64 = 4096;
+    for (label, mode) in [
+        ("unprotected", Mode::Baseline),
+        ("ptguard", Mode::PtGuard(PtGuardConfig::default())),
+        ("optimized", Mode::PtGuard(PtGuardConfig::optimized())),
+        ("full_memory_mac", Mode::FullMem),
+    ] {
+        let (mut sys, base) = build(mode, PAGES);
+        let mut i = 0u64;
+        g.bench_with_input(BenchmarkId::new("tlb_miss_load", label), &(), |b, ()| {
+            b.iter(|| {
+                // Stride through pages so most loads miss the 64-entry TLB
+                // and walk the radix table.
+                let va = VirtAddr::new(base + (i % PAGES) * 4096);
+                i = i.wrapping_add(97);
+                let out = sys.load(va);
+                assert!(out.is_ok());
+                out.cycles()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_walks);
+criterion_main!(benches);

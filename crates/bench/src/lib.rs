@@ -1,0 +1,35 @@
+//! Shared fixtures for the Criterion benchmark suite.
+//!
+//! Each bench file regenerates (a reduced-volume version of) one paper
+//! artefact; `cargo bench --workspace` therefore exercises every table and
+//! figure pipeline. The full-volume regeneration lives in the `exp` binary
+//! (`cargo run -p ptguard-experiments --release --bin exp -- all`).
+
+use pagetable::addr::PhysAddr;
+use ptguard::line::Line;
+use ptguard::pattern::embed_mac;
+use ptguard::mac::PteMac;
+
+/// A representative protected PTE line (6 contiguous entries + 2 zero).
+#[must_use]
+pub fn sample_pte_line() -> Line {
+    let flags = 0x8000_0000_0000_0027u64;
+    let mut line = Line::ZERO;
+    for i in 0..6u64 {
+        line.set_word(i as usize, ((0x4_2000 + i) << 12) | flags);
+    }
+    line
+}
+
+/// A representative non-matching data line.
+#[must_use]
+pub fn sample_data_line() -> Line {
+    Line::from_words([u64::MAX, 0x1234_5678_9abc_def0, 0xffff_0000_1111_2222, 7, 8, 9, 10, 11])
+}
+
+/// The sample line with its MAC embedded at `addr`.
+#[must_use]
+pub fn protected_sample(mac: &PteMac, addr: PhysAddr) -> Line {
+    let line = sample_pte_line();
+    embed_mac(&line, mac.compute(&line, addr))
+}

@@ -1,0 +1,491 @@
+//! The DRAM device: backing store, bank state, and disturbance application.
+
+use std::collections::HashMap;
+
+use pagetable::addr::PhysAddr;
+use pagetable::memory::PhysMem;
+
+use crate::geometry::{DramGeometry, RowId};
+
+/// Granularity of sparse backing-store allocation.
+const STORE_PAGE: usize = 4096;
+use crate::rowhammer::{weak_cells_for_row, RowhammerConfig, WeakCell};
+use crate::timing::DramTiming;
+
+/// A recorded bit flip.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlipRecord {
+    /// Byte address of the flipped cell.
+    pub addr: PhysAddr,
+    /// Bit index within that byte.
+    pub bit_in_byte: u8,
+    /// The victim row.
+    pub row: RowId,
+    /// Value before the flip (true cells record `true` here).
+    pub from: bool,
+    /// Simulation time of the flip.
+    pub time_ns: f64,
+}
+
+/// Running statistics of the device.
+#[derive(Debug, Clone, Default)]
+pub struct DramStats {
+    /// Total row activations (attacker + demand).
+    pub activations: u64,
+    /// Accesses that hit the open row.
+    pub row_hits: u64,
+    /// Accesses that required an activation.
+    pub row_misses: u64,
+    /// Mitigation- or refresh-logic-issued row refreshes.
+    pub row_refreshes: u64,
+    /// Completed global refresh windows.
+    pub refresh_windows: u64,
+    /// Total bit flips injected by disturbance.
+    pub total_flips: u64,
+}
+
+/// A DRAM device with open-row bank state and Rowhammer disturbance.
+///
+/// Functional reads and writes go through [`PhysMem`] and are untimed;
+/// [`DramDevice::access`] additionally models bank timing, advances the
+/// device clock, applies disturbance, and handles refresh-window expiry.
+#[derive(Debug)]
+pub struct DramDevice {
+    geometry: DramGeometry,
+    timing: DramTiming,
+    rh: RowhammerConfig,
+    /// Sparse backing store: 4 KB pages allocated on first write/flip.
+    store: HashMap<u64, Box<[u8; STORE_PAGE]>>,
+    capacity: u64,
+    open_row: Vec<Option<u32>>,
+    pressure: HashMap<RowId, f64>,
+    weak_cells: HashMap<RowId, Vec<WeakCell>>,
+    flips: Vec<FlipRecord>,
+    stats: DramStats,
+    now_ns: f64,
+    window_start_ns: f64,
+    /// Index of the next distributed-refresh slice (0..8192).
+    ref_slice: u64,
+}
+
+impl DramDevice {
+    /// Creates a device with the given organisation, timing, and
+    /// vulnerability profile. Contents are zero-initialised.
+    #[must_use]
+    pub fn new(geometry: DramGeometry, timing: DramTiming, rh: RowhammerConfig) -> Self {
+        Self {
+            store: HashMap::new(),
+            capacity: geometry.capacity(),
+            open_row: vec![None; geometry.banks as usize],
+            pressure: HashMap::new(),
+            weak_cells: HashMap::new(),
+            flips: Vec::new(),
+            stats: DramStats::default(),
+            now_ns: 0.0,
+            window_start_ns: 0.0,
+            ref_slice: 0,
+            geometry,
+            timing,
+            rh,
+        }
+    }
+
+    /// A default 4 GB DDR4 device with the given vulnerability profile.
+    #[must_use]
+    pub fn ddr4_4gb(rh: RowhammerConfig) -> Self {
+        Self::new(DramGeometry::default(), DramTiming::default(), rh)
+    }
+
+    /// Device geometry.
+    #[must_use]
+    pub fn geometry(&self) -> &DramGeometry {
+        &self.geometry
+    }
+
+    /// Device timing.
+    #[must_use]
+    pub fn timing(&self) -> &DramTiming {
+        &self.timing
+    }
+
+    /// Current device time in nanoseconds.
+    #[must_use]
+    pub fn now_ns(&self) -> f64 {
+        self.now_ns
+    }
+
+    /// Statistics so far.
+    #[must_use]
+    pub fn stats(&self) -> &DramStats {
+        &self.stats
+    }
+
+    /// All disturbance flips injected so far.
+    #[must_use]
+    pub fn flips(&self) -> &[FlipRecord] {
+        &self.flips
+    }
+
+    /// Current disturbance pressure on `row`.
+    #[must_use]
+    pub fn pressure(&self, row: RowId) -> f64 {
+        self.pressure.get(&row).copied().unwrap_or(0.0)
+    }
+
+    /// The weak cells of `row` (lazily derived; read-only view).
+    pub fn weak_cells(&mut self, row: RowId) -> &[WeakCell] {
+        let (cfg, bits) = (&self.rh, self.geometry.row_bits());
+        self.weak_cells.entry(row).or_insert_with(|| weak_cells_for_row(cfg, row, bits))
+    }
+
+    /// A timed access: models bank state (row hit/miss), applies disturbance
+    /// from any activation, advances time, and returns the latency in ns.
+    pub fn access(&mut self, addr: PhysAddr, _write: bool) -> f64 {
+        let row = self.geometry.row_of(addr);
+        let bank = row.bank as usize;
+        let latency = match self.open_row[bank] {
+            Some(open) if open == row.row => {
+                self.stats.row_hits += 1;
+                self.timing.row_hit_ns()
+            }
+            Some(_) => {
+                self.stats.row_misses += 1;
+                self.open_row[bank] = Some(row.row);
+                self.activate(row);
+                self.timing.row_conflict_ns()
+            }
+            None => {
+                self.stats.row_misses += 1;
+                self.open_row[bank] = Some(row.row);
+                self.activate(row);
+                self.timing.row_closed_ns()
+            }
+        };
+        self.advance_time(latency);
+        latency
+    }
+
+    /// Hammers `row`: `times` back-to-back activations, each costing `tRC`
+    /// (interleaving a precharge so every activation disturbs).
+    pub fn hammer(&mut self, row: RowId, times: u64) {
+        for _ in 0..times {
+            self.activate(row);
+            self.advance_time(self.timing.t_rc_ns);
+        }
+        self.open_row[row.bank as usize] = Some(row.row);
+    }
+
+    /// A mitigation-issued refresh of `row`: restores the row's charge
+    /// (resets its pressure and re-arms its weak cells) but — crucially for
+    /// Half-Double — internally *activates* the row, disturbing neighbours.
+    pub fn refresh_row(&mut self, row: RowId) {
+        self.stats.row_refreshes += 1;
+        self.pressure.insert(row, 0.0);
+        if let Some(cells) = self.weak_cells.get_mut(&row) {
+            for c in cells.iter_mut() {
+                c.flipped = false;
+            }
+        }
+        self.activate(row);
+    }
+
+    /// Advances the device clock, issuing distributed auto-refresh.
+    ///
+    /// Real devices spread the refresh of all rows over the window as 8192
+    /// REF commands (one per tREFI); we model that granularity: each
+    /// elapsed tREFI restores the charge of the next 1/8192 slice of every
+    /// bank, so a row's victim-to-refresh interval depends on its position
+    /// in the sweep — as on silicon.
+    pub fn advance_time(&mut self, delta_ns: f64) {
+        const REF_SLICES: u64 = 8192;
+        let trefi = self.timing.t_refw_ns / REF_SLICES as f64;
+        self.now_ns += delta_ns;
+        while self.now_ns - self.window_start_ns >= trefi {
+            self.window_start_ns += trefi;
+            let slice = self.ref_slice;
+            self.ref_slice = (self.ref_slice + 1) % REF_SLICES;
+            if self.ref_slice == 0 {
+                self.stats.refresh_windows += 1;
+            }
+            // Rows per slice per bank (rounded up so the sweep covers all).
+            let rows = u64::from(self.geometry.rows_per_bank);
+            let per = rows.div_ceil(REF_SLICES);
+            let lo = slice * per;
+            let hi = ((slice + 1) * per).min(rows);
+            if lo >= hi {
+                continue;
+            }
+            let range = (lo as u32)..(hi as u32);
+            self.pressure.retain(|r, _| !range.contains(&r.row));
+            for (row, cells) in self.weak_cells.iter_mut() {
+                if range.contains(&row.row) {
+                    for c in cells.iter_mut() {
+                        c.flipped = false;
+                    }
+                }
+            }
+        }
+    }
+
+    /// One activation of `row`: counts it and propagates disturbance to
+    /// distance-1 and distance-2 neighbours.
+    fn activate(&mut self, row: RowId) {
+        self.stats.activations += 1;
+        if !self.rh.enabled {
+            return;
+        }
+        let rows = self.geometry.rows_per_bank;
+        for (dist, coupling) in [(1i64, 1.0), (-1, 1.0), (2, self.rh.dist2_coupling), (-2, self.rh.dist2_coupling)] {
+            if coupling == 0.0 {
+                continue;
+            }
+            if let Some(victim) = row.offset(dist, rows) {
+                self.disturb(victim, coupling);
+            }
+        }
+    }
+
+    /// Adds `amount` of pressure to `victim` and discharges any weak cells
+    /// whose threshold is now exceeded.
+    fn disturb(&mut self, victim: RowId, amount: f64) {
+        let p = self.pressure.entry(victim).or_insert(0.0);
+        *p += amount;
+        let p = *p;
+        let (cfg, bits) = (&self.rh, self.geometry.row_bits());
+        let cells = self.weak_cells.entry(victim).or_insert_with(|| weak_cells_for_row(cfg, victim, bits));
+        // Cells are sorted by threshold; collect the newly-discharged ones.
+        let mut to_flip = Vec::new();
+        for cell in cells.iter_mut() {
+            if cell.threshold > p {
+                break;
+            }
+            if !cell.flipped {
+                cell.flipped = true;
+                to_flip.push((cell.bit, cell.true_cell));
+            }
+        }
+        for (bit, true_cell) in to_flip {
+            self.apply_flip(victim, bit, true_cell);
+        }
+    }
+
+    /// Applies one cell discharge to the store, honouring orientation.
+    fn apply_flip(&mut self, row: RowId, bit: u64, true_cell: bool) {
+        let base = self.geometry.row_base(row).as_u64();
+        let addr = base + bit / 8;
+        let mask = 1u8 << (bit % 8);
+        let cur = self.load_u8(addr);
+        let is_one = cur & mask != 0;
+        // True cells discharge 1→0, anti cells 0→1; a cell already at its
+        // discharged value cannot visibly flip.
+        if is_one != true_cell {
+            return;
+        }
+        self.store_u8(addr, cur ^ mask);
+        self.stats.total_flips += 1;
+        self.flips.push(FlipRecord {
+            addr: PhysAddr::new(addr),
+            bit_in_byte: (bit % 8) as u8,
+            row,
+            from: is_one,
+            time_ns: self.now_ns,
+        });
+    }
+}
+
+impl DramDevice {
+    fn load_u8(&self, addr: u64) -> u8 {
+        debug_assert!(addr < self.capacity, "address {addr:#x} beyond capacity");
+        self.store
+            .get(&(addr / STORE_PAGE as u64))
+            .map_or(0, |page| page[(addr % STORE_PAGE as u64) as usize])
+    }
+
+    fn store_u8(&mut self, addr: u64, value: u8) {
+        debug_assert!(addr < self.capacity, "address {addr:#x} beyond capacity");
+        let page = self
+            .store
+            .entry(addr / STORE_PAGE as u64)
+            .or_insert_with(|| Box::new([0u8; STORE_PAGE]));
+        page[(addr % STORE_PAGE as u64) as usize] = value;
+    }
+}
+
+impl PhysMem for DramDevice {
+    fn size(&self) -> u64 {
+        self.capacity
+    }
+
+    fn read_u8(&self, addr: PhysAddr) -> u8 {
+        self.load_u8(addr.as_u64())
+    }
+
+    fn write_u8(&mut self, addr: PhysAddr, value: u8) {
+        // A write restores full charge to the cells of this byte: re-arm any
+        // weak cell covering it.
+        let row = self.geometry.row_of(addr);
+        if let Some(cells) = self.weak_cells.get_mut(&row) {
+            let byte_in_row = u64::from(self.geometry.column_of(addr));
+            for c in cells.iter_mut() {
+                if c.bit / 8 == byte_in_row {
+                    c.flipped = false;
+                }
+            }
+        }
+        self.store_u8(addr.as_u64(), value);
+    }
+
+    fn read_line(&self, addr: PhysAddr) -> [u8; 64] {
+        // Fast path: a line never crosses a store page.
+        let base = addr.line_addr().as_u64();
+        debug_assert!(base + 64 <= self.capacity);
+        let mut out = [0u8; 64];
+        if let Some(page) = self.store.get(&(base / STORE_PAGE as u64)) {
+            let off = (base % STORE_PAGE as u64) as usize;
+            out.copy_from_slice(&page[off..off + 64]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vulnerable_device() -> DramDevice {
+        let rh = RowhammerConfig {
+            threshold: 1000.0,
+            weak_cells_per_row: 8.0,
+            ..RowhammerConfig::default()
+        };
+        DramDevice::ddr4_4gb(rh)
+    }
+
+    #[test]
+    fn row_hit_miss_accounting() {
+        let mut d = DramDevice::ddr4_4gb(RowhammerConfig::immune());
+        let a = PhysAddr::new(0x1000);
+        d.access(a, false);
+        d.access(a, false);
+        let far = PhysAddr::new(0x100_0000);
+        d.access(far, false);
+        assert_eq!(d.stats().row_hits, 1);
+        assert_eq!(d.stats().row_misses, 2);
+    }
+
+    #[test]
+    fn hammering_flips_bits_in_neighbours() {
+        let mut d = vulnerable_device();
+        // Fill the two neighbour rows with 0xFF so true cells can discharge.
+        let aggressor = RowId { bank: 0, row: 100 };
+        for dist in [-1i64, 1] {
+            let victim = aggressor.offset(dist, d.geometry().rows_per_bank).unwrap();
+            let base = d.geometry().row_base(victim).as_u64();
+            let row_bytes = d.geometry().row_bytes;
+            for i in 0..u64::from(row_bytes) {
+                d.write_u8(PhysAddr::new(base + i), 0xff);
+            }
+        }
+        d.hammer(aggressor, 3000);
+        assert!(d.stats().total_flips > 0, "no flips after heavy hammering");
+        // All flips should be 1→0 (true cells; anti cells see all-ones data
+        // already at their charged value... anti cells flip 0→1 so none fire).
+        assert!(d.flips().iter().all(|f| f.from));
+    }
+
+    #[test]
+    fn immune_device_never_flips() {
+        let mut d = DramDevice::ddr4_4gb(RowhammerConfig::immune());
+        d.hammer(RowId { bank: 0, row: 100 }, 500_000);
+        assert_eq!(d.stats().total_flips, 0);
+    }
+
+    #[test]
+    fn refresh_window_resets_pressure() {
+        let mut d = vulnerable_device();
+        let aggressor = RowId { bank: 0, row: 50 };
+        d.hammer(aggressor, 500);
+        let victim = aggressor.offset(1, d.geometry().rows_per_bank).unwrap();
+        assert!(d.pressure(victim) > 0.0);
+        d.advance_time(d.timing().t_refw_ns);
+        assert_eq!(d.pressure(victim), 0.0);
+    }
+
+    #[test]
+    fn distributed_refresh_sweeps_rows_in_order() {
+        // Rows are refreshed slice by slice across the window: after ~30
+        // tREFI, an early-sweep row's pressure is restored while a
+        // late-sweep row still carries charge loss.
+        let mut d = vulnerable_device();
+        let early = RowId { bank: 0, row: 100 }; // slice ~25 of 8192
+        let late = RowId { bank: 0, row: 30_000 }; // slice ~7500
+        d.hammer(RowId { bank: 0, row: 99 }, 300);
+        d.hammer(RowId { bank: 0, row: 29_999 }, 300);
+        assert!(d.pressure(early) > 0.0);
+        assert!(d.pressure(late) > 0.0);
+        let trefi = d.timing().t_refw_ns / 8192.0;
+        d.advance_time(30.0 * trefi);
+        assert_eq!(d.pressure(early), 0.0, "early-sweep row must be refreshed");
+        assert!(d.pressure(late) > 0.0, "late-sweep row must still be pressured");
+        // A full window restores everything.
+        d.advance_time(d.timing().t_refw_ns);
+        assert_eq!(d.pressure(late), 0.0);
+    }
+    #[test]
+    fn below_threshold_hammering_is_harmless() {
+        let mut d = vulnerable_device();
+        let aggressor = RowId { bank: 0, row: 100 };
+        let victim = aggressor.offset(1, d.geometry().rows_per_bank).unwrap();
+        let base = d.geometry().row_base(victim).as_u64();
+        for i in 0..1024u64 {
+            d.write_u8(PhysAddr::new(base + i), 0xff);
+        }
+        d.hammer(aggressor, 900); // below the 1000 threshold
+        assert_eq!(d.stats().total_flips, 0);
+    }
+
+    #[test]
+    fn victim_refresh_restores_charge_but_disturbs_distance2() {
+        let mut d = vulnerable_device();
+        let aggressor = RowId { bank: 0, row: 200 };
+        let dist1 = aggressor.offset(1, d.geometry().rows_per_bank).unwrap();
+        let dist2 = aggressor.offset(2, d.geometry().rows_per_bank).unwrap();
+        d.hammer(aggressor, 500);
+        let p2_before = d.pressure(dist2);
+        d.refresh_row(dist1);
+        assert_eq!(d.pressure(dist1), 0.0, "refresh must restore the victim");
+        assert!(d.pressure(dist2) > p2_before, "refresh must disturb distance-2 (Half-Double)");
+    }
+
+    #[test]
+    fn rewrite_rearms_weak_cells() {
+        let mut d = vulnerable_device();
+        let aggressor = RowId { bank: 0, row: 300 };
+        let victim = aggressor.offset(1, d.geometry().rows_per_bank).unwrap();
+        let base = d.geometry().row_base(victim).as_u64();
+        for i in 0..u64::from(d.geometry().row_bytes) {
+            d.write_u8(PhysAddr::new(base + i), 0xff);
+        }
+        d.hammer(aggressor, 3000);
+        let first = d.stats().total_flips;
+        assert!(first > 0);
+        // Rewrite the whole victim row (restores charge), hammer again:
+        // the same weak cells flip again.
+        for i in 0..u64::from(d.geometry().row_bytes) {
+            d.write_u8(PhysAddr::new(base + i), 0xff);
+        }
+        d.advance_time(d.timing().t_refw_ns); // fresh window
+        d.hammer(aggressor, 3000);
+        assert!(d.stats().total_flips > first, "rewritten cells must be flippable again");
+    }
+
+    #[test]
+    fn untimed_reads_do_not_disturb() {
+        let d = vulnerable_device();
+        for i in 0..100_000u64 {
+            let _ = d.read_u8(PhysAddr::new(i % 4096));
+        }
+        assert_eq!(d.stats().activations, 0);
+        assert_eq!(d.stats().total_flips, 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! DRAM organisation and the physical-address ↔ row mapping.
+
+use pagetable::addr::PhysAddr;
+
+/// Identifies one row of one bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId {
+    /// Bank index (flattened over ranks).
+    pub bank: u32,
+    /// Row index within the bank.
+    pub row: u32,
+}
+
+impl RowId {
+    /// The row at `distance` above this one (same bank), if it exists.
+    #[must_use]
+    pub fn offset(self, distance: i64, rows_per_bank: u32) -> Option<RowId> {
+        let row = i64::from(self.row) + distance;
+        if row < 0 || row >= i64::from(rows_per_bank) {
+            None
+        } else {
+            Some(RowId { bank: self.bank, row: row as u32 })
+        }
+    }
+}
+
+/// How physical addresses map onto (bank, row, column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AddressMapping {
+    /// Row-major: consecutive addresses fill a row, banks interleave above
+    /// that, rows above banks (simple to reason about; the default).
+    #[default]
+    RowBankColumn,
+    /// Bank bits XOR-hashed with low row bits, as real controllers do to
+    /// spread row-buffer conflicts. Requires power-of-two banks/row size.
+    BankXor,
+}
+
+/// DRAM organisation parameters.
+///
+/// The default models the paper's baseline: 4 GB DDR4, 16 banks, 8 KB rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramGeometry {
+    /// Number of banks (rank × bank-group flattened).
+    pub banks: u32,
+    /// Row size in bytes (the row buffer / page size of the device).
+    pub row_bytes: u32,
+    /// Rows per bank.
+    pub rows_per_bank: u32,
+    /// Physical-address mapping scheme.
+    pub mapping: AddressMapping,
+}
+
+impl Default for DramGeometry {
+    fn default() -> Self {
+        // 16 banks × 32768 rows × 8 KB = 4 GB.
+        Self { banks: 16, row_bytes: 8192, rows_per_bank: 32768, mapping: AddressMapping::RowBankColumn }
+    }
+}
+
+impl DramGeometry {
+    /// Geometry for a device of `total_bytes`, keeping default bank count
+    /// and row size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_bytes` is not a multiple of one bank-row stripe.
+    #[must_use]
+    pub fn with_capacity(total_bytes: u64) -> Self {
+        let base = Self::default();
+        let stripe = u64::from(base.banks) * u64::from(base.row_bytes);
+        assert!(total_bytes % stripe == 0, "capacity must be a multiple of {stripe} bytes");
+        Self { rows_per_bank: (total_bytes / stripe) as u32, ..base }
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn capacity(&self) -> u64 {
+        u64::from(self.banks) * u64::from(self.row_bytes) * u64::from(self.rows_per_bank)
+    }
+
+    /// Maps a physical address to its row.
+    ///
+    /// Under [`AddressMapping::RowBankColumn`] consecutive addresses fill a
+    /// row, banks interleave above that, rows above banks — so same-bank
+    /// neighbour rows are `banks × row_bytes` apart in physical address,
+    /// the stride Rowhammer attacks use to find aggressors. Under
+    /// [`AddressMapping::BankXor`] the bank additionally XORs in the low
+    /// row bits, like real controllers spreading row-buffer conflicts.
+    #[must_use]
+    pub fn row_of(&self, addr: PhysAddr) -> RowId {
+        let a = addr.as_u64();
+        debug_assert!(a < self.capacity(), "address {a:#x} beyond capacity");
+        let row_bytes = u64::from(self.row_bytes);
+        let raw_bank = (a / row_bytes) % u64::from(self.banks);
+        let row = a / (row_bytes * u64::from(self.banks));
+        let bank = match self.mapping {
+            AddressMapping::RowBankColumn => raw_bank,
+            AddressMapping::BankXor => {
+                debug_assert!(self.banks.is_power_of_two() && self.row_bytes.is_power_of_two());
+                raw_bank ^ (row & u64::from(self.banks - 1))
+            }
+        };
+        RowId { bank: bank as u32, row: row as u32 }
+    }
+
+    /// Column (byte offset within the row) of an address.
+    #[must_use]
+    pub fn column_of(&self, addr: PhysAddr) -> u32 {
+        (addr.as_u64() % u64::from(self.row_bytes)) as u32
+    }
+
+    /// First physical address of a row (the exact inverse of
+    /// [`DramGeometry::row_of`] for each mapping).
+    #[must_use]
+    pub fn row_base(&self, row: RowId) -> PhysAddr {
+        let row_bytes = u64::from(self.row_bytes);
+        let raw_bank = match self.mapping {
+            AddressMapping::RowBankColumn => u64::from(row.bank),
+            AddressMapping::BankXor => u64::from(row.bank) ^ (u64::from(row.row) & u64::from(self.banks - 1)),
+        };
+        PhysAddr::new((u64::from(row.row) * u64::from(self.banks) + raw_bank) * row_bytes)
+    }
+
+    /// Number of bits in one row.
+    #[must_use]
+    pub fn row_bits(&self) -> u64 {
+        u64::from(self.row_bytes) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_geometry_is_4gb() {
+        assert_eq!(DramGeometry::default().capacity(), 4 << 30);
+    }
+
+    #[test]
+    fn with_capacity_scales_rows() {
+        let g = DramGeometry::with_capacity(16 << 30);
+        assert_eq!(g.capacity(), 16 << 30);
+        assert_eq!(g.banks, DramGeometry::default().banks);
+    }
+
+    #[test]
+    fn row_of_and_base_roundtrip() {
+        let g = DramGeometry::default();
+        for addr in [0u64, 8191, 8192, 123_456_789, g.capacity() - 1] {
+            let row = g.row_of(PhysAddr::new(addr));
+            let base = g.row_base(row).as_u64();
+            assert!(base <= addr, "addr={addr:#x}");
+            assert_eq!(g.row_of(PhysAddr::new(base)), row);
+            assert_eq!(base + u64::from(g.column_of(PhysAddr::new(addr))), addr);
+        }
+    }
+
+    #[test]
+    fn same_bank_neighbours_are_stride_apart() {
+        let g = DramGeometry::default();
+        let a = PhysAddr::new(0x10_0000);
+        let row = g.row_of(a);
+        let up = row.offset(1, g.rows_per_bank).unwrap();
+        let stride = u64::from(g.banks) * u64::from(g.row_bytes);
+        assert_eq!(g.row_base(up).as_u64(), g.row_base(row).as_u64() + stride);
+        assert_eq!(up.bank, row.bank);
+    }
+
+    #[test]
+    fn bank_xor_mapping_roundtrips() {
+        let g = DramGeometry { mapping: AddressMapping::BankXor, ..DramGeometry::default() };
+        for addr in [0u64, 8192, 65536 + 8192, 123_456_789 & !0x3f, g.capacity() - 8192] {
+            let row = g.row_of(PhysAddr::new(addr));
+            let base = g.row_base(row).as_u64();
+            assert_eq!(g.row_of(PhysAddr::new(base)), row, "addr {addr:#x}");
+            assert!(base <= addr && addr < base + u64::from(g.row_bytes) * u64::from(g.banks));
+        }
+    }
+
+    #[test]
+    fn bank_xor_spreads_neighbouring_rows() {
+        // Same-bank adjacent rows live at *different* raw-bank slots under
+        // the hash, so their physical stride is no longer constant — the
+        // obfuscation real attackers reverse-engineer.
+        let plain = DramGeometry::default();
+        let hashed = DramGeometry { mapping: AddressMapping::BankXor, ..plain };
+        let r0 = RowId { bank: 3, row: 100 };
+        let r1 = RowId { bank: 3, row: 101 };
+        let plain_stride = plain.row_base(r1).as_u64() - plain.row_base(r0).as_u64();
+        let hashed_stride =
+            hashed.row_base(r1).as_u64() as i64 - hashed.row_base(r0).as_u64() as i64;
+        assert_eq!(plain_stride, u64::from(plain.banks) * u64::from(plain.row_bytes));
+        assert_ne!(hashed_stride, plain_stride as i64);
+    }
+
+    #[test]
+    fn offset_respects_bounds() {
+        let g = DramGeometry::default();
+        let first = RowId { bank: 0, row: 0 };
+        assert_eq!(first.offset(-1, g.rows_per_bank), None);
+        let last = RowId { bank: 0, row: g.rows_per_bank - 1 };
+        assert_eq!(last.offset(1, g.rows_per_bank), None);
+        assert_eq!(last.offset(-2, g.rows_per_bank).unwrap().row, g.rows_per_bank - 3);
+    }
+}

@@ -1,0 +1,98 @@
+//! `exp` — regenerate any table or figure of the PT-Guard paper.
+//!
+//! ```text
+//! exp <artefact> [--trial|--quick|--full]
+//! artefacts: table1 table2 table3 table4 fig6 fig7 fig8 fig9
+//!            security storage multicore coverage exploit all
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use experiments::{ablation, coverage, diag, fullmem, exploit, fig6, fig7, fig8, fig9, multicore, priorwork, rth_sweep, security, storage, tables, Scale};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: exp <artefact> [--trial|--quick|--full]\n\
+         artefacts: table1 table2 table3 table4 fig6 fig7 fig8 fig9\n\
+         \x20          security storage priorwork rth ablation diag fullmem multicore coverage exploit all"
+    );
+    ExitCode::FAILURE
+}
+
+fn run_one(name: &str, scale: Scale) -> Result<(), String> {
+    match name {
+        "table1" => print!("{}", tables::table1()),
+        "table2" => print!("{}", tables::table2()),
+        "table3" => print!("{}", tables::table3()),
+        "table4" => print!("{}", tables::table4(40)),
+        "fig6" => print!("{}", fig6::render(&fig6::run(scale))),
+        "fig7" => print!("{}", fig7::render(&fig7::run(scale))),
+        "fig8" => print!("{}", fig8::render(&fig8::run(scale))),
+        "fig9" => print!("{}", fig9::render(&fig9::run(scale))),
+        "security" => print!("{}", security::render()),
+        "storage" => print!("{}", storage::render()),
+        "priorwork" => {
+            let trials = match scale {
+                Scale::Trial => 300,
+                Scale::Quick => 2_000,
+                Scale::Full => 20_000,
+            };
+            print!("{}", priorwork::render(&priorwork::run(trials)));
+        }
+        "multicore" => print!("{}", multicore::render(&multicore::run(scale))),
+        "ablation" => print!("{}", ablation::render(&ablation::run(scale))),
+        "diag" => print!("{}", diag::run_default(scale)),
+        "fullmem" => print!("{}", fullmem::render(&fullmem::run(scale))),
+        "rth" => {
+            let acts = match scale {
+                Scale::Trial => 30_000,
+                Scale::Quick => 60_000,
+                Scale::Full => 200_000,
+            };
+            print!("{}", rth_sweep::render(&rth_sweep::run(acts)));
+        }
+        "coverage" => print!("{}", coverage::render(&coverage::run(scale))),
+        "exploit" => print!("{}", exploit::render(&exploit::run(scale))),
+        other => return Err(format!("unknown artefact: {other}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut scale = Scale::Quick;
+    let mut artefact: Option<String> = None;
+    for a in &args {
+        match a.as_str() {
+            "--trial" => scale = Scale::Trial,
+            "--quick" => scale = Scale::Quick,
+            "--full" => scale = Scale::Full,
+            name if artefact.is_none() => artefact = Some(name.to_string()),
+            extra => {
+                eprintln!("unexpected argument: {extra}");
+                return usage();
+            }
+        }
+    }
+    let Some(artefact) = artefact else {
+        return usage();
+    };
+    let all = [
+        "table1", "table2", "table3", "table4", "security", "storage", "priorwork", "rth", "fig8", "fig9", "coverage",
+        "exploit", "fig6", "fig7", "ablation", "fullmem", "multicore",
+    ];
+    let list: Vec<&str> =
+        if artefact == "all" { all.to_vec() } else { vec![artefact.as_str()] };
+    for (i, name) in list.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        println!("===== {name} =====");
+        if let Err(e) = run_one(name, scale) {
+            eprintln!("{e}");
+            return usage();
+        }
+    }
+    ExitCode::SUCCESS
+}

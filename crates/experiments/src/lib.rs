@@ -1,0 +1,76 @@
+//! # Experiment harness
+//!
+//! One module per table/figure of the paper's evaluation, each exposing a
+//! `run(scale) -> …Result` function that regenerates the artefact and a
+//! renderer that prints the same rows/series the paper reports. The `exp`
+//! binary dispatches by artefact name:
+//!
+//! ```text
+//! cargo run -p ptguard-experiments --release --bin exp -- fig6
+//! cargo run -p ptguard-experiments --release --bin exp -- all --quick
+//! ```
+//!
+//! See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+//! paper-vs-measured numbers.
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod coverage;
+pub mod diag;
+pub mod exploit;
+pub mod fig6;
+pub mod fullmem;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod multicore;
+pub mod priorwork;
+pub mod report;
+pub mod rth_sweep;
+pub mod security;
+pub mod storage;
+pub mod tables;
+
+/// How much work an experiment run performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-scale smoke run (used by tests).
+    Trial,
+    /// Default: minutes-scale, statistically steady.
+    Quick,
+    /// Closest to the paper's volumes this side of gem5.
+    Full,
+}
+
+impl Scale {
+    /// Measured instructions per workload for timing experiments.
+    #[must_use]
+    pub fn instructions(self) -> u64 {
+        match self {
+            Scale::Trial => 60_000,
+            Scale::Quick => 400_000,
+            Scale::Full => 2_000_000,
+        }
+    }
+
+    /// PTE cachelines per workload for the correction study.
+    #[must_use]
+    pub fn correction_lines(self) -> usize {
+        match self {
+            Scale::Trial => 400,
+            Scale::Quick => 4_000,
+            Scale::Full => 40_000,
+        }
+    }
+
+    /// Census processes for Figure 8.
+    #[must_use]
+    pub fn census_processes(self) -> usize {
+        match self {
+            Scale::Trial => 60,
+            Scale::Quick => 623,
+            Scale::Full => 623,
+        }
+    }
+}

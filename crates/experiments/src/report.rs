@@ -1,0 +1,135 @@
+//! Plain-text table rendering shared by the experiments.
+
+/// A simple fixed-width text table.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for i in 0..cols {
+                line.push_str(&format!(" {:<w$} |", cells[i], w = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        let sep = {
+            let mut s = String::from("+");
+            for w in &widths {
+                s.push_str(&"-".repeat(w + 2));
+                s.push('+');
+            }
+            s.push('\n');
+            s
+        };
+        out.push_str(&sep);
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out.push_str(&sep);
+        out
+    }
+}
+
+/// Formats a ratio as a percentage with two decimals.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Geometric mean of a slice.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or contains non-positive values.
+#[must_use]
+pub fn gmean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty());
+    let log_sum: f64 = xs
+        .iter()
+        .map(|&x| {
+            assert!(x > 0.0, "gmean requires positive values");
+            x.ln()
+        })
+        .sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Arithmetic mean of a slice.
+#[must_use]
+pub fn amean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["longer", "22"]);
+        let r = t.render();
+        assert!(r.contains("| name   | value |"));
+        assert!(r.contains("| longer | 22    |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_rows_rejected() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn means() {
+        assert!((gmean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((amean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(amean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn gmean_rejects_nonpositive() {
+        let _ = gmean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.0134), "1.34%");
+        assert_eq!(pct(1.0), "100.00%");
+    }
+}

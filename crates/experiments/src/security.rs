@@ -1,0 +1,59 @@
+//! Section VI-E analytics: Equations 1 and 2, the k-selection rule, and the
+//! headline "effective 66-bit MAC, >10⁴ years" numbers.
+
+use ptguard::correct::G_MAX;
+use ptguard::security::{
+    attack_years, effective_mac_bits, p_escape, p_uncorrectable, select_k, SecuritySummary,
+};
+
+use crate::report::Table;
+
+/// Renders the k-sweep table plus the headline summary.
+#[must_use]
+pub fn render() -> String {
+    let n = 96;
+    let mut t = Table::new(vec![
+        "k (MAC faults tolerated)",
+        "p_escape (Eq. 1)",
+        "n_eff (bits)",
+        "p_uncorr @ p=1% (Eq. 2)",
+        "p_uncorr @ p=0.2%",
+        "attack time (years)",
+    ]);
+    for k in 0..=8u32 {
+        let pe = p_escape(n, k, G_MAX);
+        t.row(vec![
+            k.to_string(),
+            format!("{pe:.3e}"),
+            format!("{:.1}", effective_mac_bits(n, k, G_MAX)),
+            format!("{:.4e}", p_uncorrectable(n, k, 0.01)),
+            format!("{:.4e}", p_uncorrectable(n, k, 0.002)),
+            format!("{:.2e}", attack_years(pe, 50.0)),
+        ]);
+    }
+    let s = SecuritySummary::paper_default();
+    format!(
+        "Section VI-E: security of the fault-tolerant MAC (n = {n}, G_max = {G_MAX})\n{}\nselected k at p_flip=1%: {} (paper: 4)  |  selected k at p_flip=0.2%: {}\nheadline: k={} -> n_eff = {:.1} bits, p_uncorrectable = {:.3}%, attack time {:.1e} years\nwithout correction (exact match, 1 guess): n_eff = {:.1} bits, {:.1e} years\n",
+        t.render(),
+        select_k(n, 0.01, 0.01),
+        select_k(n, 0.002, 0.01),
+        s.k,
+        s.n_eff,
+        100.0 * s.p_uncorrectable_lpddr4,
+        s.attack_years,
+        effective_mac_bits(n, 0, 1),
+        attack_years(p_escape(n, 0, 1), 50.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_paper_headlines() {
+        let s = render();
+        assert!(s.contains("selected k at p_flip=1%: 4"));
+        assert!(s.contains("n_eff = 65.7"), "{s}"); // 65.73 bits, the paper rounds to ~66
+    }
+}

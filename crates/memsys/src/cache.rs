@@ -1,0 +1,287 @@
+//! A set-associative, write-back, write-allocate data cache.
+//!
+//! Lines carry their data because PT-Guard's transparency contract is about
+//! *content*: lines live MAC-stripped inside the hierarchy and MAC-embedded
+//! in DRAM. Eviction of a dirty line therefore re-enters the PT-Guard write
+//! path at the memory controller.
+
+use pagetable::addr::PhysAddr;
+use ptguard::line::Line;
+
+use crate::config::CacheConfig;
+
+/// One cache way.
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+    data: Line,
+}
+
+impl Way {
+    const EMPTY: Way = Way { tag: 0, valid: false, dirty: false, lru: 0, data: Line::ZERO };
+}
+
+/// Hit/miss statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in [0, 1].
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+/// A set-associative cache holding 64-byte lines with data.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: usize,
+    ways: usize,
+    storage: Vec<Way>,
+    clock: u64,
+    stats: CacheStats,
+    /// Access latency in CPU cycles (exposed for the hierarchy).
+    pub latency_cycles: u64,
+}
+
+impl Cache {
+    /// Builds a cache from its configuration.
+    #[must_use]
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        Self {
+            sets,
+            ways: cfg.ways,
+            storage: vec![Way::EMPTY; sets * cfg.ways],
+            clock: 0,
+            stats: CacheStats::default(),
+            latency_cycles: cfg.latency_cycles,
+        }
+    }
+
+    fn index(&self, addr: PhysAddr) -> (usize, u64) {
+        let line = addr.as_u64() >> 6;
+        ((line as usize) & (self.sets - 1), line >> self.sets.trailing_zeros())
+    }
+
+    /// Looks up `addr`; on a hit returns the line data and updates LRU.
+    /// `write` marks the line dirty (and updates its data via
+    /// [`Cache::update`] by the caller).
+    pub fn lookup(&mut self, addr: PhysAddr, write: bool) -> Option<Line> {
+        self.clock += 1;
+        let (set, tag) = self.index(addr);
+        let base = set * self.ways;
+        for w in &mut self.storage[base..base + self.ways] {
+            if w.valid && w.tag == tag {
+                w.lru = self.clock;
+                w.dirty |= write;
+                self.stats.hits += 1;
+                return Some(w.data);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Peeks without touching LRU or statistics.
+    #[must_use]
+    pub fn peek(&self, addr: PhysAddr) -> Option<Line> {
+        let (set, tag) = self.index(addr);
+        let base = set * self.ways;
+        self.storage[base..base + self.ways]
+            .iter()
+            .find(|w| w.valid && w.tag == tag)
+            .map(|w| w.data)
+    }
+
+    /// Installs `data` for `addr`, evicting the LRU way if needed.
+    /// Returns the evicted dirty line `(addr, data)` if one was displaced.
+    pub fn fill(&mut self, addr: PhysAddr, data: Line, dirty: bool) -> Option<(PhysAddr, Line)> {
+        self.clock += 1;
+        let (set, tag) = self.index(addr);
+        let base = set * self.ways;
+        // Hit-update path (e.g. refill over a stale copy).
+        for w in &mut self.storage[base..base + self.ways] {
+            if w.valid && w.tag == tag {
+                w.data = data;
+                w.dirty |= dirty;
+                w.lru = self.clock;
+                return None;
+            }
+        }
+        // Choose a victim: first invalid, else LRU.
+        let victim = {
+            let ways = &self.storage[base..base + self.ways];
+            match ways.iter().position(|w| !w.valid) {
+                Some(i) => i,
+                None => ways
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.lru)
+                    .map(|(i, _)| i)
+                    .expect("non-empty set"),
+            }
+        };
+        let w = &mut self.storage[base + victim];
+        let evicted = if w.valid && w.dirty {
+            self.stats.writebacks += 1;
+            let line_no = (w.tag << self.sets.trailing_zeros()) | set as u64;
+            Some((PhysAddr::new(line_no << 6), w.data))
+        } else {
+            None
+        };
+        *w = Way { tag, valid: true, dirty, lru: self.clock, data };
+        evicted
+    }
+
+    /// Updates the data of a resident line (no-op if absent). Marks dirty
+    /// when `dirty` is set.
+    pub fn update(&mut self, addr: PhysAddr, data: Line, dirty: bool) {
+        let (set, tag) = self.index(addr);
+        let base = set * self.ways;
+        for w in &mut self.storage[base..base + self.ways] {
+            if w.valid && w.tag == tag {
+                w.data = data;
+                w.dirty |= dirty;
+                return;
+            }
+        }
+    }
+
+    /// Invalidates a line without writeback, returning its data if dirty.
+    pub fn invalidate(&mut self, addr: PhysAddr) -> Option<(PhysAddr, Line)> {
+        let (set, tag) = self.index(addr);
+        let base = set * self.ways;
+        for w in &mut self.storage[base..base + self.ways] {
+            if w.valid && w.tag == tag {
+                w.valid = false;
+                if w.dirty {
+                    let line_no = (w.tag << self.sets.trailing_zeros()) | set as u64;
+                    return Some((PhysAddr::new(line_no << 6), w.data));
+                }
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Drains every dirty line (e.g. at a flush point), returning them.
+    pub fn drain_dirty(&mut self) -> Vec<(PhysAddr, Line)> {
+        let mut out = Vec::new();
+        let shift = self.sets.trailing_zeros();
+        for set in 0..self.sets {
+            for way in 0..self.ways {
+                let w = &mut self.storage[set * self.ways + way];
+                if w.valid && w.dirty {
+                    let line_no = (w.tag << shift) | set as u64;
+                    out.push((PhysAddr::new(line_no << 6), w.data));
+                    w.dirty = false;
+                }
+            }
+        }
+        self.stats.writebacks += out.len() as u64;
+        out
+    }
+
+    /// Statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets × 2 ways of 64 B lines = 512 B.
+        Cache::new(CacheConfig { size_bytes: 512, ways: 2, latency_cycles: 1 })
+    }
+
+    fn line(v: u64) -> Line {
+        Line::from_words([v, 0, 0, 0, 0, 0, 0, 0])
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = small();
+        let a = PhysAddr::new(0x1000);
+        assert!(c.lookup(a, false).is_none());
+        assert!(c.fill(a, line(7), false).is_none());
+        assert_eq!(c.lookup(a, false), Some(line(7)));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_and_dirty_writeback() {
+        let mut c = small();
+        // Three lines in the same set (stride = sets*64 = 256).
+        let a = PhysAddr::new(0x0);
+        let b = PhysAddr::new(0x100);
+        let d = PhysAddr::new(0x200);
+        c.fill(a, line(1), true); // dirty
+        c.fill(b, line(2), false);
+        c.lookup(a, false); // a is now MRU
+        let evicted = c.fill(d, line(3), false);
+        assert!(evicted.is_none(), "b was clean LRU: silent eviction");
+        assert!(c.peek(b).is_none());
+        assert!(c.peek(a).is_some());
+        // The next fill evicts dirty `a` (LRU) and must write it back.
+        let wb = c.fill(b, line(4), false);
+        let (wa, wd) = wb.expect("dirty writeback");
+        assert_eq!(wa, a);
+        assert_eq!(wd, line(1));
+    }
+
+    #[test]
+    fn update_marks_dirty_and_changes_data() {
+        let mut c = small();
+        let a = PhysAddr::new(0x40);
+        c.fill(a, line(1), false);
+        c.update(a, line(9), true);
+        assert_eq!(c.lookup(a, false), Some(line(9)));
+        let drained = c.drain_dirty();
+        assert_eq!(drained, vec![(a, line(9))]);
+        assert!(c.drain_dirty().is_empty(), "drain clears dirty bits");
+    }
+
+    #[test]
+    fn invalidate_returns_dirty_data() {
+        let mut c = small();
+        let a = PhysAddr::new(0x80);
+        c.fill(a, line(1), true);
+        assert_eq!(c.invalidate(a), Some((a, line(1))));
+        assert!(c.peek(a).is_none());
+        assert_eq!(c.invalidate(a), None);
+    }
+
+    #[test]
+    fn sub_line_addresses_share_a_line() {
+        let mut c = small();
+        c.fill(PhysAddr::new(0x1000), line(5), false);
+        assert_eq!(c.lookup(PhysAddr::new(0x103f), false), Some(line(5)));
+    }
+}

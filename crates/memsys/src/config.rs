@@ -1,0 +1,115 @@
+//! System configuration (Table III of the paper).
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Access latency in CPU cycles.
+    pub latency_cycles: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets for 64-byte lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is not an exact power-of-two set count.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        let lines = self.size_bytes / 64;
+        assert!(lines % self.ways == 0, "capacity must divide evenly into ways");
+        let sets = lines / self.ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+}
+
+/// Full memory-system configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemSysConfig {
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// L2 cache.
+    pub l2: CacheConfig,
+    /// Last-level cache.
+    pub llc: CacheConfig,
+    /// TLB entries (fully associative).
+    pub tlb_entries: usize,
+    /// TLB hit latency in cycles (folded into the pipeline; typically 0).
+    pub tlb_latency_cycles: u64,
+    /// MMU (page-walk) cache capacity in 8-byte entries.
+    pub mmu_cache_entries: usize,
+    /// MMU cache associativity.
+    pub mmu_cache_ways: usize,
+    /// MMU cache hit latency in cycles.
+    pub mmu_cache_latency_cycles: u64,
+    /// Core clock in GHz (Table III: 3 GHz), used to convert DRAM ns.
+    pub core_ghz: f64,
+}
+
+impl Default for MemSysConfig {
+    /// The paper's baseline: 32 KB/8-way L1, 256 KB/16-way L2, 2 MB/16-way
+    /// LLC, 64-entry TLB, 8 KB/4-way MMU cache, 3 GHz core.
+    fn default() -> Self {
+        Self {
+            l1d: CacheConfig { size_bytes: 32 << 10, ways: 8, latency_cycles: 4 },
+            l2: CacheConfig { size_bytes: 256 << 10, ways: 16, latency_cycles: 12 },
+            llc: CacheConfig { size_bytes: 2 << 20, ways: 16, latency_cycles: 38 },
+            tlb_entries: 64,
+            tlb_latency_cycles: 0,
+            mmu_cache_entries: (8 << 10) / 8,
+            mmu_cache_ways: 4,
+            mmu_cache_latency_cycles: 2,
+            core_ghz: 3.0,
+        }
+    }
+}
+
+impl MemSysConfig {
+    /// A multi-core per-core configuration: 1 MB of shared LLC per core
+    /// (Section VII-C uses 16 GB DDR4 and 1 MB/core LLC).
+    #[must_use]
+    pub fn multicore_percore(cores: usize) -> Self {
+        let mut cfg = Self::default();
+        cfg.llc = CacheConfig { size_bytes: cores * (1 << 20), ways: 16, latency_cycles: 38 };
+        cfg
+    }
+
+    /// Converts nanoseconds to core cycles.
+    #[must_use]
+    pub fn ns_to_cycles(&self, ns: f64) -> u64 {
+        (ns * self.core_ghz).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_geometry() {
+        let c = MemSysConfig::default();
+        assert_eq!(c.l1d.sets(), 64);
+        assert_eq!(c.l2.sets(), 256);
+        assert_eq!(c.llc.sets(), 2048);
+        assert_eq!(c.tlb_entries, 64);
+        assert_eq!(c.mmu_cache_entries, 1024);
+    }
+
+    #[test]
+    fn ns_conversion_at_3ghz() {
+        let c = MemSysConfig::default();
+        assert_eq!(c.ns_to_cycles(10.0), 30);
+        assert_eq!(c.ns_to_cycles(3.4), 10, "the paper's 3.4 ns MAC ≈ 10 cycles");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_rejected() {
+        // 3 lines direct-mapped: 3 sets, not a power of two.
+        let _ = CacheConfig { size_bytes: 192, ways: 1, latency_cycles: 1 }.sets();
+    }
+}

@@ -1,0 +1,155 @@
+//! The MMU (page-walk) cache: 8 KB, 4-way (Table III).
+//!
+//! Caches individual upper-level page-table entries by their physical
+//! address, so most walks only send the leaf access down the memory
+//! hierarchy — matching gem5's page-walk caches and keeping the PTE DRAM
+//! traffic realistic.
+
+use pagetable::addr::PhysAddr;
+use pagetable::x86_64::Pte;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    key: u64,
+    pte: Pte,
+    valid: bool,
+    lru: u64,
+}
+
+/// MMU-cache statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MmuCacheStats {
+    /// Entry lookups that hit.
+    pub hits: u64,
+    /// Entry lookups that missed.
+    pub misses: u64,
+}
+
+/// A set-associative cache of 8-byte page-table entries.
+#[derive(Debug, Clone)]
+pub struct MmuCache {
+    sets: usize,
+    ways: usize,
+    slots: Vec<Slot>,
+    clock: u64,
+    stats: MmuCacheStats,
+    /// Hit latency in CPU cycles.
+    pub latency_cycles: u64,
+}
+
+impl MmuCache {
+    /// Creates an MMU cache with `entries` total slots and `ways`
+    /// associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `entries / ways` is a power of two.
+    #[must_use]
+    pub fn new(entries: usize, ways: usize, latency_cycles: u64) -> Self {
+        assert!(entries % ways == 0);
+        let sets = entries / ways;
+        assert!(sets.is_power_of_two(), "MMU cache sets must be a power of two");
+        Self {
+            sets,
+            ways,
+            slots: vec![Slot { key: 0, pte: Pte::ZERO, valid: false, lru: 0 }; entries],
+            clock: 0,
+            stats: MmuCacheStats::default(),
+            latency_cycles,
+        }
+    }
+
+    fn index(&self, entry_addr: PhysAddr) -> (usize, u64) {
+        let key = entry_addr.as_u64() >> 3; // 8-byte entries
+        ((key as usize) & (self.sets - 1), key)
+    }
+
+    /// Looks up the entry at `entry_addr`.
+    pub fn lookup(&mut self, entry_addr: PhysAddr) -> Option<Pte> {
+        self.clock += 1;
+        let (set, key) = self.index(entry_addr);
+        let base = set * self.ways;
+        for s in &mut self.slots[base..base + self.ways] {
+            if s.valid && s.key == key {
+                s.lru = self.clock;
+                self.stats.hits += 1;
+                return Some(s.pte);
+            }
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Installs an upper-level entry.
+    pub fn insert(&mut self, entry_addr: PhysAddr, pte: Pte) {
+        self.clock += 1;
+        let (set, key) = self.index(entry_addr);
+        let base = set * self.ways;
+        if let Some(s) = self.slots[base..base + self.ways].iter_mut().find(|s| s.valid && s.key == key) {
+            s.pte = pte;
+            s.lru = self.clock;
+            return;
+        }
+        let victim = self.slots[base..base + self.ways]
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, s)| (s.valid, s.lru))
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        self.slots[base + victim] = Slot { key, pte, valid: true, lru: self.clock };
+    }
+
+    /// Invalidates everything (TLB-shootdown companion).
+    pub fn flush(&mut self) {
+        for s in &mut self.slots {
+            s.valid = false;
+        }
+    }
+
+    /// Statistics.
+    #[must_use]
+    pub fn stats(&self) -> MmuCacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pagetable::addr::Frame;
+    use pagetable::x86_64::PteFlags;
+
+    #[test]
+    fn insert_lookup_flush() {
+        let mut m = MmuCache::new(1024, 4, 2);
+        let a = PhysAddr::new(0x1238);
+        assert!(m.lookup(a).is_none());
+        m.insert(a, Pte::new(Frame(5), PteFlags::table()));
+        assert_eq!(m.lookup(a).unwrap().frame(), Frame(5));
+        m.flush();
+        assert!(m.lookup(a).is_none());
+    }
+
+    #[test]
+    fn distinct_entries_in_same_line() {
+        // Entries are cached at 8-byte granularity, not line granularity.
+        let mut m = MmuCache::new(1024, 4, 2);
+        m.insert(PhysAddr::new(0x1000), Pte::new(Frame(1), PteFlags::table()));
+        assert!(m.lookup(PhysAddr::new(0x1008)).is_none());
+    }
+
+    #[test]
+    fn set_conflict_evicts_lru() {
+        let mut m = MmuCache::new(8, 2, 2); // 4 sets × 2 ways
+        // Same set: keys differing by 4 (sets) in entry index => addr stride 4*8.
+        let a = PhysAddr::new(0);
+        let b = PhysAddr::new(4 * 8);
+        let c = PhysAddr::new(8 * 8);
+        m.insert(a, Pte::new(Frame(1), PteFlags::table()));
+        m.insert(b, Pte::new(Frame(2), PteFlags::table()));
+        m.lookup(a);
+        m.insert(c, Pte::new(Frame(3), PteFlags::table()));
+        assert!(m.lookup(b).is_none(), "b was LRU");
+        assert!(m.lookup(a).is_some());
+    }
+}

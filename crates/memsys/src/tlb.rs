@@ -1,0 +1,158 @@
+//! The 64-entry fully-associative TLB (Table III).
+
+use pagetable::addr::Frame;
+use pagetable::x86_64::Pte;
+
+/// A TLB entry: cached leaf translation.
+#[derive(Debug, Clone, Copy)]
+struct TlbEntry {
+    vpn: u64,
+    pte: Pte,
+    lru: u64,
+}
+
+/// TLB statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TlbStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed (each triggers a page walk).
+    pub misses: u64,
+}
+
+impl TlbStats {
+    /// Misses per lookup.
+    #[must_use]
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// A fully-associative, LRU TLB.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: Vec<TlbEntry>,
+    capacity: usize,
+    clock: u64,
+    stats: TlbStats,
+}
+
+impl Tlb {
+    /// Creates a TLB with `capacity` entries.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self { entries: Vec::with_capacity(capacity), capacity, clock: 0, stats: TlbStats::default() }
+    }
+
+    /// Looks up a virtual page number; returns the cached leaf PTE.
+    pub fn lookup(&mut self, vpn: u64) -> Option<Pte> {
+        self.clock += 1;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.vpn == vpn) {
+            e.lru = self.clock;
+            self.stats.hits += 1;
+            return Some(e.pte);
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Installs a translation (after a successful page walk).
+    pub fn insert(&mut self, vpn: u64, pte: Pte) {
+        self.clock += 1;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.vpn == vpn) {
+            e.pte = pte;
+            e.lru = self.clock;
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            let victim = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.lru)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.entries.swap_remove(victim);
+        }
+        self.entries.push(TlbEntry { vpn, pte, lru: self.clock });
+    }
+
+    /// Invalidates one page (e.g. on unmap).
+    pub fn invalidate(&mut self, vpn: u64) {
+        self.entries.retain(|e| e.vpn != vpn);
+    }
+
+    /// Full TLB shootdown.
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+
+    /// The frame a cached translation maps to, if present (test helper).
+    #[must_use]
+    pub fn peek_frame(&self, vpn: u64) -> Option<Frame> {
+        self.entries.iter().find(|e| e.vpn == vpn).map(|e| e.pte.frame())
+    }
+
+    /// Statistics.
+    #[must_use]
+    pub fn stats(&self) -> TlbStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pagetable::x86_64::PteFlags;
+
+    fn pte(f: u64) -> Pte {
+        Pte::new(Frame(f), PteFlags::user_data())
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut t = Tlb::new(4);
+        assert!(t.lookup(100).is_none());
+        t.insert(100, pte(1));
+        assert_eq!(t.lookup(100).unwrap().frame(), Frame(1));
+        assert_eq!(t.stats().hits, 1);
+        assert_eq!(t.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_at_capacity() {
+        let mut t = Tlb::new(2);
+        t.insert(1, pte(1));
+        t.insert(2, pte(2));
+        t.lookup(1); // 1 becomes MRU
+        t.insert(3, pte(3)); // evicts 2
+        assert!(t.peek_frame(2).is_none());
+        assert!(t.peek_frame(1).is_some());
+        assert!(t.peek_frame(3).is_some());
+    }
+
+    #[test]
+    fn invalidate_and_flush() {
+        let mut t = Tlb::new(4);
+        t.insert(1, pte(1));
+        t.insert(2, pte(2));
+        t.invalidate(1);
+        assert!(t.peek_frame(1).is_none());
+        assert!(t.peek_frame(2).is_some());
+        t.flush();
+        assert!(t.peek_frame(2).is_none());
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut t = Tlb::new(2);
+        t.insert(1, pte(1));
+        t.insert(1, pte(9));
+        assert_eq!(t.peek_frame(1), Some(Frame(9)));
+    }
+}

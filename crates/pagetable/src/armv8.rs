@@ -1,0 +1,194 @@
+//! ARMv8-A stage-1 translation descriptor model (Table II of the paper).
+//!
+//! PT-Guard is ISA-agnostic; this module demonstrates that the same unused-
+//! bit pooling applies to ARMv8 descriptors: the PFN field spans bits 49:12
+//! plus bits 9:8 (`PFN[39:38]`), and client systems leave the upper PFN bits
+//! zero just as on x86_64.
+
+use core::fmt;
+
+use crate::addr::Frame;
+
+/// Bit positions and masks of the ARMv8 stage-1 descriptor fields.
+pub mod bits {
+    /// Valid flag (bit 0).
+    pub const VALID: u64 = 1 << 0;
+    /// Block/huge-page flag (bit 1; 0 = block at non-leaf levels).
+    pub const BLOCK: u64 = 1 << 1;
+    /// Memory-attribute index, bits 5:2.
+    pub const MEM_ATTR_MASK: u64 = 0xf << 2;
+    /// Access permissions, bits 7:6.
+    pub const AP_MASK: u64 = 0b11 << 6;
+    /// PFN bits 39:38 live in descriptor bits 9:8.
+    pub const PFN_HIGH_MASK: u64 = 0b11 << 8;
+    /// Accessed flag (bit 10).
+    pub const ACCESSED: u64 = 1 << 10;
+    /// Cacheability (bit 11).
+    pub const CACHING: u64 = 1 << 11;
+    /// PFN bits 37:0 live in descriptor bits 49:12.
+    pub const PFN_LOW_MASK: u64 = 0x0003_ffff_ffff_f000;
+    /// Reserved bit 50.
+    pub const RESERVED_50: u64 = 1 << 50;
+    /// Dirty flag (bit 51).
+    pub const DIRTY: u64 = 1 << 51;
+    /// Contiguous hint (bit 52).
+    pub const CONTIGUOUS: u64 = 1 << 52;
+    /// Execute-never bits 54:53 (PXN/UXN).
+    pub const XN_MASK: u64 = 0b11 << 53;
+    /// Ignored bits 58:55.
+    pub const IGNORED_MASK: u64 = 0xf << 55;
+    /// Hardware-attribute bits 62:59.
+    pub const HW_ATTR_MASK: u64 = 0xf << 59;
+    /// Reserved bit 63.
+    pub const RESERVED_63: u64 = 1 << 63;
+}
+
+/// An ARMv8 stage-1 page descriptor.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Descriptor(u64);
+
+impl Descriptor {
+    /// An all-zero (invalid) descriptor.
+    pub const ZERO: Descriptor = Descriptor(0);
+
+    /// Creates a descriptor from its raw encoding.
+    #[must_use]
+    pub fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Raw 64-bit encoding.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Builds a valid page descriptor for `frame` (40-bit PFN split across
+    /// the two PFN fields).
+    #[must_use]
+    pub fn new_page(frame: Frame) -> Self {
+        let mut d = Descriptor(bits::VALID | bits::BLOCK | bits::ACCESSED);
+        d.set_frame(frame);
+        d
+    }
+
+    /// Whether the descriptor is valid.
+    #[must_use]
+    pub fn valid(self) -> bool {
+        self.0 & bits::VALID != 0
+    }
+
+    /// The 40-bit frame number (`PFN[39:38]` from bits 9:8, `PFN[37:0]` from
+    /// bits 49:12).
+    #[must_use]
+    pub fn frame(self) -> Frame {
+        let low = (self.0 & bits::PFN_LOW_MASK) >> 12;
+        let high = (self.0 & bits::PFN_HIGH_MASK) >> 8;
+        Frame((high << 38) | low)
+    }
+
+    /// Points the descriptor at `frame`.
+    pub fn set_frame(&mut self, frame: Frame) {
+        debug_assert!(frame.0 < (1 << 40), "PFN exceeds 40 bits");
+        let low = frame.0 & ((1 << 38) - 1);
+        let high = frame.0 >> 38;
+        self.0 = (self.0 & !(bits::PFN_LOW_MASK | bits::PFN_HIGH_MASK)) | (low << 12) | (high << 8);
+    }
+
+    /// Access-permission field (bits 7:6).
+    #[must_use]
+    pub fn access_permissions(self) -> u8 {
+        ((self.0 & bits::AP_MASK) >> 6) as u8
+    }
+
+    /// Execute-never field (bits 54:53).
+    #[must_use]
+    pub fn execute_never(self) -> u8 {
+        ((self.0 & bits::XN_MASK) >> 53) as u8
+    }
+
+    /// Whether the OS-zeroed invariant holds for a system with
+    /// `max_phys_bits` of physical address: unused PFN bits and the ignored
+    /// field are zero.
+    #[must_use]
+    pub fn os_invariant_holds(self, max_phys_bits: u32) -> bool {
+        self.0 & unused_mask(max_phys_bits) == 0
+    }
+}
+
+/// Mask of descriptor bits a client-system OS leaves zero: unused PFN bits
+/// above `max_phys_bits` plus the ignored bits 58:55.
+///
+/// The ARMv8 PFN field is non-contiguous, so the unused portion is computed
+/// over the logical 40-bit PFN and mapped back onto descriptor bits.
+#[must_use]
+pub fn unused_mask(max_phys_bits: u32) -> u64 {
+    assert!((12..=52).contains(&max_phys_bits), "max_phys_bits out of range");
+    let pfn_bits_used = max_phys_bits - 12;
+    let mut mask = bits::IGNORED_MASK;
+    for pfn_bit in pfn_bits_used..40 {
+        mask |= if pfn_bit >= 38 { 1u64 << (8 + (pfn_bit - 38)) } else { 1u64 << (12 + pfn_bit) };
+    }
+    mask
+}
+
+impl fmt::Debug for Descriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Descriptor({:#018x} pfn={:#x}{} ap={:#b} xn={:#b})",
+            self.0,
+            self.frame().0,
+            if self.valid() { " V" } else { "" },
+            self.access_permissions(),
+            self.execute_never(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_split_roundtrip() {
+        // Exercise both PFN fields: a frame with bits above bit 38 set.
+        for pfn in [0u64, 1, (1 << 38) - 1, 1 << 38, (1 << 40) - 1, 0x2_5555_5555] {
+            let mut d = Descriptor::ZERO;
+            d.set_frame(Frame(pfn));
+            assert_eq!(d.frame(), Frame(pfn), "pfn={pfn:#x}");
+        }
+    }
+
+    #[test]
+    fn high_pfn_bits_live_in_9_8() {
+        let mut d = Descriptor::ZERO;
+        d.set_frame(Frame(0b11 << 38));
+        assert_eq!(d.raw(), 0b11 << 8);
+    }
+
+    #[test]
+    fn unused_mask_counts_for_client_system() {
+        // 38-bit physical (256 GB): PFN uses 26 bits, leaving 14 unused
+        // (12 in the low field + 2 in bits 9:8), plus 4 ignored bits.
+        let m = unused_mask(38);
+        assert_eq!(m.count_ones(), 14 + 4);
+        assert_ne!(m & bits::PFN_HIGH_MASK, 0);
+    }
+
+    #[test]
+    fn os_invariant_detection() {
+        let mut d = Descriptor::new_page(Frame(0x1234));
+        assert!(d.os_invariant_holds(38));
+        d.set_frame(Frame(1 << 30)); // needs 43 phys bits
+        assert!(!d.os_invariant_holds(38));
+    }
+
+    #[test]
+    fn new_page_is_valid_and_accessed() {
+        let d = Descriptor::new_page(Frame(7));
+        assert!(d.valid());
+        assert_ne!(d.raw() & bits::ACCESSED, 0);
+        assert_eq!(d.frame(), Frame(7));
+    }
+}

@@ -1,0 +1,62 @@
+//! # Architectural page-table model
+//!
+//! A software model of the page tables PT-Guard protects: the x86_64 4-level
+//! radix table (PML4 → PDPT → PD → PT) with the exact PTE bit layout of
+//! Table I of the paper, the ARMv8 stage-1 descriptor layout of Table II, a
+//! software page-table walker, and an [`space::AddressSpace`] abstraction that
+//! plays the role of the (trusted) OS: it allocates page-table pages, maps and
+//! unmaps virtual pages, and upholds the invariant PT-Guard relies on — that
+//! the unused high PFN bits (51:M) and the ignored bits (58:52) of every PTE
+//! written to memory are zero.
+//!
+//! The model is deliberately backing-store agnostic: the walker reads PTEs
+//! through the [`memory::PhysMem`] trait so it can run over a plain
+//! `Vec<u8>`, over the Rowhammer-faulted DRAM model, or over the full memory
+//! hierarchy simulator.
+//!
+//! ## Example
+//!
+//! ```
+//! use pagetable::addr::VirtAddr;
+//! use pagetable::memory::VecMemory;
+//! use pagetable::space::AddressSpace;
+//! use pagetable::x86_64::PteFlags;
+//!
+//! # fn main() -> Result<(), pagetable::space::MapError> {
+//! let mut mem = VecMemory::new(16 << 20); // 16 MiB of simulated DRAM
+//! let mut space = AddressSpace::new(&mut mem, 28)?; // 28 PFN bits in use
+//! let va = VirtAddr::new(0x7f00_2000_1000);
+//! let frame = space.alloc_frame(&mut mem)?;
+//! space.map(&mut mem, va, frame, PteFlags::user_data())?;
+//! let pa = space.translate(&mem, va).expect("mapped");
+//! assert_eq!(pa.frame(), frame);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod armv8;
+pub mod memory;
+pub mod space;
+pub mod table;
+pub mod walker;
+pub mod x86_64;
+
+pub use addr::{PhysAddr, VirtAddr};
+pub use space::AddressSpace;
+pub use walker::{TranslationError, Walker};
+pub use x86_64::{Pte, PteFlags};
+
+/// Size of a base page in bytes (the paper evaluates with 4 KB pages).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Size of a cacheline in bytes; eight PTEs fit in one line.
+pub const CACHELINE_SIZE: usize = 64;
+
+/// Number of 8-byte PTEs per cacheline.
+pub const PTES_PER_LINE: usize = CACHELINE_SIZE / 8;
+
+/// Number of PTEs per 4 KB page-table page.
+pub const PTES_PER_PAGE: usize = PAGE_SIZE / 8;

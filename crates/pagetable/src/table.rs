@@ -1,0 +1,80 @@
+//! Raw page-table-page accessors over a [`PhysMem`] backing store.
+
+use crate::addr::{Frame, PhysAddr};
+use crate::memory::PhysMem;
+use crate::x86_64::Pte;
+use crate::{PAGE_SIZE, PTES_PER_PAGE};
+
+/// Physical address of entry `index` in the table page at `table`.
+///
+/// # Panics
+///
+/// Panics if `index >= 512`.
+#[must_use]
+pub fn entry_addr(table: Frame, index: usize) -> PhysAddr {
+    assert!(index < PTES_PER_PAGE, "PTE index {index} out of range");
+    PhysAddr::new(table.base().as_u64() + (index as u64) * 8)
+}
+
+/// Reads entry `index` of the table page at `table`.
+pub fn read_entry<M: PhysMem + ?Sized>(mem: &M, table: Frame, index: usize) -> Pte {
+    Pte::from_raw(mem.read_u64(entry_addr(table, index)))
+}
+
+/// Writes entry `index` of the table page at `table`.
+pub fn write_entry<M: PhysMem + ?Sized>(mem: &mut M, table: Frame, index: usize, pte: Pte) {
+    mem.write_u64(entry_addr(table, index), pte.raw());
+}
+
+/// Zeroes an entire page (used when allocating fresh table pages, matching
+/// the OS invariant that unused PTEs are all-zero).
+pub fn zero_page<M: PhysMem + ?Sized>(mem: &mut M, frame: Frame) {
+    let base = frame.base().as_u64();
+    for i in 0..(PAGE_SIZE as u64 / 8) {
+        mem.write_u64(PhysAddr::new(base + i * 8), 0);
+    }
+}
+
+/// Returns the number of present entries in a table page.
+pub fn count_present<M: PhysMem + ?Sized>(mem: &M, table: Frame) -> usize {
+    (0..PTES_PER_PAGE).filter(|&i| read_entry(mem, table, i).present()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::VecMemory;
+    use crate::x86_64::PteFlags;
+
+    #[test]
+    fn entry_addr_layout() {
+        assert_eq!(entry_addr(Frame(2), 0).as_u64(), 0x2000);
+        assert_eq!(entry_addr(Frame(2), 511).as_u64(), 0x2000 + 511 * 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn entry_addr_rejects_large_index() {
+        let _ = entry_addr(Frame(0), 512);
+    }
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut mem = VecMemory::new(2 * PAGE_SIZE);
+        let pte = Pte::new(Frame(0x42), PteFlags::user_data());
+        write_entry(&mut mem, Frame(1), 17, pte);
+        assert_eq!(read_entry(&mem, Frame(1), 17), pte);
+        assert_eq!(read_entry(&mem, Frame(1), 16), Pte::ZERO);
+    }
+
+    #[test]
+    fn zero_page_clears_and_count_present() {
+        let mut mem = VecMemory::new(2 * PAGE_SIZE);
+        for i in 0..8 {
+            write_entry(&mut mem, Frame(1), i, Pte::new(Frame(1), PteFlags::user_data()));
+        }
+        assert_eq!(count_present(&mem, Frame(1)), 8);
+        zero_page(&mut mem, Frame(1));
+        assert_eq!(count_present(&mem, Frame(1)), 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Software page-table walker for the x86_64 4-level radix table.
+//!
+//! Mirrors what the hardware page-table walker does on a TLB miss, and also
+//! records which physical PTE addresses the walk touched — the accesses that
+//! are tagged `is_pte` on the memory-controller request bus in PT-Guard
+//! (Figure 5 of the paper).
+
+use core::fmt;
+
+use crate::addr::{Frame, PhysAddr, VirtAddr};
+use crate::memory::PhysMem;
+use crate::table;
+use crate::x86_64::Pte;
+
+/// Why a translation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranslationError {
+    /// The entry at walk level `level` (3 = PML4 … 0 = PT) was not present.
+    NotPresent {
+        /// Walk level of the missing entry.
+        level: usize,
+    },
+    /// The entry's PFN exceeds the installed physical memory — the bounds
+    /// check the OS can use to spot a PTE that still carries a MAC
+    /// (Section IV-E of the paper).
+    PfnOutOfBounds {
+        /// Walk level of the offending entry.
+        level: usize,
+        /// The out-of-range entry.
+        pte: Pte,
+    },
+}
+
+impl fmt::Display for TranslationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TranslationError::NotPresent { level } => {
+                write!(f, "entry not present at walk level {level}")
+            }
+            TranslationError::PfnOutOfBounds { level, pte } => {
+                write!(f, "PFN out of bounds at walk level {level}: {pte:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TranslationError {}
+
+/// One memory access performed during a walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkAccess {
+    /// Physical address of the 8-byte entry read.
+    pub entry_addr: PhysAddr,
+    /// Walk level the access served (3 = PML4 … 0 = PT).
+    pub level: usize,
+    /// The entry value read.
+    pub pte: Pte,
+}
+
+/// The result of a successful walk.
+#[derive(Debug, Clone)]
+pub struct Walk {
+    /// Translated physical address.
+    pub phys: PhysAddr,
+    /// The leaf entry.
+    pub leaf: Pte,
+    /// Level at which the leaf was found (0 for 4 KB pages, 1 for 2 MB).
+    pub leaf_level: usize,
+    /// Every PTE access the walk performed, in order (PML4 first).
+    pub accesses: Vec<WalkAccess>,
+}
+
+/// A hardware-page-table-walker model.
+#[derive(Debug, Clone, Copy)]
+pub struct Walker {
+    root: Frame,
+    max_phys_bits: u32,
+}
+
+impl Walker {
+    /// Creates a walker rooted at the PML4 frame `root` for a machine with
+    /// `max_phys_bits` of physical address space.
+    #[must_use]
+    pub fn new(root: Frame, max_phys_bits: u32) -> Self {
+        Self { root, max_phys_bits }
+    }
+
+    /// The root (CR3) frame.
+    #[must_use]
+    pub fn root(&self) -> Frame {
+        self.root
+    }
+
+    /// Translates `va`, recording every PTE access.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TranslationError::NotPresent`] on a hole and
+    /// [`TranslationError::PfnOutOfBounds`] when an entry references physical
+    /// memory beyond the installed size (the OS-visible symptom of a PTE that
+    /// still contains an embedded MAC, or of a corrupted PFN).
+    pub fn walk<M: PhysMem + ?Sized>(&self, mem: &M, va: VirtAddr) -> Result<Walk, TranslationError> {
+        let max_frame = 1u64 << (self.max_phys_bits - 12);
+        let mut accesses = Vec::with_capacity(4);
+        let mut table = self.root;
+        for level in (0..4).rev() {
+            let index = va.level_index(level);
+            let pte = table::read_entry(mem, table, index);
+            accesses.push(WalkAccess { entry_addr: table::entry_addr(table, index), level, pte });
+            if !pte.present() {
+                return Err(TranslationError::NotPresent { level });
+            }
+            if pte.frame().0 >= max_frame {
+                return Err(TranslationError::PfnOutOfBounds { level, pte });
+            }
+            let is_leaf = level == 0 || (level == 1 && pte.huge_page());
+            if is_leaf {
+                let offset_bits = 12 + 9 * level as u32;
+                let offset = va.as_u64() & ((1u64 << offset_bits) - 1);
+                let base = pte.frame().base().as_u64() & !((1u64 << offset_bits) - 1);
+                return Ok(Walk {
+                    phys: PhysAddr::new(base + offset),
+                    leaf: pte,
+                    leaf_level: level,
+                    accesses,
+                });
+            }
+            table = pte.frame();
+        }
+        unreachable!("level 0 always terminates the walk")
+    }
+
+    /// Translates `va` to a physical address, discarding walk metadata.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Walker::walk`].
+    pub fn translate<M: PhysMem + ?Sized>(&self, mem: &M, va: VirtAddr) -> Result<PhysAddr, TranslationError> {
+        self.walk(mem, va).map(|w| w.phys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::VecMemory;
+    use crate::x86_64::{Pte, PteFlags};
+    use crate::PAGE_SIZE;
+
+    /// Hand-builds a 4-level mapping for one VA and returns (mem, root).
+    fn build_single_mapping(va: VirtAddr, target: Frame) -> (VecMemory, Frame) {
+        let mut mem = VecMemory::new(64 * PAGE_SIZE);
+        let (root, pdpt, pd, pt) = (Frame(1), Frame(2), Frame(3), Frame(4));
+        table::write_entry(&mut mem, root, va.pml4_index(), Pte::new(pdpt, PteFlags::table()));
+        table::write_entry(&mut mem, pdpt, va.pdpt_index(), Pte::new(pd, PteFlags::table()));
+        table::write_entry(&mut mem, pd, va.pd_index(), Pte::new(pt, PteFlags::table()));
+        table::write_entry(&mut mem, pt, va.pt_index(), Pte::new(target, PteFlags::user_data()));
+        (mem, root)
+    }
+
+    #[test]
+    fn walk_resolves_four_levels() {
+        let va = VirtAddr::new(0x7f12_3456_7abc);
+        let (mem, root) = build_single_mapping(va, Frame(0x20));
+        let walker = Walker::new(root, 32);
+        let walk = walker.walk(&mem, va).expect("mapped");
+        assert_eq!(walk.phys.as_u64(), 0x20000 + va.page_offset());
+        assert_eq!(walk.leaf_level, 0);
+        assert_eq!(walk.accesses.len(), 4);
+        assert_eq!(walk.accesses[0].level, 3);
+        assert_eq!(walk.accesses[3].level, 0);
+    }
+
+    #[test]
+    fn unmapped_va_reports_level() {
+        let va = VirtAddr::new(0x7f12_3456_7abc);
+        let (mem, root) = build_single_mapping(va, Frame(0x20));
+        let walker = Walker::new(root, 32);
+        // Different PML4 slot: fails at level 3.
+        let err = walker.walk(&mem, VirtAddr::new(0x0000_1000)).unwrap_err();
+        assert_eq!(err, TranslationError::NotPresent { level: 3 });
+        // Same PT page, different slot: fails at level 0.
+        let sibling = VirtAddr::new(va.as_u64() ^ (1 << 12));
+        let err = walker.walk(&mem, sibling).unwrap_err();
+        assert_eq!(err, TranslationError::NotPresent { level: 0 });
+    }
+
+    #[test]
+    fn bounds_check_catches_mac_like_pfn() {
+        let va = VirtAddr::new(0x7f12_3456_7abc);
+        let (mut mem, root) = build_single_mapping(va, Frame(0x20));
+        // Corrupt the leaf PFN so it exceeds a 32-bit (4 GB) machine, as an
+        // embedded MAC left in bits 51:40 would.
+        let walker = Walker::new(root, 32);
+        let walk = walker.walk(&mem, va).unwrap();
+        let leaf_addr = walk.accesses[3].entry_addr;
+        let mut raw = mem.read_u64(leaf_addr);
+        raw |= 0x5a5 << 40;
+        mem.write_u64(leaf_addr, raw);
+        match walker.walk(&mem, va) {
+            Err(TranslationError::PfnOutOfBounds { level: 0, .. }) => {}
+            other => panic!("expected bounds failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn huge_page_terminates_at_pd() {
+        let va = VirtAddr::new(0x4000_0000 + 0x1f_f123);
+        let mut mem = VecMemory::new(64 * PAGE_SIZE);
+        let (root, pdpt, pd) = (Frame(1), Frame(2), Frame(3));
+        table::write_entry(&mut mem, root, va.pml4_index(), Pte::new(pdpt, PteFlags::table()));
+        table::write_entry(&mut mem, pdpt, va.pdpt_index(), Pte::new(pd, PteFlags::table()));
+        // 2 MB page at frame 0x800 (must be 2 MB aligned: low 9 PFN bits 0).
+        let mut leaf = Pte::new(Frame(0x800), PteFlags::user_data());
+        leaf = Pte::from_raw(leaf.raw() | crate::x86_64::bits::HUGE_PAGE);
+        table::write_entry(&mut mem, pd, va.pd_index(), leaf);
+        let walker = Walker::new(root, 32);
+        let walk = walker.walk(&mem, va).expect("mapped");
+        assert_eq!(walk.leaf_level, 1);
+        assert_eq!(walk.accesses.len(), 3);
+        let offset = va.as_u64() & ((1 << 21) - 1);
+        assert_eq!(walk.phys.as_u64(), 0x80_0000 + offset);
+    }
+
+    #[test]
+    fn translate_agrees_with_walk() {
+        let va = VirtAddr::new(0x7f12_3456_7abc);
+        let (mem, root) = build_single_mapping(va, Frame(0x20));
+        let walker = Walker::new(root, 32);
+        assert_eq!(walker.translate(&mem, va).unwrap(), walker.walk(&mem, va).unwrap().phys);
+    }
+}

@@ -1,0 +1,385 @@
+//! x86_64 page-table entry model (Table I of the paper).
+//!
+//! Bit layout per the Intel SDM / Table I:
+//!
+//! | Bit(s) | Purpose                 |
+//! |--------|-------------------------|
+//! | 0      | Present                 |
+//! | 1      | Writable                |
+//! | 2      | User accessible         |
+//! | 3      | Write-through           |
+//! | 4      | Cache disable           |
+//! | 5      | Accessed                |
+//! | 6      | Dirty                   |
+//! | 7      | 2 MB page (PS)          |
+//! | 8      | Global                  |
+//! | 11:9   | Usable by OS            |
+//! | 51:12  | PFN                     |
+//! | 58:52  | Ignored                 |
+//! | 62:59  | Memory protection keys  |
+//! | 63     | No-execute              |
+
+use core::fmt;
+
+use crate::addr::{Frame, PhysAddr};
+
+/// Bit positions and masks of the x86_64 PTE fields.
+pub mod bits {
+    /// Present flag.
+    pub const PRESENT: u64 = 1 << 0;
+    /// Writable flag.
+    pub const WRITABLE: u64 = 1 << 1;
+    /// User-accessible flag (kernel-only when clear).
+    pub const USER: u64 = 1 << 2;
+    /// Write-through caching flag.
+    pub const WRITE_THROUGH: u64 = 1 << 3;
+    /// Cache-disable flag.
+    pub const CACHE_DISABLE: u64 = 1 << 4;
+    /// Accessed flag (set by hardware; excluded from the PT-Guard MAC).
+    pub const ACCESSED: u64 = 1 << 5;
+    /// Dirty flag.
+    pub const DIRTY: u64 = 1 << 6;
+    /// Huge-page (PS) flag: entry maps a 2 MB page at the PD level.
+    pub const HUGE_PAGE: u64 = 1 << 7;
+    /// Global flag.
+    pub const GLOBAL: u64 = 1 << 8;
+    /// Bits 11:9, free for OS use.
+    pub const OS_BITS_MASK: u64 = 0b111 << 9;
+    /// Page frame number, bits 51:12.
+    pub const PFN_MASK: u64 = 0x000f_ffff_ffff_f000;
+    /// Ignored bits 58:52 (always zeroed by the OS model; the Optimized
+    /// PT-Guard identifier lives here).
+    pub const IGNORED_MASK: u64 = 0x7f << 52;
+    /// Memory-protection-key bits 62:59.
+    pub const MPK_MASK: u64 = 0xf << 59;
+    /// No-execute bit 63.
+    pub const NX: u64 = 1 << 63;
+    /// First bit of the PFN field.
+    pub const PFN_SHIFT: u32 = 12;
+    /// First bit of the MPK field.
+    pub const MPK_SHIFT: u32 = 59;
+    /// First bit of the ignored field.
+    pub const IGNORED_SHIFT: u32 = 52;
+}
+
+/// A raw x86_64 page-table entry.
+///
+/// Used for all four levels of the radix table; non-leaf entries hold the
+/// frame of the next-level table in the PFN field.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Pte(u64);
+
+impl Pte {
+    /// An all-zero (not-present) entry.
+    pub const ZERO: Pte = Pte(0);
+
+    /// Creates a PTE from its raw 64-bit encoding.
+    #[must_use]
+    pub fn from_raw(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// Raw 64-bit encoding.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Builds a present leaf/non-leaf entry pointing at `frame` with `flags`.
+    #[must_use]
+    pub fn new(frame: Frame, flags: PteFlags) -> Self {
+        let mut pte = Pte(flags.bits() & !bits::PFN_MASK);
+        pte.set_frame(frame);
+        pte.0 |= bits::PRESENT;
+        pte
+    }
+
+    /// Whether the entry is present.
+    #[must_use]
+    pub fn present(self) -> bool {
+        self.0 & bits::PRESENT != 0
+    }
+
+    /// Whether the entry is writable.
+    #[must_use]
+    pub fn writable(self) -> bool {
+        self.0 & bits::WRITABLE != 0
+    }
+
+    /// Whether the page is user accessible.
+    #[must_use]
+    pub fn user_accessible(self) -> bool {
+        self.0 & bits::USER != 0
+    }
+
+    /// Whether the accessed flag is set.
+    #[must_use]
+    pub fn accessed(self) -> bool {
+        self.0 & bits::ACCESSED != 0
+    }
+
+    /// Whether the dirty flag is set.
+    #[must_use]
+    pub fn dirty(self) -> bool {
+        self.0 & bits::DIRTY != 0
+    }
+
+    /// Whether this is a huge-page mapping (PS bit).
+    #[must_use]
+    pub fn huge_page(self) -> bool {
+        self.0 & bits::HUGE_PAGE != 0
+    }
+
+    /// Whether the no-execute bit is set.
+    #[must_use]
+    pub fn no_execute(self) -> bool {
+        self.0 & bits::NX != 0
+    }
+
+    /// The memory-protection-key domain (bits 62:59).
+    #[must_use]
+    pub fn protection_key(self) -> u8 {
+        ((self.0 & bits::MPK_MASK) >> bits::MPK_SHIFT) as u8
+    }
+
+    /// Sets the memory-protection-key domain.
+    pub fn set_protection_key(&mut self, key: u8) {
+        debug_assert!(key < 16);
+        self.0 = (self.0 & !bits::MPK_MASK) | (u64::from(key) << bits::MPK_SHIFT);
+    }
+
+    /// The page frame this entry points at.
+    #[must_use]
+    pub fn frame(self) -> Frame {
+        Frame((self.0 & bits::PFN_MASK) >> bits::PFN_SHIFT)
+    }
+
+    /// Points the entry at `frame`, leaving the flags untouched.
+    pub fn set_frame(&mut self, frame: Frame) {
+        debug_assert!(frame.0 < (1 << 40), "PFN exceeds the 40-bit field");
+        self.0 = (self.0 & !bits::PFN_MASK) | ((frame.0 << bits::PFN_SHIFT) & bits::PFN_MASK);
+    }
+
+    /// Marks the entry accessed (hardware behaviour on a walk).
+    pub fn set_accessed(&mut self) {
+        self.0 |= bits::ACCESSED;
+    }
+
+    /// Marks the entry dirty (hardware behaviour on a write).
+    pub fn set_dirty(&mut self) {
+        self.0 |= bits::DIRTY;
+    }
+
+    /// Physical address this entry translates `page_offset` into.
+    #[must_use]
+    pub fn target(self, page_offset: u64) -> PhysAddr {
+        PhysAddr::from_frame(self.frame(), page_offset)
+    }
+
+    /// Whether the OS invariant holds: all bits the OS model promises to
+    /// zero — the unused PFN bits above `max_phys_bits` and the ignored
+    /// field 58:52 — are in fact zero.
+    #[must_use]
+    pub fn os_invariant_holds(self, max_phys_bits: u32) -> bool {
+        self.0 & unused_mask(max_phys_bits) == 0
+    }
+}
+
+/// Mask of the PTE bits the (trusted) OS zeroes when writing entries: the
+/// unused high PFN bits `51:max_phys_bits` plus the ignored bits `58:52`.
+///
+/// PT-Guard's 96-bit write-time pattern match checks exactly the per-line
+/// pooling of the `51:40` portion; with `max_phys_bits < 40`, bits
+/// `39:max_phys_bits` are additionally zero but unused by the MAC (Table IV).
+#[must_use]
+pub fn unused_mask(max_phys_bits: u32) -> u64 {
+    assert!((12..=52).contains(&max_phys_bits), "max_phys_bits out of range");
+    let unused_pfn = if max_phys_bits >= 52 { 0 } else { bits::PFN_MASK & !((1u64 << max_phys_bits) - 1) };
+    unused_pfn | bits::IGNORED_MASK
+}
+
+/// Mask of the PTE bits covered by the PT-Guard MAC (Table IV): flags 8:0
+/// except the accessed bit, OS bits 11:9, the in-use PFN bits
+/// `(max_phys_bits-1):12`, and the protection-key/NX bits 63:59.
+#[must_use]
+pub fn mac_protected_mask(max_phys_bits: u32) -> u64 {
+    assert!((12..=52).contains(&max_phys_bits), "max_phys_bits out of range");
+    let flags = 0x1ffu64 & !bits::ACCESSED; // 8:0 except accessed
+    let pfn_in_use = bits::PFN_MASK & ((1u64 << max_phys_bits) - 1);
+    flags | bits::OS_BITS_MASK | pfn_in_use | bits::MPK_MASK | bits::NX
+}
+
+/// A set of PTE flags, used when constructing entries.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PteFlags(u64);
+
+impl PteFlags {
+    /// No flags set.
+    pub const NONE: PteFlags = PteFlags(0);
+
+    /// Creates a flag set from raw bits.
+    #[must_use]
+    pub fn from_bits(bits: u64) -> Self {
+        Self(bits)
+    }
+
+    /// Raw flag bits.
+    #[must_use]
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+
+    /// Typical flags for a user data page: present, writable, user, NX.
+    #[must_use]
+    pub fn user_data() -> Self {
+        Self(bits::PRESENT | bits::WRITABLE | bits::USER | bits::NX)
+    }
+
+    /// Typical flags for a user code page: present, user.
+    #[must_use]
+    pub fn user_code() -> Self {
+        Self(bits::PRESENT | bits::USER)
+    }
+
+    /// Typical flags for a kernel data page: present, writable, NX, global.
+    #[must_use]
+    pub fn kernel_data() -> Self {
+        Self(bits::PRESENT | bits::WRITABLE | bits::GLOBAL | bits::NX)
+    }
+
+    /// Flags for an intermediate (non-leaf) table entry.
+    #[must_use]
+    pub fn table() -> Self {
+        Self(bits::PRESENT | bits::WRITABLE | bits::USER)
+    }
+
+    /// Adds the writable flag.
+    #[must_use]
+    pub fn writable(mut self) -> Self {
+        self.0 |= bits::WRITABLE;
+        self
+    }
+
+    /// Adds the global flag.
+    #[must_use]
+    pub fn global(mut self) -> Self {
+        self.0 |= bits::GLOBAL;
+        self
+    }
+
+    /// Adds the no-execute flag.
+    #[must_use]
+    pub fn no_execute(mut self) -> Self {
+        self.0 |= bits::NX;
+        self
+    }
+
+    /// Sets the protection-key field.
+    #[must_use]
+    pub fn with_protection_key(mut self, key: u8) -> Self {
+        debug_assert!(key < 16);
+        self.0 = (self.0 & !bits::MPK_MASK) | (u64::from(key) << bits::MPK_SHIFT);
+        self
+    }
+}
+
+impl fmt::Debug for Pte {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Pte({:#018x} pfn={:#x}{}{}{}{}{})",
+            self.0,
+            self.frame().0,
+            if self.present() { " P" } else { "" },
+            if self.writable() { " W" } else { "" },
+            if self.user_accessible() { " U" } else { "" },
+            if self.no_execute() { " NX" } else { "" },
+            if self.huge_page() { " PS" } else { "" },
+        )
+    }
+}
+
+impl fmt::Debug for PteFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PteFlags({:#x})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_pte_encodes_frame_and_flags() {
+        let pte = Pte::new(Frame(0x12345), PteFlags::user_data());
+        assert!(pte.present());
+        assert!(pte.writable());
+        assert!(pte.user_accessible());
+        assert!(pte.no_execute());
+        assert!(!pte.huge_page());
+        assert_eq!(pte.frame(), Frame(0x12345));
+    }
+
+    #[test]
+    fn pfn_occupies_bits_51_12() {
+        let mut pte = Pte::ZERO;
+        pte.set_frame(Frame((1 << 40) - 1));
+        assert_eq!(pte.raw(), bits::PFN_MASK);
+        assert_eq!(pte.frame().0, (1 << 40) - 1);
+    }
+
+    #[test]
+    fn protection_key_roundtrip() {
+        let mut pte = Pte::new(Frame(1), PteFlags::user_data());
+        for key in 0..16u8 {
+            pte.set_protection_key(key);
+            assert_eq!(pte.protection_key(), key);
+            assert_eq!(pte.frame(), Frame(1), "PFN must be untouched");
+        }
+    }
+
+    #[test]
+    fn unused_mask_for_1tb_system() {
+        // 1 TB => 40 physical bits => unused PFN bits 51:40 plus ignored 58:52.
+        let m = unused_mask(40);
+        assert_eq!(m, (0xfffu64 << 40) | (0x7f << 52));
+        assert_eq!(m.count_ones(), 12 + 7);
+    }
+
+    #[test]
+    fn unused_mask_for_4gb_system() {
+        // 4 GB => 32 physical bits => 20 unused PFN bits.
+        let m = unused_mask(32);
+        assert_eq!(m.count_ones(), 20 + 7);
+        assert_eq!(m & ((1 << 32) - 1), 0, "in-use bits must not be masked");
+    }
+
+    #[test]
+    fn mac_protected_mask_excludes_accessed_and_mac_region() {
+        let m = mac_protected_mask(40);
+        assert_eq!(m & bits::ACCESSED, 0, "accessed bit must be unprotected");
+        assert_eq!(m & (0xfff << 40), 0, "MAC region must be unprotected");
+        assert_eq!(m & bits::IGNORED_MASK, 0, "ignored bits must be unprotected");
+        assert_ne!(m & bits::NX, 0);
+        assert_ne!(m & bits::MPK_MASK, 0);
+        assert_ne!(m & bits::PRESENT, 0);
+        // 28 PFN bits + 8 flag bits (9 minus accessed) + 3 OS + 4 MPK + 1 NX.
+        assert_eq!(m.count_ones(), 28 + 8 + 3 + 4 + 1);
+    }
+
+    #[test]
+    fn protected_and_unused_masks_are_disjoint() {
+        for m in [28u32, 32, 34, 40] {
+            assert_eq!(mac_protected_mask(m) & unused_mask(m), 0, "max_phys_bits={m}");
+        }
+    }
+
+    #[test]
+    fn os_invariant_detects_dirty_high_bits() {
+        let mut pte = Pte::new(Frame(0x1234), PteFlags::user_data());
+        assert!(pte.os_invariant_holds(40));
+        pte.0 |= 1 << 45; // inside unused PFN bits for a 1 TB machine
+        assert!(!pte.os_invariant_holds(40));
+        assert!(pte.os_invariant_holds(46));
+    }
+}

@@ -1,0 +1,16 @@
+//! Prior page-table defences the paper compares against (Section II-E).
+//!
+//! * [`secwalk`] — SecWalk-style error-*detection* codes inside the PTE:
+//!   strong against few random flips, but linear, so an attacker who knows
+//!   the PTE value can flip a codeword-shaped pattern undetected (the
+//!   ECCploit observation).
+//! * [`monotonic`] — monotonic pointers in DRAM true cells: placement
+//!   guarantees that a unidirectional PFN flip can never make a PTE
+//!   reference a page table, but leaves every metadata bit (user/NX/MPK)
+//!   unprotected and relies on flips staying unidirectional.
+//!
+//! Both are measured head-to-head against the MAC in the `priorwork`
+//! experiment.
+
+pub mod monotonic;
+pub mod secwalk;

@@ -1,0 +1,180 @@
+//! Monotonic pointers in DRAM true cells (Wu et al., ASPLOS 2019), as
+//! characterised in Section II-E.1 of the PT-Guard paper.
+//!
+//! The defence places page tables in *true* cells (which only flip 1→0)
+//! above a physical watermark, with all user pages below it. A
+//! unidirectional PFN flip can then only *decrease* the PFN, so a corrupted
+//! PTE can never point into the page-table region. Two gaps remain:
+//!
+//! 1. Metadata is unprotected: flipping user-accessible, writable, NX, or
+//!    MPK bits still escalates without touching the PFN.
+//! 2. The true-cell assumption is physical, not architectural: the original
+//!    authors concede a small probability of opposite-direction flips from
+//!    circuit effects, which worsens with scaling.
+
+use pagetable::addr::Frame;
+use pagetable::x86_64::{bits, Pte};
+
+/// How a single observed PTE change is classified under the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlipThreat {
+    /// No architecturally visible change.
+    Benign,
+    /// The PFN changed but still points below the watermark: data-only
+    /// corruption, contained by the placement policy.
+    ContainedPfnCorruption,
+    /// The PFN now points into the page-table region: the exploit the
+    /// policy exists to stop (only reachable via 0→1 flips).
+    PageTableReference,
+    /// PFN unchanged, but security metadata (user/writable/NX/MPK) changed:
+    /// the policy provides no protection here.
+    MetadataEscalation,
+}
+
+/// The monotonic-pointer placement policy.
+#[derive(Debug, Clone, Copy)]
+pub struct MonotonicPolicy {
+    /// First frame of the true-cell page-table region; user frames must be
+    /// strictly below.
+    pub watermark: Frame,
+}
+
+impl MonotonicPolicy {
+    /// Creates a policy with the page-table region starting at `watermark`.
+    #[must_use]
+    pub fn new(watermark: Frame) -> Self {
+        Self { watermark }
+    }
+
+    /// Whether `frame` is a legal placement for a page-table page.
+    #[must_use]
+    pub fn valid_pt_frame(&self, frame: Frame) -> bool {
+        frame >= self.watermark
+    }
+
+    /// Whether `frame` is a legal placement for a user page.
+    #[must_use]
+    pub fn valid_user_frame(&self, frame: Frame) -> bool {
+        frame < self.watermark
+    }
+
+    /// Whether a transition `before → after` is possible with true cells
+    /// only (1→0 flips: `after` must be a sub-mask of `before`).
+    #[must_use]
+    pub fn true_cell_reachable(before: Pte, after: Pte) -> bool {
+        after.raw() & !before.raw() == 0
+    }
+
+    /// Classifies an observed PTE change under the policy.
+    #[must_use]
+    pub fn classify(&self, before: Pte, after: Pte) -> FlipThreat {
+        if before == after {
+            return FlipThreat::Benign;
+        }
+        if after.frame() != before.frame() {
+            return if self.valid_pt_frame(after.frame()) {
+                FlipThreat::PageTableReference
+            } else {
+                FlipThreat::ContainedPfnCorruption
+            };
+        }
+        const META: u64 = bits::USER | bits::WRITABLE | bits::NX | bits::MPK_MASK;
+        if (before.raw() ^ after.raw()) & META != 0 {
+            return FlipThreat::MetadataEscalation;
+        }
+        FlipThreat::Benign
+    }
+
+    /// The policy's core guarantee, checkable per transition: a true-cell
+    /// flip of a PTE referencing a user frame can never produce a reference
+    /// to the page-table region.
+    #[must_use]
+    pub fn guarantee_holds(&self, before: Pte, after: Pte) -> bool {
+        if !Self::true_cell_reachable(before, after) {
+            // Anti-direction flip: outside the defence's threat model —
+            // the guarantee is void (this is its documented weakness).
+            return true;
+        }
+        if !self.valid_user_frame(before.frame()) {
+            return true; // only user-referencing PTEs are attacker-reachable
+        }
+        !self.valid_pt_frame(after.frame())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pagetable::x86_64::PteFlags;
+
+    fn policy() -> MonotonicPolicy {
+        MonotonicPolicy::new(Frame(0x8_0000)) // PTs above 2 GB on a 4 GB box
+    }
+
+    #[test]
+    fn placement_partitions_memory() {
+        let p = policy();
+        assert!(p.valid_user_frame(Frame(0x100)));
+        assert!(!p.valid_pt_frame(Frame(0x100)));
+        assert!(p.valid_pt_frame(Frame(0x9_0000)));
+        assert!(!p.valid_user_frame(Frame(0x9_0000)));
+    }
+
+    #[test]
+    fn true_cell_flips_cannot_reach_page_tables() {
+        // Exhaustively flip every single PFN bit 1→0 of user PTEs and check
+        // the guarantee: the new PFN is always smaller, hence below the
+        // watermark.
+        let p = policy();
+        for pfn in [0x1u64, 0x7_ffff, 0x4_2424, 0x0f0f0] {
+            let before = Pte::new(Frame(pfn), PteFlags::user_data());
+            for bit in 12..32 {
+                let raw = before.raw();
+                if raw & (1 << bit) == 0 {
+                    continue;
+                }
+                let after = Pte::from_raw(raw & !(1 << bit));
+                assert!(MonotonicPolicy::true_cell_reachable(before, after));
+                assert!(p.guarantee_holds(before, after), "pfn {pfn:#x} bit {bit}");
+                assert_ne!(p.classify(before, after), FlipThreat::PageTableReference);
+            }
+        }
+    }
+
+    #[test]
+    fn anti_cell_flip_breaks_the_guarantee() {
+        // A 0→1 flip (the "small probability" circuit effect the authors
+        // concede) can raise the PFN into the page-table region.
+        let p = policy();
+        let before = Pte::new(Frame(0x0_0042), PteFlags::user_data());
+        let after = Pte::from_raw(before.raw() | (1 << (12 + 19))); // PFN += 0x8_0000
+        assert!(!MonotonicPolicy::true_cell_reachable(before, after));
+        assert_eq!(p.classify(before, after), FlipThreat::PageTableReference);
+    }
+
+    #[test]
+    fn metadata_flips_are_not_covered() {
+        // The paper's central criticism: user/NX/MPK flips escalate without
+        // touching the PFN, and the policy classifies but cannot prevent them.
+        let p = policy();
+        let before = Pte::new(Frame(0x100), PteFlags::kernel_data());
+        let after = Pte::from_raw(before.raw() | bits::USER);
+        // Note: USER 0→1 is an anti-cell flip; the symmetric 1→0 attack
+        // (clearing NX on a user page) is true-cell reachable:
+        let before2 = Pte::new(Frame(0x100), PteFlags::user_data());
+        let after2 = Pte::from_raw(before2.raw() & !bits::NX);
+        assert!(MonotonicPolicy::true_cell_reachable(before2, after2));
+        assert_eq!(p.classify(before, after), FlipThreat::MetadataEscalation);
+        assert_eq!(p.classify(before2, after2), FlipThreat::MetadataEscalation);
+        assert!(p.guarantee_holds(before2, after2), "the PFN guarantee technically holds...");
+        // ...yet W^X is now subverted — exactly why PT-Guard MACs all fields.
+    }
+
+    #[test]
+    fn contained_corruption_classified() {
+        let p = policy();
+        let before = Pte::new(Frame(0x4_2424), PteFlags::user_data());
+        let after = Pte::from_raw(before.raw() & !(1 << 14)); // PFN -= 4 (bit 2 is set)
+        assert_eq!(p.classify(before, after), FlipThreat::ContainedPfnCorruption);
+    }
+}

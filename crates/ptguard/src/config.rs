@@ -1,0 +1,146 @@
+//! PT-Guard configuration.
+
+use qarma::Sbox;
+
+use crate::format::PteFormat;
+
+/// Width of the per-line MAC in bits (12 unused PFN bits × 8 PTEs).
+pub const MAC_BITS: u32 = 96;
+
+/// Width of the identifier in bits (7 reserved bits × 8 PTEs).
+pub const IDENTIFIER_BITS: u32 = 56;
+
+/// Configuration of a PT-Guard engine instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PtGuardConfig {
+    /// The PTE format being protected (x86_64 by default; ARMv8 supported
+    /// at the 1 TB design point).
+    pub format: PteFormat,
+    /// Maximum physical address bits of the machine (`M` in Table IV). The
+    /// unused PFN bits 51:40 hold the MAC, so `M ≤ 40`; the paper's design
+    /// point is a ≤1 TB client system.
+    pub max_phys_bits: u32,
+    /// 256-bit QARMA-128 key as two 128-bit halves `(w0, k0)`.
+    pub key: [u128; 2],
+    /// QARMA-128 forward/backward round count (`r = 9` ⇒ 18 rounds).
+    pub mac_rounds: usize,
+    /// QARMA S-box choice.
+    pub sbox: Sbox,
+    /// Enables the Section V optimizations (identifier + MAC-zero).
+    pub optimized: bool,
+    /// The 56-bit random identifier placed in the reserved bits (only the
+    /// low [`IDENTIFIER_BITS`] bits are used).
+    pub identifier: u64,
+    /// MAC-computation latency in CPU cycles charged per computed MAC
+    /// (10 cycles at 3 GHz ≈ the 3.4 ns QARMA-128 latency of the paper).
+    pub mac_latency_cycles: u32,
+    /// Enables best-effort correction on walk-time MAC mismatches.
+    pub correction: bool,
+    /// Soft-match tolerance `k`: stored/computed MACs within Hamming
+    /// distance `k` verify (the paper selects `k = 4` for LPDDR4).
+    pub soft_match_k: u32,
+    /// "Almost-zero" PTE cut-off: entries with at most this many protected
+    /// bits set are reset to zero during correction (paper: 4).
+    pub zero_reset_bits: u32,
+}
+
+impl Default for PtGuardConfig {
+    /// The paper's default design point: 1 TB physical (`M = 40`), 18-round
+    /// QARMA-128 σ1, 10-cycle MAC latency, correction with `k = 4`,
+    /// optimizations off (the baseline PT-Guard of Figure 6).
+    fn default() -> Self {
+        Self {
+            format: PteFormat::X86_64,
+            max_phys_bits: 40,
+            key: [0x0f0e_0d0c_0b0a_0908_0706_0504_0302_0100, 0xcafe_f00d_dead_beef_0123_4567_89ab_cdef],
+            mac_rounds: 9,
+            sbox: Sbox::Sigma1,
+            optimized: false,
+            identifier: 0x5a_a5c3_3c96_69f0 & ((1 << IDENTIFIER_BITS) - 1),
+            mac_latency_cycles: 10,
+            correction: true,
+            soft_match_k: 4,
+            zero_reset_bits: 4,
+        }
+    }
+}
+
+impl PtGuardConfig {
+    /// The Optimized PT-Guard of Section V (identifier + MAC-zero).
+    #[must_use]
+    pub fn optimized() -> Self {
+        Self { optimized: true, ..Self::default() }
+    }
+
+    /// PT-Guard over ARMv8 stage-1 descriptors (Table II), at the paper's
+    /// 1 TB design point.
+    #[must_use]
+    pub fn armv8() -> Self {
+        let mut cfg = Self { format: PteFormat::ArmV8, ..Self::default() };
+        cfg.identifier &= (1 << cfg.format.id_bits()) - 1;
+        cfg
+    }
+
+    /// Returns a copy with a different MAC latency (Figure 7 sweeps 5–20).
+    #[must_use]
+    pub fn with_mac_latency(mut self, cycles: u32) -> Self {
+        self.mac_latency_cycles = cycles;
+        self
+    }
+
+    /// Returns a copy with a different key.
+    #[must_use]
+    pub fn with_key(mut self, key: [u128; 2]) -> Self {
+        self.key = key;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_phys_bits` is outside `(12, 40]` (the MAC needs the
+    /// 51:40 bits free) or the identifier exceeds 56 bits.
+    pub fn validate(&self) {
+        assert!(
+            self.max_phys_bits > 12 && self.max_phys_bits <= 40,
+            "max_phys_bits must be in (12, 40], got {}",
+            self.max_phys_bits
+        );
+        assert!(self.identifier < (1u64 << self.format.id_bits()), "identifier exceeds the format's ignored field");
+        if self.format == PteFormat::ArmV8 {
+            assert_eq!(self.max_phys_bits, 40, "ARMv8 support is fixed at the 1 TB design point");
+        }
+        assert!(self.soft_match_k < MAC_BITS, "soft_match_k must be far below the MAC width");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_matches_paper() {
+        let c = PtGuardConfig::default();
+        c.validate();
+        assert_eq!(c.max_phys_bits, 40);
+        assert_eq!(c.mac_latency_cycles, 10);
+        assert_eq!(c.soft_match_k, 4);
+        assert_eq!(c.mac_rounds * 2, 18, "paper uses an 18-round QARMA-128");
+        assert!(!c.optimized);
+    }
+
+    #[test]
+    fn optimized_flips_only_the_flag() {
+        let base = PtGuardConfig::default();
+        let opt = PtGuardConfig::optimized();
+        assert!(opt.optimized);
+        assert_eq!(PtGuardConfig { optimized: false, ..opt }, base);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_phys_bits")]
+    fn rejects_pfn_overlapping_mac() {
+        PtGuardConfig { max_phys_bits: 41, ..PtGuardConfig::default() }.validate();
+    }
+}

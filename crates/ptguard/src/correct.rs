@@ -1,0 +1,440 @@
+//! Best-effort correction of faulty PTE cachelines (Section VI).
+//!
+//! On a walk-time MAC mismatch the memory controller *guesses* corrected
+//! line values and accepts any guess whose MAC soft-matches (Hamming
+//! distance ≤ k) the stored MAC. A strong MAC makes mis-correction as
+//! unlikely as a MAC collision, so an accepted guess is the written value.
+//!
+//! The guess schedule exploits the PTE value locality measured on real
+//! systems (Section VI-B): most PTEs are zero, PFNs are often contiguous,
+//! and flags are near-uniform within a line:
+//!
+//! 1. *Soft match*: retry the stored line tolerating ≤ k MAC-bit faults (1 guess).
+//! 2. *Flip and check*: flip each protected bit in turn (44 × 8 = 352 guesses for M = 40).
+//! 3. *Zero reset*: treat almost-zero PTEs (≤ 4 protected bits set) as zero (1 guess).
+//! 4. + 5. *Flag majority vote* and *PFN contiguity*, independently and
+//!    combined (18 guesses).
+//!
+//! Maximum ≈ 372 guesses (`G_MAX`), the figure the security model uses.
+
+use crate::line::Line;
+use crate::mac::PteMac;
+use crate::pattern::extract_mac_for;
+use pagetable::addr::PhysAddr;
+use pagetable::x86_64::bits;
+use pagetable::PTES_PER_LINE;
+
+/// The paper's maximum guess count for x86_64 (Section VI-D):
+/// 1 soft-match + 44·8 flip-and-check + 1 zero-reset + 18 vote/contiguity.
+pub const G_MAX: u32 = 372;
+
+/// The guess budget for a format with `protected_bits_per_entry` protected
+/// bits (x86_64: 44 ⇒ 372; ARMv8: 47 ⇒ 396).
+#[must_use]
+pub fn guess_budget(protected_bits_per_entry: u32) -> u32 {
+    2 + protected_bits_per_entry * 8 + 18
+}
+
+/// Which guess strategy produced the accepted correction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorrectionStep {
+    /// The stored line soft-matched: only the MAC itself had (≤ k) faults.
+    SoftMatch,
+    /// A single flipped data bit was found and reverted.
+    FlipAndCheck,
+    /// Resetting almost-zero PTEs to zero recovered the line.
+    ZeroReset,
+    /// Flag majority vote and/or PFN-contiguity reconstruction recovered it.
+    MajorityAndContiguity,
+}
+
+/// The result of a successful correction.
+#[derive(Debug, Clone)]
+pub struct Corrected {
+    /// The corrected line: protected content restored; the MAC region still
+    /// holds the (possibly faulty, ≤ k bits) stored MAC.
+    pub line: Line,
+    /// Guesses spent (≤ [`G_MAX`]).
+    pub guesses: u32,
+    /// The strategy that succeeded.
+    pub step: CorrectionStep,
+}
+
+/// The outcome of a correction attempt.
+#[derive(Debug, Clone)]
+pub enum CorrectionOutcome {
+    /// A guess soft-matched.
+    Corrected(Corrected),
+    /// Every guess failed; the engine must raise a PTE integrity exception.
+    Uncorrectable {
+        /// Guesses spent before giving up.
+        guesses: u32,
+    },
+}
+
+impl CorrectionOutcome {
+    /// Whether correction succeeded.
+    #[must_use]
+    pub fn is_corrected(&self) -> bool {
+        matches!(self, CorrectionOutcome::Corrected(_))
+    }
+}
+
+/// The hardware correction unit.
+#[derive(Debug)]
+pub struct Corrector<'a> {
+    mac: &'a PteMac,
+    k: u32,
+    zero_reset_bits: u32,
+}
+
+impl<'a> Corrector<'a> {
+    /// Creates a corrector using `mac` with soft-match tolerance `k` and
+    /// almost-zero cut-off `zero_reset_bits`.
+    #[must_use]
+    pub fn new(mac: &'a PteMac, k: u32, zero_reset_bits: u32) -> Self {
+        Self { mac, k, zero_reset_bits }
+    }
+
+    /// Attempts to correct `line` (read from DRAM at `addr`, whose exact MAC
+    /// verification failed).
+    #[must_use]
+    pub fn correct(&self, line: &Line, addr: PhysAddr) -> CorrectionOutcome {
+        let stored = extract_mac_for(line, self.mac.format());
+        let budget = guess_budget(self.mac.protected_mask().count_ones());
+        let mut guesses = 0u32;
+        let check = |cand: &Line, guesses: &mut u32| -> bool {
+            *guesses += 1;
+            self.mac.soft_verify(cand, addr, stored, self.k)
+        };
+
+        // Step 1: soft match of the line as-is.
+        if check(line, &mut guesses) {
+            return CorrectionOutcome::Corrected(Corrected { line: *line, guesses, step: CorrectionStep::SoftMatch });
+        }
+
+        // Step 2: flip and check every protected bit.
+        let protected = self.mac.protected_mask();
+        for word in 0..PTES_PER_LINE {
+            for bit in 0..64 {
+                if protected & (1u64 << bit) == 0 {
+                    continue;
+                }
+                let mut cand = *line;
+                cand.set_word(word, cand.word(word) ^ (1 << bit));
+                if check(&cand, &mut guesses) {
+                    return CorrectionOutcome::Corrected(Corrected { line: cand, guesses, step: CorrectionStep::FlipAndCheck });
+                }
+            }
+        }
+
+        // Step 3: reset almost-zero PTEs; subsequent guesses build on this.
+        let base = self.reset_almost_zero(line, protected);
+        if check(&base, &mut guesses) {
+            return CorrectionOutcome::Corrected(Corrected { line: base, guesses, step: CorrectionStep::ZeroReset });
+        }
+
+        // Steps 4 + 5: flag majority vote × PFN-contiguity candidates.
+        // The in-use PFN mask comes from the format (the ARMv8 PFN field is
+        // split; only the contiguous in-use portion takes part in the
+        // contiguity reconstruction).
+        let pfn_mask = self.mac.pfn_mask();
+        let flag_mask = protected & !pfn_mask;
+        let nonzero: Vec<usize> =
+            (0..PTES_PER_LINE).filter(|&i| base.word(i) & protected != 0).collect();
+        if !nonzero.is_empty() {
+            let flag_choices = [None, Some(self.majority_flags(&base, &nonzero, flag_mask))];
+            let mut pfn_choices: Vec<Option<Vec<(usize, u64)>>> = vec![None];
+            if let Some(v) = self.vote_top_pfn(&base, &nonzero, pfn_mask) {
+                pfn_choices.push(Some(v));
+            }
+            for &b in &nonzero {
+                if let Some(v) = self.contiguity_from_base(&base, &nonzero, pfn_mask, b) {
+                    pfn_choices.push(Some(v));
+                }
+            }
+            for flags in &flag_choices {
+                for pfns in &pfn_choices {
+                    if flags.is_none() && pfns.is_none() {
+                        continue; // the unmodified base was step 3's guess
+                    }
+                    let mut cand = base;
+                    if let Some(fv) = flags {
+                        for &(i, w) in fv {
+                            cand.set_word(i, w);
+                        }
+                    }
+                    if let Some(pv) = pfns {
+                        for &(i, pfn_bits) in pv {
+                            cand.set_word(i, (cand.word(i) & !pfn_mask) | pfn_bits);
+                        }
+                    }
+                    if check(&cand, &mut guesses) {
+                        return CorrectionOutcome::Corrected(Corrected {
+                            line: cand,
+                            guesses,
+                            step: CorrectionStep::MajorityAndContiguity,
+                        });
+                    }
+                    if guesses >= budget {
+                        return CorrectionOutcome::Uncorrectable { guesses };
+                    }
+                }
+            }
+        }
+
+        CorrectionOutcome::Uncorrectable { guesses }
+    }
+
+    /// Step 3 helper: clear the protected bits of almost-zero PTEs.
+    fn reset_almost_zero(&self, line: &Line, protected: u64) -> Line {
+        let mut out = *line;
+        for i in 0..PTES_PER_LINE {
+            let content = out.word(i) & protected;
+            let ones = content.count_ones();
+            if ones > 0 && ones <= self.zero_reset_bits {
+                out.set_word(i, out.word(i) & !protected);
+            }
+        }
+        out
+    }
+
+    /// Step 4 helper: bitwise majority vote of the flag bits over the
+    /// non-zero PTEs, applied to each of them.
+    fn majority_flags(&self, line: &Line, nonzero: &[usize], flag_mask: u64) -> Vec<(usize, u64)> {
+        let mut voted = 0u64;
+        for bit in 0..64 {
+            let m = 1u64 << bit;
+            if flag_mask & m == 0 {
+                continue;
+            }
+            let ones = nonzero.iter().filter(|&&i| line.word(i) & m != 0).count();
+            if 2 * ones > nonzero.len() {
+                voted |= m;
+            }
+        }
+        nonzero.iter().map(|&i| (i, (line.word(i) & !flag_mask) | voted)).collect()
+    }
+
+    /// Step 5a helper: majority vote over the top PFN bits (all but the low
+    /// 8), keeping each entry's own low 8 bits.
+    fn vote_top_pfn(&self, line: &Line, nonzero: &[usize], pfn_mask: u64) -> Option<Vec<(usize, u64)>> {
+        let low8 = 0xffu64 << bits::PFN_SHIFT;
+        let top_mask = pfn_mask & !low8;
+        if top_mask == 0 {
+            return None;
+        }
+        let mut voted = 0u64;
+        for bit in 0..64 {
+            let m = 1u64 << bit;
+            if top_mask & m == 0 {
+                continue;
+            }
+            let ones = nonzero.iter().filter(|&&i| line.word(i) & m != 0).count();
+            if 2 * ones > nonzero.len() {
+                voted |= m;
+            }
+        }
+        Some(nonzero.iter().map(|&i| (i, voted | (line.word(i) & pfn_mask & low8))).collect())
+    }
+
+    /// Step 5b helper: assume entry `b`'s PFN is correct and reconstruct the
+    /// others by contiguity (`pfn_i = pfn_b + (i − b)`).
+    fn contiguity_from_base(
+        &self,
+        line: &Line,
+        nonzero: &[usize],
+        pfn_mask: u64,
+        b: usize,
+    ) -> Option<Vec<(usize, u64)>> {
+        let pfn_of = |w: u64| (w & pfn_mask) >> bits::PFN_SHIFT;
+        let base_pfn = pfn_of(line.word(b)) as i64;
+        let max_pfn = (pfn_mask >> bits::PFN_SHIFT) as i64;
+        let mut out = Vec::with_capacity(nonzero.len());
+        for &i in nonzero {
+            let pfn = base_pfn + (i as i64 - b as i64);
+            if pfn < 0 || pfn > max_pfn {
+                return None;
+            }
+            out.push((i, (pfn as u64) << bits::PFN_SHIFT));
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PtGuardConfig;
+    use crate::pattern::embed_mac;
+
+    fn setup() -> PteMac {
+        PteMac::from_config(&PtGuardConfig::default())
+    }
+
+    /// A PTE line with contiguous PFNs and uniform flags, MAC embedded.
+    fn protected_line(mac: &PteMac, addr: PhysAddr) -> Line {
+        let flags = 0x8000_0000_0000_0027u64; // P|W|U|A... pattern with NX
+        let mut line = Line::ZERO;
+        for i in 0..6 {
+            line.set_word(i, ((0x1_2340 + i as u64) << 12) | (flags & !bits::PFN_MASK));
+        }
+        // words 6,7 left zero (zero PTEs)
+        embed_mac(&line, mac.compute(&line, addr))
+    }
+
+    #[test]
+    fn pristine_line_soft_matches_immediately() {
+        let mac = setup();
+        let addr = PhysAddr::new(0x1000);
+        let line = protected_line(&mac, addr);
+        let c = Corrector::new(&mac, 4, 4);
+        match c.correct(&line, addr) {
+            CorrectionOutcome::Corrected(r) => {
+                assert_eq!(r.step, CorrectionStep::SoftMatch);
+                assert_eq!(r.guesses, 1);
+                assert_eq!(r.line, line);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mac_only_faults_soft_match() {
+        let mac = setup();
+        let addr = PhysAddr::new(0x1000);
+        let mut line = protected_line(&mac, addr);
+        // Flip 3 bits inside the MAC region of different words.
+        line.set_word(0, line.word(0) ^ (1 << 41));
+        line.set_word(3, line.word(3) ^ (1 << 45));
+        line.set_word(7, line.word(7) ^ (1 << 51));
+        let c = Corrector::new(&mac, 4, 4);
+        let out = c.correct(&line, addr);
+        match out {
+            CorrectionOutcome::Corrected(r) => assert_eq!(r.step, CorrectionStep::SoftMatch),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_data_bit_flip_corrected() {
+        let mac = setup();
+        let addr = PhysAddr::new(0x2000);
+        let clean = protected_line(&mac, addr);
+        for bit in [0usize, 2, 13, 30, 63 + 64 * 3] {
+            let mut faulty = clean;
+            faulty.flip_bit(bit);
+            if faulty == clean {
+                continue;
+            }
+            let c = Corrector::new(&mac, 4, 4);
+            match c.correct(&faulty, addr) {
+                CorrectionOutcome::Corrected(r) => {
+                    assert_eq!(r.line, clean, "bit {bit}");
+                    assert!(matches!(r.step, CorrectionStep::FlipAndCheck), "bit {bit}: {:?}", r.step);
+                }
+                other => panic!("bit {bit}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn shredded_zero_pte_recovered_by_zero_reset() {
+        let mac = setup();
+        let addr = PhysAddr::new(0x3000);
+        let clean = protected_line(&mac, addr);
+        let mut faulty = clean;
+        // 3 flips inside the zero PTE at word 6 (protected region bits).
+        faulty.set_word(6, faulty.word(6) ^ 0b1001 ^ (1 << 20));
+        let c = Corrector::new(&mac, 4, 4);
+        match c.correct(&faulty, addr) {
+            CorrectionOutcome::Corrected(r) => {
+                assert_eq!(r.line, clean);
+                assert_eq!(r.step, CorrectionStep::ZeroReset);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn flag_faults_recovered_by_majority_vote() {
+        let mac = setup();
+        let addr = PhysAddr::new(0x4000);
+        let clean = protected_line(&mac, addr);
+        let mut faulty = clean;
+        // Corrupt flags of two different entries (beyond single-flip reach).
+        faulty.set_word(1, faulty.word(1) ^ 0b110); // W+U bits of word 1
+        faulty.set_word(4, faulty.word(4) ^ (1 << 63)); // NX of word 4
+        let c = Corrector::new(&mac, 4, 4);
+        match c.correct(&faulty, addr) {
+            CorrectionOutcome::Corrected(r) => {
+                assert_eq!(r.line, clean);
+                assert_eq!(r.step, CorrectionStep::MajorityAndContiguity);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pfn_faults_recovered_by_contiguity() {
+        let mac = setup();
+        let addr = PhysAddr::new(0x5000);
+        let clean = protected_line(&mac, addr);
+        let mut faulty = clean;
+        // Corrupt the low PFN bits of two entries.
+        faulty.set_word(2, faulty.word(2) ^ (0b101 << 12));
+        faulty.set_word(5, faulty.word(5) ^ (0b11 << 13));
+        let c = Corrector::new(&mac, 4, 4);
+        match c.correct(&faulty, addr) {
+            CorrectionOutcome::Corrected(r) => {
+                assert_eq!(r.line, clean);
+                assert_eq!(r.step, CorrectionStep::MajorityAndContiguity);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    /// A line of *non-contiguous* PFNs: correction has no structure to
+    /// exploit beyond single-bit search.
+    fn noncontiguous_line(mac: &PteMac, addr: PhysAddr) -> Line {
+        let mut line = Line::ZERO;
+        let pfns = [0x0a1_b2c3u64, 0x571_0000, 0x123_4567, 0x0ff_ff00, 0x800_0001, 0x2d2_d2d2];
+        for (i, p) in pfns.iter().enumerate() {
+            line.set_word(i, (p << 12) | 0x27);
+        }
+        embed_mac(&line, mac.compute(&line, addr))
+    }
+
+    #[test]
+    fn scattered_multibit_damage_is_uncorrectable() {
+        let mac = setup();
+        let addr = PhysAddr::new(0x6000);
+        let clean = noncontiguous_line(&mac, addr);
+        let mut faulty = clean;
+        // Flips in the PFN bits of three *different* non-contiguous entries:
+        // not reachable by flip-and-check, zero reset, vote, or contiguity.
+        faulty.set_word(0, faulty.word(0) ^ (1 << 13));
+        faulty.set_word(1, faulty.word(1) ^ (1 << 14));
+        faulty.set_word(2, faulty.word(2) ^ (1 << 15));
+        let c = Corrector::new(&mac, 4, 4);
+        let out = c.correct(&faulty, addr);
+        assert!(!out.is_corrected(), "{out:?}");
+        if let CorrectionOutcome::Uncorrectable { guesses } = out {
+            assert!(guesses <= G_MAX, "guesses = {guesses}");
+        }
+    }
+
+    #[test]
+    fn guess_budget_is_within_paper_bound() {
+        let mac = setup();
+        let addr = PhysAddr::new(0x7000);
+        let mut faulty = protected_line(&mac, addr);
+        faulty.set_word(0, faulty.word(0) ^ (0b11 << 30));
+        faulty.set_word(4, faulty.word(4) ^ (0b11 << 33));
+        let c = Corrector::new(&mac, 4, 4);
+        match c.correct(&faulty, addr) {
+            CorrectionOutcome::Uncorrectable { guesses } => assert!(guesses <= G_MAX),
+            CorrectionOutcome::Corrected(r) => assert!(r.guesses <= G_MAX),
+        }
+    }
+}

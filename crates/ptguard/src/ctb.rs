@@ -1,0 +1,130 @@
+//! The Collision Tracking Buffer (Section IV-D).
+//!
+//! A non-protected line whose resident bits in the MAC region coincidentally
+//! equal the MAC computed over the rest of the line (probability 2⁻⁹⁶) would
+//! be corrupted by read-time MAC stripping. The memory controller detects
+//! such *colliding lines* at write time and records their addresses in this
+//! tiny (4-entry, 20-byte) SRAM buffer; reads consult it and forward tracked
+//! lines untouched.
+//!
+//! If the buffer ever fills — astronomically unlikely in benign operation,
+//! and a strong signal of an adversarial known-plaintext attack (Section
+//! VII-B) — the engine escalates to re-keying.
+
+use pagetable::addr::PhysAddr;
+
+/// Number of entries (paper: 4 entries ≈ 20 bytes of SRAM).
+pub const CTB_ENTRIES: usize = 4;
+
+/// The 4-entry Collision Tracking Buffer.
+#[derive(Debug, Clone, Default)]
+pub struct CollisionTrackingBuffer {
+    entries: Vec<PhysAddr>,
+    insertions: u64,
+}
+
+impl CollisionTrackingBuffer {
+    /// Creates an empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether `addr`'s line is tracked as colliding.
+    #[must_use]
+    pub fn contains(&self, addr: PhysAddr) -> bool {
+        self.entries.contains(&addr.line_addr())
+    }
+
+    /// Tracks `addr`'s line. Returns `false` if the buffer is full (the
+    /// caller must escalate to re-keying).
+    pub fn insert(&mut self, addr: PhysAddr) -> bool {
+        let line = addr.line_addr();
+        if self.entries.contains(&line) {
+            return true;
+        }
+        if self.entries.len() >= CTB_ENTRIES {
+            return false;
+        }
+        self.entries.push(line);
+        self.insertions += 1;
+        true
+    }
+
+    /// Untracks `addr`'s line (a non-colliding value was written there, or
+    /// the OS cleaned up after terminating an offending process).
+    pub fn remove(&mut self, addr: PhysAddr) {
+        let line = addr.line_addr();
+        self.entries.retain(|&e| e != line);
+    }
+
+    /// Clears all entries (performed as part of re-keying).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Current occupancy.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether the buffer is full.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= CTB_ENTRIES
+    }
+
+    /// Lifetime insertions (for diagnostics; collisions are attack signals).
+    #[must_use]
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut ctb = CollisionTrackingBuffer::new();
+        let a = PhysAddr::new(0x1040);
+        assert!(!ctb.contains(a));
+        assert!(ctb.insert(a));
+        assert!(ctb.contains(a));
+        // Any address within the same line matches.
+        assert!(ctb.contains(PhysAddr::new(0x107f)));
+        assert!(!ctb.contains(PhysAddr::new(0x1080)));
+        ctb.remove(PhysAddr::new(0x1055));
+        assert!(!ctb.contains(a));
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut ctb = CollisionTrackingBuffer::new();
+        assert!(ctb.insert(PhysAddr::new(0x40)));
+        assert!(ctb.insert(PhysAddr::new(0x7f)));
+        assert_eq!(ctb.len(), 1);
+        assert_eq!(ctb.insertions(), 1);
+    }
+
+    #[test]
+    fn overflow_signals_rekey() {
+        let mut ctb = CollisionTrackingBuffer::new();
+        for i in 0..CTB_ENTRIES as u64 {
+            assert!(ctb.insert(PhysAddr::new(i * 64)));
+        }
+        assert!(ctb.is_full());
+        assert!(!ctb.insert(PhysAddr::new(0x9999_9940)), "fifth insert must fail");
+        ctb.clear();
+        assert!(ctb.is_empty());
+        assert!(ctb.insert(PhysAddr::new(0x9999_9940)));
+    }
+}

@@ -1,0 +1,198 @@
+//! PTE-format abstraction: PT-Guard on x86_64 *and* ARMv8.
+//!
+//! Section IV-F: "Without loss of generality, we use x86_64 page table
+//! format for PT-Guard, but the principles apply to ARMv8 or any other
+//! ISA." This module makes that claim executable. A [`PteFormat`] describes
+//! where the unused (MAC) bits, the OS-zeroed ignored (identifier) bits,
+//! and the MAC-protected bits live inside an 8-byte entry; every other
+//! layer (pattern match, MAC, engine, corrector) is parameterized over it.
+//!
+//! At the paper's ≤1 TB design point (`M = 40`):
+//!
+//! * **x86_64** (Table I): 12 unused PFN bits per PTE at 51:40 (MAC), 7
+//!   ignored bits at 58:52 (identifier ⇒ 56 bits/line).
+//! * **ARMv8** (Table II): the 40-bit PFN is split — `PFN[37:0]` at bits
+//!   49:12 and `PFN[39:38]` at bits 9:8 — so the 12 unused bits per
+//!   descriptor are 49:40 *plus* 9:8 (MAC), and the 4 ignored bits at
+//!   58:55 carry a 32-bit identifier.
+
+use pagetable::{armv8, x86_64};
+
+/// One contiguous run of bits inside an 8-byte entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// First bit of the run.
+    pub shift: u32,
+    /// Run width in bits.
+    pub width: u32,
+}
+
+impl Segment {
+    /// Mask selecting this segment within a word.
+    #[must_use]
+    pub const fn mask(self) -> u64 {
+        (((1u128 << self.width) - 1) as u64) << self.shift
+    }
+}
+
+/// The page-table-entry format PT-Guard is protecting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PteFormat {
+    /// x86_64 4-level PTEs (Table I of the paper).
+    #[default]
+    X86_64,
+    /// ARMv8-A stage-1 descriptors (Table II).
+    ArmV8,
+}
+
+const X86_MAC: &[Segment] = &[Segment { shift: 40, width: 12 }];
+const X86_ID: &[Segment] = &[Segment { shift: 52, width: 7 }];
+const ARM_MAC: &[Segment] = &[Segment { shift: 40, width: 10 }, Segment { shift: 8, width: 2 }];
+const ARM_ID: &[Segment] = &[Segment { shift: 55, width: 4 }];
+
+impl PteFormat {
+    /// Per-entry bit runs that hold the MAC share (12 bits per entry, 96
+    /// per line, in both formats at `M = 40`).
+    #[must_use]
+    pub const fn mac_segments(self) -> &'static [Segment] {
+        match self {
+            PteFormat::X86_64 => X86_MAC,
+            PteFormat::ArmV8 => ARM_MAC,
+        }
+    }
+
+    /// Per-entry bit runs that hold the identifier share.
+    #[must_use]
+    pub const fn id_segments(self) -> &'static [Segment] {
+        match self {
+            PteFormat::X86_64 => X86_ID,
+            PteFormat::ArmV8 => ARM_ID,
+        }
+    }
+
+    /// MAC bits per entry.
+    #[must_use]
+    pub fn mac_bits_per_entry(self) -> u32 {
+        self.mac_segments().iter().map(|s| s.width).sum()
+    }
+
+    /// Identifier bits per entry.
+    #[must_use]
+    pub fn id_bits_per_entry(self) -> u32 {
+        self.id_segments().iter().map(|s| s.width).sum()
+    }
+
+    /// Total identifier width per line (x86_64: 56; ARMv8: 32).
+    #[must_use]
+    pub fn id_bits(self) -> u32 {
+        8 * self.id_bits_per_entry()
+    }
+
+    /// Per-word mask of the MAC region.
+    #[must_use]
+    pub fn mac_field_mask(self) -> u64 {
+        self.mac_segments().iter().map(|s| s.mask()).fold(0, |a, m| a | m)
+    }
+
+    /// Per-word mask of the identifier region.
+    #[must_use]
+    pub fn id_field_mask(self) -> u64 {
+        self.id_segments().iter().map(|s| s.mask()).fold(0, |a, m| a | m)
+    }
+
+    /// Per-word mask of the bits the MAC protects (Table IV and its ARMv8
+    /// analogue: everything except the accessed bit, the MAC region, and
+    /// the ignored/identifier region).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_phys_bits` is unsupported for the format (ARMv8
+    /// support is implemented at the paper's `M = 40` design point).
+    #[must_use]
+    pub fn protected_mask(self, max_phys_bits: u32) -> u64 {
+        match self {
+            PteFormat::X86_64 => x86_64::mac_protected_mask(max_phys_bits),
+            PteFormat::ArmV8 => {
+                assert_eq!(max_phys_bits, 40, "ARMv8 segments are fixed at the 1 TB design point");
+                // Everything except: accessed (bit 10), the MAC segments
+                // (49:40 and 9:8), and the ignored bits 58:55.
+                let excluded =
+                    armv8::bits::ACCESSED | self.mac_field_mask() | armv8::bits::IGNORED_MASK;
+                !excluded
+            }
+        }
+    }
+
+    /// Per-word mask of the *in-use* PFN bits (what the corrector treats as
+    /// the PFN for contiguity reconstruction; bit 12 is the LSB in both
+    /// formats at `M = 40`).
+    #[must_use]
+    pub fn pfn_mask(self, max_phys_bits: u32) -> u64 {
+        match self {
+            PteFormat::X86_64 => x86_64::bits::PFN_MASK & ((1u64 << max_phys_bits) - 1),
+            PteFormat::ArmV8 => {
+                assert_eq!(max_phys_bits, 40, "ARMv8 segments are fixed at the 1 TB design point");
+                armv8::bits::PFN_LOW_MASK & ((1u64 << max_phys_bits) - 1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_formats_pool_96_mac_bits() {
+        for fmt in [PteFormat::X86_64, PteFormat::ArmV8] {
+            assert_eq!(fmt.mac_bits_per_entry(), 12, "{fmt:?}");
+            assert_eq!(fmt.mac_field_mask().count_ones(), 12);
+        }
+    }
+
+    #[test]
+    fn identifier_widths_match_ignored_fields() {
+        assert_eq!(PteFormat::X86_64.id_bits(), 56);
+        assert_eq!(PteFormat::ArmV8.id_bits(), 32);
+    }
+
+    #[test]
+    fn masks_are_disjoint_per_format() {
+        for fmt in [PteFormat::X86_64, PteFormat::ArmV8] {
+            let mac = fmt.mac_field_mask();
+            let id = fmt.id_field_mask();
+            let prot = fmt.protected_mask(40);
+            assert_eq!(mac & id, 0, "{fmt:?}");
+            assert_eq!(mac & prot, 0, "{fmt:?}");
+            assert_eq!(id & prot, 0, "{fmt:?}");
+        }
+    }
+
+    #[test]
+    fn armv8_mac_region_covers_split_pfn() {
+        let m = PteFormat::ArmV8.mac_field_mask();
+        assert_ne!(m & (0b11 << 8), 0, "`PFN[39:38]` bits must be in the MAC region");
+        assert_ne!(m & (0x3ff << 40), 0);
+        assert_eq!(m & (1 << 10), 0, "accessed bit must not be in the MAC region");
+    }
+
+    #[test]
+    fn armv8_protected_mask_counts() {
+        // 64 − 12 (MAC) − 4 (ignored) − 1 (accessed) = 47 protected bits.
+        assert_eq!(PteFormat::ArmV8.protected_mask(40).count_ones(), 47);
+    }
+
+    #[test]
+    fn segment_mask_arithmetic() {
+        let s = Segment { shift: 40, width: 12 };
+        assert_eq!(s.mask(), 0xfff << 40);
+        let s = Segment { shift: 8, width: 2 };
+        assert_eq!(s.mask(), 0b11 << 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "design point")]
+    fn armv8_off_design_point_rejected() {
+        let _ = PteFormat::ArmV8.protected_mask(34);
+    }
+}

@@ -1,0 +1,201 @@
+//! The 64-byte cacheline, viewed as eight 64-bit PTE slots.
+
+use core::fmt;
+
+use pagetable::memory::{line_to_words, words_to_line};
+use pagetable::x86_64::Pte;
+use pagetable::{CACHELINE_SIZE, PTES_PER_LINE};
+
+/// A 64-byte cacheline.
+///
+/// PT-Guard operates on lines; each line holds eight 8-byte PTE slots
+/// (little-endian words), whether the line actually contains PTEs or
+/// regular data.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Line {
+    words: [u64; PTES_PER_LINE],
+}
+
+impl Line {
+    /// The all-zero line.
+    pub const ZERO: Line = Line { words: [0; PTES_PER_LINE] };
+
+    /// Builds a line from eight words (word 0 = lowest address).
+    #[must_use]
+    pub fn from_words(words: [u64; PTES_PER_LINE]) -> Self {
+        Self { words }
+    }
+
+    /// Builds a line from 64 raw bytes.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8; CACHELINE_SIZE]) -> Self {
+        Self { words: line_to_words(bytes) }
+    }
+
+    /// The eight words of the line.
+    #[must_use]
+    pub fn words(&self) -> [u64; PTES_PER_LINE] {
+        self.words
+    }
+
+    /// The line as 64 raw bytes.
+    #[must_use]
+    pub fn to_bytes(self) -> [u8; CACHELINE_SIZE] {
+        words_to_line(&self.words)
+    }
+
+    /// Word `i` of the line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 8`.
+    #[must_use]
+    pub fn word(&self, i: usize) -> u64 {
+        self.words[i]
+    }
+
+    /// Replaces word `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 8`.
+    pub fn set_word(&mut self, i: usize, value: u64) {
+        self.words[i] = value;
+    }
+
+    /// Word `i` interpreted as a PTE.
+    #[must_use]
+    pub fn pte(&self, i: usize) -> Pte {
+        Pte::from_raw(self.words[i])
+    }
+
+    /// Whether every bit of the line is zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Returns the line with `mask` cleared in every word.
+    #[must_use]
+    pub fn cleared(&self, mask: u64) -> Line {
+        let mut out = *self;
+        for w in &mut out.words {
+            *w &= !mask;
+        }
+        out
+    }
+
+    /// Returns the line with only `mask` kept in every word.
+    #[must_use]
+    pub fn masked(&self, mask: u64) -> Line {
+        let mut out = *self;
+        for w in &mut out.words {
+            *w &= mask;
+        }
+        out
+    }
+
+    /// Total set bits in the line.
+    #[must_use]
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Hamming distance to another line.
+    #[must_use]
+    pub fn hamming(&self, other: &Line) -> u32 {
+        self.words.iter().zip(other.words.iter()).map(|(a, b)| (a ^ b).count_ones()).sum()
+    }
+
+    /// Flips one bit (0 ≤ `bit` < 512; bit 0 = LSB of word 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit >= 512`.
+    pub fn flip_bit(&mut self, bit: usize) {
+        assert!(bit < CACHELINE_SIZE * 8, "bit {bit} out of range");
+        self.words[bit / 64] ^= 1 << (bit % 64);
+    }
+
+    /// Splits the line into four 16-byte chunks as little-endian `u128`s
+    /// (chunk 0 = lowest address) — the MAC algorithm's view.
+    #[must_use]
+    pub fn chunks(&self) -> [u128; 4] {
+        let mut out = [0u128; 4];
+        for (i, c) in out.iter_mut().enumerate() {
+            *c = u128::from(self.words[2 * i]) | (u128::from(self.words[2 * i + 1]) << 64);
+        }
+        out
+    }
+}
+
+impl Default for Line {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl fmt::Debug for Line {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Line[")?;
+        for (i, w) in self.words.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{w:#018x}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_words_roundtrip() {
+        let l = Line::from_words([1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(Line::from_bytes(&l.to_bytes()), l);
+    }
+
+    #[test]
+    fn flip_bit_and_hamming() {
+        let mut l = Line::ZERO;
+        l.flip_bit(0);
+        l.flip_bit(64);
+        l.flip_bit(511);
+        assert_eq!(l.word(0), 1);
+        assert_eq!(l.word(1), 1);
+        assert_eq!(l.word(7), 1 << 63);
+        assert_eq!(l.hamming(&Line::ZERO), 3);
+        l.flip_bit(0);
+        assert_eq!(l.hamming(&Line::ZERO), 2);
+    }
+
+    #[test]
+    fn mask_operations() {
+        let l = Line::from_words([u64::MAX; 8]);
+        let cleared = l.cleared(0xfff << 40);
+        for i in 0..8 {
+            assert_eq!(cleared.word(i), !(0xfff << 40));
+        }
+        let masked = l.masked(0xff);
+        assert_eq!(masked.count_ones(), 64);
+    }
+
+    #[test]
+    fn chunks_are_little_endian_pairs() {
+        let l = Line::from_words([0xaaaa, 0xbbbb, 1, 2, 3, 4, 5, 6]);
+        let c = l.chunks();
+        assert_eq!(c[0], 0xaaaa | (0xbbbb_u128 << 64));
+        assert_eq!(c[3], 5 | (6u128 << 64));
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(Line::ZERO.is_zero());
+        let mut l = Line::ZERO;
+        l.flip_bit(300);
+        assert!(!l.is_zero());
+    }
+}

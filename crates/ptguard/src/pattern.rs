@@ -1,0 +1,299 @@
+//! Bit-pattern matching and MAC/identifier embedding (Sections IV-B, V-A).
+//!
+//! The memory controller identifies *protected lines* at DRAM-write time by
+//! checking that specific bits are zero:
+//!
+//! * **Base pattern (96 bits)**: bits 51:40 of each of the 8 PTE slots — the
+//!   unused PFN bits on a ≤1 TB machine. The MAC is embedded here.
+//! * **Extended pattern (152 bits, Optimized PT-Guard)**: additionally bits
+//!   58:52 of each slot — the OS-zeroed "ignored" bits. A 56-bit random
+//!   *identifier* is embedded there so reads can skip MAC computation for
+//!   lines without it.
+
+use crate::config::{IDENTIFIER_BITS, MAC_BITS};
+use crate::format::PteFormat;
+use crate::line::Line;
+use pagetable::PTES_PER_LINE;
+
+/// Per-word mask of the MAC region (unused PFN bits 51:40).
+pub const MAC_FIELD_MASK: u64 = 0xfff << 40;
+
+/// Per-word shift of the MAC region.
+pub const MAC_FIELD_SHIFT: u32 = 40;
+
+/// Per-word width of the MAC region.
+pub const MAC_FIELD_WIDTH: u32 = 12;
+
+/// Per-word mask of the identifier region (ignored bits 58:52).
+pub const ID_FIELD_MASK: u64 = 0x7f << 52;
+
+/// Per-word shift of the identifier region.
+pub const ID_FIELD_SHIFT: u32 = 52;
+
+/// Per-word width of the identifier region.
+pub const ID_FIELD_WIDTH: u32 = 7;
+
+/// Whether the 96-bit base pattern matches: MAC region zero in all words.
+#[must_use]
+pub fn matches_base_pattern(line: &Line) -> bool {
+    matches_pattern_for(line, PteFormat::X86_64)
+}
+
+/// Whether the 152-bit extended pattern matches: MAC and identifier regions
+/// zero in all words.
+#[must_use]
+pub fn matches_extended_pattern(line: &Line) -> bool {
+    matches_extended_pattern_for(line, PteFormat::X86_64)
+}
+
+/// Format-aware base pattern match: the format's MAC region is zero in all
+/// words.
+#[must_use]
+pub fn matches_pattern_for(line: &Line, fmt: PteFormat) -> bool {
+    let mask = fmt.mac_field_mask();
+    line.words().iter().all(|w| w & mask == 0)
+}
+
+/// Format-aware extended pattern match: MAC and identifier regions zero.
+#[must_use]
+pub fn matches_extended_pattern_for(line: &Line, fmt: PteFormat) -> bool {
+    let mask = fmt.mac_field_mask() | fmt.id_field_mask();
+    line.words().iter().all(|w| w & mask == 0)
+}
+
+/// Scatters `value`'s low bits into the format segments of one word
+/// (segment order as listed; low value bits fill the first segment).
+fn scatter(word: u64, value: u64, segments: &[crate::format::Segment]) -> u64 {
+    let mut out = word;
+    let mut consumed = 0u32;
+    for s in segments {
+        let piece = (value >> consumed) & ((1u64 << s.width) - 1);
+        out = (out & !s.mask()) | (piece << s.shift);
+        consumed += s.width;
+    }
+    out
+}
+
+/// Gathers the format segments of one word into a compact value.
+fn gather(word: u64, segments: &[crate::format::Segment]) -> u64 {
+    let mut value = 0u64;
+    let mut consumed = 0u32;
+    for s in segments {
+        value |= ((word & s.mask()) >> s.shift) << consumed;
+        consumed += s.width;
+    }
+    value
+}
+
+/// Format-aware MAC embedding: word `i` receives MAC bits `12i+11 … 12i`
+/// scattered over the format's MAC segments.
+#[must_use]
+pub fn embed_mac_for(line: &Line, mac: u128, fmt: PteFormat) -> Line {
+    debug_assert!(mac < (1 << MAC_BITS));
+    let per = fmt.mac_bits_per_entry();
+    let segs = fmt.mac_segments();
+    let mut out = *line;
+    for i in 0..PTES_PER_LINE {
+        let piece = ((mac >> (per * i as u32)) as u64) & ((1u64 << per) - 1);
+        out.set_word(i, scatter(out.word(i), piece, segs));
+    }
+    out
+}
+
+/// Format-aware MAC extraction.
+#[must_use]
+pub fn extract_mac_for(line: &Line, fmt: PteFormat) -> u128 {
+    let per = fmt.mac_bits_per_entry();
+    let segs = fmt.mac_segments();
+    let mut mac = 0u128;
+    for i in 0..PTES_PER_LINE {
+        mac |= u128::from(gather(line.word(i), segs)) << (per * i as u32);
+    }
+    mac
+}
+
+/// Format-aware identifier embedding.
+#[must_use]
+pub fn embed_identifier_for(line: &Line, identifier: u64, fmt: PteFormat) -> Line {
+    debug_assert!(identifier < (1u64 << fmt.id_bits()) || fmt.id_bits() >= 64);
+    let per = fmt.id_bits_per_entry();
+    let segs = fmt.id_segments();
+    let mut out = *line;
+    for i in 0..PTES_PER_LINE {
+        let piece = (identifier >> (per * i as u32)) & ((1u64 << per) - 1);
+        out.set_word(i, scatter(out.word(i), piece, segs));
+    }
+    out
+}
+
+/// Format-aware identifier extraction.
+#[must_use]
+pub fn extract_identifier_for(line: &Line, fmt: PteFormat) -> u64 {
+    let per = fmt.id_bits_per_entry();
+    let segs = fmt.id_segments();
+    let mut id = 0u64;
+    for i in 0..PTES_PER_LINE {
+        id |= gather(line.word(i), segs) << (per * i as u32);
+    }
+    id
+}
+
+/// Format-aware MAC strip.
+#[must_use]
+pub fn strip_mac_for(line: &Line, fmt: PteFormat) -> Line {
+    line.cleared(fmt.mac_field_mask())
+}
+
+/// Format-aware MAC + identifier strip.
+#[must_use]
+pub fn strip_mac_and_identifier_for(line: &Line, fmt: PteFormat) -> Line {
+    line.cleared(fmt.mac_field_mask() | fmt.id_field_mask())
+}
+
+/// Embeds a 96-bit MAC into the MAC region (word `i` gets MAC bits
+/// `12i+11 … 12i`). Any previous contents of the region are replaced.
+#[must_use]
+pub fn embed_mac(line: &Line, mac: u128) -> Line {
+    debug_assert!(mac < (1 << MAC_BITS));
+    let mut out = *line;
+    for i in 0..PTES_PER_LINE {
+        let piece = ((mac >> (MAC_FIELD_WIDTH * i as u32)) as u64) & 0xfff;
+        let w = (out.word(i) & !MAC_FIELD_MASK) | (piece << MAC_FIELD_SHIFT);
+        out.set_word(i, w);
+    }
+    out
+}
+
+/// Extracts the 96 bits currently in the MAC region.
+#[must_use]
+pub fn extract_mac(line: &Line) -> u128 {
+    let mut mac = 0u128;
+    for i in 0..PTES_PER_LINE {
+        let piece = (line.word(i) & MAC_FIELD_MASK) >> MAC_FIELD_SHIFT;
+        mac |= u128::from(piece) << (MAC_FIELD_WIDTH * i as u32);
+    }
+    mac
+}
+
+/// Embeds the 56-bit identifier into the identifier region (word `i` gets
+/// identifier bits `7i+6 … 7i`).
+#[must_use]
+pub fn embed_identifier(line: &Line, identifier: u64) -> Line {
+    debug_assert!(identifier < (1 << IDENTIFIER_BITS));
+    let mut out = *line;
+    for i in 0..PTES_PER_LINE {
+        let piece = (identifier >> (ID_FIELD_WIDTH * i as u32)) & 0x7f;
+        let w = (out.word(i) & !ID_FIELD_MASK) | (piece << ID_FIELD_SHIFT);
+        out.set_word(i, w);
+    }
+    out
+}
+
+/// Extracts the 56 bits currently in the identifier region.
+#[must_use]
+pub fn extract_identifier(line: &Line) -> u64 {
+    let mut id = 0u64;
+    for i in 0..PTES_PER_LINE {
+        let piece = (line.word(i) & ID_FIELD_MASK) >> ID_FIELD_SHIFT;
+        id |= piece << (ID_FIELD_WIDTH * i as u32);
+    }
+    id
+}
+
+/// Clears the MAC region (used when stripping before forwarding to caches).
+#[must_use]
+pub fn strip_mac(line: &Line) -> Line {
+    line.cleared(MAC_FIELD_MASK)
+}
+
+/// Clears both the MAC and identifier regions.
+#[must_use]
+pub fn strip_mac_and_identifier(line: &Line) -> Line {
+    line.cleared(MAC_FIELD_MASK | ID_FIELD_MASK)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pte_like_line() -> Line {
+        // Present user pages with PFNs below 2^28: OS-invariant clean.
+        Line::from_words([
+            0x0000_0012_3456_7027,
+            0x0000_0012_3456_8027,
+            0,
+            0x8000_0000_1111_1007, // NX bit set is fine (bit 63)
+            0,
+            0,
+            0,
+            0,
+        ])
+    }
+
+    #[test]
+    fn clean_pte_lines_match_both_patterns() {
+        let l = pte_like_line();
+        assert!(matches_base_pattern(&l));
+        assert!(matches_extended_pattern(&l));
+    }
+
+    #[test]
+    fn data_with_high_bits_does_not_match() {
+        let mut l = pte_like_line();
+        l.set_word(3, l.word(3) | (1 << 45)); // inside MAC region
+        assert!(!matches_base_pattern(&l));
+        let mut l2 = pte_like_line();
+        l2.set_word(2, 1 << 53); // inside identifier region only
+        assert!(matches_base_pattern(&l2));
+        assert!(!matches_extended_pattern(&l2));
+    }
+
+    #[test]
+    fn mac_embed_extract_roundtrip() {
+        let l = pte_like_line();
+        let mac = 0x0123_4567_89ab_cdef_0011_2233u128 & ((1 << 96) - 1);
+        let embedded = embed_mac(&l, mac);
+        assert_eq!(extract_mac(&embedded), mac);
+        // Embedding must not touch anything outside the MAC region.
+        assert_eq!(strip_mac(&embedded), l);
+    }
+
+    #[test]
+    fn identifier_embed_extract_roundtrip() {
+        let l = pte_like_line();
+        let id = 0x5a_a5c3_3c96_69f0u64 & ((1 << 56) - 1);
+        let embedded = embed_identifier(&l, id);
+        assert_eq!(extract_identifier(&embedded), id);
+        assert_eq!(embedded.cleared(ID_FIELD_MASK), l);
+    }
+
+    #[test]
+    fn mac_and_identifier_regions_are_disjoint() {
+        assert_eq!(MAC_FIELD_MASK & ID_FIELD_MASK, 0);
+        let l = embed_identifier(&embed_mac(&Line::ZERO, (1 << 96) - 1), (1 << 56) - 1);
+        assert_eq!(extract_mac(&l), (1 << 96) - 1);
+        assert_eq!(extract_identifier(&l), (1 << 56) - 1);
+        assert_eq!(strip_mac_and_identifier(&l), Line::ZERO);
+    }
+
+    #[test]
+    fn every_mac_bit_is_distinct() {
+        // Setting a single MAC bit touches exactly one line bit, and all 96
+        // positions are distinct.
+        let mut seen = std::collections::HashSet::new();
+        for bit in 0..96 {
+            let l = embed_mac(&Line::ZERO, 1u128 << bit);
+            assert_eq!(l.count_ones(), 1, "MAC bit {bit}");
+            let word = (0..8).find(|&i| l.word(i) != 0).unwrap();
+            let pos = l.word(word).trailing_zeros();
+            assert!(seen.insert((word, pos)));
+        }
+        assert_eq!(seen.len(), 96);
+    }
+
+    #[test]
+    fn zero_line_matches_everything() {
+        assert!(matches_base_pattern(&Line::ZERO));
+        assert!(matches_extended_pattern(&Line::ZERO));
+    }
+}

@@ -1,0 +1,57 @@
+//! SRAM budget accounting (Section V-E of the paper).
+//!
+//! PT-Guard's entire on-chip state: the MAC key, the 4-entry CTB, and (when
+//! optimized) the identifier and the precomputed MAC-zero. The paper reports
+//! 52 bytes for the base design and 71 bytes optimized.
+
+use crate::config::PtGuardConfig;
+
+/// Byte-level accounting of PT-Guard's memory-controller SRAM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SramBudget {
+    /// 256-bit QARMA-128 key.
+    pub key_bytes: u32,
+    /// Collision Tracking Buffer: 4 entries of 40-bit line addresses.
+    pub ctb_bytes: u32,
+    /// The 56-bit identifier (optimized only).
+    pub identifier_bytes: u32,
+    /// The precomputed 96-bit MAC-zero (optimized only).
+    pub mac_zero_bytes: u32,
+}
+
+impl SramBudget {
+    /// Budget for a given configuration.
+    #[must_use]
+    pub fn for_config(cfg: &PtGuardConfig) -> Self {
+        Self {
+            key_bytes: 32,
+            ctb_bytes: 20,
+            identifier_bytes: if cfg.optimized { 7 } else { 0 },
+            mac_zero_bytes: if cfg.optimized { 12 } else { 0 },
+        }
+    }
+
+    /// Total SRAM bytes.
+    #[must_use]
+    pub fn total(&self) -> u32 {
+        self.key_bytes + self.ctb_bytes + self.identifier_bytes + self.mac_zero_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_design_is_52_bytes() {
+        let b = SramBudget::for_config(&PtGuardConfig::default());
+        assert_eq!(b.total(), 52);
+    }
+
+    #[test]
+    fn optimized_design_is_71_bytes() {
+        let b = SramBudget::for_config(&PtGuardConfig::optimized());
+        assert_eq!(b.total(), 71);
+        assert!(b.total() < 72, "paper claims <72 bytes of SRAM");
+    }
+}

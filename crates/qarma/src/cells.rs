@@ -1,0 +1,259 @@
+//! Cell-array state representation and primitive cell operations.
+//!
+//! The QARMA state is a 4×4 matrix of cells (4-bit cells for QARMA-64, 8-bit
+//! cells for QARMA-128). We represent it uniformly as `[u8; 16]` in row-major
+//! order with cell 0 holding the most-significant cell of the packed word,
+//! matching the paper's convention.
+
+use crate::NUM_CELLS;
+
+/// The QARMA state: 16 cells, row-major, cell 0 most significant.
+pub type State = [u8; NUM_CELLS];
+
+/// Unpacks a 64-bit word into sixteen 4-bit cells (cell 0 = bits 63:60).
+#[must_use]
+pub fn unpack64(x: u64) -> State {
+    let mut s = [0u8; NUM_CELLS];
+    for (i, cell) in s.iter_mut().enumerate() {
+        *cell = ((x >> (60 - 4 * i)) & 0xf) as u8;
+    }
+    s
+}
+
+/// Packs sixteen 4-bit cells back into a 64-bit word.
+#[must_use]
+pub fn pack64(s: &State) -> u64 {
+    let mut x = 0u64;
+    for (i, &cell) in s.iter().enumerate() {
+        debug_assert!(cell < 16, "cell {i} out of 4-bit range");
+        x |= u64::from(cell) << (60 - 4 * i);
+    }
+    x
+}
+
+/// Unpacks a 128-bit word into sixteen 8-bit cells (cell 0 = bits 127:120).
+#[must_use]
+pub fn unpack128(x: u128) -> State {
+    let mut s = [0u8; NUM_CELLS];
+    for (i, cell) in s.iter_mut().enumerate() {
+        *cell = ((x >> (120 - 8 * i)) & 0xff) as u8;
+    }
+    s
+}
+
+/// Packs sixteen 8-bit cells back into a 128-bit word.
+#[must_use]
+pub fn pack128(s: &State) -> u128 {
+    let mut x = 0u128;
+    for (i, &cell) in s.iter().enumerate() {
+        x |= u128::from(cell) << (120 - 8 * i);
+    }
+    x
+}
+
+/// XORs `src` into `dst` cell-wise.
+pub fn xor_into(dst: &mut State, src: &State) {
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d ^= *s;
+    }
+}
+
+/// Returns the cell-wise XOR of two states.
+#[must_use]
+pub fn xor(a: &State, b: &State) -> State {
+    let mut out = *a;
+    xor_into(&mut out, b);
+    out
+}
+
+/// Applies a cell permutation: `out[i] = s[table[i]]`.
+#[must_use]
+pub fn permute(s: &State, table: &[usize; NUM_CELLS]) -> State {
+    let mut out = [0u8; NUM_CELLS];
+    for (i, &t) in table.iter().enumerate() {
+        out[i] = s[t];
+    }
+    out
+}
+
+/// Rotates a `bits`-wide cell left by `r` bit positions.
+#[must_use]
+pub fn rotl_cell(v: u8, r: u32, bits: u32) -> u8 {
+    debug_assert!(bits == 4 || bits == 8);
+    let r = r % bits;
+    if r == 0 {
+        return v & mask(bits);
+    }
+    let m = mask(bits);
+    ((v << r) | ((v & m) >> (bits - r))) & m
+}
+
+/// Rotates a `bits`-wide cell right by `r` bit positions.
+#[must_use]
+pub fn rotr_cell(v: u8, r: u32, bits: u32) -> u8 {
+    rotl_cell(v, bits - (r % bits), bits)
+}
+
+fn mask(bits: u32) -> u8 {
+    ((1u16 << bits) - 1) as u8
+}
+
+/// `MixColumns` with a circulant matrix `circ(0, ρ^e1, ρ^e2, ρ^e3)`.
+///
+/// The state matrix is row-major (`cell = s[4*row + col]`); each output cell
+/// is the XOR of the other three cells in its column, each rotated left by
+/// the circulant exponent `exps[(row_src - row_dst) mod 4]` (`exps[0]` is the
+/// structural zero of the matrix and is never used).
+#[must_use]
+pub fn mix_columns(s: &State, exps: &[u32; 4], cell_bits: u32) -> State {
+    let mut out = [0u8; NUM_CELLS];
+    for col in 0..4 {
+        for row in 0..4 {
+            let mut acc = 0u8;
+            for src in 0..4 {
+                if src == row {
+                    continue;
+                }
+                let e = exps[(4 + src - row) % 4];
+                acc ^= rotl_cell(s[4 * src + col], e, cell_bits);
+            }
+            out[4 * row + col] = acc;
+        }
+    }
+    out
+}
+
+/// Forward ω LFSR on a 4-bit cell: `(b3,b2,b1,b0) → (b0⊕b1, b3, b2, b1)`.
+#[must_use]
+pub fn lfsr4_forward(cell: u8) -> u8 {
+    ((cell >> 1) | (((cell ^ (cell >> 1)) & 1) << 3)) & 0xf
+}
+
+/// Inverse of [`lfsr4_forward`].
+#[must_use]
+pub fn lfsr4_backward(cell: u8) -> u8 {
+    ((cell << 1) | (((cell >> 3) ^ cell) & 1)) & 0xf
+}
+
+/// Forward ω LFSR on an 8-bit cell.
+///
+/// Fibonacci right-shift with feedback `b0 ⊕ b2 ⊕ b3 ⊕ b4` into `b7`. The
+/// exact 8-bit tap choice is a documented parameter of this reimplementation
+/// (see crate docs); invertibility and full mixing are what the MAC
+/// construction relies on, and both are property-tested.
+#[must_use]
+pub fn lfsr8_forward(cell: u8) -> u8 {
+    let fb = (cell ^ (cell >> 2) ^ (cell >> 3) ^ (cell >> 4)) & 1;
+    (cell >> 1) | (fb << 7)
+}
+
+/// Inverse of [`lfsr8_forward`].
+#[must_use]
+pub fn lfsr8_backward(cell: u8) -> u8 {
+    let b0 = ((cell >> 7) ^ (cell >> 1) ^ (cell >> 2) ^ (cell >> 3)) & 1;
+    (cell << 1) | b0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{invert_perm, TAU};
+
+    #[test]
+    fn pack_unpack64_roundtrip() {
+        for x in [0u64, u64::MAX, 0x0123_4567_89ab_cdef, 0xdead_beef_cafe_f00d] {
+            assert_eq!(pack64(&unpack64(x)), x);
+        }
+    }
+
+    #[test]
+    fn pack_unpack128_roundtrip() {
+        for x in [0u128, u128::MAX, 0x0123_4567_89ab_cdef_0011_2233_4455_6677] {
+            assert_eq!(pack128(&unpack128(x)), x);
+        }
+    }
+
+    #[test]
+    fn cell0_is_most_significant() {
+        let s = unpack64(0xf000_0000_0000_0000);
+        assert_eq!(s[0], 0xf);
+        assert!(s[1..].iter().all(|&c| c == 0));
+        let s = unpack128(0xff << 120);
+        assert_eq!(s[0], 0xff);
+    }
+
+    #[test]
+    fn rotations_invert() {
+        for bits in [4u32, 8] {
+            for r in 0..bits {
+                for v in 0..=mask(bits) {
+                    assert_eq!(rotr_cell(rotl_cell(v, r, bits), r, bits), v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn permute_then_inverse_is_identity() {
+        let s = unpack64(0x0123_4567_89ab_cdef);
+        let inv = invert_perm(&TAU);
+        assert_eq!(permute(&permute(&s, &TAU), &inv), s);
+    }
+
+    #[test]
+    fn mix_is_involutory_for_qarma_matrices() {
+        // M = Q = circ(0, ρ1, ρ2, ρ1) over 4-bit cells (QARMA-64) and
+        // circ(0, ρ1, ρ4, ρ5) over 8-bit cells (QARMA-128) are involutory.
+        let s4 = unpack64(0x0123_4567_89ab_cdef);
+        let m4 = [0, 1, 2, 1];
+        assert_eq!(mix_columns(&mix_columns(&s4, &m4, 4), &m4, 4), s4);
+
+        let s8 = unpack128(0x0123_4567_89ab_cdef_1122_3344_5566_7788);
+        let m8 = [0, 1, 4, 5];
+        assert_eq!(mix_columns(&mix_columns(&s8, &m8, 8), &m8, 8), s8);
+    }
+
+    #[test]
+    fn lfsr4_inverts_and_has_long_period() {
+        for v in 0..16u8 {
+            assert_eq!(lfsr4_backward(lfsr4_forward(v)), v);
+        }
+        // Non-zero orbit should have period 15 (maximal for 4-bit LFSR).
+        let mut v = 1u8;
+        let mut period = 0;
+        loop {
+            v = lfsr4_forward(v);
+            period += 1;
+            if v == 1 {
+                break;
+            }
+        }
+        assert_eq!(period, 15);
+    }
+
+    #[test]
+    fn lfsr8_inverts() {
+        for v in 0..=255u8 {
+            assert_eq!(lfsr8_backward(lfsr8_forward(v)), v);
+        }
+    }
+
+    #[test]
+    fn mix_diffuses_single_cell_to_column() {
+        // A single non-zero cell must spread to the three *other* rows of its
+        // column (diagonal of the circulant is zero).
+        let mut s = [0u8; NUM_CELLS];
+        s[4 * 1 + 2] = 0x1; // row 1, col 2
+        let out = mix_columns(&s, &[0, 1, 2, 1], 4);
+        assert_eq!(out[4 * 1 + 2], 0, "diagonal entry must be zero");
+        for row in [0usize, 2, 3] {
+            assert_ne!(out[4 * row + 2], 0, "row {row} did not receive diffusion");
+        }
+        // Other columns untouched.
+        for col in [0usize, 1, 3] {
+            for row in 0..4 {
+                assert_eq!(out[4 * row + col], 0);
+            }
+        }
+    }
+}

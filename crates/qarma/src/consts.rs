@@ -1,0 +1,81 @@
+//! Round constants and reflection constants of the QARMA family.
+//!
+//! All constants are derived from the fractional hexadecimal digits of π,
+//! exactly as in the original specification for QARMA-64. The digit stream
+//! (also familiar from Blowfish's P-array) is consumed in order; the
+//! reflection constant α takes one chunk out of the stream.
+
+/// QARMA-64 round constants `c0..c7` (64-bit chunks of π digits, `c0 = 0`).
+pub const C64: [u64; 8] = [
+    0x0000000000000000,
+    0x13198A2E03707344,
+    0xA4093822299F31D0,
+    0x082EFA98EC4E6C89,
+    0x452821E638D01377,
+    0xBE5466CF34E90C6C,
+    0x3F84D5B5B5470917,
+    0x9216D5D98979FB1B,
+];
+
+/// QARMA-64 reflection constant α.
+pub const ALPHA64: u64 = 0xC0AC29B7C97C50DD;
+
+/// QARMA-128 round constants `c0..c10` (128-bit chunks of the same π digit
+/// stream, `c0 = 0`; the chunk pair consumed by [`ALPHA128`] is skipped).
+pub const C128: [u128; 11] = [
+    0x00000000000000000000000000000000,
+    0x13198A2E03707344A4093822299F31D0,
+    0x082EFA98EC4E6C89452821E638D01377,
+    0xBE5466CF34E90C6C3F84D5B5B5470917,
+    0x9216D5D98979FB1BD1310BA698DFB5AC,
+    0x2FFD72DBD01ADFB7B8E1AFED6A267E96,
+    0xBA7C9045F12C7F9924A19947B3916CF7,
+    0x0801F2E2858EFC16636920D871574E69,
+    0xA458FEA3F4933D7E0D95748F728EB658,
+    0x718BCD5882154AEE7B54A41DC25A59B5,
+    0x9C30D5392AF26013C5D1B023286085F0,
+];
+
+/// QARMA-128 reflection constant α (π digit chunk following the `c` stream
+/// head, mirroring the 64-bit derivation).
+pub const ALPHA128: u128 = 0xC0AC29B7C97C50DD3F84D5B5B5470917;
+
+/// Maximum supported `r` for QARMA-64 (bounded by the constant table).
+pub const MAX_ROUNDS_64: usize = C64.len();
+
+/// Maximum supported `r` for QARMA-128 (bounded by the constant table).
+pub const MAX_ROUNDS_128: usize = C128.len();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c0_is_zero() {
+        assert_eq!(C64[0], 0);
+        assert_eq!(C128[0], 0);
+    }
+
+    #[test]
+    fn constants_are_distinct() {
+        for i in 0..C64.len() {
+            for j in (i + 1)..C64.len() {
+                assert_ne!(C64[i], C64[j]);
+            }
+            assert_ne!(C64[i], ALPHA64);
+        }
+        for i in 0..C128.len() {
+            for j in (i + 1)..C128.len() {
+                assert_ne!(C128[i], C128[j]);
+            }
+            assert_ne!(C128[i], ALPHA128);
+        }
+    }
+
+    #[test]
+    fn alpha64_matches_pi_stream() {
+        // α is the 13th/14th 32-bit π digit pair: C0AC29B7 C97C50DD.
+        assert_eq!(ALPHA64 >> 32, 0xC0AC29B7);
+        assert_eq!(ALPHA64 & 0xFFFF_FFFF, 0xC97C50DD);
+    }
+}

@@ -1,0 +1,215 @@
+//! Shared Even-Mansour reflection core used by both QARMA variants.
+//!
+//! The core operates on the cell-array [`State`] so the two block sizes share
+//! one implementation of the round structure; the variant modules own packing
+//! and key specialisation.
+
+use crate::cells::{self, State};
+use crate::sbox::Sbox;
+use crate::{invert_perm, H, LFSR_CELLS, NUM_CELLS, TAU};
+
+/// Variant-independent cipher parameters.
+#[derive(Debug, Clone)]
+pub(crate) struct Core {
+    /// Cell width in bits: 4 (QARMA-64) or 8 (QARMA-128).
+    pub cell_bits: u32,
+    /// Circulant exponents of the (involutory) MixColumns matrix `M = Q`.
+    pub mix_exps: [u32; 4],
+    /// Number of forward (and backward) rounds `r`.
+    pub rounds: usize,
+    /// The selected S-box.
+    pub sbox: Sbox,
+    /// Round constants `c0..c_{r-1}` as cell arrays.
+    pub round_consts: Vec<State>,
+    /// Reflection constant α as a cell array.
+    pub alpha: State,
+}
+
+impl Core {
+    fn sub(&self, s: &State) -> State {
+        let mut out = *s;
+        for c in &mut out {
+            *c = if self.cell_bits == 4 {
+                self.sbox.apply_nibble(*c)
+            } else {
+                self.sbox.apply_byte(*c)
+            };
+        }
+        out
+    }
+
+    fn sub_inv(&self, s: &State) -> State {
+        let inv = self.sbox.inverse_table();
+        let mut out = *s;
+        for c in &mut out {
+            *c = if self.cell_bits == 4 {
+                inv[*c as usize]
+            } else {
+                (inv[(*c >> 4) as usize] << 4) | inv[(*c & 0xf) as usize]
+            };
+        }
+        out
+    }
+
+    fn mix(&self, s: &State) -> State {
+        cells::mix_columns(s, &self.mix_exps, self.cell_bits)
+    }
+
+    fn lfsr_fwd(&self, c: u8) -> u8 {
+        if self.cell_bits == 4 {
+            cells::lfsr4_forward(c)
+        } else {
+            cells::lfsr8_forward(c)
+        }
+    }
+
+    /// One forward tweak update: permutation `h`, then ω on the LFSR cells.
+    pub(crate) fn tweak_update(&self, t: &State) -> State {
+        let mut out = cells::permute(t, &H);
+        for &i in &LFSR_CELLS {
+            out[i] = self.lfsr_fwd(out[i]);
+        }
+        out
+    }
+
+    /// Precomputes the tweak sequence `t_0 ..= t_r`.
+    fn tweak_schedule(&self, t0: &State) -> Vec<State> {
+        let mut ts = Vec::with_capacity(self.rounds + 1);
+        ts.push(*t0);
+        for _ in 0..self.rounds {
+            let next = self.tweak_update(ts.last().expect("non-empty"));
+            ts.push(next);
+        }
+        ts
+    }
+
+    /// Derives the reflector key `k1 = M · k0`.
+    pub(crate) fn derive_k1(&self, k0: &State) -> State {
+        self.mix(k0)
+    }
+
+    /// Encrypts one block given the expanded keys (as cell arrays).
+    pub(crate) fn encrypt(&self, p: &State, t: &State, w0: &State, w1: &State, k0: &State) -> State {
+        let tau_inv = invert_perm(&TAU);
+        let k1 = self.derive_k1(k0);
+        let ts = self.tweak_schedule(t);
+
+        let mut s = cells::xor(p, w0);
+
+        // Forward rounds.
+        for i in 0..self.rounds {
+            let rk = cells::xor(&cells::xor(k0, &ts[i]), &self.round_consts[i]);
+            cells::xor_into(&mut s, &rk);
+            if i != 0 {
+                s = cells::permute(&s, &TAU);
+                s = self.mix(&s);
+            }
+            s = self.sub(&s);
+        }
+
+        // Central forward whitening round, keyed w1 ⊕ t_r.
+        cells::xor_into(&mut s, &cells::xor(w1, &ts[self.rounds]));
+        s = cells::permute(&s, &TAU);
+        s = self.mix(&s);
+        s = self.sub(&s);
+
+        // Pseudo-reflector: τ, ·Q, ⊕k1, τ⁻¹.
+        s = cells::permute(&s, &TAU);
+        s = self.mix(&s);
+        cells::xor_into(&mut s, &k1);
+        s = cells::permute(&s, &tau_inv);
+
+        // Central backward whitening round, keyed w0 ⊕ t_r.
+        s = self.sub_inv(&s);
+        s = self.mix(&s);
+        s = cells::permute(&s, &tau_inv);
+        cells::xor_into(&mut s, &cells::xor(w0, &ts[self.rounds]));
+
+        // Backward rounds (reflected tweakey schedule, shifted by α).
+        for i in (0..self.rounds).rev() {
+            s = self.sub_inv(&s);
+            if i != 0 {
+                s = self.mix(&s);
+                s = cells::permute(&s, &tau_inv);
+            }
+            let rk = cells::xor(
+                &cells::xor(&cells::xor(k0, &self.alpha), &ts[i]),
+                &self.round_consts[i],
+            );
+            cells::xor_into(&mut s, &rk);
+        }
+
+        cells::xor(&s, w1)
+    }
+
+    /// Decrypts one block: the exact structural inverse of [`Core::encrypt`].
+    pub(crate) fn decrypt(&self, c: &State, t: &State, w0: &State, w1: &State, k0: &State) -> State {
+        let tau_inv = invert_perm(&TAU);
+        let k1 = self.derive_k1(k0);
+        let ts = self.tweak_schedule(t);
+
+        let mut s = cells::xor(c, w1);
+
+        // Invert the backward rounds (apply forward, ascending).
+        for i in 0..self.rounds {
+            let rk = cells::xor(
+                &cells::xor(&cells::xor(k0, &self.alpha), &ts[i]),
+                &self.round_consts[i],
+            );
+            cells::xor_into(&mut s, &rk);
+            if i != 0 {
+                s = cells::permute(&s, &TAU);
+                s = self.mix(&s);
+            }
+            s = self.sub(&s);
+        }
+
+        // Invert the central backward whitening round.
+        cells::xor_into(&mut s, &cells::xor(w0, &ts[self.rounds]));
+        s = cells::permute(&s, &TAU);
+        s = self.mix(&s);
+        s = self.sub(&s);
+
+        // Invert the pseudo-reflector.
+        s = cells::permute(&s, &TAU);
+        cells::xor_into(&mut s, &k1);
+        s = self.mix(&s);
+        s = cells::permute(&s, &tau_inv);
+
+        // Invert the central forward whitening round.
+        s = self.sub_inv(&s);
+        s = self.mix(&s);
+        s = cells::permute(&s, &tau_inv);
+        cells::xor_into(&mut s, &cells::xor(w1, &ts[self.rounds]));
+
+        // Invert the forward rounds (descending).
+        for i in (0..self.rounds).rev() {
+            s = self.sub_inv(&s);
+            if i != 0 {
+                s = self.mix(&s);
+                s = cells::permute(&s, &tau_inv);
+            }
+            let rk = cells::xor(&cells::xor(k0, &ts[i]), &self.round_consts[i]);
+            cells::xor_into(&mut s, &rk);
+        }
+
+        cells::xor(&s, w0)
+    }
+}
+
+/// The orthomorphism `o(x) = (x ⋙ 1) ⊕ (x ≫ n−1)` used to derive `w1` from
+/// `w0`, applied on the packed word. Implemented here for both widths.
+pub(crate) fn ortho64(x: u64) -> u64 {
+    x.rotate_right(1) ^ (x >> 63)
+}
+
+/// 128-bit variant of [`ortho64`].
+pub(crate) fn ortho128(x: u128) -> u128 {
+    x.rotate_right(1) ^ (x >> 127)
+}
+
+#[allow(dead_code)]
+fn _assert_cells_bound() {
+    // Compile-time sanity: State length matches NUM_CELLS.
+    let _: State = [0u8; NUM_CELLS];
+}

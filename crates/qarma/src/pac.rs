@@ -1,0 +1,181 @@
+//! ARMv8.3-style pointer authentication (PAC) on QARMA-64.
+//!
+//! The PT-Guard paper's related work (Section VIII-A) notes that SMASH-class
+//! Rowhammer attacks on browser pointers "can be mitigated using pointer
+//! authentication codes, provided by ARM v8.3, which guarantees pointer
+//! integrity in hardware" — and ARM's PAC is specified over QARMA-64, the
+//! sibling of the cipher PT-Guard MACs page tables with. This module models
+//! that mechanism: a keyed PAC is computed over the pointer and a 64-bit
+//! modifier (typically the stack pointer or an object context) and packed
+//! into the unused upper virtual-address bits; authentication strips a
+//! valid PAC and *poisons* a forged pointer so dereferencing faults.
+//!
+//! PT-Guard and PAC are complementary: one authenticates translations, the
+//! other authenticates the pointers that traverse them.
+
+use crate::{Qarma64, Sbox};
+
+/// Virtual-address bits in use (48-bit VA space, as on typical ARMv8).
+pub const VA_BITS: u32 = 48;
+
+/// Bits carrying the PAC: 62:48 (bit 63 holds the kernel/user sign).
+pub const PAC_MASK: u64 = ((1 << 63) - 1) & !((1 << VA_BITS) - 1);
+
+/// Width of the embedded PAC.
+pub const PAC_WIDTH: u32 = 63 - VA_BITS;
+
+/// Error returned when authenticating a tampered pointer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuthFailure {
+    /// The poisoned (non-canonical) pointer ARM hardware would produce; any
+    /// dereference faults.
+    pub poisoned: u64,
+}
+
+impl core::fmt::Display for AuthFailure {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "pointer authentication failed (poisoned {:#x})", self.poisoned)
+    }
+}
+
+impl std::error::Error for AuthFailure {}
+
+/// A pointer-authentication key context (one of ARM's APIA/APIB/APDA/APDB
+/// slots, modelled generically).
+#[derive(Debug, Clone)]
+pub struct PacKey {
+    cipher: Qarma64,
+}
+
+impl PacKey {
+    /// Creates a PAC key. ARM's architected QARMA uses 5 rounds.
+    #[must_use]
+    pub fn new(key: [u64; 2]) -> Self {
+        Self { cipher: Qarma64::new(key, 5, Sbox::Sigma1) }
+    }
+
+    /// Computes the truncated PAC of `ptr` under `modifier`.
+    #[must_use]
+    pub fn pac_bits(&self, ptr: u64, modifier: u64) -> u64 {
+        let canonical = ptr & ((1 << VA_BITS) - 1);
+        let full = self.cipher.encrypt(canonical, modifier);
+        (full >> (64 - PAC_WIDTH)) & ((1 << PAC_WIDTH) - 1)
+    }
+
+    /// Signs a canonical user pointer: embeds the PAC in bits 62:48.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ptr` is not canonical (upper bits must be zero — signing
+    /// an already-signed pointer is a programming error, as on hardware).
+    #[must_use]
+    pub fn sign(&self, ptr: u64, modifier: u64) -> u64 {
+        assert_eq!(ptr & !((1 << VA_BITS) - 1), 0, "pointer must be canonical");
+        ptr | (self.pac_bits(ptr, modifier) << VA_BITS)
+    }
+
+    /// Authenticates a signed pointer: returns the stripped canonical
+    /// pointer, or the poisoned value on mismatch.
+    ///
+    /// # Errors
+    ///
+    /// [`AuthFailure`] when the embedded PAC does not match (wrong key,
+    /// wrong modifier, or a corrupted/forged pointer). The poisoned pointer
+    /// has a non-canonical bit pattern that faults on dereference.
+    pub fn auth(&self, signed: u64, modifier: u64) -> Result<u64, AuthFailure> {
+        let ptr = signed & ((1 << VA_BITS) - 1);
+        let expected = self.pac_bits(ptr, modifier);
+        let embedded = (signed >> VA_BITS) & ((1 << PAC_WIDTH) - 1);
+        if embedded == expected {
+            Ok(ptr)
+        } else {
+            // ARM flips a fixed "error code" bit into the PAC field.
+            Err(AuthFailure { poisoned: ptr | (0x2000 << VA_BITS) | (signed & (1 << 63)) })
+        }
+    }
+
+    /// Strips the PAC without authenticating (ARM `XPAC`).
+    #[must_use]
+    pub fn strip(signed: u64) -> u64 {
+        signed & ((1 << VA_BITS) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> PacKey {
+        PacKey::new([0x84be85ce9804e94b, 0xec2802d4e0a488e4])
+    }
+
+    #[test]
+    fn sign_auth_roundtrip() {
+        let k = key();
+        for ptr in [0x0000_7fff_1234_5678u64, 0x1000, 0x0000_ffff_ffff_fff8] {
+            let signed = k.sign(ptr, 0xdead_beef);
+            assert_ne!(signed, ptr, "PAC must occupy the upper bits");
+            assert_eq!(k.auth(signed, 0xdead_beef), Ok(ptr));
+        }
+    }
+
+    #[test]
+    fn wrong_modifier_poisons() {
+        let k = key();
+        let signed = k.sign(0x7fff_0000_1000, 1);
+        let err = k.auth(signed, 2).unwrap_err();
+        assert_ne!(err.poisoned & !((1 << VA_BITS) - 1), 0, "poison must be non-canonical");
+    }
+
+    #[test]
+    fn rowhammer_flip_in_pointer_is_caught() {
+        // The SMASH scenario: a bit flip in a stored signed pointer.
+        let k = key();
+        let signed = k.sign(0x7f12_3456_7890, 0x42);
+        for bit in [0u32, 13, 30, 47, 50, 60] {
+            let flipped = signed ^ (1 << bit);
+            assert!(k.auth(flipped, 0x42).is_err(), "flip at bit {bit} must fail auth");
+        }
+    }
+
+    #[test]
+    fn forgery_without_key_is_blind() {
+        // An attacker guessing PAC values succeeds with ~2^-15 per try; a
+        // handful of guesses all fail.
+        let k = key();
+        let ptr = 0x5555_4444_3333u64;
+        let mut hits = 0;
+        for guess in 0..64u64 {
+            let forged = ptr | (guess << VA_BITS);
+            if k.auth(forged, 0x99).is_ok() {
+                hits += 1;
+            }
+        }
+        assert!(hits <= 1, "{hits} forgeries passed");
+    }
+
+    #[test]
+    fn different_keys_disagree() {
+        let a = key();
+        let b = PacKey::new([1, 2]);
+        let ptr = 0x7f00_0000_0100u64;
+        assert_ne!(a.pac_bits(ptr, 7), b.pac_bits(ptr, 7));
+        let signed = a.sign(ptr, 7);
+        assert!(b.auth(signed, 7).is_err());
+    }
+
+    #[test]
+    fn strip_ignores_validity() {
+        let k = key();
+        let signed = k.sign(0x1234_5000, 3);
+        assert_eq!(PacKey::strip(signed ^ (1 << 50)), 0x1234_5000);
+    }
+
+    #[test]
+    #[should_panic(expected = "canonical")]
+    fn signing_a_signed_pointer_is_rejected() {
+        let k = key();
+        let signed = k.sign(0x1000, 0);
+        let _ = k.sign(signed, 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! QARMA-128: 128-bit blocks, 8-bit cells, 256-bit key.
+//!
+//! This is the variant PT-Guard uses to MAC page-table-entry cachelines
+//! (Section IV-F of the paper): four 16-byte chunks of the 64-byte line are
+//! each enciphered under their 16-byte-granular address as tweak and the
+//! results folded.
+
+use crate::cells::{pack128, unpack128};
+use crate::consts::{ALPHA128, C128, MAX_ROUNDS_128};
+use crate::engine::{ortho128, Core};
+use crate::sbox::Sbox;
+
+/// The QARMA-128 tweakable block cipher.
+///
+/// The 256-bit key is supplied as `(w0, k0)` 128-bit halves; `w1 = o(w0)` and
+/// `k1 = M·k0` are derived internally.
+///
+/// # Example
+///
+/// ```
+/// use qarma::{Qarma128, Sbox};
+///
+/// let cipher = Qarma128::new([1, 2], 9, Sbox::Sigma1);
+/// let ct = cipher.encrypt(0xdead_beef, 42);
+/// assert_eq!(cipher.decrypt(ct, 42), 0xdead_beef);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Qarma128 {
+    w0: u128,
+    k0: u128,
+    core: Core,
+}
+
+impl Qarma128 {
+    /// Creates a QARMA-128 instance with `r` forward/backward rounds.
+    ///
+    /// PT-Guard uses an "18-round" QARMA-128, i.e. `r = 9` forward and
+    /// backward rounds around the reflector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds` is zero or exceeds [`MAX_ROUNDS_128`].
+    #[must_use]
+    pub fn new(key: [u128; 2], rounds: usize, sbox: Sbox) -> Self {
+        assert!(
+            rounds >= 1 && rounds <= MAX_ROUNDS_128,
+            "QARMA-128 supports 1..={MAX_ROUNDS_128} rounds, got {rounds}"
+        );
+        let core = Core {
+            cell_bits: 8,
+            // circ(0, ρ1, ρ4, ρ5): involutory over 8-bit cells.
+            mix_exps: [0, 1, 4, 5],
+            rounds,
+            sbox,
+            round_consts: C128[..rounds].iter().map(|&c| unpack128(c)).collect(),
+            alpha: unpack128(ALPHA128),
+        };
+        Self { w0: key[0], k0: key[1], core }
+    }
+
+    /// Encrypts `plaintext` under `tweak`.
+    #[must_use]
+    pub fn encrypt(&self, plaintext: u128, tweak: u128) -> u128 {
+        let w0 = unpack128(self.w0);
+        let w1 = unpack128(ortho128(self.w0));
+        let k0 = unpack128(self.k0);
+        pack128(&self.core.encrypt(&unpack128(plaintext), &unpack128(tweak), &w0, &w1, &k0))
+    }
+
+    /// Decrypts `ciphertext` under `tweak`.
+    #[must_use]
+    pub fn decrypt(&self, ciphertext: u128, tweak: u128) -> u128 {
+        let w0 = unpack128(self.w0);
+        let w1 = unpack128(ortho128(self.w0));
+        let k0 = unpack128(self.k0);
+        pack128(&self.core.decrypt(&unpack128(ciphertext), &unpack128(tweak), &w0, &w1, &k0))
+    }
+
+    /// Number of forward/backward rounds `r`.
+    #[must_use]
+    pub fn rounds(&self) -> usize {
+        self.core.rounds
+    }
+
+    /// The S-box this instance uses.
+    #[must_use]
+    pub fn sbox(&self) -> Sbox {
+        self.core.sbox
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const W0: u128 = 0x84be85ce9804e94bec2802d4e0a488e4;
+    const K0: u128 = 0x10235374a49bccdde2f10325a89bdcfe;
+    const PT: u128 = 0xfb623599da6e8127477d469dec0b8762;
+    const TW: u128 = 0x05040302011a1b1c1d1e1f20212223ff;
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_all_sboxes_and_rounds() {
+        for sbox in [Sbox::Sigma0, Sbox::Sigma1, Sbox::Sigma2] {
+            for rounds in [1usize, 2, 5, 9, 11] {
+                let c = Qarma128::new([W0, K0], rounds, sbox);
+                let ct = c.encrypt(PT, TW);
+                assert_eq!(c.decrypt(ct, TW), PT, "r={rounds} sbox={sbox:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_tweaks_give_distinct_ciphertexts() {
+        let c = Qarma128::new([W0, K0], 9, Sbox::Sigma1);
+        let mut seen = std::collections::HashSet::new();
+        for t in 0..64u128 {
+            assert!(seen.insert(c.encrypt(PT, t)), "collision at tweak {t}");
+        }
+    }
+
+    #[test]
+    fn avalanche_on_plaintext() {
+        let c = Qarma128::new([W0, K0], 9, Sbox::Sigma1);
+        let base = c.encrypt(PT, TW);
+        let mut total = 0u32;
+        for bit in 0..128 {
+            total += (c.encrypt(PT ^ (1 << bit), TW) ^ base).count_ones();
+        }
+        let avg = f64::from(total) / 128.0;
+        assert!((52.0..76.0).contains(&avg), "weak avalanche: avg {avg}");
+    }
+
+    #[test]
+    fn avalanche_on_key() {
+        let base = Qarma128::new([W0, K0], 9, Sbox::Sigma1).encrypt(PT, TW);
+        let mut total = 0u32;
+        for bit in (0..128).step_by(7) {
+            let c = Qarma128::new([W0, K0 ^ (1 << bit)], 9, Sbox::Sigma1);
+            total += (c.encrypt(PT, TW) ^ base).count_ones();
+        }
+        let samples = (0..128).step_by(7).count() as f64;
+        let avg = f64::from(total) / samples;
+        assert!((52.0..76.0).contains(&avg), "weak key avalanche: avg {avg}");
+    }
+
+    #[test]
+    fn golden_outputs_are_stable() {
+        // Regression pins (see q64's golden test for rationale).
+        let c9 = Qarma128::new([W0, K0], 9, Sbox::Sigma1);
+        assert_eq!(c9.encrypt(PT, TW), 0x430df35e6d4ec8e8d0fde043b2806757);
+        let c11 = Qarma128::new([W0, K0], 11, Sbox::Sigma1);
+        assert_eq!(c11.encrypt(PT, TW), 0xb69aa3055cc446338673f7d0c7b088a9);
+    }
+
+    #[test]
+    fn encryption_is_deterministic() {
+        let c = Qarma128::new([W0, K0], 9, Sbox::Sigma1);
+        assert_eq!(c.encrypt(PT, TW), c.encrypt(PT, TW));
+    }
+}

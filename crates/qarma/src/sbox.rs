@@ -1,0 +1,128 @@
+//! The three 4-bit S-boxes of the QARMA family.
+//!
+//! QARMA specifies three interchangeable 4-bit S-boxes trading latency for
+//! cryptographic strength. σ0 is the MIDORI `Sb0` box (lowest latency), σ1 is
+//! the paper's recommended default, and σ2 maximizes nonlinearity. QARMA-128
+//! applies the chosen 4-bit box to both nibbles of each 8-bit cell.
+
+/// Selects one of the three QARMA S-boxes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Sbox {
+    /// σ0: the involutory MIDORI `Sb0` S-box (lowest latency).
+    Sigma0,
+    /// σ1: the default S-box recommended by the QARMA paper.
+    #[default]
+    Sigma1,
+    /// σ2: highest-strength S-box of the family.
+    Sigma2,
+}
+
+/// σ0 lookup table.
+pub const SIGMA0: [u8; 16] = [0, 14, 2, 10, 9, 15, 8, 11, 6, 4, 3, 7, 13, 12, 1, 5];
+/// σ1 lookup table.
+pub const SIGMA1: [u8; 16] = [10, 13, 14, 6, 15, 7, 3, 5, 9, 8, 0, 12, 11, 1, 2, 4];
+/// σ2 lookup table.
+pub const SIGMA2: [u8; 16] = [11, 6, 8, 15, 12, 0, 9, 14, 3, 7, 4, 5, 13, 2, 1, 10];
+
+impl Sbox {
+    /// Returns the forward lookup table for this S-box.
+    #[must_use]
+    pub fn table(self) -> &'static [u8; 16] {
+        match self {
+            Sbox::Sigma0 => &SIGMA0,
+            Sbox::Sigma1 => &SIGMA1,
+            Sbox::Sigma2 => &SIGMA2,
+        }
+    }
+
+    /// Returns the inverse lookup table for this S-box.
+    #[must_use]
+    pub fn inverse_table(self) -> [u8; 16] {
+        let t = self.table();
+        let mut inv = [0u8; 16];
+        for (i, &v) in t.iter().enumerate() {
+            inv[v as usize] = i as u8;
+        }
+        inv
+    }
+
+    /// Applies the S-box to a 4-bit nibble.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `nibble >= 16`.
+    #[must_use]
+    pub fn apply_nibble(self, nibble: u8) -> u8 {
+        debug_assert!(nibble < 16);
+        self.table()[nibble as usize]
+    }
+
+    /// Applies the S-box to both nibbles of an 8-bit cell (QARMA-128 rule).
+    #[must_use]
+    pub fn apply_byte(self, byte: u8) -> u8 {
+        let t = self.table();
+        (t[(byte >> 4) as usize] << 4) | t[(byte & 0xf) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_bijective(t: &[u8; 16]) {
+        let mut seen = [false; 16];
+        for &v in t {
+            assert!(v < 16);
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+    }
+
+    #[test]
+    fn sboxes_are_bijective() {
+        assert_bijective(&SIGMA0);
+        assert_bijective(&SIGMA1);
+        assert_bijective(&SIGMA2);
+    }
+
+    #[test]
+    fn sigma0_is_involutory() {
+        // MIDORI Sb0 is its own inverse; QARMA relies on this for σ0's
+        // low-latency datapath.
+        for x in 0..16u8 {
+            assert_eq!(SIGMA0[SIGMA0[x as usize] as usize], x);
+        }
+    }
+
+    #[test]
+    fn inverse_tables_invert() {
+        for sbox in [Sbox::Sigma0, Sbox::Sigma1, Sbox::Sigma2] {
+            let inv = sbox.inverse_table();
+            for x in 0..16u8 {
+                assert_eq!(inv[sbox.apply_nibble(x) as usize], x);
+            }
+        }
+    }
+
+    #[test]
+    fn byte_application_hits_both_nibbles() {
+        for sbox in [Sbox::Sigma0, Sbox::Sigma1, Sbox::Sigma2] {
+            for x in [0x00u8, 0x0f, 0xf0, 0xff, 0x5a, 0xa5] {
+                let y = sbox.apply_byte(x);
+                assert_eq!(y >> 4, sbox.apply_nibble(x >> 4));
+                assert_eq!(y & 0xf, sbox.apply_nibble(x & 0xf));
+            }
+        }
+    }
+
+    #[test]
+    fn sboxes_have_no_fixed_point_except_documented() {
+        // σ0 fixes 0 and 2 (a known property of MIDORI Sb0); σ1 and σ2 are
+        // fixed-point free, which the QARMA paper notes as a design criterion.
+        assert_eq!(SIGMA0[0], 0);
+        for x in 0..16 {
+            assert_ne!(SIGMA1[x] as usize, x, "σ1 has unexpected fixed point {x}");
+            assert_ne!(SIGMA2[x] as usize, x, "σ2 has unexpected fixed point {x}");
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! # Rowhammer attacks and prior-work mitigations
+//!
+//! The adversarial half of the PT-Guard reproduction: the attack patterns
+//! that motivate the paper (Section II) and the commercial/academic
+//! mitigations they defeat — the baselines PT-Guard is compared against.
+//!
+//! * [`mitigations`] — Targeted Row Refresh (TRR, limited aggressor
+//!   tracking), PARA (probabilistic victim refresh), Graphene-style exact
+//!   counting (Misra-Gries summaries), and Blockhammer-style throttling.
+//!   All are *victim-refresh* or *threshold-dependent* designs.
+//! * [`attacks`] — single-sided, double-sided, many-sided (TRRespass),
+//!   frequency-scheduled (Blacksmith-like), and Half-Double patterns.
+//! * [`session`] — [`session::HammerSession`] wires a mitigation into the
+//!   activate path of a [`dram::DramDevice`] so attack/defence pairings can
+//!   be evaluated head-to-head.
+//! * [`exploit`] — the page-table privilege-escalation exploit of Figures 1
+//!   and 3: spray page tables, hammer their neighbour rows, detect a useful
+//!   PFN flip, and forge a translation to arbitrary physical memory.
+//!
+//! The headline reproduction (the `attack_gallery` example and the
+//! `breakthrough` experiment) shows TRR falling to many-sided patterns,
+//! victim-refresh mitigations falling to Half-Double, and threshold-tuned
+//! mitigations falling to lower-than-provisioned thresholds — while
+//! PT-Guard, which never relies on a threshold, still detects the
+//! page-table corruption.
+
+#![warn(missing_docs)]
+
+pub mod attacks;
+pub mod exploit;
+pub mod mitigations;
+pub mod session;
+
+pub use attacks::AttackKind;
+pub use mitigations::{Blockhammer, Graphene, Mitigation, NoMitigation, Para, SoftTrr, Trr};
+pub use session::HammerSession;

@@ -1,0 +1,466 @@
+//! Prior-work Rowhammer mitigations (the paper's baselines, Section VIII-B).
+//!
+//! Each mitigation observes the activation stream at the memory controller /
+//! DRAM and may issue victim refreshes or throttle aggressors. They share
+//! two structural weaknesses the paper exploits:
+//!
+//! 1. *Tracking capacity*: samplers and small tables can be overwhelmed
+//!    (TRRespass, Blacksmith).
+//! 2. *Victim refresh at distance 1*: the refresh itself activates the
+//!    distance-1 row, pushing charge out of distance-2 rows (Half-Double).
+//! 3. *Design-time thresholds*: precise counters mitigate at a provisioned
+//!    RTH and silently fail on denser modules with lower true thresholds.
+
+use std::collections::HashMap;
+
+use dram::geometry::RowId;
+use dram::DramDevice;
+
+/// A Rowhammer mitigation observing the activation stream.
+pub trait Mitigation {
+    /// Called for every aggressor activation; may issue refreshes or delay.
+    fn on_activate(&mut self, row: RowId, device: &mut DramDevice);
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Victim refreshes issued so far.
+    fn refreshes_issued(&self) -> u64;
+
+    /// Total artificial delay injected (throttling mitigations), in ns.
+    fn delay_injected_ns(&self) -> f64 {
+        0.0
+    }
+}
+
+/// No mitigation: the unprotected baseline.
+#[derive(Debug, Default)]
+pub struct NoMitigation;
+
+impl Mitigation for NoMitigation {
+    fn on_activate(&mut self, _row: RowId, _device: &mut DramDevice) {}
+
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn refreshes_issued(&self) -> u64 {
+        0
+    }
+}
+
+/// Targeted Row Refresh: a small table of suspected aggressors.
+///
+/// Commercial TRR tracks only a handful of rows per bank; when an entry's
+/// count reaches the threshold, the neighbours are refreshed. A many-sided
+/// pattern (more aggressors than table entries) continuously evicts entries
+/// and starves the defence — the TRRespass observation.
+#[derive(Debug)]
+pub struct Trr {
+    table_size: usize,
+    refresh_threshold: u64,
+    /// (row, activation count, insertion sequence).
+    table: Vec<(RowId, u64, u64)>,
+    seq: u64,
+    refreshes: u64,
+}
+
+impl Trr {
+    /// Creates a TRR engine with `table_size` tracked rows and a refresh
+    /// trigger at `refresh_threshold` activations.
+    #[must_use]
+    pub fn new(table_size: usize, refresh_threshold: u64) -> Self {
+        Self { table_size, refresh_threshold, table: Vec::new(), seq: 0, refreshes: 0 }
+    }
+
+    /// A DDR4-typical configuration: 4 entries, refresh at RTH/4.
+    #[must_use]
+    pub fn ddr4_typical(rth: u64) -> Self {
+        Self::new(4, (rth / 4).max(1))
+    }
+}
+
+impl Mitigation for Trr {
+    fn on_activate(&mut self, row: RowId, device: &mut DramDevice) {
+        self.seq += 1;
+        if let Some(entry) = self.table.iter_mut().find(|(r, _, _)| *r == row) {
+            entry.1 += 1;
+            if entry.1 >= self.refresh_threshold {
+                entry.1 = 0;
+                let rows = device.geometry().rows_per_bank;
+                for d in [-1i64, 1] {
+                    if let Some(v) = row.offset(d, rows) {
+                        device.refresh_row(v);
+                        self.refreshes += 1;
+                    }
+                }
+            }
+            return;
+        }
+        if self.table.len() < self.table_size {
+            self.table.push((row, 1, self.seq));
+        } else {
+            // Capacity exhausted: evict the coldest entry, oldest first on
+            // ties — the lossy behaviour many-sided patterns exploit (any
+            // pattern with more concurrent aggressors than table entries
+            // keeps cycling them out before they accumulate).
+            let coldest = self
+                .table
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, c, s))| (*c, *s))
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            self.table[coldest] = (row, 1, self.seq);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "TRR"
+    }
+
+    fn refreshes_issued(&self) -> u64 {
+        self.refreshes
+    }
+}
+
+/// PARA: refresh each neighbour with a small probability per activation.
+///
+/// Stateless, but its protection is only probabilistic and the refreshes it
+/// issues are distance-1 activations — Half-Double fodder.
+#[derive(Debug)]
+pub struct Para {
+    probability: f64,
+    refreshes: u64,
+    rng_state: u64,
+}
+
+impl Para {
+    /// Creates a PARA engine refreshing neighbours with `probability`.
+    #[must_use]
+    pub fn new(probability: f64, seed: u64) -> Self {
+        Self { probability, refreshes: 0, rng_state: seed | 1 }
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        // xorshift64*
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        (x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Mitigation for Para {
+    fn on_activate(&mut self, row: RowId, device: &mut DramDevice) {
+        let rows = device.geometry().rows_per_bank;
+        for d in [-1i64, 1] {
+            if self.next_f64() < self.probability {
+                if let Some(v) = row.offset(d, rows) {
+                    device.refresh_row(v);
+                    self.refreshes += 1;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "PARA"
+    }
+
+    fn refreshes_issued(&self) -> u64 {
+        self.refreshes
+    }
+}
+
+/// Graphene-style exact aggressor counting via a Misra-Gries summary.
+///
+/// Guarantees no row exceeds the provisioned threshold between refreshes —
+/// *at the provisioned threshold*. Two failure modes remain: modules whose
+/// true RTH is lower than provisioned, and Half-Double (its own victim
+/// refreshes hammer distance-2 rows).
+#[derive(Debug)]
+pub struct Graphene {
+    counters: HashMap<RowId, u64>,
+    capacity: usize,
+    refresh_threshold: u64,
+    refreshes: u64,
+}
+
+impl Graphene {
+    /// Creates a Graphene engine sized for `capacity` concurrent aggressors
+    /// that refreshes victims every `refresh_threshold` activations.
+    #[must_use]
+    pub fn new(capacity: usize, refresh_threshold: u64) -> Self {
+        Self { counters: HashMap::new(), capacity, refresh_threshold, refreshes: 0 }
+    }
+}
+
+impl Mitigation for Graphene {
+    fn on_activate(&mut self, row: RowId, device: &mut DramDevice) {
+        let count = {
+            let c = self.counters.entry(row).or_insert(0);
+            *c += 1;
+            *c
+        };
+        if self.counters.len() > self.capacity {
+            // Misra-Gries decrement step: decay all counters.
+            self.counters.retain(|_, c| {
+                *c -= 1;
+                *c > 0
+            });
+        }
+        if count >= self.refresh_threshold {
+            self.counters.insert(row, 0);
+            let rows = device.geometry().rows_per_bank;
+            for d in [-1i64, 1] {
+                if let Some(v) = row.offset(d, rows) {
+                    device.refresh_row(v);
+                    self.refreshes += 1;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Graphene"
+    }
+
+    fn refreshes_issued(&self) -> u64 {
+        self.refreshes
+    }
+}
+
+/// Blockhammer-style aggressor throttling.
+///
+/// Rows whose activation count crosses the blacklist threshold are delayed
+/// so they cannot reach the provisioned RTH within a refresh window. Relies
+/// on the same design-time threshold assumption, and can add tens of
+/// microseconds of delay even to benign workloads.
+#[derive(Debug)]
+pub struct Blockhammer {
+    blacklist_threshold: u64,
+    throttle_delay_ns: f64,
+    counters: HashMap<RowId, u64>,
+    refreshes: u64,
+    delay_ns: f64,
+}
+
+impl Blockhammer {
+    /// Creates a throttler that blacklists rows at `blacklist_threshold`
+    /// activations and delays further activations by `throttle_delay_ns`.
+    #[must_use]
+    pub fn new(blacklist_threshold: u64, throttle_delay_ns: f64) -> Self {
+        Self { blacklist_threshold, throttle_delay_ns, counters: HashMap::new(), refreshes: 0, delay_ns: 0.0 }
+    }
+}
+
+impl Mitigation for Blockhammer {
+    fn on_activate(&mut self, row: RowId, device: &mut DramDevice) {
+        let c = self.counters.entry(row).or_insert(0);
+        *c += 1;
+        if *c > self.blacklist_threshold {
+            device.advance_time(self.throttle_delay_ns);
+            self.delay_ns += self.throttle_delay_ns;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Blockhammer"
+    }
+
+    fn refreshes_issued(&self) -> u64 {
+        self.refreshes
+    }
+
+    fn delay_injected_ns(&self) -> f64 {
+        self.delay_ns
+    }
+}
+
+/// SoftTRR (Zhang et al., ATC 2022): software-tracked row refresh for the
+/// rows holding page tables only (Section II-E.3 of the PT-Guard paper).
+///
+/// The kernel counts activations of PT-adjacent rows via PMU sampling and
+/// re-reads (refreshes) PT rows when a neighbour's count crosses a design
+/// threshold. Structurally it *is* TRR in software, so it inherits TRR's
+/// failure modes: Half-Double (its refreshes activate distance-1 rows) and
+/// module thresholds below the design value. It also protects only rows it
+/// knows hold page tables.
+#[derive(Debug)]
+pub struct SoftTrr {
+    /// Rows registered as holding page-table pages.
+    pt_rows: std::collections::HashSet<RowId>,
+    refresh_threshold: u64,
+    counters: HashMap<RowId, u64>,
+    refreshes: u64,
+}
+
+impl SoftTrr {
+    /// Creates a SoftTRR instance refreshing PT rows when an adjacent row
+    /// accumulates `refresh_threshold` activations.
+    #[must_use]
+    pub fn new(refresh_threshold: u64) -> Self {
+        Self {
+            pt_rows: std::collections::HashSet::new(),
+            refresh_threshold,
+            counters: HashMap::new(),
+            refreshes: 0,
+        }
+    }
+
+    /// Registers a row as holding page-table pages (the kernel knows its
+    /// own allocations).
+    pub fn register_pt_row(&mut self, row: RowId) {
+        self.pt_rows.insert(row);
+    }
+
+    /// Whether `row` has a registered PT row within `dist` rows.
+    fn near_pt_row(&self, row: RowId, dist: i64, rows_per_bank: u32) -> Option<RowId> {
+        for d in [-dist, dist] {
+            if let Some(r) = row.offset(d, rows_per_bank) {
+                if self.pt_rows.contains(&r) {
+                    return Some(r);
+                }
+            }
+        }
+        None
+    }
+}
+
+impl Mitigation for SoftTrr {
+    fn on_activate(&mut self, row: RowId, device: &mut DramDevice) {
+        let rows = device.geometry().rows_per_bank;
+        // Software only samples rows near its page tables (it cannot afford
+        // to track all of DRAM).
+        if self.near_pt_row(row, 1, rows).is_none() {
+            return;
+        }
+        let c = self.counters.entry(row).or_insert(0);
+        *c += 1;
+        if *c >= self.refresh_threshold {
+            *c = 0;
+            if let Some(pt) = self.near_pt_row(row, 1, rows) {
+                device.refresh_row(pt);
+                self.refreshes += 1;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "SoftTRR"
+    }
+
+    fn refreshes_issued(&self) -> u64 {
+        self.refreshes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram::RowhammerConfig;
+
+    fn device() -> DramDevice {
+        DramDevice::ddr4_4gb(RowhammerConfig { threshold: 2000.0, ..RowhammerConfig::default() })
+    }
+
+    #[test]
+    fn trr_refreshes_neighbours_of_tracked_row() {
+        let mut d = device();
+        let mut trr = Trr::new(4, 100);
+        let row = RowId { bank: 0, row: 500 };
+        for _ in 0..100 {
+            trr.on_activate(row, &mut d);
+        }
+        assert_eq!(trr.refreshes_issued(), 2);
+    }
+
+    #[test]
+    fn trr_table_thrashes_under_many_sided_pressure() {
+        let mut d = device();
+        let mut trr = Trr::new(4, 100);
+        // 12 aggressors round-robin: the 4-entry table keeps evicting, so
+        // no row ever accumulates 100 tracked activations.
+        for i in 0..100_000u32 {
+            let row = RowId { bank: 0, row: 1000 + 2 * (i % 12) };
+            trr.on_activate(row, &mut d);
+        }
+        assert_eq!(trr.refreshes_issued(), 0, "many-sided pattern must starve TRR");
+    }
+
+    #[test]
+    fn para_refresh_rate_matches_probability() {
+        let mut d = device();
+        let mut para = Para::new(0.01, 42);
+        let row = RowId { bank: 0, row: 500 };
+        for _ in 0..100_000 {
+            para.on_activate(row, &mut d);
+        }
+        let r = para.refreshes_issued() as f64;
+        assert!((1200.0..2800.0).contains(&r), "refreshes = {r} (expect ≈2000)");
+    }
+
+    #[test]
+    fn graphene_caps_untracked_escape() {
+        let mut d = device();
+        let mut g = Graphene::new(64, 1000);
+        let row = RowId { bank: 1, row: 42 };
+        for _ in 0..5000 {
+            g.on_activate(row, &mut d);
+        }
+        assert!(g.refreshes_issued() >= 8, "refreshes = {}", g.refreshes_issued());
+    }
+
+    #[test]
+    fn softtrr_protects_registered_pt_rows_from_double_sided() {
+        let mut d = device();
+        let pt = RowId { bank: 0, row: 500 };
+        // Fill the PT row with ones so it is flippable in principle.
+        let base = d.geometry().row_base(pt).as_u64();
+        for i in 0..u64::from(d.geometry().row_bytes) {
+            use pagetable::memory::PhysMem;
+            d.write_u8(pagetable::addr::PhysAddr::new(base + i), 0xff);
+        }
+        let mut s = SoftTrr::new(250);
+        s.register_pt_row(pt);
+        for _ in 0..8000 {
+            s.on_activate(RowId { bank: 0, row: 499 }, &mut d);
+            d.hammer(RowId { bank: 0, row: 499 }, 1);
+            s.on_activate(RowId { bank: 0, row: 501 }, &mut d);
+            d.hammer(RowId { bank: 0, row: 501 }, 1);
+        }
+        assert!(s.refreshes_issued() > 0);
+        let flips_in_pt = d.flips().iter().filter(|f| f.row == pt).count();
+        assert_eq!(flips_in_pt, 0, "SoftTRR must keep the PT row alive");
+    }
+
+    #[test]
+    fn softtrr_ignores_rows_it_does_not_know_about() {
+        let mut d = device();
+        let mut s = SoftTrr::new(250);
+        s.register_pt_row(RowId { bank: 0, row: 500 });
+        for _ in 0..10_000 {
+            s.on_activate(RowId { bank: 0, row: 900 }, &mut d);
+        }
+        assert_eq!(s.refreshes_issued(), 0, "unregistered regions are invisible to software");
+    }
+
+    #[test]
+    fn blockhammer_throttles_hot_rows_only() {
+        let mut d = device();
+        let mut b = Blockhammer::new(100, 1000.0);
+        let hot = RowId { bank: 0, row: 7 };
+        let cold = RowId { bank: 0, row: 9999 };
+        for _ in 0..50 {
+            b.on_activate(cold, &mut d);
+        }
+        assert_eq!(b.delay_injected_ns(), 0.0);
+        for _ in 0..200 {
+            b.on_activate(hot, &mut d);
+        }
+        assert!(b.delay_injected_ns() > 0.0);
+    }
+}

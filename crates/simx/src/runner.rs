@@ -1,0 +1,263 @@
+//! Single-core simulation driver.
+
+use dram::{DramDevice, DramGeometry, DramTiming, RowhammerConfig};
+use memsys::system::OsPort;
+use memsys::{MemSysConfig, MemoryController, MemorySystem};
+use pagetable::addr::VirtAddr;
+use pagetable::space::AddressSpace;
+use pagetable::x86_64::PteFlags;
+use pagetable::PAGE_SIZE;
+use ptguard::{PtGuardConfig, PtGuardEngine};
+use workloads::tracegen::{Op, TraceGenerator};
+use workloads::WorkloadProfile;
+
+/// A fully-built simulated machine for one workload.
+#[derive(Debug)]
+pub struct Machine {
+    /// The memory hierarchy (device + controller + caches + TLB).
+    pub sys: MemorySystem,
+    /// The workload's address space (page tables live in simulated DRAM).
+    pub space: AddressSpace,
+    /// The instruction generator.
+    pub gen: TraceGenerator,
+}
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunResult {
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Cycles consumed.
+    pub cycles: u64,
+    /// LLC misses (demand + page-walk) per kilo-instruction.
+    pub mpki: f64,
+    /// Page walks performed.
+    pub walks: u64,
+    /// PT-Guard integrity faults (0 in benign runs).
+    pub integrity_faults: u64,
+    /// MAC computations performed on the read path (0 without an engine).
+    pub mac_computations: u64,
+}
+
+impl RunResult {
+    /// Instructions per cycle.
+    #[must_use]
+    pub fn ipc(&self) -> f64 {
+        self.instructions as f64 / self.cycles.max(1) as f64
+    }
+}
+
+/// The protection mounted at the memory controller for a run.
+#[derive(Debug, Clone, Copy)]
+pub enum Protection {
+    /// Unprotected baseline.
+    None,
+    /// PT-Guard with the given configuration.
+    PtGuard(PtGuardConfig),
+    /// Conventional whole-memory integrity (separate MAC table, 12.5 %
+    /// storage) — the Sections I / VIII-D comparison point.
+    FullMemoryMac,
+}
+
+/// Builds the simulated machine for `profile`.
+///
+/// `guard` mounts a PT-Guard engine with that configuration; `None` builds
+/// the unprotected baseline. The DRAM device is Rowhammer-immune here —
+/// performance runs model benign operation (Section IV-H).
+///
+/// # Panics
+///
+/// Panics if the workload footprint exceeds the DRAM capacity.
+#[must_use]
+pub fn build_machine(profile: WorkloadProfile, guard: Option<PtGuardConfig>, seed: u64, dram_gb: u64) -> Machine {
+    let protection = match guard {
+        Some(cfg) => Protection::PtGuard(cfg),
+        None => Protection::None,
+    };
+    build_machine_with(profile, protection, seed, dram_gb)
+}
+
+/// [`build_machine`] with the full [`Protection`] choice.
+///
+/// # Panics
+///
+/// Panics if the workload footprint exceeds the DRAM capacity.
+#[must_use]
+pub fn build_machine_with(profile: WorkloadProfile, protection: Protection, seed: u64, dram_gb: u64) -> Machine {
+    let geometry = DramGeometry::with_capacity(dram_gb << 30);
+    let device = DramDevice::new(geometry, DramTiming::default(), RowhammerConfig::immune());
+    let core_ghz = MemSysConfig::default().core_ghz;
+    let controller = match protection {
+        Protection::None => MemoryController::new(device, None, core_ghz),
+        Protection::PtGuard(cfg) => MemoryController::new(device, Some(PtGuardEngine::new(cfg)), core_ghz),
+        Protection::FullMemoryMac => MemoryController::with_full_memory_mac(device, core_ghz),
+    };
+    let mut sys = MemorySystem::new(MemSysConfig::default(), controller);
+
+    let gen = TraceGenerator::new(profile, seed);
+    let (base, pages) = gen.va_span();
+    assert!(pages * PAGE_SIZE as u64 + (64 << 20) < (dram_gb << 30), "footprint exceeds DRAM");
+
+    // OS model: build the address space through the cache hierarchy so PTE
+    // lines acquire MACs when they drain to DRAM. Frames are allocated
+    // sequentially — the contiguity the paper's census observes.
+    let mut port = OsPort::new(&mut sys);
+    let mut space = AddressSpace::new(&mut port, 32).expect("root allocation");
+    for i in 0..pages {
+        let va = VirtAddr::new(base + i * PAGE_SIZE as u64);
+        space.map_new(&mut port, va, PteFlags::user_data()).expect("mapping");
+    }
+    let root = space.root();
+    sys.set_root(root, 32);
+    // Quiesce: page tables reach DRAM (and get MAC-protected).
+    sys.flush_caches();
+    Machine { sys, space, gen }
+}
+
+/// Runs `instructions` instructions on a built machine.
+///
+/// The core is in-order and blocking (gem5 `TimingSimpleCPU`-like, matching
+/// the paper's pessimistic single-core setup): every instruction costs one
+/// cycle plus its full memory latency.
+pub fn run(machine: &mut Machine, instructions: u64) -> RunResult {
+    let mut cycles = 0u64;
+    let stats_before = machine.sys.stats();
+    let mac_before = machine.sys.controller.engine().map(|e| e.stats().read_mac_computations).unwrap_or(0);
+    for _ in 0..instructions {
+        cycles += 1;
+        match machine.gen.next_op() {
+            Op::Compute => {}
+            Op::Load(va) => {
+                let out = machine.sys.load(va);
+                debug_assert!(out.is_ok(), "unexpected fault: {out:?}");
+                cycles += out.cycles();
+            }
+            Op::Store(va) => {
+                let out = machine.sys.store(va);
+                debug_assert!(out.is_ok(), "unexpected fault: {out:?}");
+                cycles += out.cycles();
+            }
+        }
+    }
+    let stats = machine.sys.stats();
+    let llc_misses =
+        (stats.llc_misses + stats.walk_llc_misses) - (stats_before.llc_misses + stats_before.walk_llc_misses);
+    let mac_computations = machine
+        .sys
+        .controller
+        .engine()
+        .map(|e| e.stats().read_mac_computations)
+        .unwrap_or(0)
+        - mac_before;
+    RunResult {
+        instructions,
+        cycles,
+        mpki: 1000.0 * llc_misses as f64 / instructions as f64,
+        walks: stats.walks - stats_before.walks,
+        integrity_faults: stats.integrity_faults - stats_before.integrity_faults,
+        mac_computations,
+    }
+}
+
+/// One-shot convenience: build, warm up (caches and TLB fill without being
+/// measured — the paper fast-forwards 25 G instructions with KVM), then run
+/// a measured region of `instructions`.
+#[must_use]
+pub fn simulate_workload(
+    profile: WorkloadProfile,
+    guard: Option<PtGuardConfig>,
+    instructions: u64,
+    seed: u64,
+) -> RunResult {
+    let mut machine = build_machine(profile, guard, seed, 4);
+    let _ = run(&mut machine, instructions); // warm-up, discarded
+    run(&mut machine, instructions)
+}
+
+/// [`simulate_workload`] with the full [`Protection`] choice.
+#[must_use]
+pub fn simulate_workload_with(
+    profile: WorkloadProfile,
+    protection: Protection,
+    instructions: u64,
+    seed: u64,
+) -> RunResult {
+    let mut machine = build_machine_with(profile, protection, seed, 4);
+    let _ = run(&mut machine, instructions);
+    run(&mut machine, instructions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::profiles::by_name;
+
+    const INSTRS: u64 = 150_000;
+
+    #[test]
+    fn baseline_runs_without_faults() {
+        let p = by_name("xz").unwrap();
+        let r = simulate_workload(p, None, INSTRS, 1);
+        assert_eq!(r.integrity_faults, 0);
+        assert!(r.ipc() > 0.0 && r.ipc() <= 1.0);
+        assert!(r.walks > 0, "streaming must cause TLB misses");
+    }
+
+    #[test]
+    fn guarded_run_is_slower_but_correct() {
+        let p = by_name("xalancbmk").unwrap();
+        let base = simulate_workload(p, None, INSTRS, 1);
+        let guard = simulate_workload(p, Some(PtGuardConfig::default()), INSTRS, 1);
+        assert_eq!(guard.integrity_faults, 0);
+        assert!(guard.cycles >= base.cycles, "PT-Guard cannot be faster");
+        let slowdown = guard.cycles as f64 / base.cycles as f64 - 1.0;
+        assert!(slowdown < 0.12, "slowdown {slowdown} implausibly high");
+        assert!(guard.mac_computations > 0);
+    }
+
+    #[test]
+    fn optimized_engine_computes_fewer_macs() {
+        let p = by_name("lbm").unwrap();
+        let base = simulate_workload(p, Some(PtGuardConfig::default()), INSTRS, 2);
+        let opt = simulate_workload(p, Some(PtGuardConfig::optimized()), INSTRS, 2);
+        assert!(
+            opt.mac_computations * 10 < base.mac_computations,
+            "identifier must eliminate most MAC computations ({} vs {})",
+            opt.mac_computations,
+            base.mac_computations
+        );
+    }
+
+    #[test]
+    fn mpki_tracks_profile_targets() {
+        // High- and low-MPKI profiles must separate cleanly, and the
+        // measured value should be in the target's neighbourhood.
+        let hot = simulate_workload(by_name("povray").unwrap(), None, INSTRS, 3);
+        let cold = simulate_workload(by_name("mcf").unwrap(), None, INSTRS, 3);
+        assert!(hot.mpki < 2.0, "povray MPKI = {}", hot.mpki);
+        assert!(cold.mpki > 7.0, "mcf MPKI = {}", cold.mpki);
+    }
+
+    #[test]
+    fn full_memory_mac_costs_more_than_ptguard() {
+        // The Sections I / VIII-D motivation: conventional whole-memory
+        // integrity pays extra DRAM accesses; PT-Guard pays only latency.
+        let p = by_name("sssp").unwrap(); // pointer-chaser: worst case for a MAC table
+        let base = simulate_workload_with(p, Protection::None, INSTRS, 4);
+        let guard = simulate_workload_with(p, Protection::PtGuard(PtGuardConfig::default()), INSTRS, 4);
+        let full = simulate_workload_with(p, Protection::FullMemoryMac, INSTRS, 4);
+        let s_guard = guard.cycles as f64 / base.cycles as f64 - 1.0;
+        let s_full = full.cycles as f64 / base.cycles as f64 - 1.0;
+        assert!(s_full > 2.0 * s_guard, "full-memory {s_full} vs PT-Guard {s_guard}");
+        assert_eq!(full.integrity_faults, 0, "benign run must verify everywhere");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let p = by_name("bfs").unwrap();
+        let a = simulate_workload(p, Some(PtGuardConfig::default()), 50_000, 9);
+        let b = simulate_workload(p, Some(PtGuardConfig::default()), 50_000, 9);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.walks, b.walks);
+    }
+}

@@ -1,0 +1,31 @@
+//! # Workload models
+//!
+//! The paper evaluates on 20 SPEC CPU-2017 workloads (ref inputs) and 5 GAP
+//! graph workloads (USA-road), plus a census of page tables captured from
+//! 623 real Ubuntu processes. Neither SPEC binaries nor the census data can
+//! be redistributed, so this crate provides calibrated synthetic stand-ins
+//! (see DESIGN.md for the substitution argument):
+//!
+//! * [`profiles`] — one named profile per paper workload, carrying the
+//!   LLC-MPKI target visible in Figure 6 (bottom) and memory-behaviour
+//!   parameters.
+//! * [`tracegen`] — a deterministic instruction-stream generator per
+//!   profile: a hot set that caches well, a streaming component sized to
+//!   produce the profile's LLC miss rate, and page-granular spread to
+//!   exercise the TLB/page-walk path.
+//! * [`pte_census`] — a generative model of process page-table populations
+//!   matching the paper's measured marginals (64.13 % zero PTEs, 23.73 %
+//!   contiguous PFNs, >99 % flag uniformity) with per-process variation,
+//!   used for Figure 8 and the correction study of Figure 9.
+//! * [`multiprog`] — SPEC-SAME and SPEC-MIX bundles for the multi-core
+//!   study (Section VII-C).
+
+#![warn(missing_docs)]
+
+pub mod multiprog;
+pub mod profiles;
+pub mod pte_census;
+pub mod tracegen;
+
+pub use profiles::{Suite, WorkloadProfile, ALL_WORKLOADS};
+pub use tracegen::{Op, TraceGenerator};

@@ -1,0 +1,90 @@
+//! Multiprogrammed bundles for the multi-core study (Section VII-C).
+//!
+//! The paper runs 18 SPEC2017-SAME bundles (4 instances of one workload)
+//! and 16 SPEC2017-MIX bundles (4 randomly selected from 18 choices) on a
+//! 4-core system.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::profiles::{Suite, WorkloadProfile, ALL_WORKLOADS};
+
+/// A multiprogrammed bundle: one workload per core.
+#[derive(Debug, Clone)]
+pub struct Bundle {
+    /// Bundle label (e.g. `SAME-lbm` or `MIX-03`).
+    pub name: String,
+    /// Per-core workloads.
+    pub workloads: Vec<WorkloadProfile>,
+}
+
+/// The SPEC workloads eligible for bundles (the paper draws from 18).
+#[must_use]
+pub fn spec_pool() -> Vec<WorkloadProfile> {
+    ALL_WORKLOADS
+        .iter()
+        .copied()
+        .filter(|w| w.suite != Suite::Gap)
+        .take(18)
+        .collect()
+}
+
+/// 18 SAME bundles: 4 instances of each pooled workload.
+#[must_use]
+pub fn same_bundles(cores: usize) -> Vec<Bundle> {
+    spec_pool()
+        .into_iter()
+        .map(|w| Bundle { name: format!("SAME-{}", w.name), workloads: vec![w; cores] })
+        .collect()
+}
+
+/// 16 MIX bundles: `cores` random draws from the pool per bundle.
+#[must_use]
+pub fn mix_bundles(cores: usize, seed: u64) -> Vec<Bundle> {
+    let pool = spec_pool();
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..16)
+        .map(|i| {
+            let workloads = (0..cores).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+            Bundle { name: format!("MIX-{i:02}"), workloads }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_has_18_spec_workloads() {
+        let p = spec_pool();
+        assert_eq!(p.len(), 18);
+        assert!(p.iter().all(|w| w.suite != Suite::Gap));
+    }
+
+    #[test]
+    fn same_bundles_match_paper_counts() {
+        let b = same_bundles(4);
+        assert_eq!(b.len(), 18);
+        for bundle in &b {
+            assert_eq!(bundle.workloads.len(), 4);
+            assert!(bundle.workloads.windows(2).all(|w| w[0].name == w[1].name));
+        }
+    }
+
+    #[test]
+    fn mix_bundles_are_deterministic_and_varied() {
+        let a = mix_bundles(4, 9);
+        let b = mix_bundles(4, 9);
+        assert_eq!(a.len(), 16);
+        for (x, y) in a.iter().zip(b.iter()) {
+            let xs: Vec<&str> = x.workloads.iter().map(|w| w.name).collect();
+            let ys: Vec<&str> = y.workloads.iter().map(|w| w.name).collect();
+            assert_eq!(xs, ys);
+        }
+        // At least one mix should be heterogeneous.
+        assert!(a.iter().any(|bundle| {
+            bundle.workloads.windows(2).any(|w| w[0].name != w[1].name)
+        }));
+    }
+}

@@ -1,0 +1,313 @@
+//! Generative model of real-system page-table populations (Section VI-B).
+//!
+//! The paper profiles 623 Ubuntu processes (24 M PTEs) and finds:
+//!
+//! * 64.13 % of PTEs are all-zero (a table page is allocated even when only
+//!   one entry is live);
+//! * 23.73 % have PFNs *contiguous* (±1) with a neighbouring non-zero PFN
+//!   in the same cacheline (buddy-allocator locality);
+//! * for each flag, >99 % of PTE cachelines have a uniform flag value
+//!   across their non-zero entries.
+//!
+//! This module generates per-process page-table contents with those
+//! marginals and realistic per-process spread, reproducing Figure 8's shape
+//! and feeding the Figure 9 correction study.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Default non-zero PTE flag template: present, writable, user, accessed,
+/// dirty, NX.
+pub const DEFAULT_FLAGS: u64 = 0x8000_0000_0000_0067;
+
+/// Census generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CensusConfig {
+    /// Number of processes (paper: 623).
+    pub processes: usize,
+    /// Page-table cachelines generated per process.
+    pub lines_per_process: usize,
+    /// Mean fraction of zero PTEs (paper: 0.6413).
+    pub mean_zero_frac: f64,
+    /// Per-process standard deviation of the zero fraction.
+    pub zero_spread: f64,
+    /// Fraction of lines given one deviant flag entry (flag uniformity is
+    /// then `1 − flag_deviation`; paper: >0.99 uniform).
+    pub flag_deviation: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CensusConfig {
+    fn default() -> Self {
+        Self {
+            processes: 623,
+            lines_per_process: 600,
+            mean_zero_frac: 0.6413,
+            zero_spread: 0.17,
+            flag_deviation: 0.005,
+            seed: 0xce5u64,
+        }
+    }
+}
+
+/// Per-PTE classification, as in Figure 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PteClass {
+    /// All-zero entry.
+    Zero,
+    /// PFN is ±1 of the nearest non-zero neighbour in the line.
+    Contiguous,
+    /// Non-zero with no contiguous neighbour.
+    NonContiguous,
+}
+
+/// One generated process's page-table cachelines.
+#[derive(Debug, Clone)]
+pub struct ProcessPageTables {
+    /// Synthetic process id.
+    pub pid: usize,
+    /// PTE cachelines (8 entries each).
+    pub lines: Vec<[u64; 8]>,
+}
+
+/// Census-wide classification report.
+#[derive(Debug, Clone)]
+pub struct CensusReport {
+    /// Percentage of zero PTEs over all processes.
+    pub pct_zero: f64,
+    /// Percentage of contiguous PTEs.
+    pub pct_contiguous: f64,
+    /// Percentage of non-contiguous PTEs.
+    pub pct_noncontiguous: f64,
+    /// Fraction of lines whose non-zero entries share all flag values.
+    pub flag_uniformity: f64,
+    /// Per-process `(zero %, contiguous %, non-contiguous %)`, sorted by
+    /// contiguous % (the x-axis order of Figure 8).
+    pub per_process: Vec<(f64, f64, f64)>,
+    /// Total PTEs classified.
+    pub total_ptes: u64,
+}
+
+/// Generates one process's page tables.
+#[must_use]
+pub fn generate_process(cfg: &CensusConfig, pid: usize) -> ProcessPageTables {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ ((pid as u64) << 24));
+    // Per-process knobs: zero fraction and run-extension probability.
+    let zero_frac = (cfg.mean_zero_frac + cfg.zero_spread * normal(&mut rng)).clamp(0.20, 0.97);
+    let run_extend: f64 = rng.gen_range(0.05..0.93);
+    let flags = DEFAULT_FLAGS;
+    // Entries arrive as zero singletons or non-zero runs of expected length
+    // E[L] ≈ 1/(1−run_extend); pick the zero-block probability `q` so the
+    // *entry-level* zero fraction equals `zero_frac`:
+    // zero_share = q / (q + (1−q)·E[L]).
+    let e_len = (1.0 / (1.0 - run_extend)).min(16.0);
+    let q = (zero_frac * e_len) / (1.0 - zero_frac + zero_frac * e_len);
+
+    let mut lines = Vec::with_capacity(cfg.lines_per_process);
+    let mut run_left = 0u64; // entries remaining in the current PFN run
+    let mut next_pfn = 0u64;
+    for _ in 0..cfg.lines_per_process {
+        let mut line = [0u64; 8];
+        for e in line.iter_mut() {
+            if run_left > 0 {
+                *e = (next_pfn << 12) | flags;
+                next_pfn += 1;
+                run_left -= 1;
+                continue;
+            }
+            if rng.gen_bool(q) {
+                continue; // zero PTE
+            }
+            // Start a new run at a fresh physical location.
+            next_pfn = rng.gen_range(1u64..(1 << 28) - 64);
+            run_left = 1;
+            while run_left < 32 && rng.gen_bool(run_extend) {
+                run_left += 1;
+            }
+            *e = (next_pfn << 12) | flags;
+            next_pfn += 1;
+            run_left -= 1;
+        }
+        // Occasional deviant flag entry (keeps uniformity just under 100 %).
+        if rng.gen_bool(cfg.flag_deviation) {
+            if let Some(idx) = line.iter().position(|&w| w != 0) {
+                line[idx] ^= 1 << 63; // NX deviates
+            }
+        }
+        lines.push(line);
+    }
+    ProcessPageTables { pid, lines }
+}
+
+/// Classifies each entry of a PTE cacheline (paper rule: contiguous means
+/// the PFN is ±1 of a neighbouring non-zero PFN in the line).
+#[must_use]
+pub fn classify_line(line: &[u64; 8]) -> [PteClass; 8] {
+    let pfn = |w: u64| (w >> 12) & ((1u64 << 40) - 1);
+    let mut out = [PteClass::Zero; 8];
+    for i in 0..8 {
+        if line[i] == 0 {
+            continue;
+        }
+        let mut contiguous = false;
+        // Nearest non-zero neighbour on each side.
+        for j in (0..i).rev() {
+            if line[j] != 0 {
+                contiguous |= pfn(line[i]).abs_diff(pfn(line[j])) == 1;
+                break;
+            }
+        }
+        for j in (i + 1)..8 {
+            if line[j] != 0 {
+                contiguous |= pfn(line[i]).abs_diff(pfn(line[j])) == 1;
+                break;
+            }
+        }
+        out[i] = if contiguous { PteClass::Contiguous } else { PteClass::NonContiguous };
+    }
+    out
+}
+
+/// Whether a line's non-zero entries agree on every flag bit (flags = all
+/// non-PFN low/high bits).
+#[must_use]
+pub fn flags_uniform(line: &[u64; 8]) -> bool {
+    const FLAG_MASK: u64 = 0xF800_0000_0000_0FFF & !(0xfff << 40);
+    let mut seen: Option<u64> = None;
+    for &w in line {
+        if w == 0 {
+            continue;
+        }
+        let f = w & FLAG_MASK;
+        match seen {
+            None => seen = Some(f),
+            Some(prev) if prev != f => return false,
+            _ => {}
+        }
+    }
+    true
+}
+
+/// Runs the full census and aggregates the Figure 8 statistics.
+#[must_use]
+pub fn run_census(cfg: &CensusConfig) -> CensusReport {
+    let mut per_process = Vec::with_capacity(cfg.processes);
+    let (mut tz, mut tc, mut tn) = (0u64, 0u64, 0u64);
+    let mut uniform_lines = 0u64;
+    let mut nonzero_lines = 0u64;
+    for pid in 0..cfg.processes {
+        let proc = generate_process(cfg, pid);
+        let (mut z, mut c, mut n) = (0u64, 0u64, 0u64);
+        for line in &proc.lines {
+            for class in classify_line(line) {
+                match class {
+                    PteClass::Zero => z += 1,
+                    PteClass::Contiguous => c += 1,
+                    PteClass::NonContiguous => n += 1,
+                }
+            }
+            if line.iter().any(|&w| w != 0) {
+                nonzero_lines += 1;
+                if flags_uniform(line) {
+                    uniform_lines += 1;
+                }
+            }
+        }
+        let total = (z + c + n) as f64;
+        per_process.push((100.0 * z as f64 / total, 100.0 * c as f64 / total, 100.0 * n as f64 / total));
+        tz += z;
+        tc += c;
+        tn += n;
+    }
+    per_process.sort_by(|a, b| b.1.total_cmp(&a.1));
+    let total = (tz + tc + tn) as f64;
+    CensusReport {
+        pct_zero: 100.0 * tz as f64 / total,
+        pct_contiguous: 100.0 * tc as f64 / total,
+        pct_noncontiguous: 100.0 * tn as f64 / total,
+        flag_uniformity: uniform_lines as f64 / nonzero_lines.max(1) as f64,
+        per_process,
+        total_ptes: tz + tc + tn,
+    }
+}
+
+/// A standard-normal sample via Box-Muller.
+fn normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_paper_rule() {
+        // Entries: [pfn 10, pfn 11, 0, pfn 50, 0, 0, pfn 49, 0]
+        let f = DEFAULT_FLAGS;
+        let line = [(10 << 12) | f, (11 << 12) | f, 0, (50 << 12) | f, 0, 0, (49 << 12) | f, 0];
+        let c = classify_line(&line);
+        assert_eq!(c[0], PteClass::Contiguous); // 10 next to 11
+        assert_eq!(c[1], PteClass::Contiguous);
+        assert_eq!(c[2], PteClass::Zero);
+        assert_eq!(c[3], PteClass::Contiguous); // 50's nearest right nonzero is 49
+        assert_eq!(c[6], PteClass::Contiguous);
+        assert_eq!(c[7], PteClass::Zero);
+    }
+
+    #[test]
+    fn lone_entry_is_noncontiguous() {
+        let line = [(77 << 12) | DEFAULT_FLAGS, 0, 0, 0, 0, 0, 0, 0];
+        assert_eq!(classify_line(&line)[0], PteClass::NonContiguous);
+    }
+
+    #[test]
+    fn census_reproduces_paper_marginals() {
+        let cfg = CensusConfig { processes: 200, lines_per_process: 300, ..CensusConfig::default() };
+        let r = run_census(&cfg);
+        assert!((55.0..73.0).contains(&r.pct_zero), "zero % = {}", r.pct_zero);
+        assert!((17.0..31.0).contains(&r.pct_contiguous), "contiguous % = {}", r.pct_contiguous);
+        assert!(r.flag_uniformity > 0.99, "uniformity = {}", r.flag_uniformity);
+        assert_eq!(r.per_process.len(), 200);
+    }
+
+    #[test]
+    fn per_process_spread_covers_figure8_range() {
+        let cfg = CensusConfig { processes: 300, lines_per_process: 200, ..CensusConfig::default() };
+        let r = run_census(&cfg);
+        let max_contig = r.per_process.first().map(|p| p.1).unwrap_or(0.0);
+        let min_contig = r.per_process.last().map(|p| p.1).unwrap_or(0.0);
+        assert!(max_contig > 40.0, "max contiguous {max_contig}");
+        assert!(min_contig < 8.0, "min contiguous {min_contig}");
+        // Sorted descending by contiguous share.
+        for w in r.per_process.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = CensusConfig::default();
+        let a = generate_process(&cfg, 42);
+        let b = generate_process(&cfg, 42);
+        assert_eq!(a.lines, b.lines);
+        let c = generate_process(&cfg, 43);
+        assert_ne!(a.lines, c.lines);
+    }
+
+    #[test]
+    fn generated_ptes_respect_os_invariant() {
+        // All generated PTEs keep bits 51:40 and 58:52 zero (MAC/identifier
+        // regions) — they must pattern-match for PT-Guard.
+        let cfg = CensusConfig::default();
+        let p = generate_process(&cfg, 7);
+        for line in &p.lines {
+            for &w in line {
+                assert_eq!(w & (0xfff << 40), 0, "PFN exceeds 28 bits: {w:#x}");
+                assert_eq!(w & (0x7f << 52), 0, "ignored bits set: {w:#x}");
+            }
+        }
+    }
+}

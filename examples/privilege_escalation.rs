@@ -1,0 +1,41 @@
+//! The paper's Figures 1 and 3, end to end: a user process sprays page
+//! tables, hammers the neighbouring DRAM rows, and hijacks a translation on
+//! an unprotected system — then the same attack is mounted against a
+//! PT-Guard-protected memory controller and every tampered walk is caught.
+//!
+//! ```text
+//! cargo run --release --example privilege_escalation
+//! ```
+
+use experiments::exploit;
+use experiments::Scale;
+
+fn main() {
+    println!("=== Rowhammer privilege escalation (Figures 1 & 3) ===\n");
+    println!("attacker model: user-level code, LPDDR4-class DRAM (RTH ≈ 4.8K),");
+    println!("sprays its address space to fill DRAM rows with page tables, then");
+    println!("double-side-hammers every page-table row.\n");
+
+    let r = exploit::run(Scale::Quick);
+
+    println!("--- phase 1: unprotected client system ---");
+    println!("PTEs corrupted by hammering : {}", r.unguarded_corrupted);
+    if r.unguarded_hijacked {
+        println!("translation hijack          : YES — a flipped PFN now points the");
+        println!("                              attacker's page at foreign physical memory.");
+        println!("                              From here the classic exploit forges PTEs");
+        println!("                              and reads/writes arbitrary memory (kernel take-over).");
+    } else {
+        println!("translation hijack          : corrupted but no clean remap this run");
+    }
+
+    println!("\n--- phase 2: same attack, PT-Guard in the memory controller ---");
+    println!("bit flips injected in DRAM  : {}", r.guarded_flips);
+    println!("walks transparently repaired: {}", r.guarded_corrected);
+    println!("integrity exceptions raised : {}", r.guarded_faults);
+    println!("silent hijacks              : {}", r.guarded_hijacks);
+    assert_eq!(r.guarded_hijacks, 0, "PT-Guard must never serve a tampered translation");
+
+    println!("\nverdict: the invariant of Section IV-G holds — no PTE cacheline with");
+    println!("bit flips is ever consumed on a page-table walk.");
+}

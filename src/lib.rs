@@ -1,0 +1,29 @@
+//! Umbrella crate for the PT-Guard reproduction workspace.
+//!
+//! Re-exports the individual crates so examples and integration tests can
+//! use one import root:
+//!
+//! * [`ptguard`] — the paper's mechanism (pattern match, MAC, CTB,
+//!   optimizations, correction, security model, re-keying, baselines).
+//! * [`qarma`] — the QARMA-64/128 cipher family and pointer authentication.
+//! * [`pagetable`] — x86_64/ARMv8 PTEs, radix tables, walker, OS model.
+//! * [`dram`] — DRAM device with the Rowhammer disturbance model.
+//! * [`rowhammer`] — attacks, prior mitigations, the exploit.
+//! * [`memsys`] — caches, TLB, MMU cache, memory controller (+ the
+//!   whole-memory-MAC baseline).
+//! * [`workloads`] — calibrated SPEC/GAP-like models and the PTE census.
+//! * [`simx`] — single-core and multi-core timing simulation.
+//! * [`experiments`] — one regenerator per paper table/figure.
+//!
+//! See the README for the architecture overview and EXPERIMENTS.md for
+//! paper-vs-measured results.
+
+pub use dram;
+pub use experiments;
+pub use memsys;
+pub use pagetable;
+pub use ptguard;
+pub use qarma;
+pub use rowhammer;
+pub use simx;
+pub use workloads;

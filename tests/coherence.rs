@@ -1,0 +1,99 @@
+//! Randomized functional-coherence property: whatever the OS/program writes
+//! through the cache hierarchy is exactly what it reads back — regardless
+//! of evictions, flushes, and PT-Guard's MAC embedding/stripping happening
+//! underneath.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use dram::{DramDevice, RowhammerConfig};
+use memsys::{MemSysConfig, MemoryController, MemorySystem};
+use pagetable::addr::PhysAddr;
+use ptguard::{PtGuardConfig, PtGuardEngine};
+
+#[derive(Debug, Clone)]
+enum CohOp {
+    /// Write a word at (slot, offset) through the hierarchy.
+    Write { slot: u8, word: u8, value: u64 },
+    /// Read a word back and check it.
+    Read { slot: u8, word: u8 },
+    /// Drain all dirty lines to DRAM.
+    Flush,
+    /// Drop a slot's line from every cache level (forces a DRAM re-read
+    /// through the PT-Guard strip path). Only sound after a flush, so the
+    /// op performs a flush first.
+    Evict { slot: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = CohOp> {
+    prop_oneof![
+        (any::<u8>(), 0u8..8, any::<u64>()).prop_map(|(slot, word, value)| CohOp::Write { slot, word, value }),
+        (any::<u8>(), 0u8..8).prop_map(|(slot, word)| CohOp::Read { slot, word }),
+        Just(CohOp::Flush),
+        any::<u8>().prop_map(|slot| CohOp::Evict { slot }),
+    ]
+}
+
+fn slot_addr(slot: u8, word: u8) -> PhysAddr {
+    // 256 line slots spread across sets and DRAM rows.
+    PhysAddr::new(0x10_0000 + u64::from(slot) * 64 * 131 % (1 << 22) + u64::from(word) * 8)
+}
+
+fn build(guarded: bool, optimized: bool) -> MemorySystem {
+    let device = DramDevice::ddr4_4gb(RowhammerConfig::immune());
+    let engine = guarded.then(|| {
+        PtGuardEngine::new(if optimized { PtGuardConfig::optimized() } else { PtGuardConfig::default() })
+    });
+    let controller = MemoryController::new(device, engine, 3.0);
+    MemorySystem::new(MemSysConfig::default(), controller)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn hierarchy_is_functionally_coherent(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        for (guarded, optimized) in [(false, false), (true, false), (true, true)] {
+            let mut sys = build(guarded, optimized);
+            let mut reference: HashMap<u64, u64> = HashMap::new();
+            for op in &ops {
+                match *op {
+                    CohOp::Write { slot, word, value } => {
+                        let a = slot_addr(slot, word);
+                        sys.func_write_u64(a, value);
+                        reference.insert(a.as_u64(), value);
+                    }
+                    CohOp::Read { slot, word } => {
+                        let a = slot_addr(slot, word);
+                        let expect = reference.get(&a.as_u64()).copied().unwrap_or(0);
+                        prop_assert_eq!(
+                            sys.func_read_u64(a),
+                            expect,
+                            "guarded={} optimized={} addr={:?}",
+                            guarded,
+                            optimized,
+                            a
+                        );
+                    }
+                    CohOp::Flush => sys.flush_caches(),
+                    CohOp::Evict { slot } => {
+                        sys.flush_caches();
+                        sys.invalidate_line(slot_addr(slot, 0));
+                    }
+                }
+            }
+            // Final sweep: every word ever written reads back, twice (once
+            // possibly from DRAM through the strip path, once from cache).
+            sys.flush_caches();
+            let addrs: Vec<u64> = reference.keys().copied().collect();
+            for a in &addrs {
+                sys.invalidate_line(PhysAddr::new(*a));
+            }
+            for (a, v) in &reference {
+                prop_assert_eq!(sys.func_read_u64(PhysAddr::new(*a)), *v);
+                prop_assert_eq!(sys.func_read_u64(PhysAddr::new(*a)), *v);
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based invariants spanning the crates (proptest).
+
+use proptest::prelude::*;
+
+use pagetable::addr::{PhysAddr, VirtAddr};
+use pagetable::memory::VecMemory;
+use pagetable::space::AddressSpace;
+use pagetable::x86_64::PteFlags;
+use ptguard::engine::ReadVerdict;
+use ptguard::line::Line;
+use ptguard::{pattern, PtGuardConfig, PtGuardEngine};
+use qarma::{Qarma128, Qarma64, Sbox};
+
+/// Strategy: a line that satisfies the OS invariant (PTE-shaped).
+fn pte_shaped_line() -> impl Strategy<Value = Line> {
+    proptest::collection::vec(
+        (0u64..(1 << 28), any::<bool>(), 0u64..16).prop_map(|(pfn, present, flagbits)| {
+            if present {
+                (pfn << 12) | 0x07 | (flagbits << 3) & 0xf8
+            } else {
+                0
+            }
+        }),
+        8,
+    )
+    .prop_map(|v| Line::from_words(v.try_into().expect("8 words")))
+}
+
+/// Strategy: arbitrary line content (usually not pattern-matching).
+fn any_line() -> impl Strategy<Value = Line> {
+    proptest::collection::vec(any::<u64>(), 8)
+        .prop_map(|v| Line::from_words(v.try_into().expect("8 words")))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn qarma64_is_a_permutation(key in any::<[u64; 2]>(), pt in any::<u64>(), tw in any::<u64>()) {
+        for sbox in [Sbox::Sigma0, Sbox::Sigma1, Sbox::Sigma2] {
+            let c = Qarma64::new(key, 5, sbox);
+            prop_assert_eq!(c.decrypt(c.encrypt(pt, tw), tw), pt);
+        }
+    }
+
+    #[test]
+    fn qarma128_is_a_permutation(key in any::<[u128; 2]>(), pt in any::<u128>(), tw in any::<u128>()) {
+        let c = Qarma128::new(key, 9, Sbox::Sigma1);
+        prop_assert_eq!(c.decrypt(c.encrypt(pt, tw), tw), pt);
+    }
+
+    #[test]
+    fn protected_roundtrip_is_identity(line in pte_shaped_line(), addr_line in 0u64..(1 << 20)) {
+        // Any OS-invariant-respecting line survives write→read untouched,
+        // in both engine variants.
+        let addr = PhysAddr::new(addr_line * 64);
+        for cfg in [PtGuardConfig::default(), PtGuardConfig::optimized()] {
+            let mut e = PtGuardEngine::new(cfg);
+            let w = e.process_write(line, addr);
+            prop_assert!(w.protected);
+            let r = e.process_read(w.line, addr, true);
+            prop_assert_eq!(r.verdict, ReadVerdict::Verified);
+            prop_assert_eq!(r.line, line);
+        }
+    }
+
+    #[test]
+    fn data_roundtrip_preserves_content(line in any_line(), addr_line in 0u64..(1 << 20)) {
+        // Regular data — protected or not, colliding or not — always comes
+        // back bit-identical on the data-read path.
+        let addr = PhysAddr::new(addr_line * 64);
+        let mut e = PtGuardEngine::new(PtGuardConfig::default());
+        let w = e.process_write(line, addr);
+        let r = e.process_read(w.line, addr, false);
+        prop_assert!(r.verdict.is_ok());
+        if w.protected {
+            // Pattern-matched: MAC embedded then stripped back out.
+            prop_assert_eq!(r.line, line);
+        } else {
+            prop_assert_eq!(r.line, w.line);
+            prop_assert_eq!(w.line, line);
+        }
+    }
+
+    #[test]
+    fn tampered_walks_never_verify_silently(
+        line in pte_shaped_line(),
+        addr_line in 0u64..(1 << 20),
+        flips in proptest::collection::btree_set(0usize..512, 1..6),
+    ) {
+        // Whatever bits flip, a PTE walk either (a) accepts a payload equal
+        // to the original protected content, or (b) raises CheckFailed.
+        // Silent acceptance of modified protected content is forbidden.
+        let addr = PhysAddr::new(addr_line * 64);
+        let mut e = PtGuardEngine::new(PtGuardConfig::default());
+        let protected_mask = e.mac_unit().protected_mask();
+        let w = e.process_write(line, addr);
+        let mut faulty = w.line;
+        for f in flips {
+            faulty.flip_bit(f);
+        }
+        let r = e.process_read(faulty, addr, true);
+        match r.verdict {
+            ReadVerdict::Verified | ReadVerdict::Corrected { .. } => {
+                prop_assert_eq!(
+                    r.line.masked(protected_mask),
+                    line.masked(protected_mask),
+                    "accepted payload must match the written protected content"
+                );
+            }
+            ReadVerdict::CheckFailed => {}
+            ReadVerdict::Forwarded => prop_assert!(false, "PTE walks always verify"),
+        }
+    }
+
+    #[test]
+    fn embed_strip_is_inverse_on_pattern_lines(line in pte_shaped_line(), mac in any::<u128>()) {
+        let mac = mac & ((1 << 96) - 1);
+        prop_assert!(pattern::matches_base_pattern(&line));
+        let embedded = pattern::embed_mac(&line, mac);
+        prop_assert_eq!(pattern::extract_mac(&embedded), mac);
+        prop_assert_eq!(pattern::strip_mac(&embedded), line);
+    }
+
+    #[test]
+    fn mapping_translate_agrees_with_direct_math(
+        vpns in proptest::collection::btree_set(1u64..(1 << 24), 1..24),
+    ) {
+        // AddressSpace::translate must agree with frame arithmetic for every
+        // mapping it created.
+        let mut mem = VecMemory::new(32 << 20);
+        let mut space = AddressSpace::new(&mut mem, 32).unwrap();
+        let mut placed = Vec::new();
+        for vpn in vpns {
+            let va = VirtAddr::new(vpn << 12);
+            let frame = space.map_new(&mut mem, va, PteFlags::user_data()).unwrap();
+            placed.push((va, frame));
+        }
+        for (va, frame) in placed {
+            let pa = space.translate(&mem, VirtAddr::new(va.as_u64() + 0x123)).unwrap();
+            prop_assert_eq!(pa, PhysAddr::from_frame(frame, 0x123));
+        }
+        prop_assert_eq!(space.verify_os_invariant(&mem), 0);
+    }
+}
