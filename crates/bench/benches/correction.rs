@@ -1,18 +1,17 @@
 //! Best-effort-correction benches (Section VI-D): cost of each guess
 //! strategy and the 372-guess worst case.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pagetable::addr::PhysAddr;
 use ptguard::correct::Corrector;
 use ptguard::line::Line;
 use ptguard::mac::PteMac;
 use ptguard::pattern::embed_mac;
 use ptguard::PtGuardConfig;
+use ptguard_bench::harness::{black_box, Bench};
 use ptguard_bench::{protected_sample, sample_pte_line};
 
-fn bench_correction(c: &mut Criterion) {
-    let mut g = c.benchmark_group("correction");
-    g.sample_size(20);
+fn main() {
+    let mut g = Bench::group("correction");
     let mac = PteMac::from_config(&PtGuardConfig::default());
     let addr = PhysAddr::new(0xbeef_0040);
     let clean = protected_sample(&mac, addr);
@@ -21,31 +20,34 @@ fn bench_correction(c: &mut Criterion) {
     // Step 1: MAC-only faults — one soft-match guess.
     let mut mac_fault = clean;
     mac_fault.set_word(0, mac_fault.word(0) ^ (1 << 43));
-    g.bench_function("soft_match_1_guess", |b| {
-        b.iter(|| corrector.correct(black_box(&mac_fault), addr))
+    g.bench("soft_match_1_guess", || {
+        corrector.correct(black_box(&mac_fault), addr)
     });
 
     // Step 2: early vs late single-bit flips (flip-and-check linear scan).
     let mut early = clean;
     early.flip_bit(0);
-    g.bench_function("flip_and_check_early_bit", |b| {
-        b.iter(|| corrector.correct(black_box(&early), addr))
+    g.bench("flip_and_check_early_bit", || {
+        corrector.correct(black_box(&early), addr)
     });
     let mut late = clean;
     late.flip_bit(7 * 64 + 63); // NX of the last entry
-    g.bench_function("flip_and_check_late_bit", |b| {
-        b.iter(|| corrector.correct(black_box(&late), addr))
+    g.bench("flip_and_check_late_bit", || {
+        corrector.correct(black_box(&late), addr)
     });
 
     // Steps 3-5 and the uncorrectable worst case (all 372 guesses burned).
     let mut zero_damage = clean;
     zero_damage.set_word(7, zero_damage.word(7) ^ 0b101);
-    g.bench_function("zero_reset_path", |b| {
-        b.iter(|| corrector.correct(black_box(&zero_damage), addr))
+    g.bench("zero_reset_path", || {
+        corrector.correct(black_box(&zero_damage), addr)
     });
 
     let mut noncontig = Line::ZERO;
-    for (i, p) in [0x0a1_b2c3u64, 0x571_0000, 0x123_4567, 0x0ff_ff00].iter().enumerate() {
+    for (i, p) in [0x0a1_b2c3u64, 0x571_0000, 0x123_4567, 0x0ff_ff00]
+        .iter()
+        .enumerate()
+    {
         noncontig.set_word(i, (p << 12) | 0x27);
     }
     let noncontig = embed_mac(&noncontig, mac.compute(&noncontig, addr));
@@ -53,17 +55,13 @@ fn bench_correction(c: &mut Criterion) {
     wrecked.set_word(0, wrecked.word(0) ^ (1 << 13));
     wrecked.set_word(1, wrecked.word(1) ^ (1 << 14));
     wrecked.set_word(2, wrecked.word(2) ^ (1 << 15));
-    g.bench_function("uncorrectable_372_guesses", |b| {
-        b.iter(|| corrector.correct(black_box(&wrecked), addr))
+    g.bench("uncorrectable_372_guesses", || {
+        corrector.correct(black_box(&wrecked), addr)
     });
 
     // Reference: the no-damage fast path (exact verify, no correction).
     let line = sample_pte_line();
-    g.bench_function("reference_exact_verify", |b| {
-        b.iter(|| mac.verify(black_box(&line), addr, black_box(0)))
+    g.bench("reference_exact_verify", || {
+        mac.verify(black_box(&line), addr, black_box(0))
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_correction);
-criterion_main!(benches);

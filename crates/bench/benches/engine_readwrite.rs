@@ -1,14 +1,13 @@
 //! Engine datapath benches: the read/write processing PT-Guard adds at the
 //! memory controller, base vs Optimized (the mechanism behind Figures 6/7).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use pagetable::addr::PhysAddr;
 use ptguard::{PtGuardConfig, PtGuardEngine};
+use ptguard_bench::harness::{black_box, Bench};
 use ptguard_bench::{sample_data_line, sample_pte_line};
 
-fn bench_engine(c: &mut Criterion) {
-    let mut g = c.benchmark_group("engine");
-    g.sample_size(30);
+fn main() {
+    let mut g = Bench::group("engine");
     let addr = PhysAddr::new(0x7_0000);
 
     for (label, cfg) in [
@@ -21,23 +20,19 @@ fn bench_engine(c: &mut Criterion) {
         let data = sample_data_line();
         let stored_pte = engine.process_write(pte, addr).line;
 
-        g.bench_with_input(BenchmarkId::new("write_pte_line", label), &(), |b, ()| {
-            b.iter(|| engine.process_write(black_box(pte), addr))
+        g.bench(&format!("write_pte_line/{label}"), || {
+            engine.process_write(black_box(pte), addr)
         });
-        g.bench_with_input(BenchmarkId::new("write_data_line", label), &(), |b, ()| {
-            b.iter(|| engine.process_write(black_box(data), addr))
+        g.bench(&format!("write_data_line/{label}"), || {
+            engine.process_write(black_box(data), addr)
         });
-        g.bench_with_input(BenchmarkId::new("read_pte_walk", label), &(), |b, ()| {
-            b.iter(|| engine.process_read(black_box(stored_pte), addr, true))
+        g.bench(&format!("read_pte_walk/{label}"), || {
+            engine.process_read(black_box(stored_pte), addr, true)
         });
         // The Figure 7 mechanism in miniature: data reads skip the MAC
         // entirely under the identifier optimization.
-        g.bench_with_input(BenchmarkId::new("read_data_line", label), &(), |b, ()| {
-            b.iter(|| engine.process_read(black_box(data), addr, false))
+        g.bench(&format!("read_data_line/{label}"), || {
+            engine.process_read(black_box(data), addr, false)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_engine);
-criterion_main!(benches);

@@ -2,34 +2,32 @@
 //! for representative workloads (the `exp` binary runs the full 25-workload
 //! sweep).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ptguard::PtGuardConfig;
+use ptguard_bench::harness::Bench;
 use simx::build_machine;
 use simx::runner::run;
 use workloads::profiles::by_name;
 
 const INSTRS: u64 = 30_000;
 
-fn bench_fig6(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6_fig7_kernel");
-    g.sample_size(10);
+fn main() {
+    let mut g = Bench::group("fig6_fig7_kernel");
     for name in ["xalancbmk", "lbm", "povray"] {
         let profile = by_name(name).unwrap();
         for (label, guard) in [
             ("baseline", None),
             ("ptguard_10cy", Some(PtGuardConfig::default())),
             ("optimized_10cy", Some(PtGuardConfig::optimized())),
-            ("ptguard_20cy", Some(PtGuardConfig::default().with_mac_latency(20))),
+            (
+                "ptguard_20cy",
+                Some(PtGuardConfig::default().with_mac_latency(20)),
+            ),
         ] {
             let mut machine = build_machine(profile, guard, 0x600d, 4);
             let _ = run(&mut machine, INSTRS); // warm-up
-            g.bench_with_input(BenchmarkId::new(name, label), &(), |b, ()| {
-                b.iter(|| run(&mut machine, INSTRS).cycles)
+            g.bench(&format!("{name}/{label}"), || {
+                run(&mut machine, INSTRS).cycles
             });
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig6);
-criterion_main!(benches);

@@ -1,36 +1,37 @@
 //! Figure 8 kernel: census generation + classification throughput.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ptguard_bench::harness::{black_box, Bench};
 use workloads::pte_census::{classify_line, generate_process, run_census, CensusConfig};
 
-fn bench_census(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8_census");
-    g.sample_size(10);
+fn main() {
+    let mut g = Bench::group("fig8_census");
 
-    let cfg = CensusConfig { lines_per_process: 600, ..CensusConfig::default() };
-    g.bench_function("generate_one_process", |b| {
-        let mut pid = 0usize;
-        b.iter(|| {
-            pid += 1;
-            generate_process(black_box(&cfg), pid)
-        })
+    let cfg = CensusConfig {
+        lines_per_process: 600,
+        ..CensusConfig::default()
+    };
+    let mut pid = 0usize;
+    g.bench("generate_one_process", || {
+        pid += 1;
+        generate_process(black_box(&cfg), pid)
     });
 
     let proc40 = generate_process(&cfg, 40);
-    g.bench_function("classify_600_lines", |b| {
-        b.iter(|| {
-            proc40
-                .lines
-                .iter()
-                .map(|l| classify_line(black_box(l)))
-                .count()
-        })
+    g.bench("classify_600_lines", || {
+        proc40
+            .lines
+            .iter()
+            .map(|l| classify_line(black_box(l)))
+            .fold(0usize, |n, classes| {
+                black_box(classes);
+                n + 1
+            })
     });
 
-    let small = CensusConfig { processes: 40, lines_per_process: 150, ..CensusConfig::default() };
-    g.bench_function("census_40_processes", |b| b.iter(|| run_census(black_box(&small))));
-    g.finish();
+    let small = CensusConfig {
+        processes: 40,
+        lines_per_process: 150,
+        ..CensusConfig::default()
+    };
+    g.bench("census_40_processes", || run_census(black_box(&small)));
 }
-
-criterion_group!(benches, bench_census);
-criterion_main!(benches);

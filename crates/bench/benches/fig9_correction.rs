@@ -1,23 +1,16 @@
 //! Figure 9 kernel: the fault-injection + correction pipeline at two flip
 //! probabilities (DDR4-like 1/512 and LPDDR4-like 1/128).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use experiments::fig9::evaluate_cell;
+use ptguard_bench::harness::Bench;
 
-fn bench_fig9(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig9_correction");
-    g.sample_size(10);
+fn main() {
+    let mut g = Bench::group("fig9_correction");
     for (label, p) in [("p_1_512", 1.0 / 512.0), ("p_1_128", 1.0 / 128.0)] {
-        g.bench_with_input(BenchmarkId::new("evaluate_200_lines", label), &p, |b, &p| {
-            let mut seed = 0u64;
-            b.iter(|| {
-                seed += 1;
-                evaluate_cell("xalancbmk", p, 200, seed)
-            })
+        let mut seed = 0u64;
+        g.bench(&format!("evaluate_200_lines/{label}"), || {
+            seed += 1;
+            evaluate_cell("xalancbmk", p, 200, seed)
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_fig9);
-criterion_main!(benches);

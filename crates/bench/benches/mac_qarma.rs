@@ -1,55 +1,47 @@
 //! MAC primitive microbenches: QARMA-64/128 and the PTE-line MAC
 //! (the 10-cycle hardware latency of Section IV-F, in software form).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use pagetable::addr::PhysAddr;
 use ptguard::mac::PteMac;
 use ptguard::PtGuardConfig;
+use ptguard_bench::harness::{black_box, Bench};
 use ptguard_bench::sample_pte_line;
 use qarma::pac::PacKey;
 use qarma::{Qarma128, Qarma64, Sbox};
 
-fn bench_qarma(c: &mut Criterion) {
-    let mut g = c.benchmark_group("qarma");
-    g.sample_size(30);
-
+fn main() {
+    let mut g = Bench::group("qarma");
     let q64 = Qarma64::new([0x84be85ce9804e94b, 0xec2802d4e0a488e4], 5, Sbox::Sigma1);
-    g.bench_function("qarma64_r5_encrypt", |b| {
-        b.iter(|| q64.encrypt(black_box(0xfb623599da6e8127), black_box(0x477d469dec0b8762)))
+    g.bench("qarma64_r5_encrypt", || {
+        q64.encrypt(black_box(0xfb623599da6e8127), black_box(0x477d469dec0b8762))
     });
 
     let q128 = Qarma128::new([1, 2], 9, Sbox::Sigma1);
-    g.bench_function("qarma128_r9_encrypt", |b| {
-        b.iter(|| q128.encrypt(black_box(0x0123_4567_89ab_cdef), black_box(42)))
+    g.bench("qarma128_r9_encrypt", || {
+        q128.encrypt(black_box(0x0123_4567_89ab_cdef), black_box(42))
     });
-    g.bench_function("qarma128_r9_decrypt", |b| {
-        b.iter(|| q128.decrypt(black_box(0x0123_4567_89ab_cdef), black_box(42)))
+    g.bench("qarma128_r9_decrypt", || {
+        q128.decrypt(black_box(0x0123_4567_89ab_cdef), black_box(42))
     });
-    g.finish();
-}
 
-fn bench_line_mac(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pte_line_mac");
-    g.sample_size(30);
+    let mut g = Bench::group("pte_line_mac");
     let mac = PteMac::from_config(&PtGuardConfig::default());
     let line = sample_pte_line();
     let addr = PhysAddr::new(0x4000);
-    g.bench_function("compute_96bit_mac", |b| b.iter(|| mac.compute(black_box(&line), addr)));
+    g.bench("compute_96bit_mac", || mac.compute(black_box(&line), addr));
     let stored = mac.compute(&line, addr);
-    g.bench_function("verify_exact", |b| b.iter(|| mac.verify(black_box(&line), addr, stored)));
-    g.bench_function("verify_soft_k4", |b| b.iter(|| mac.soft_verify(black_box(&line), addr, stored, 4)));
-    g.finish();
-}
+    g.bench("verify_exact", || {
+        mac.verify(black_box(&line), addr, stored)
+    });
+    g.bench("verify_soft_k4", || {
+        mac.soft_verify(black_box(&line), addr, stored, 4)
+    });
 
-fn bench_pac(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pac");
-    g.sample_size(30);
+    let mut g = Bench::group("pac");
     let key = PacKey::new([0x84be85ce9804e94b, 0xec2802d4e0a488e4]);
     let signed = key.sign(0x7f12_3456_7890, 0x42);
-    g.bench_function("sign", |b| b.iter(|| key.sign(black_box(0x7f12_3456_7890), black_box(0x42))));
-    g.bench_function("auth", |b| b.iter(|| key.auth(black_box(signed), black_box(0x42))));
-    g.finish();
+    g.bench("sign", || {
+        key.sign(black_box(0x7f12_3456_7890), black_box(0x42))
+    });
+    g.bench("auth", || key.auth(black_box(signed), black_box(0x42)));
 }
-
-criterion_group!(benches, bench_qarma, bench_line_mac, bench_pac);
-criterion_main!(benches);

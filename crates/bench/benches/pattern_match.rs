@@ -1,38 +1,33 @@
 //! Bit-pattern-match microbenches (Sections IV-B and V-A): the write-path
 //! checks that select protected lines, and MAC/identifier embed/strip.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use ptguard::pattern;
+use ptguard_bench::harness::{black_box, Bench};
 use ptguard_bench::{sample_data_line, sample_pte_line};
 
-fn bench_pattern(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pattern");
-    g.sample_size(30);
+fn main() {
+    let mut g = Bench::group("pattern");
     let pte = sample_pte_line();
     let data = sample_data_line();
 
-    g.bench_function("base_96bit_match_pte", |b| {
-        b.iter(|| pattern::matches_base_pattern(black_box(&pte)))
+    g.bench("base_96bit_match_pte", || {
+        pattern::matches_base_pattern(black_box(&pte))
     });
-    g.bench_function("base_96bit_match_data", |b| {
-        b.iter(|| pattern::matches_base_pattern(black_box(&data)))
+    g.bench("base_96bit_match_data", || {
+        pattern::matches_base_pattern(black_box(&data))
     });
-    g.bench_function("extended_152bit_match", |b| {
-        b.iter(|| pattern::matches_extended_pattern(black_box(&pte)))
+    g.bench("extended_152bit_match", || {
+        pattern::matches_extended_pattern(black_box(&pte))
     });
 
     let mac = 0x0123_4567_89ab_cdef_0011_2233u128 & ((1 << 96) - 1);
-    g.bench_function("embed_mac", |b| b.iter(|| pattern::embed_mac(black_box(&pte), mac)));
+    g.bench("embed_mac", || pattern::embed_mac(black_box(&pte), mac));
     let embedded = pattern::embed_mac(&pte, mac);
-    g.bench_function("extract_mac", |b| b.iter(|| pattern::extract_mac(black_box(&embedded))));
-    g.bench_function("embed_identifier", |b| {
-        b.iter(|| pattern::embed_identifier(black_box(&pte), 0x5a_a5c3_3c96_69f0 & ((1 << 56) - 1)))
+    g.bench("extract_mac", || pattern::extract_mac(black_box(&embedded)));
+    g.bench("embed_identifier", || {
+        pattern::embed_identifier(black_box(&pte), 0x5a_a5c3_3c96_69f0 & ((1 << 56) - 1))
     });
-    g.bench_function("strip_mac_and_identifier", |b| {
-        b.iter(|| pattern::strip_mac_and_identifier(black_box(&embedded)))
+    g.bench("strip_mac_and_identifier", || {
+        pattern::strip_mac_and_identifier(black_box(&embedded))
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_pattern);
-criterion_main!(benches);

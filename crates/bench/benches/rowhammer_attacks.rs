@@ -1,36 +1,34 @@
 //! Rowhammer substrate benches: activation/disturbance throughput of the
 //! device model and the attack patterns of Section II.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use dram::geometry::RowId;
 use dram::{DramDevice, RowhammerConfig};
+use ptguard_bench::harness::Bench;
 use rowhammer::attacks::{double_sided, many_sided};
 use rowhammer::{HammerSession, NoMitigation, Trr};
 
 fn device() -> DramDevice {
-    DramDevice::ddr4_4gb(RowhammerConfig { threshold: 1e12, ..RowhammerConfig::default() })
+    DramDevice::ddr4_4gb(RowhammerConfig {
+        threshold: 1e12,
+        ..RowhammerConfig::default()
+    })
 }
 
-fn bench_attacks(c: &mut Criterion) {
-    let mut g = c.benchmark_group("rowhammer");
-    g.sample_size(10);
+fn main() {
+    let mut g = Bench::group("rowhammer");
 
-    g.bench_function("hammer_10k_activations", |b| {
-        let mut d = device();
-        b.iter(|| d.hammer(RowId { bank: 0, row: 500 }, 10_000))
+    let mut d = device();
+    g.bench("hammer_10k_activations", || {
+        d.hammer(RowId { bank: 0, row: 500 }, 10_000)
     });
 
-    g.bench_function("double_sided_vs_none_2k", |b| {
-        let mut s = HammerSession::new(device(), NoMitigation);
-        b.iter(|| double_sided(&mut s, RowId { bank: 0, row: 500 }, 1000))
+    let mut s = HammerSession::new(device(), NoMitigation);
+    g.bench("double_sided_vs_none_2k", || {
+        double_sided(&mut s, RowId { bank: 0, row: 500 }, 1000)
     });
 
-    g.bench_function("many_sided_vs_trr_2k", |b| {
-        let mut s = HammerSession::new(device(), Trr::ddr4_typical(10_000));
-        b.iter(|| many_sided(&mut s, RowId { bank: 0, row: 490 }, 12, 170))
+    let mut s = HammerSession::new(device(), Trr::ddr4_typical(10_000));
+    g.bench("many_sided_vs_trr_2k", || {
+        many_sided(&mut s, RowId { bank: 0, row: 490 }, 12, 170)
     });
-    g.finish();
 }
-
-criterion_group!(benches, bench_attacks);
-criterion_main!(benches);

@@ -2,7 +2,6 @@
 //! hierarchy, unprotected vs PT-Guard vs Optimized — the per-access
 //! mechanism Figure 6 aggregates.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dram::{DramDevice, RowhammerConfig};
 use memsys::system::OsPort;
 use memsys::{MemSysConfig, MemoryController, MemorySystem};
@@ -10,6 +9,7 @@ use pagetable::addr::VirtAddr;
 use pagetable::space::AddressSpace;
 use pagetable::x86_64::PteFlags;
 use ptguard::{PtGuardConfig, PtGuardEngine};
+use ptguard_bench::harness::Bench;
 
 #[derive(Clone, Copy)]
 enum Mode {
@@ -30,7 +30,13 @@ fn build(mode: Mode, pages: u64) -> (MemorySystem, u64) {
     let mut port = OsPort::new(&mut sys);
     let mut space = AddressSpace::new(&mut port, 32).unwrap();
     for i in 0..pages {
-        space.map_new(&mut port, VirtAddr::new(base + i * 4096), PteFlags::user_data()).unwrap();
+        space
+            .map_new(
+                &mut port,
+                VirtAddr::new(base + i * 4096),
+                PteFlags::user_data(),
+            )
+            .unwrap();
     }
     let root = space.root();
     sys.set_root(root, 32);
@@ -38,9 +44,8 @@ fn build(mode: Mode, pages: u64) -> (MemorySystem, u64) {
     (sys, base)
 }
 
-fn bench_walks(c: &mut Criterion) {
-    let mut g = c.benchmark_group("walk_overhead");
-    g.sample_size(20);
+fn main() {
+    let mut g = Bench::group("walk_overhead");
     const PAGES: u64 = 4096;
     for (label, mode) in [
         ("unprotected", Mode::Baseline),
@@ -50,20 +55,14 @@ fn bench_walks(c: &mut Criterion) {
     ] {
         let (mut sys, base) = build(mode, PAGES);
         let mut i = 0u64;
-        g.bench_with_input(BenchmarkId::new("tlb_miss_load", label), &(), |b, ()| {
-            b.iter(|| {
-                // Stride through pages so most loads miss the 64-entry TLB
-                // and walk the radix table.
-                let va = VirtAddr::new(base + (i % PAGES) * 4096);
-                i = i.wrapping_add(97);
-                let out = sys.load(va);
-                assert!(out.is_ok());
-                out.cycles()
-            })
+        g.bench(&format!("tlb_miss_load/{label}"), || {
+            // Stride through pages so most loads miss the 64-entry TLB
+            // and walk the radix table.
+            let va = VirtAddr::new(base + (i % PAGES) * 4096);
+            i = i.wrapping_add(97);
+            let out = sys.load(va);
+            assert!(out.is_ok());
+            out.cycles()
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_walks);
-criterion_main!(benches);

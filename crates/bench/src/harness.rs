@@ -1,0 +1,98 @@
+//! A minimal std-only benchmark harness (Criterion stand-in).
+//!
+//! Usage, from a `harness = false` bench target:
+//!
+//! ```no_run
+//! use ptguard_bench::harness::{black_box, Bench};
+//!
+//! fn main() {
+//!     let mut g = Bench::group("qarma");
+//!     let mut x = 1u64;
+//!     g.bench("wrapping_mul", || {
+//!         x = black_box(x).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+//!         x
+//!     });
+//! }
+//! ```
+//!
+//! Each benchmark is calibrated so one sample takes roughly
+//! [`SAMPLE_BUDGET`] of wall clock, then timed for [`SAMPLES`] samples; the
+//! median ns/iter is reported. Set `PTGUARD_BENCH_FAST=1` to shrink the
+//! budget ~10× for smoke runs.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per sample (unless `PTGUARD_BENCH_FAST` is set).
+pub const SAMPLE_BUDGET: Duration = Duration::from_millis(25);
+
+/// Samples per benchmark; the median is reported.
+pub const SAMPLES: usize = 7;
+
+/// A named group of benchmarks, mirroring Criterion's `benchmark_group`.
+pub struct Bench {
+    group: String,
+    budget: Duration,
+}
+
+impl Bench {
+    /// Starts a benchmark group with the given name.
+    #[must_use]
+    pub fn group(name: &str) -> Self {
+        let fast = std::env::var_os("PTGUARD_BENCH_FAST").is_some();
+        let budget = if fast {
+            SAMPLE_BUDGET / 10
+        } else {
+            SAMPLE_BUDGET
+        };
+        println!("## {name}");
+        Self {
+            group: name.to_string(),
+            budget,
+        }
+    }
+
+    /// Runs one benchmark: calibrates the iteration count to the sample
+    /// budget, then reports the median ns/iter over [`SAMPLES`] samples.
+    ///
+    /// The closure's return value is passed through [`black_box`], so
+    /// benchmarks need not black-box their own results.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        // Calibration: double the iteration count until a batch exceeds 1%
+        // of the budget, then scale up to fill it.
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= self.budget / 100 || iters >= 1 << 30 {
+                break elapsed.as_secs_f64() / iters as f64;
+            }
+            iters *= 2;
+        };
+        let per_sample =
+            ((self.budget.as_secs_f64() / per_iter.max(1e-12)) as u64).clamp(1, 1 << 32);
+
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_secs_f64() / per_sample as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        let median = samples[SAMPLES / 2];
+        let (lo, hi) = (samples[0], samples[SAMPLES - 1]);
+        println!(
+            "{group}/{name:<40} {median:>12.1} ns/iter  [{lo:.1} .. {hi:.1}]  ({per_sample} iters/sample)",
+            group = self.group,
+            median = median * 1e9,
+            lo = lo * 1e9,
+            hi = hi * 1e9,
+        );
+    }
+}

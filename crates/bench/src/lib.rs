@@ -1,14 +1,21 @@
-//! Shared fixtures for the Criterion benchmark suite.
+//! Shared fixtures and the std-only timing harness for the benchmark suite.
 //!
 //! Each bench file regenerates (a reduced-volume version of) one paper
 //! artefact; `cargo bench --workspace` therefore exercises every table and
 //! figure pipeline. The full-volume regeneration lives in the `exp` binary
 //! (`cargo run -p ptguard-experiments --release --bin exp -- all`).
+//!
+//! The harness is in-tree ([`harness`]) because the build environment has
+//! no crates.io access for Criterion: each benchmark is auto-calibrated to
+//! a fixed wall-clock budget and reported as the median ns/iter of several
+//! samples.
 
 use pagetable::addr::PhysAddr;
 use ptguard::line::Line;
-use ptguard::pattern::embed_mac;
 use ptguard::mac::PteMac;
+use ptguard::pattern::embed_mac;
+
+pub mod harness;
 
 /// A representative protected PTE line (6 contiguous entries + 2 zero).
 #[must_use]
@@ -24,7 +31,16 @@ pub fn sample_pte_line() -> Line {
 /// A representative non-matching data line.
 #[must_use]
 pub fn sample_data_line() -> Line {
-    Line::from_words([u64::MAX, 0x1234_5678_9abc_def0, 0xffff_0000_1111_2222, 7, 8, 9, 10, 11])
+    Line::from_words([
+        u64::MAX,
+        0x1234_5678_9abc_def0,
+        0xffff_0000_1111_2222,
+        7,
+        8,
+        9,
+        10,
+        11,
+    ])
 }
 
 /// The sample line with its MAC embedded at `addr`.

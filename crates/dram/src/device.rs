@@ -135,7 +135,9 @@ impl DramDevice {
     /// The weak cells of `row` (lazily derived; read-only view).
     pub fn weak_cells(&mut self, row: RowId) -> &[WeakCell] {
         let (cfg, bits) = (&self.rh, self.geometry.row_bits());
-        self.weak_cells.entry(row).or_insert_with(|| weak_cells_for_row(cfg, row, bits))
+        self.weak_cells
+            .entry(row)
+            .or_insert_with(|| weak_cells_for_row(cfg, row, bits))
     }
 
     /// A timed access: models bank state (row hit/miss), applies disturbance
@@ -235,7 +237,12 @@ impl DramDevice {
             return;
         }
         let rows = self.geometry.rows_per_bank;
-        for (dist, coupling) in [(1i64, 1.0), (-1, 1.0), (2, self.rh.dist2_coupling), (-2, self.rh.dist2_coupling)] {
+        for (dist, coupling) in [
+            (1i64, 1.0),
+            (-1, 1.0),
+            (2, self.rh.dist2_coupling),
+            (-2, self.rh.dist2_coupling),
+        ] {
             if coupling == 0.0 {
                 continue;
             }
@@ -252,7 +259,10 @@ impl DramDevice {
         *p += amount;
         let p = *p;
         let (cfg, bits) = (&self.rh, self.geometry.row_bits());
-        let cells = self.weak_cells.entry(victim).or_insert_with(|| weak_cells_for_row(cfg, victim, bits));
+        let cells = self
+            .weak_cells
+            .entry(victim)
+            .or_insert_with(|| weak_cells_for_row(cfg, victim, bits));
         // Cells are sorted by threshold; collect the newly-discharged ones.
         let mut to_flip = Vec::new();
         for cell in cells.iter_mut() {
@@ -418,15 +428,27 @@ mod tests {
         // late-sweep row still carries charge loss.
         let mut d = vulnerable_device();
         let early = RowId { bank: 0, row: 100 }; // slice ~25 of 8192
-        let late = RowId { bank: 0, row: 30_000 }; // slice ~7500
+        let late = RowId {
+            bank: 0,
+            row: 30_000,
+        }; // slice ~7500
         d.hammer(RowId { bank: 0, row: 99 }, 300);
-        d.hammer(RowId { bank: 0, row: 29_999 }, 300);
+        d.hammer(
+            RowId {
+                bank: 0,
+                row: 29_999,
+            },
+            300,
+        );
         assert!(d.pressure(early) > 0.0);
         assert!(d.pressure(late) > 0.0);
         let trefi = d.timing().t_refw_ns / 8192.0;
         d.advance_time(30.0 * trefi);
         assert_eq!(d.pressure(early), 0.0, "early-sweep row must be refreshed");
-        assert!(d.pressure(late) > 0.0, "late-sweep row must still be pressured");
+        assert!(
+            d.pressure(late) > 0.0,
+            "late-sweep row must still be pressured"
+        );
         // A full window restores everything.
         d.advance_time(d.timing().t_refw_ns);
         assert_eq!(d.pressure(late), 0.0);
@@ -454,7 +476,10 @@ mod tests {
         let p2_before = d.pressure(dist2);
         d.refresh_row(dist1);
         assert_eq!(d.pressure(dist1), 0.0, "refresh must restore the victim");
-        assert!(d.pressure(dist2) > p2_before, "refresh must disturb distance-2 (Half-Double)");
+        assert!(
+            d.pressure(dist2) > p2_before,
+            "refresh must disturb distance-2 (Half-Double)"
+        );
     }
 
     #[test]
@@ -476,7 +501,10 @@ mod tests {
         }
         d.advance_time(d.timing().t_refw_ns); // fresh window
         d.hammer(aggressor, 3000);
-        assert!(d.stats().total_flips > first, "rewritten cells must be flippable again");
+        assert!(
+            d.stats().total_flips > first,
+            "rewritten cells must be flippable again"
+        );
     }
 
     #[test]

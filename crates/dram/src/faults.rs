@@ -4,13 +4,16 @@
 //! uniform probability `p_flip` (1/128 ≈ worst-case LPDDR4, 1/512 ≈
 //! worst-case DDR4 under Rowhammer, per Kim et al. ISCA 2020).
 
-use rand::Rng;
+use rng::SplitMix64;
 
 /// Flips each bit of `data` independently with probability `p_flip`.
 ///
 /// Returns the indices of the flipped bits (bit 0 = LSB of `data[0]`).
-pub fn flip_bits_uniform<R: Rng + ?Sized>(data: &mut [u8], p_flip: f64, rng: &mut R) -> Vec<usize> {
-    assert!((0.0..=1.0).contains(&p_flip), "p_flip must be a probability");
+pub fn flip_bits_uniform(data: &mut [u8], p_flip: f64, rng: &mut SplitMix64) -> Vec<usize> {
+    assert!(
+        (0.0..=1.0).contains(&p_flip),
+        "p_flip must be a probability"
+    );
     let mut flipped = Vec::new();
     for bit in 0..data.len() * 8 {
         if rng.gen_bool(p_flip) {
@@ -37,18 +40,19 @@ pub fn flip_bits_exact(data: &mut [u8], bits: &[usize]) {
 #[must_use]
 pub fn hamming_distance(a: &[u8], b: &[u8]) -> u32 {
     assert_eq!(a.len(), b.len(), "length mismatch");
-    a.iter().zip(b.iter()).map(|(x, y)| (x ^ y).count_ones()).sum()
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (x ^ y).count_ones())
+        .sum()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn zero_probability_never_flips() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::new(1);
         let mut data = [0xa5u8; 64];
         let flips = flip_bits_uniform(&mut data, 0.0, &mut rng);
         assert!(flips.is_empty());
@@ -57,7 +61,7 @@ mod tests {
 
     #[test]
     fn unit_probability_flips_everything() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::new(1);
         let mut data = [0x00u8; 8];
         let flips = flip_bits_uniform(&mut data, 1.0, &mut rng);
         assert_eq!(flips.len(), 64);
@@ -66,7 +70,7 @@ mod tests {
 
     #[test]
     fn flip_rate_matches_probability() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = SplitMix64::new(42);
         let mut total = 0usize;
         let trials = 2000;
         for _ in 0..trials {
@@ -75,7 +79,10 @@ mod tests {
         }
         let avg = total as f64 / trials as f64;
         let expected = 512.0 / 128.0; // 4 bits per line
-        assert!((expected * 0.9..expected * 1.1).contains(&avg), "avg = {avg}");
+        assert!(
+            (expected * 0.9..expected * 1.1).contains(&avg),
+            "avg = {avg}"
+        );
     }
 
     #[test]

@@ -19,7 +19,10 @@ impl RowId {
         if row < 0 || row >= i64::from(rows_per_bank) {
             None
         } else {
-            Some(RowId { bank: self.bank, row: row as u32 })
+            Some(RowId {
+                bank: self.bank,
+                row: row as u32,
+            })
         }
     }
 }
@@ -54,7 +57,12 @@ pub struct DramGeometry {
 impl Default for DramGeometry {
     fn default() -> Self {
         // 16 banks × 32768 rows × 8 KB = 4 GB.
-        Self { banks: 16, row_bytes: 8192, rows_per_bank: 32768, mapping: AddressMapping::RowBankColumn }
+        Self {
+            banks: 16,
+            row_bytes: 8192,
+            rows_per_bank: 32768,
+            mapping: AddressMapping::RowBankColumn,
+        }
     }
 }
 
@@ -69,8 +77,14 @@ impl DramGeometry {
     pub fn with_capacity(total_bytes: u64) -> Self {
         let base = Self::default();
         let stripe = u64::from(base.banks) * u64::from(base.row_bytes);
-        assert!(total_bytes % stripe == 0, "capacity must be a multiple of {stripe} bytes");
-        Self { rows_per_bank: (total_bytes / stripe) as u32, ..base }
+        assert!(
+            total_bytes.is_multiple_of(stripe),
+            "capacity must be a multiple of {stripe} bytes"
+        );
+        Self {
+            rows_per_bank: (total_bytes / stripe) as u32,
+            ..base
+        }
     }
 
     /// Total capacity in bytes.
@@ -101,7 +115,10 @@ impl DramGeometry {
                 raw_bank ^ (row & u64::from(self.banks - 1))
             }
         };
-        RowId { bank: bank as u32, row: row as u32 }
+        RowId {
+            bank: bank as u32,
+            row: row as u32,
+        }
     }
 
     /// Column (byte offset within the row) of an address.
@@ -117,7 +134,9 @@ impl DramGeometry {
         let row_bytes = u64::from(self.row_bytes);
         let raw_bank = match self.mapping {
             AddressMapping::RowBankColumn => u64::from(row.bank),
-            AddressMapping::BankXor => u64::from(row.bank) ^ (u64::from(row.row) & u64::from(self.banks - 1)),
+            AddressMapping::BankXor => {
+                u64::from(row.bank) ^ (u64::from(row.row) & u64::from(self.banks - 1))
+            }
         };
         PhysAddr::new((u64::from(row.row) * u64::from(self.banks) + raw_bank) * row_bytes)
     }
@@ -170,8 +189,17 @@ mod tests {
 
     #[test]
     fn bank_xor_mapping_roundtrips() {
-        let g = DramGeometry { mapping: AddressMapping::BankXor, ..DramGeometry::default() };
-        for addr in [0u64, 8192, 65536 + 8192, 123_456_789 & !0x3f, g.capacity() - 8192] {
+        let g = DramGeometry {
+            mapping: AddressMapping::BankXor,
+            ..DramGeometry::default()
+        };
+        for addr in [
+            0u64,
+            8192,
+            65536 + 8192,
+            123_456_789 & !0x3f,
+            g.capacity() - 8192,
+        ] {
             let row = g.row_of(PhysAddr::new(addr));
             let base = g.row_base(row).as_u64();
             assert_eq!(g.row_of(PhysAddr::new(base)), row, "addr {addr:#x}");
@@ -185,13 +213,19 @@ mod tests {
         // the hash, so their physical stride is no longer constant — the
         // obfuscation real attackers reverse-engineer.
         let plain = DramGeometry::default();
-        let hashed = DramGeometry { mapping: AddressMapping::BankXor, ..plain };
+        let hashed = DramGeometry {
+            mapping: AddressMapping::BankXor,
+            ..plain
+        };
         let r0 = RowId { bank: 3, row: 100 };
         let r1 = RowId { bank: 3, row: 101 };
         let plain_stride = plain.row_base(r1).as_u64() - plain.row_base(r0).as_u64();
         let hashed_stride =
             hashed.row_base(r1).as_u64() as i64 - hashed.row_base(r0).as_u64() as i64;
-        assert_eq!(plain_stride, u64::from(plain.banks) * u64::from(plain.row_bytes));
+        assert_eq!(
+            plain_stride,
+            u64::from(plain.banks) * u64::from(plain.row_bytes)
+        );
         assert_ne!(hashed_stride, plain_stride as i64);
     }
 
@@ -200,8 +234,14 @@ mod tests {
         let g = DramGeometry::default();
         let first = RowId { bank: 0, row: 0 };
         assert_eq!(first.offset(-1, g.rows_per_bank), None);
-        let last = RowId { bank: 0, row: g.rows_per_bank - 1 };
+        let last = RowId {
+            bank: 0,
+            row: g.rows_per_bank - 1,
+        };
         assert_eq!(last.offset(1, g.rows_per_bank), None);
-        assert_eq!(last.offset(-2, g.rows_per_bank).unwrap().row, g.rows_per_bank - 3);
+        assert_eq!(
+            last.offset(-2, g.rows_per_bank).unwrap().row,
+            g.rows_per_bank - 3
+        );
     }
 }

@@ -50,19 +50,28 @@ impl RowhammerConfig {
     /// An invulnerable device (disturbance disabled).
     #[must_use]
     pub fn immune() -> Self {
-        Self { enabled: false, ..Self::default() }
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
     }
 
     /// A highly vulnerable LPDDR4-like module (RTH = 4.8 K).
     #[must_use]
     pub fn lpddr4() -> Self {
-        Self { threshold: 4800.0, ..Self::default() }
+        Self {
+            threshold: 4800.0,
+            ..Self::default()
+        }
     }
 
     /// A 2014 DDR3-like module (RTH = 139 K).
     #[must_use]
     pub fn ddr3_2014() -> Self {
-        Self { threshold: 139_000.0, ..Self::default() }
+        Self {
+            threshold: 139_000.0,
+            ..Self::default()
+        }
     }
 }
 
@@ -167,7 +176,10 @@ mod tests {
 
     #[test]
     fn expected_count_is_respected_on_average() {
-        let cfg = RowhammerConfig { weak_cells_per_row: 2.5, ..RowhammerConfig::default() };
+        let cfg = RowhammerConfig {
+            weak_cells_per_row: 2.5,
+            ..RowhammerConfig::default()
+        };
         let total: usize = (0..400)
             .map(|r| weak_cells_for_row(&cfg, RowId { bank: 1, row: r }, 65536).len())
             .sum();
@@ -177,7 +189,10 @@ mod tests {
 
     #[test]
     fn orientation_is_mixed() {
-        let cfg = RowhammerConfig { weak_cells_per_row: 16.0, ..RowhammerConfig::default() };
+        let cfg = RowhammerConfig {
+            weak_cells_per_row: 16.0,
+            ..RowhammerConfig::default()
+        };
         let cells = weak_cells_for_row(&cfg, RowId { bank: 0, row: 42 }, 65536);
         assert!(cells.iter().any(|c| c.true_cell));
         assert!(cells.iter().any(|c| !c.true_cell));

@@ -74,7 +74,10 @@ pub fn run(scale: Scale) -> Vec<AblationPoint> {
     });
 
     // 2. Detection-only at the same width: full 96 bits of security.
-    let cfg = PtGuardConfig { correction: false, ..PtGuardConfig::default() };
+    let cfg = PtGuardConfig {
+        correction: false,
+        ..PtGuardConfig::default()
+    };
     let (avg, worst) = measure(cfg, scale);
     out.push(AblationPoint {
         label: "96-bit MAC, detection only",
@@ -90,7 +93,11 @@ pub fn run(scale: Scale) -> Vec<AblationPoint> {
     // the corrected 96-bit design, ~64 vs ~66 bits) with a proportionally
     // cheaper computation. We model the smaller MAC's latency benefit via
     // the latency knob (≈7 vs 10 cycles for a shallower fold).
-    let cfg = PtGuardConfig { correction: false, ..PtGuardConfig::default() }.with_mac_latency(7);
+    let cfg = PtGuardConfig {
+        correction: false,
+        ..PtGuardConfig::default()
+    }
+    .with_mac_latency(7);
     let (avg, worst) = measure(cfg, scale);
     out.push(AblationPoint {
         label: "64-bit MAC, detection only (7cy)",
@@ -121,7 +128,11 @@ pub fn render(points: &[AblationPoint]) -> String {
         t.row(vec![
             p.label.to_string(),
             p.mac_bits.to_string(),
-            if p.correction { "yes".into() } else { "no".to_string() },
+            if p.correction {
+                "yes".into()
+            } else {
+                "no".to_string()
+            },
             format!("{:.1}", p.n_eff),
             format!("{:.1e}", p.attack_years),
             pct(p.avg_slowdown),

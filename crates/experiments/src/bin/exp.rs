@@ -1,19 +1,52 @@
-//! `exp` — regenerate any table or figure of the PT-Guard paper.
+//! `exp` — regenerate any table or figure of the PT-Guard paper, and
+//! record/replay binary workload traces.
 //!
 //! ```text
 //! exp <artefact> [--trial|--quick|--full]
-//! artefacts: table1 table2 table3 table4 fig6 fig7 fig8 fig9
-//!            security storage multicore coverage exploit all
+//! exp record <profile> [--out FILE] [--seed N] [--trial|--quick|--full]
+//! exp replay FILE [--protection none|ptguard|optimized|fullmem]
+//! exp trace-stats FILE
+//! exp --list
 //! ```
 
 use std::env;
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-use experiments::{ablation, coverage, diag, fullmem, exploit, fig6, fig7, fig8, fig9, multicore, priorwork, rth_sweep, security, storage, tables, Scale};
+use experiments::{
+    ablation, coverage, diag, exploit, fig6, fig7, fig8, fig9, fullmem, multicore, priorwork,
+    record_replay, rth_sweep, security, storage, tables, Scale,
+};
+use ptguard::PtGuardConfig;
+use simx::runner::Protection;
+
+const ARTEFACTS: [&str; 17] = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "security",
+    "storage",
+    "priorwork",
+    "rth",
+    "fig8",
+    "fig9",
+    "coverage",
+    "exploit",
+    "fig6",
+    "fig7",
+    "ablation",
+    "fullmem",
+    "multicore",
+];
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: exp <artefact> [--trial|--quick|--full]\n\
+         \x20      exp record <profile> [--out FILE] [--seed N] [--trial|--quick|--full]\n\
+         \x20      exp replay FILE [--protection none|ptguard|optimized|fullmem]\n\
+         \x20      exp trace-stats FILE\n\
+         \x20      exp --list\n\
          artefacts: table1 table2 table3 table4 fig6 fig7 fig8 fig9\n\
          \x20          security storage priorwork rth ablation diag fullmem multicore coverage exploit all"
     );
@@ -59,40 +92,143 @@ fn run_one(name: &str, scale: Scale) -> Result<(), String> {
     Ok(())
 }
 
-fn main() -> ExitCode {
-    let args: Vec<String> = env::args().skip(1).collect();
+/// Parses the scale flags out of `args`, leaving everything else.
+fn split_scale(args: Vec<String>) -> (Vec<String>, Scale) {
     let mut scale = Scale::Quick;
-    let mut artefact: Option<String> = None;
-    for a in &args {
-        match a.as_str() {
-            "--trial" => scale = Scale::Trial,
-            "--quick" => scale = Scale::Quick,
-            "--full" => scale = Scale::Full,
-            name if artefact.is_none() => artefact = Some(name.to_string()),
-            extra => {
-                eprintln!("unexpected argument: {extra}");
-                return usage();
+    let rest = args
+        .into_iter()
+        .filter(|a| match a.as_str() {
+            "--trial" => {
+                scale = Scale::Trial;
+                false
             }
+            "--quick" => {
+                scale = Scale::Quick;
+                false
+            }
+            "--full" => {
+                scale = Scale::Full;
+                false
+            }
+            _ => true,
+        })
+        .collect();
+    (rest, scale)
+}
+
+/// Pulls the value of `--flag VALUE` out of `args`, if present.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 >= args.len() {
+            return Err(format!("{flag} needs a value"));
         }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Ok(Some(v))
+    } else {
+        Ok(None)
     }
-    let Some(artefact) = artefact else {
+}
+
+fn cmd_record(mut args: Vec<String>, scale: Scale) -> Result<(), String> {
+    let out = take_flag(&mut args, "--out")?;
+    let seed = match take_flag(&mut args, "--seed")? {
+        Some(s) => parse_u64(&s)?,
+        None => 0x7ace,
+    };
+    let [profile] = &args[..] else {
+        return Err("record needs exactly one profile name (see `exp --list`)".to_string());
+    };
+    let path = out.map_or_else(
+        || PathBuf::from(format!("{profile}.pttrace")),
+        PathBuf::from,
+    );
+    print!(
+        "{}",
+        record_replay::record(profile, scale.instructions(), seed, &path)?
+    );
+    Ok(())
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    parsed.map_err(|_| format!("invalid number: {s}"))
+}
+
+fn cmd_replay(mut args: Vec<String>) -> Result<(), String> {
+    let protection = match take_flag(&mut args, "--protection")?.as_deref() {
+        None | Some("none") => Protection::None,
+        Some("ptguard") => Protection::PtGuard(PtGuardConfig::default()),
+        Some("optimized") => Protection::PtGuard(PtGuardConfig::optimized()),
+        Some("fullmem") => Protection::FullMemoryMac,
+        Some(other) => return Err(format!("unknown protection: {other}")),
+    };
+    let [path] = &args[..] else {
+        return Err("replay needs exactly one trace file".to_string());
+    };
+    let result = record_replay::replay(path.as_ref(), protection)?;
+    print!("{}", record_replay::render_result(path, &result));
+    Ok(())
+}
+
+fn cmd_trace_stats(args: Vec<String>) -> Result<(), String> {
+    let [path] = &args[..] else {
+        return Err("trace-stats needs exactly one trace file".to_string());
+    };
+    print!("{}", record_replay::render_stats(path.as_ref())?);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let (mut args, scale) = split_scale(env::args().skip(1).collect());
+    let Some(first) = (!args.is_empty()).then(|| args.remove(0)) else {
         return usage();
     };
-    let all = [
-        "table1", "table2", "table3", "table4", "security", "storage", "priorwork", "rth", "fig8", "fig9", "coverage",
-        "exploit", "fig6", "fig7", "ablation", "fullmem", "multicore",
-    ];
-    let list: Vec<&str> =
-        if artefact == "all" { all.to_vec() } else { vec![artefact.as_str()] };
-    for (i, name) in list.iter().enumerate() {
-        if i > 0 {
-            println!();
+    let outcome = match first.as_str() {
+        "--list" => {
+            for a in ARTEFACTS {
+                println!("{a}");
+            }
+            Ok(())
         }
-        println!("===== {name} =====");
-        if let Err(e) = run_one(name, scale) {
-            eprintln!("{e}");
-            return usage();
+        "record" => cmd_record(args, scale),
+        "replay" => cmd_replay(args),
+        "trace-stats" => cmd_trace_stats(args),
+        artefact => {
+            if !args.is_empty() {
+                eprintln!("unexpected argument: {}", args[0]);
+                return usage();
+            }
+            let list: Vec<&str> = if artefact == "all" {
+                ARTEFACTS.to_vec()
+            } else {
+                vec![artefact]
+            };
+            let mut result = Ok(());
+            for (i, name) in list.iter().enumerate() {
+                if i > 0 {
+                    println!();
+                }
+                println!("===== {name} =====");
+                if let Err(e) = run_one(name, scale) {
+                    result = Err(e);
+                    break;
+                }
+            }
+            result
+        }
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        // A failing artefact/subcommand is an ordinary error, not a usage
+        // mistake: report it and exit non-zero without the usage banner.
+        Err(e) => {
+            eprintln!("exp: {e}");
+            ExitCode::FAILURE
         }
     }
-    ExitCode::SUCCESS
 }

@@ -2,8 +2,7 @@
 //! injected faults, every fault is detected (100 % coverage).
 
 use pagetable::addr::PhysAddr;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rng::SplitMix64;
 
 use dram::faults::flip_bits_uniform;
 use ptguard::engine::ReadVerdict;
@@ -48,12 +47,22 @@ pub fn run(scale: Scale) -> CoverageResult {
     };
     let mut engine = PtGuardEngine::new(PtGuardConfig::default());
     let observable = engine.mac_unit().protected_mask() | pattern::MAC_FIELD_MASK;
-    let mut rng = StdRng::seed_from_u64(0xc0ffee);
-    let cfg = CensusConfig { lines_per_process: 2048, ..CensusConfig::default() };
-    let pool: Vec<Line> =
-        generate_process(&cfg, 99).lines.iter().map(|w| Line::from_words(*w)).collect();
+    let mut rng = SplitMix64::new(0xc0ffee);
+    let cfg = CensusConfig {
+        lines_per_process: 2048,
+        ..CensusConfig::default()
+    };
+    let pool: Vec<Line> = generate_process(&cfg, 99)
+        .lines
+        .iter()
+        .map(|w| Line::from_words(*w))
+        .collect();
 
-    let mut result = CoverageResult { accesses, erroneous: 0, detected: 0 };
+    let mut result = CoverageResult {
+        accesses,
+        erroneous: 0,
+        detected: 0,
+    };
     for i in 0..accesses {
         let line = pool[(i as usize) % pool.len()];
         let addr = PhysAddr::new(0x4000_0000 + i * 64);
@@ -93,7 +102,11 @@ mod tests {
     #[test]
     fn coverage_is_total() {
         let r = run(Scale::Trial);
-        assert!(r.erroneous > 100, "want meaningful sample, got {}", r.erroneous);
+        assert!(
+            r.erroneous > 100,
+            "want meaningful sample, got {}",
+            r.erroneous
+        );
         assert_eq!(r.detected, r.erroneous, "every fault must be detected");
     }
 }

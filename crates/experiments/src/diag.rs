@@ -45,13 +45,23 @@ pub fn diagnose(name: &str, guard: Option<PtGuardConfig>, scale: Scale) -> DiagR
     let dram = machine.sys.controller.device().stats();
     let engine = machine.sys.controller.engine().map(|e| {
         let s = e.stats();
-        (s.reads, s.read_mac_computations, s.identifier_skips, s.mac_zero_hits, s.verified)
+        (
+            s.reads,
+            s.read_mac_computations,
+            s.identifier_skips,
+            s.mac_zero_hits,
+            s.verified,
+        )
     });
     DiagReport {
         name: name.to_string(),
         ipc: result.ipc(),
         mpki: result.mpki,
-        cache: [(l1.hits, l1.misses), (l2.hits, l2.misses), (llc.hits, llc.misses)],
+        cache: [
+            (l1.hits, l1.misses),
+            (l2.hits, l2.misses),
+            (llc.hits, llc.misses),
+        ],
         tlb: (tlb.hits, tlb.misses),
         mmu: (mmu.hits, mmu.misses),
         dram_rows: (dram.row_hits, dram.row_misses),
@@ -75,8 +85,18 @@ pub fn run_default(scale: Scale) -> String {
     let mut out = String::from("Diagnostics (gem5-style stats dump)\n");
     for name in ["xalancbmk", "lbm", "povray"] {
         let mut t = Table::new(vec![
-            "config", "IPC", "MPKI", "L1D hit", "L2 hit", "LLC hit", "TLB hit", "MMU$ hit", "DRAM row hit",
-            "MAC comps", "id skips", "MAC-zero",
+            "config",
+            "IPC",
+            "MPKI",
+            "L1D hit",
+            "L2 hit",
+            "LLC hit",
+            "TLB hit",
+            "MMU$ hit",
+            "DRAM row hit",
+            "MAC comps",
+            "id skips",
+            "MAC-zero",
         ]);
         for (label, guard) in [
             ("baseline", None),
@@ -125,7 +145,10 @@ mod tests {
         assert!(reads > 0);
         // The identifier optimization must shield most data reads.
         assert!(macs + skips + zeros <= reads + 8);
-        assert!(skips * 1 > macs, "skips {skips} should dwarf MAC computations {macs}");
+        assert!(
+            skips > macs,
+            "skips {skips} should dwarf MAC computations {macs}"
+        );
         let _ = verified;
     }
 }

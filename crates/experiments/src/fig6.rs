@@ -64,7 +64,11 @@ pub fn run_with(scale: Scale, guard: PtGuardConfig) -> Fig6Result {
         });
     }
     let ipcs: Vec<f64> = rows.iter().map(|r| r.normalized_ipc).collect();
-    Fig6Result { gmean_ipc: gmean(&ipcs), amean_ipc: amean(&ipcs), rows }
+    Fig6Result {
+        gmean_ipc: gmean(&ipcs),
+        amean_ipc: amean(&ipcs),
+        rows,
+    }
 }
 
 /// Runs Figure 6 with the paper's baseline PT-Guard (10-cycle MAC).
@@ -108,14 +112,28 @@ mod tests {
         // Slowdown is bounded and grows with MPKI: the highest-MPKI
         // workload must be among the slowest.
         for row in &r.rows {
-            assert!(row.normalized_ipc > 0.85 && row.normalized_ipc <= 1.001, "{row:?}");
+            assert!(
+                row.normalized_ipc > 0.85 && row.normalized_ipc <= 1.001,
+                "{row:?}"
+            );
         }
         let (worst, _) = r.worst();
         let worst_mpki = r.rows.iter().find(|x| x.name == worst).unwrap().mpki;
         let max_mpki = r.rows.iter().map(|x| x.mpki).fold(0.0, f64::max);
-        assert!(worst_mpki > 0.4 * max_mpki, "worst slowdown should be memory-intensive");
+        assert!(
+            worst_mpki > 0.4 * max_mpki,
+            "worst slowdown should be memory-intensive"
+        );
         // Mean slowdown lands in the paper's low-single-percent regime.
-        assert!(r.mean_slowdown() < 0.05, "mean slowdown {}", r.mean_slowdown());
-        assert!(r.mean_slowdown() > 0.0005, "mean slowdown {} suspiciously low", r.mean_slowdown());
+        assert!(
+            r.mean_slowdown() < 0.05,
+            "mean slowdown {}",
+            r.mean_slowdown()
+        );
+        assert!(
+            r.mean_slowdown() > 0.0005,
+            "mean slowdown {} suspiciously low",
+            r.mean_slowdown()
+        );
     }
 }

@@ -31,7 +31,9 @@ impl Fig7Result {
     /// Looks a point up.
     #[must_use]
     pub fn point(&self, design: &str, latency: u32) -> Option<&Fig7Point> {
-        self.points.iter().find(|p| p.design == design && p.mac_latency == latency)
+        self.points
+            .iter()
+            .find(|p| p.design == design && p.mac_latency == latency)
     }
 }
 
@@ -44,8 +46,11 @@ pub fn run(scale: Scale) -> Fig7Result {
     let mut points = Vec::new();
     for &lat in &LATENCIES {
         for (design, optimized) in [("PT-Guard", false), ("Optimized PT-Guard", true)] {
-            let mut cfg =
-                if optimized { PtGuardConfig::optimized() } else { PtGuardConfig::default() };
+            let mut cfg = if optimized {
+                PtGuardConfig::optimized()
+            } else {
+                PtGuardConfig::default()
+            };
             cfg.mac_latency_cycles = lat;
             let r = fig6::run_with(scale, cfg);
             let worst = 1.0 - r.worst().1;
@@ -63,7 +68,12 @@ pub fn run(scale: Scale) -> Fig7Result {
 /// Renders the figure.
 #[must_use]
 pub fn render(r: &Fig7Result) -> String {
-    let mut t = Table::new(vec!["design", "MAC latency (cycles)", "avg slowdown", "worst slowdown"]);
+    let mut t = Table::new(vec![
+        "design",
+        "MAC latency (cycles)",
+        "avg slowdown",
+        "worst slowdown",
+    ]);
     for p in &r.points {
         t.row(vec![
             p.design.to_string(),
@@ -72,7 +82,10 @@ pub fn render(r: &Fig7Result) -> String {
             pct(p.worst_slowdown),
         ]);
     }
-    format!("Figure 7: slowdown vs MAC latency, PT-Guard vs Optimized PT-Guard\n{}", t.render())
+    format!(
+        "Figure 7: slowdown vs MAC latency, PT-Guard vs Optimized PT-Guard\n{}",
+        t.render()
+    )
 }
 
 #[cfg(test)]
@@ -91,6 +104,10 @@ mod tests {
             opt.mean_slowdown(),
             base.mean_slowdown()
         );
-        assert!(opt.mean_slowdown() < 0.01, "optimized slowdown {}", opt.mean_slowdown());
+        assert!(
+            opt.mean_slowdown() < 0.01,
+            "optimized slowdown {}",
+            opt.mean_slowdown()
+        );
     }
 }

@@ -25,12 +25,22 @@ pub fn run(scale: Scale) -> CensusReport {
 /// at deciles (the sorted curve of Figure 8).
 #[must_use]
 pub fn render(r: &CensusReport) -> String {
-    let mut t = Table::new(vec!["decile (by contiguous %)", "zero %", "contiguous %", "non-contiguous %"]);
+    let mut t = Table::new(vec![
+        "decile (by contiguous %)",
+        "zero %",
+        "contiguous %",
+        "non-contiguous %",
+    ]);
     let n = r.per_process.len();
     for d in 0..=10 {
         let idx = ((d * (n - 1)) / 10).min(n - 1);
         let (z, c, nc) = r.per_process[idx];
-        t.row(vec![format!("P{}", 100 - d * 10), format!("{z:.1}"), format!("{c:.1}"), format!("{nc:.1}")]);
+        t.row(vec![
+            format!("P{}", 100 - d * 10),
+            format!("{z:.1}"),
+            format!("{c:.1}"),
+            format!("{nc:.1}"),
+        ]);
     }
     format!(
         "Figure 8: PTE classification across {} processes ({} PTEs)\n{}\naggregate: zero = {:.2}%, contiguous = {:.2}%, non-contiguous = {:.2}%\nflag uniformity across lines = {:.2}%\n(paper: zero 64.13%, contiguous 23.73%, >99% flag uniformity)\n",
@@ -52,7 +62,11 @@ mod tests {
     fn trial_census_matches_marginals() {
         let r = run(Scale::Trial);
         assert!((52.0..76.0).contains(&r.pct_zero), "zero = {}", r.pct_zero);
-        assert!((15.0..33.0).contains(&r.pct_contiguous), "contig = {}", r.pct_contiguous);
+        assert!(
+            (15.0..33.0).contains(&r.pct_contiguous),
+            "contig = {}",
+            r.pct_contiguous
+        );
         let s = render(&r);
         assert!(s.contains("aggregate"));
     }

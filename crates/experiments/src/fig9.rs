@@ -3,8 +3,7 @@
 //! 100 %-detection claim of Section VI-F.
 
 use pagetable::addr::PhysAddr;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rng::SplitMix64;
 
 use dram::faults::flip_bits_uniform;
 use ptguard::correct::CorrectionStep;
@@ -67,8 +66,13 @@ pub struct Fig9Result {
 /// that page walks bring to the memory controller; we draw a population
 /// from the census model seeded per workload (DESIGN.md substitution).
 fn workload_lines(name: &str, count: usize) -> Vec<Line> {
-    let pid = name.bytes().fold(7u64, |h, b| h.wrapping_mul(131).wrapping_add(u64::from(b)));
-    let cfg = CensusConfig { lines_per_process: count, ..CensusConfig::default() };
+    let pid = name
+        .bytes()
+        .fold(7u64, |h, b| h.wrapping_mul(131).wrapping_add(u64::from(b)));
+    let cfg = CensusConfig {
+        lines_per_process: count,
+        ..CensusConfig::default()
+    };
     generate_process(&cfg, pid as usize)
         .lines
         .iter()
@@ -86,16 +90,21 @@ pub fn evaluate_cell(name: &str, p_flip: f64, lines: usize, seed: u64) -> Correc
         // are excluded from the MAC by design.)
         engine.mac_unit().protected_mask() | pattern::MAC_FIELD_MASK
     };
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut cell = CorrectionCell::default();
     for (i, line) in workload_lines(name, lines).into_iter().enumerate() {
         let addr = PhysAddr::new(0x100_0000 + (i as u64) * 64);
         let stored = engine.process_write(line, addr).line;
-        assert!(pattern::matches_base_pattern(&line), "census lines must pattern-match");
+        assert!(
+            pattern::matches_base_pattern(&line),
+            "census lines must pattern-match"
+        );
         let mut bytes = stored.to_bytes();
         flip_bits_uniform(&mut bytes, p_flip, &mut rng);
         let faulty = Line::from_bytes(&bytes);
-        let damage = faulty.masked(mac_unit_mask).hamming(&stored.masked(mac_unit_mask));
+        let damage = faulty
+            .masked(mac_unit_mask)
+            .hamming(&stored.masked(mac_unit_mask));
         if damage == 0 {
             continue; // no observable error injected
         }
@@ -210,8 +219,14 @@ mod tests {
         let lo = evaluate_cell("xalancbmk", 1.0 / 1024.0, 500, 1);
         let hi = evaluate_cell("xalancbmk", 1.0 / 128.0, 500, 1);
         assert!(lo.erroneous > 0 && hi.erroneous > 0);
-        assert!(lo.correction_rate() > hi.correction_rate(), "lo {lo:?} hi {hi:?}");
-        assert!(lo.correction_rate() > 0.75, "at 1/1024 most lines are single-flip: {lo:?}");
+        assert!(
+            lo.correction_rate() > hi.correction_rate(),
+            "lo {lo:?} hi {hi:?}"
+        );
+        assert!(
+            lo.correction_rate() > 0.75,
+            "at 1/1024 most lines are single-flip: {lo:?}"
+        );
     }
 
     #[test]

@@ -43,10 +43,18 @@ pub fn run(scale: Scale) -> Vec<FullMemRow> {
             let p = by_name(name).expect("profile");
             let seed = 0xf11 + i as u64;
             let base = simulate_workload_with(p, Protection::None, instrs, seed);
-            let guard =
-                simulate_workload_with(p, Protection::PtGuard(PtGuardConfig::default()), instrs, seed);
-            let opt =
-                simulate_workload_with(p, Protection::PtGuard(PtGuardConfig::optimized()), instrs, seed);
+            let guard = simulate_workload_with(
+                p,
+                Protection::PtGuard(PtGuardConfig::default()),
+                instrs,
+                seed,
+            );
+            let opt = simulate_workload_with(
+                p,
+                Protection::PtGuard(PtGuardConfig::optimized()),
+                instrs,
+                seed,
+            );
             let full = simulate_workload_with(p, Protection::FullMemoryMac, instrs, seed);
             FullMemRow {
                 name: (*name).to_string(),
@@ -62,7 +70,13 @@ pub fn run(scale: Scale) -> Vec<FullMemRow> {
 /// Renders the comparison.
 #[must_use]
 pub fn render(rows: &[FullMemRow]) -> String {
-    let mut t = Table::new(vec!["workload", "MPKI", "PT-Guard", "Optimized PT-Guard", "whole-memory MAC"]);
+    let mut t = Table::new(vec![
+        "workload",
+        "MPKI",
+        "PT-Guard",
+        "Optimized PT-Guard",
+        "whole-memory MAC",
+    ]);
     for r in rows {
         t.row(vec![
             r.name.clone(),
@@ -95,9 +109,16 @@ mod tests {
         let rows = run(Scale::Trial);
         let avg_guard: f64 = rows.iter().map(|r| r.ptguard).sum::<f64>() / rows.len() as f64;
         let avg_full: f64 = rows.iter().map(|r| r.fullmem).sum::<f64>() / rows.len() as f64;
-        assert!(avg_full > 3.0 * avg_guard, "full {avg_full} vs guard {avg_guard}");
+        assert!(
+            avg_full > 3.0 * avg_guard,
+            "full {avg_full} vs guard {avg_guard}"
+        );
         // Pointer-chasers hurt the most (MAC cache gets no spatial reuse).
         let sssp = rows.iter().find(|r| r.name == "sssp").unwrap();
-        assert!(sssp.fullmem > 0.04, "sssp full-memory slowdown {}", sssp.fullmem);
+        assert!(
+            sssp.fullmem > 0.04,
+            "sssp full-memory slowdown {}",
+            sssp.fullmem
+        );
     }
 }

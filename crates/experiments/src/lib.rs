@@ -20,12 +20,13 @@ pub mod coverage;
 pub mod diag;
 pub mod exploit;
 pub mod fig6;
-pub mod fullmem;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fullmem;
 pub mod multicore;
 pub mod priorwork;
+pub mod record_replay;
 pub mod report;
 pub mod rth_sweep;
 pub mod security;

@@ -42,8 +42,10 @@ pub fn run(scale: Scale) -> MultiCoreResult {
     if scale == Scale::Trial {
         bundles.truncate(4);
     }
-    let results: Vec<BundleResult> =
-        bundles.iter().map(|b| evaluate_bundle(b, PtGuardConfig::default(), &cfg)).collect();
+    let results: Vec<BundleResult> = bundles
+        .iter()
+        .map(|b| evaluate_bundle(b, PtGuardConfig::default(), &cfg))
+        .collect();
     let slowdowns: Vec<f64> = results.iter().map(|r| r.slowdown.max(0.0)).collect();
     let avg = amean(&slowdowns);
     let (worst_name, worst) = results
@@ -64,10 +66,21 @@ pub fn run(scale: Scale) -> MultiCoreResult {
     let shared_model = bundles
         .iter()
         .filter(|b| sample.contains(&b.name.as_str()))
-        .map(|b| (b.name.clone(), evaluate_bundle_shared(b, PtGuardConfig::default(), shared_cfg).max(0.0)))
+        .map(|b| {
+            (
+                b.name.clone(),
+                evaluate_bundle_shared(b, PtGuardConfig::default(), shared_cfg).max(0.0),
+            )
+        })
         .collect();
 
-    MultiCoreResult { bundles: results, avg, worst, worst_name, shared_model }
+    MultiCoreResult {
+        bundles: results,
+        avg,
+        worst,
+        worst_name,
+        shared_model,
+    }
 }
 
 /// Renders the study.

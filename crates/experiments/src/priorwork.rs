@@ -9,8 +9,7 @@
 //! pointers' physical assumption).
 
 use pagetable::addr::{Frame, PhysAddr};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rng::SplitMix64;
 
 use ptguard::baselines::monotonic::{FlipThreat, MonotonicPolicy};
 use ptguard::baselines::secwalk::SecWalkEdc;
@@ -37,7 +36,7 @@ pub struct DefenceRow {
 /// Runs the comparison with `trials` random PTEs per damage class.
 #[must_use]
 pub fn run(trials: usize) -> Vec<DefenceRow> {
-    let mut rng = StdRng::seed_from_u64(0x9e37);
+    let mut rng = SplitMix64::new(0x9e37);
     let secwalk = SecWalkEdc::new(40);
     let mac = PteMac::from_config(&PtGuardConfig::default());
     let policy = MonotonicPolicy::new(Frame(0x8_0000));
@@ -45,16 +44,19 @@ pub fn run(trials: usize) -> Vec<DefenceRow> {
     let protected: Vec<u32> = (0..64).filter(|&b| mask >> b & 1 == 1).collect();
 
     let mut rows = Vec::new();
-    for (label, flips) in
-        [("1 random flip", 1usize), ("2 random flips", 2), ("4 random flips", 4), ("6 random flips", 6)]
-    {
+    for (label, flips) in [
+        ("1 random flip", 1usize),
+        ("2 random flips", 2),
+        ("4 random flips", 4),
+        ("6 random flips", 6),
+    ] {
         let (mut s_det, mut m_ok, mut p_det) = (0u64, 0u64, 0u64);
         for _ in 0..trials {
-            let pfn = rng.gen_range(1u64..0x7_0000); // user region
+            let pfn = rng.gen_range_u64(1, 0x7_0000); // user region
             let pte = (pfn << 12) | 0x67 | (1 << 63);
             let mut tampered = pte;
             for _ in 0..flips {
-                tampered ^= 1 << protected[rng.gen_range(0..protected.len())];
+                tampered ^= 1 << protected[rng.gen_range_usize(0, protected.len())];
             }
             if tampered == pte {
                 s_det += 1;
@@ -67,7 +69,10 @@ pub fn run(trials: usize) -> Vec<DefenceRow> {
                 pagetable::x86_64::Pte::from_raw(pte),
                 pagetable::x86_64::Pte::from_raw(tampered),
             );
-            m_ok += u64::from(threat != FlipThreat::PageTableReference && threat != FlipThreat::MetadataEscalation);
+            m_ok += u64::from(
+                threat != FlipThreat::PageTableReference
+                    && threat != FlipThreat::MetadataEscalation,
+            );
             p_det += u64::from(detect_with_mac(&mac, pte, tampered));
         }
         rows.push(DefenceRow {
@@ -79,16 +84,22 @@ pub fn run(trials: usize) -> Vec<DefenceRow> {
     }
 
     // Crafted codeword tamper: invisible to any linear EDC by construction.
-    let delta = secwalk.undetectable_delta().expect("linear code has codewords");
+    let delta = secwalk
+        .undetectable_delta()
+        .expect("linear code has codewords");
     let (mut s_det, mut p_det, mut m_ok) = (0u64, 0u64, 0u64);
     for _ in 0..trials {
-        let pfn = rng.gen_range(1u64..0x7_0000);
+        let pfn = rng.gen_range_u64(1, 0x7_0000);
         let pte = (pfn << 12) | 0x67 | (1 << 63);
         let tampered = pte ^ delta;
         s_det += u64::from(!secwalk.verify(tampered, secwalk.compute(pte)));
-        let threat = policy
-            .classify(pagetable::x86_64::Pte::from_raw(pte), pagetable::x86_64::Pte::from_raw(tampered));
-        m_ok += u64::from(threat != FlipThreat::PageTableReference && threat != FlipThreat::MetadataEscalation);
+        let threat = policy.classify(
+            pagetable::x86_64::Pte::from_raw(pte),
+            pagetable::x86_64::Pte::from_raw(tampered),
+        );
+        m_ok += u64::from(
+            threat != FlipThreat::PageTableReference && threat != FlipThreat::MetadataEscalation,
+        );
         p_det += u64::from(detect_with_mac(&mac, pte, tampered));
     }
     rows.push(DefenceRow {
@@ -102,13 +113,17 @@ pub fn run(trials: usize) -> Vec<DefenceRow> {
     // PFN untouched — monotonic pointers offer nothing.
     let (mut s_det, mut p_det, mut m_ok) = (0u64, 0u64, 0u64);
     for _ in 0..trials {
-        let pfn = rng.gen_range(1u64..0x7_0000);
+        let pfn = rng.gen_range_u64(1, 0x7_0000);
         let pte = (pfn << 12) | 0x67 | (1 << 63);
         let tampered = pte & !(1 << 63);
         s_det += u64::from(!secwalk.verify(tampered, secwalk.compute(pte)));
-        let threat = policy
-            .classify(pagetable::x86_64::Pte::from_raw(pte), pagetable::x86_64::Pte::from_raw(tampered));
-        m_ok += u64::from(threat != FlipThreat::MetadataEscalation && threat != FlipThreat::PageTableReference);
+        let threat = policy.classify(
+            pagetable::x86_64::Pte::from_raw(pte),
+            pagetable::x86_64::Pte::from_raw(tampered),
+        );
+        m_ok += u64::from(
+            threat != FlipThreat::MetadataEscalation && threat != FlipThreat::PageTableReference,
+        );
         p_det += u64::from(detect_with_mac(&mac, pte, tampered));
     }
     rows.push(DefenceRow {
@@ -169,7 +184,10 @@ mod tests {
         assert!(by("1 random flip").ptguard > 0.999);
         // The crafted codeword blinds the EDC completely; the MAC shrugs.
         let crafted = by("crafted codeword tamper");
-        assert_eq!(crafted.secwalk, 0.0, "linear EDC must miss its own codeword");
+        assert_eq!(
+            crafted.secwalk, 0.0,
+            "linear EDC must miss its own codeword"
+        );
         assert!(crafted.ptguard > 0.999);
         // Metadata flips bypass monotonic pointers; the MAC catches them.
         let meta = by("NX-clear metadata flip");

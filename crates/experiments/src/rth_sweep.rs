@@ -68,17 +68,24 @@ pub fn run(acts: u64) -> Vec<RthPoint> {
             let mut dev0 = device(rth);
             let mut engine = PtGuardEngine::new(PtGuardConfig::default());
             let row_base = dev0.geometry().row_base(victim).as_u64();
-            let pte_line =
-                Line::from_words([(0x4200 << 12) | 0x27, (0x4201 << 12) | 0x27, 0, 0, 0, 0, 0, 0]);
+            let pte_line = Line::from_words([
+                (0x4200 << 12) | 0x27,
+                (0x4201 << 12) | 0x27,
+                0,
+                0,
+                0,
+                0,
+                0,
+                0,
+            ]);
             // Template: find a weak cell whose orientation can discharge the
             // bit value our protected line stores there.
             let cells: Vec<_> = dev0.weak_cells(victim).to_vec();
             let mut line_addr = PhysAddr::new(row_base);
             for c in &cells {
                 let candidate = PhysAddr::new(row_base + (c.bit / 512) * 64);
-                let stored = Line::from_bytes(
-                    &engine.process_write(pte_line, candidate).line.to_bytes(),
-                );
+                let stored =
+                    Line::from_bytes(&engine.process_write(pte_line, candidate).line.to_bytes());
                 let bit_in_line = (c.bit % 512) as usize;
                 let is_one = stored.to_bytes()[bit_in_line / 8] >> (bit_in_line % 8) & 1 == 1;
                 if is_one == c.true_cell {
@@ -106,14 +113,17 @@ pub fn run(acts: u64) -> Vec<RthPoint> {
                 .flips()
                 .iter()
                 .filter(|f| {
-                    f.addr.as_u64() >= line_addr.as_u64() && f.addr.as_u64() < line_addr.as_u64() + 64
+                    f.addr.as_u64() >= line_addr.as_u64()
+                        && f.addr.as_u64() < line_addr.as_u64() + 64
                 })
                 .count() as u64;
             let detected = if pte_flips > 0 {
                 let out = engine.process_read(raw, line_addr, true);
                 use ptguard::engine::ReadVerdict;
-                u64::from(matches!(out.verdict, ReadVerdict::Corrected { .. } | ReadVerdict::CheckFailed))
-                    * pte_flips
+                u64::from(matches!(
+                    out.verdict,
+                    ReadVerdict::Corrected { .. } | ReadVerdict::CheckFailed
+                )) * pte_flips
             } else {
                 0
             };
@@ -147,7 +157,11 @@ pub fn render(points: &[RthPoint]) -> String {
             format!("{} flips", p.trr_flips),
             format!("{} flips", p.graphene_flips),
             p.pte_flips.to_string(),
-            if p.pte_flips == 0 { "-".to_string() } else { format!("{}/{}", p.ptguard_detected, p.pte_flips) },
+            if p.pte_flips == 0 {
+                "-".to_string()
+            } else {
+                format!("{}/{}", p.ptguard_detected, p.pte_flips)
+            },
         ]);
     }
     format!(
@@ -170,8 +184,10 @@ mod tests {
         let lp = at(4800.0);
         assert!(lp.unmitigated_flips > 0);
         let future = at(2400.0);
-        assert!(future.graphene_flips > 0 || future.trr_flips > 0,
-            "mitigations tuned for 10K must leak at 2.4K: {future:?}");
+        assert!(
+            future.graphene_flips > 0 || future.trr_flips > 0,
+            "mitigations tuned for 10K must leak at 2.4K: {future:?}"
+        );
         // Wherever PTE flips landed, PT-Guard caught them.
         for p in &points {
             assert_eq!(p.ptguard_detected, p.pte_flips, "{p:?}");

@@ -54,16 +54,34 @@ pub fn table2() -> String {
 pub fn table3() -> String {
     let c = MemSysConfig::default();
     let mut t = Table::new(vec!["Component", "Configuration"]);
-    t.row(vec!["Core".to_string(), format!("In-order, {} GHz, x86_64 ISA", c.core_ghz)]);
-    t.row(vec!["TLB".to_string(), format!("{} entry, fully associative", c.tlb_entries)]);
+    t.row(vec![
+        "Core".to_string(),
+        format!("In-order, {} GHz, x86_64 ISA", c.core_ghz),
+    ]);
+    t.row(vec![
+        "TLB".to_string(),
+        format!("{} entry, fully associative", c.tlb_entries),
+    ]);
     t.row(vec![
         "MMU cache".to_string(),
-        format!("{} KB, {}-way", c.mmu_cache_entries * 8 / 1024, c.mmu_cache_ways),
+        format!(
+            "{} KB, {}-way",
+            c.mmu_cache_entries * 8 / 1024,
+            c.mmu_cache_ways
+        ),
     ]);
-    t.row(vec!["L1-D cache".to_string(), format!("{} KB, {}-way", c.l1d.size_bytes / 1024, c.l1d.ways)]);
+    t.row(vec![
+        "L1-D cache".to_string(),
+        format!("{} KB, {}-way", c.l1d.size_bytes / 1024, c.l1d.ways),
+    ]);
     t.row(vec![
         "L2 / L3 cache".to_string(),
-        format!("{} KB / {} MB, {}-way", c.l2.size_bytes / 1024, c.llc.size_bytes >> 20, c.llc.ways),
+        format!(
+            "{} KB / {} MB, {}-way",
+            c.l2.size_bytes / 1024,
+            c.llc.size_bytes >> 20,
+            c.llc.ways
+        ),
     ]);
     t.row(vec!["DRAM".to_string(), "4 GB DDR4".to_string()]);
     format!("Table III: baseline system configuration\n{}", t.render())
@@ -78,9 +96,17 @@ pub fn table4(m: u32) -> String {
     let mut t = Table::new(vec!["Bits", "Description", "Protected?"]);
     t.row(vec!["8:0", "Flags", "Yes (except accessed bit)"]);
     t.row(vec!["11:9", "Programmable", "Yes"]);
-    t.row(vec![format!("{}:12", m - 1), "PFN".to_string(), "Yes".to_string()]);
+    t.row(vec![
+        format!("{}:12", m - 1),
+        "PFN".to_string(),
+        "Yes".to_string(),
+    ]);
     if m < 40 {
-        t.row(vec![format!("39:{m}"), "Ignored (zeros)".to_string(), "-".to_string()]);
+        t.row(vec![
+            format!("39:{m}"),
+            "Ignored (zeros)".to_string(),
+            "-".to_string(),
+        ]);
     }
     t.row(vec!["51:40", "MAC (1/8th portion)", "-"]);
     t.row(vec!["58:52", "Ignored (zeros)", "-"]);
@@ -118,7 +144,10 @@ mod tests {
     fn table4_shows_mac_region() {
         let s = table4(40);
         assert!(s.contains("51:40"));
-        assert!(s.contains("44 bits"), "44 protected bits per PTE at M=40: {s}");
+        assert!(
+            s.contains("44 bits"),
+            "44 protected bits per PTE at M=40: {s}"
+        );
         let s34 = table4(34);
         assert!(s34.contains("39:34"));
     }

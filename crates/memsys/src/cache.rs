@@ -21,7 +21,13 @@ struct Way {
 }
 
 impl Way {
-    const EMPTY: Way = Way { tag: 0, valid: false, dirty: false, lru: 0, data: Line::ZERO };
+    const EMPTY: Way = Way {
+        tag: 0,
+        valid: false,
+        dirty: false,
+        lru: 0,
+        data: Line::ZERO,
+    };
 }
 
 /// Hit/miss statistics.
@@ -82,7 +88,10 @@ impl Cache {
 
     fn index(&self, addr: PhysAddr) -> (usize, u64) {
         let line = addr.as_u64() >> 6;
-        ((line as usize) & (self.sets - 1), line >> self.sets.trailing_zeros())
+        (
+            (line as usize) & (self.sets - 1),
+            line >> self.sets.trailing_zeros(),
+        )
     }
 
     /// Looks up `addr`; on a hit returns the line data and updates LRU.
@@ -151,7 +160,13 @@ impl Cache {
         } else {
             None
         };
-        *w = Way { tag, valid: true, dirty, lru: self.clock, data };
+        *w = Way {
+            tag,
+            valid: true,
+            dirty,
+            lru: self.clock,
+            data,
+        };
         evicted
     }
 
@@ -217,7 +232,11 @@ mod tests {
 
     fn small() -> Cache {
         // 4 sets × 2 ways of 64 B lines = 512 B.
-        Cache::new(CacheConfig { size_bytes: 512, ways: 2, latency_cycles: 1 })
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            latency_cycles: 1,
+        })
     }
 
     fn line(v: u64) -> Line {

@@ -20,7 +20,10 @@ impl CacheConfig {
     #[must_use]
     pub fn sets(&self) -> usize {
         let lines = self.size_bytes / 64;
-        assert!(lines % self.ways == 0, "capacity must divide evenly into ways");
+        assert!(
+            lines.is_multiple_of(self.ways),
+            "capacity must divide evenly into ways"
+        );
         let sets = lines / self.ways;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         sets
@@ -55,9 +58,21 @@ impl Default for MemSysConfig {
     /// LLC, 64-entry TLB, 8 KB/4-way MMU cache, 3 GHz core.
     fn default() -> Self {
         Self {
-            l1d: CacheConfig { size_bytes: 32 << 10, ways: 8, latency_cycles: 4 },
-            l2: CacheConfig { size_bytes: 256 << 10, ways: 16, latency_cycles: 12 },
-            llc: CacheConfig { size_bytes: 2 << 20, ways: 16, latency_cycles: 38 },
+            l1d: CacheConfig {
+                size_bytes: 32 << 10,
+                ways: 8,
+                latency_cycles: 4,
+            },
+            l2: CacheConfig {
+                size_bytes: 256 << 10,
+                ways: 16,
+                latency_cycles: 12,
+            },
+            llc: CacheConfig {
+                size_bytes: 2 << 20,
+                ways: 16,
+                latency_cycles: 38,
+            },
             tlb_entries: 64,
             tlb_latency_cycles: 0,
             mmu_cache_entries: (8 << 10) / 8,
@@ -73,9 +88,14 @@ impl MemSysConfig {
     /// (Section VII-C uses 16 GB DDR4 and 1 MB/core LLC).
     #[must_use]
     pub fn multicore_percore(cores: usize) -> Self {
-        let mut cfg = Self::default();
-        cfg.llc = CacheConfig { size_bytes: cores * (1 << 20), ways: 16, latency_cycles: 38 };
-        cfg
+        Self {
+            llc: CacheConfig {
+                size_bytes: cores * (1 << 20),
+                ways: 16,
+                latency_cycles: 38,
+            },
+            ..Self::default()
+        }
     }
 
     /// Converts nanoseconds to core cycles.
@@ -103,13 +123,22 @@ mod tests {
     fn ns_conversion_at_3ghz() {
         let c = MemSysConfig::default();
         assert_eq!(c.ns_to_cycles(10.0), 30);
-        assert_eq!(c.ns_to_cycles(3.4), 10, "the paper's 3.4 ns MAC ≈ 10 cycles");
+        assert_eq!(
+            c.ns_to_cycles(3.4),
+            10,
+            "the paper's 3.4 ns MAC ≈ 10 cycles"
+        );
     }
 
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_geometry_rejected() {
         // 3 lines direct-mapped: 3 sets, not a power of two.
-        let _ = CacheConfig { size_bytes: 192, ways: 1, latency_cycles: 1 }.sets();
+        let _ = CacheConfig {
+            size_bytes: 192,
+            ways: 1,
+            latency_cycles: 1,
+        }
+        .sets();
     }
 }

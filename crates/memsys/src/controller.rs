@@ -58,7 +58,13 @@ impl MemoryController {
     /// Creates a controller over `device`; `engine` enables PT-Guard.
     #[must_use]
     pub fn new(device: DramDevice, engine: Option<PtGuardEngine>, core_ghz: f64) -> Self {
-        Self { device, engine, full_mac: None, core_ghz, stats: ControllerStats::default() }
+        Self {
+            device,
+            engine,
+            full_mac: None,
+            core_ghz,
+            stats: ControllerStats::default(),
+        }
     }
 
     /// Creates a controller with SGX/Synergy-style *whole-memory* integrity
@@ -68,7 +74,13 @@ impl MemoryController {
     #[must_use]
     pub fn with_full_memory_mac(device: DramDevice, core_ghz: f64) -> Self {
         let fm = FullMemoryMac::new(device.size());
-        Self { device, engine: None, full_mac: Some(fm), core_ghz, stats: ControllerStats::default() }
+        Self {
+            device,
+            engine: None,
+            full_mac: Some(fm),
+            core_ghz,
+            stats: ControllerStats::default(),
+        }
     }
 
     /// The full-memory integrity engine, if mounted.
@@ -123,14 +135,24 @@ impl MemoryController {
                 fm.note_read(hit, ok);
                 if !ok {
                     self.stats.check_failures += 1;
-                    return DramRead { line: raw, latency_cycles: latency, mac_cycles, verdict: ReadVerdict::CheckFailed };
+                    return DramRead {
+                        line: raw,
+                        latency_cycles: latency,
+                        mac_cycles,
+                        verdict: ReadVerdict::CheckFailed,
+                    };
                 }
             }
         }
         if verdict == ReadVerdict::CheckFailed {
             self.stats.check_failures += 1;
         }
-        DramRead { line, latency_cycles: latency, mac_cycles, verdict }
+        DramRead {
+            line,
+            latency_cycles: latency,
+            mac_cycles,
+            verdict,
+        }
     }
 
     /// Serves a line write (cache writeback or OS store drain).
@@ -259,7 +281,8 @@ mod tests {
     #[test]
     fn full_memory_mac_charges_extra_latency_on_cache_misses() {
         let device = DramDevice::ddr4_4gb(RowhammerConfig::immune());
-        let mut unprotected = MemoryController::new(DramDevice::ddr4_4gb(RowhammerConfig::immune()), None, 3.0);
+        let mut unprotected =
+            MemoryController::new(DramDevice::ddr4_4gb(RowhammerConfig::immune()), None, 3.0);
         let mut mc = MemoryController::with_full_memory_mac(device, 3.0);
         // Scatter reads so the 64-entry MAC cache keeps missing (stride of
         // 512 data lines = one MAC line each).

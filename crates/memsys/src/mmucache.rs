@@ -46,13 +46,24 @@ impl MmuCache {
     /// Panics unless `entries / ways` is a power of two.
     #[must_use]
     pub fn new(entries: usize, ways: usize, latency_cycles: u64) -> Self {
-        assert!(entries % ways == 0);
+        assert!(entries.is_multiple_of(ways));
         let sets = entries / ways;
-        assert!(sets.is_power_of_two(), "MMU cache sets must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "MMU cache sets must be a power of two"
+        );
         Self {
             sets,
             ways,
-            slots: vec![Slot { key: 0, pte: Pte::ZERO, valid: false, lru: 0 }; entries],
+            slots: vec![
+                Slot {
+                    key: 0,
+                    pte: Pte::ZERO,
+                    valid: false,
+                    lru: 0
+                };
+                entries
+            ],
             clock: 0,
             stats: MmuCacheStats::default(),
             latency_cycles,
@@ -85,7 +96,10 @@ impl MmuCache {
         self.clock += 1;
         let (set, key) = self.index(entry_addr);
         let base = set * self.ways;
-        if let Some(s) = self.slots[base..base + self.ways].iter_mut().find(|s| s.valid && s.key == key) {
+        if let Some(s) = self.slots[base..base + self.ways]
+            .iter_mut()
+            .find(|s| s.valid && s.key == key)
+        {
             s.pte = pte;
             s.lru = self.clock;
             return;
@@ -96,7 +110,12 @@ impl MmuCache {
             .min_by_key(|(_, s)| (s.valid, s.lru))
             .map(|(i, _)| i)
             .expect("non-empty");
-        self.slots[base + victim] = Slot { key, pte, valid: true, lru: self.clock };
+        self.slots[base + victim] = Slot {
+            key,
+            pte,
+            valid: true,
+            lru: self.clock,
+        };
     }
 
     /// Invalidates everything (TLB-shootdown companion).
@@ -141,7 +160,7 @@ mod tests {
     #[test]
     fn set_conflict_evicts_lru() {
         let mut m = MmuCache::new(8, 2, 2); // 4 sets × 2 ways
-        // Same set: keys differing by 4 (sets) in entry index => addr stride 4*8.
+                                            // Same set: keys differing by 4 (sets) in entry index => addr stride 4*8.
         let a = PhysAddr::new(0);
         let b = PhysAddr::new(4 * 8);
         let c = PhysAddr::new(8 * 8);

@@ -99,7 +99,11 @@ impl MemorySystem {
             l2: Cache::new(cfg.l2),
             llc: Cache::new(cfg.llc),
             tlb: Tlb::new(cfg.tlb_entries),
-            mmu: MmuCache::new(cfg.mmu_cache_entries, cfg.mmu_cache_ways, cfg.mmu_cache_latency_cycles),
+            mmu: MmuCache::new(
+                cfg.mmu_cache_entries,
+                cfg.mmu_cache_ways,
+                cfg.mmu_cache_latency_cycles,
+            ),
             controller,
             root: Frame(0),
             max_phys_bits: 40,
@@ -145,7 +149,13 @@ impl MemorySystem {
 
     /// Per-level cache statistics `(L1D, L2, LLC)`.
     #[must_use]
-    pub fn cache_stats(&self) -> (crate::cache::CacheStats, crate::cache::CacheStats, crate::cache::CacheStats) {
+    pub fn cache_stats(
+        &self,
+    ) -> (
+        crate::cache::CacheStats,
+        crate::cache::CacheStats,
+        crate::cache::CacheStats,
+    ) {
         (self.l1d.stats(), self.l2.stats(), self.llc.stats())
     }
 
@@ -194,7 +204,8 @@ impl MemorySystem {
         let max_frame = 1u64 << (self.max_phys_bits - 12);
         let mut table = self.root;
         for level in (0..4usize).rev() {
-            let entry_addr = PhysAddr::new(table.base().as_u64() + (va.level_index(level) as u64) * 8);
+            let entry_addr =
+                PhysAddr::new(table.base().as_u64() + (va.level_index(level) as u64) * 8);
             let pte = if level > 0 {
                 if let Some(hit) = self.mmu.lookup(entry_addr) {
                     *cycles += self.mmu.latency_cycles;
@@ -207,7 +218,10 @@ impl MemorySystem {
                     }
                     if verdict == ReadVerdict::CheckFailed {
                         self.stats.integrity_faults += 1;
-                        return Err(AccessOutcome::PteCheckFailed { cycles: *cycles, level });
+                        return Err(AccessOutcome::PteCheckFailed {
+                            cycles: *cycles,
+                            level,
+                        });
                     }
                     let pte = Pte::from_raw(line.word(entry_addr.line_offset() / 8));
                     self.mmu.insert(entry_addr, pte);
@@ -221,16 +235,25 @@ impl MemorySystem {
                 }
                 if verdict == ReadVerdict::CheckFailed {
                     self.stats.integrity_faults += 1;
-                    return Err(AccessOutcome::PteCheckFailed { cycles: *cycles, level });
+                    return Err(AccessOutcome::PteCheckFailed {
+                        cycles: *cycles,
+                        level,
+                    });
                 }
                 Pte::from_raw(line.word(entry_addr.line_offset() / 8))
             };
             if !pte.present() {
-                return Err(AccessOutcome::PageFault { cycles: *cycles, level });
+                return Err(AccessOutcome::PageFault {
+                    cycles: *cycles,
+                    level,
+                });
             }
             if pte.frame().0 >= max_frame {
                 // The OS-visible bounds check of Section IV-E.
-                return Err(AccessOutcome::PageFault { cycles: *cycles, level });
+                return Err(AccessOutcome::PageFault {
+                    cycles: *cycles,
+                    level,
+                });
             }
             if level == 0 {
                 self.tlb.insert(va.vpn(), pte);
@@ -255,7 +278,12 @@ impl MemorySystem {
     /// Returns `(line, cycles, llc_miss, verdict)`. Walk accesses
     /// (`is_pte`) skip the L1 and are installed into L2/LLC, mirroring
     /// hardware walkers.
-    fn line_access(&mut self, addr: PhysAddr, write: bool, is_pte: bool) -> (Line, u64, bool, ReadVerdict) {
+    fn line_access(
+        &mut self,
+        addr: PhysAddr,
+        write: bool,
+        is_pte: bool,
+    ) -> (Line, u64, bool, ReadVerdict) {
         let mut cycles = 0u64;
         // The L1 is probed even for walk accesses (hardware walkers are
         // coherent with the data cache); walk fills go into L2/LLC only.
@@ -510,7 +538,10 @@ mod tests {
         let out = sys.load(VirtAddr::new(base));
         assert!(out.is_ok());
         let engine_stats = sys.controller.engine().unwrap().stats();
-        assert!(engine_stats.pte_reads > 0, "walk must reach DRAM with is_pte set");
+        assert!(
+            engine_stats.pte_reads > 0,
+            "walk must reach DRAM with is_pte set"
+        );
         assert!(engine_stats.verified > 0, "PTE line must verify");
     }
 
@@ -529,7 +560,13 @@ mod tests {
         // soft-match tolerance (k = 4), an uncorrectable-MAC fault.
         let leaf_line = {
             let port = OsPort::new(&mut sys);
-            space.walker().walk(&port, VirtAddr::new(base)).unwrap().accesses[3].entry_addr.line_addr()
+            space
+                .walker()
+                .walk(&port, VirtAddr::new(base))
+                .unwrap()
+                .accesses[3]
+                .entry_addr
+                .line_addr()
         };
         let dev = sys.controller.device_mut();
         let mut raw = Line::from_bytes(&dev.read_line(leaf_line));
@@ -561,7 +598,10 @@ mod tests {
         let raw = dev.read_u64(leaf_addr);
         dev.write_u64(leaf_addr, raw ^ (1 << 13));
         let out = sys.load(VirtAddr::new(base));
-        assert!(out.is_ok(), "unprotected system happily uses the tampered PTE");
+        assert!(
+            out.is_ok(),
+            "unprotected system happily uses the tampered PTE"
+        );
         let hijacked = sys.tlb().peek_frame(VirtAddr::new(base).vpn()).unwrap();
         assert_ne!(hijacked, walk.leaf.frame(), "translation was hijacked");
     }
@@ -596,7 +636,9 @@ mod tests {
                 let _ = f; // burn one to prove alignment logic is separate
                 space_alloc_huge(&mut space, &mut port)
             };
-            space.map_huge_2mb(&mut port, VirtAddr::new(base), frame, PteFlags::user_data()).unwrap();
+            space
+                .map_huge_2mb(&mut port, VirtAddr::new(base), frame, PteFlags::user_data())
+                .unwrap();
             (space.root(), frame)
         };
         sys.set_root(root, 32);
@@ -606,7 +648,10 @@ mod tests {
         for i in 0..64u64 {
             let out = sys.load(VirtAddr::new(base + i * 4096 + 0x10));
             assert!(out.is_ok(), "page {i}: {out:?}");
-            let got = sys.tlb().peek_frame(VirtAddr::new(base + i * 4096).vpn()).unwrap();
+            let got = sys
+                .tlb()
+                .peek_frame(VirtAddr::new(base + i * 4096).vpn())
+                .unwrap();
             assert_eq!(got.0, huge_frame.0 + i, "splintered TLB frame");
         }
         // Walks happened (one per 4 KB splinter) but terminated at the PD

@@ -46,7 +46,12 @@ impl Tlb {
     /// Creates a TLB with `capacity` entries.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
-        Self { entries: Vec::with_capacity(capacity), capacity, clock: 0, stats: TlbStats::default() }
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            clock: 0,
+            stats: TlbStats::default(),
+        }
     }
 
     /// Looks up a virtual page number; returns the cached leaf PTE.
@@ -79,7 +84,11 @@ impl Tlb {
                 .expect("non-empty");
             self.entries.swap_remove(victim);
         }
-        self.entries.push(TlbEntry { vpn, pte, lru: self.clock });
+        self.entries.push(TlbEntry {
+            vpn,
+            pte,
+            lru: self.clock,
+        });
     }
 
     /// Invalidates one page (e.g. on unmap).
@@ -95,7 +104,10 @@ impl Tlb {
     /// The frame a cached translation maps to, if present (test helper).
     #[must_use]
     pub fn peek_frame(&self, vpn: u64) -> Option<Frame> {
-        self.entries.iter().find(|e| e.vpn == vpn).map(|e| e.pte.frame())
+        self.entries
+            .iter()
+            .find(|e| e.vpn == vpn)
+            .map(|e| e.pte.frame())
     }
 
     /// Statistics.

@@ -13,7 +13,11 @@ impl VirtAddr {
     /// address canonical, as hardware requires.
     #[must_use]
     pub fn new(addr: u64) -> Self {
-        let canon = if addr & (1 << 47) != 0 { addr | 0xffff_0000_0000_0000 } else { addr & 0x0000_ffff_ffff_ffff };
+        let canon = if addr & (1 << 47) != 0 {
+            addr | 0xffff_0000_0000_0000
+        } else {
+            addr & 0x0000_ffff_ffff_ffff
+        };
         Self(canon)
     }
 

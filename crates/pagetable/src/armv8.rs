@@ -123,11 +123,18 @@ impl Descriptor {
 /// over the logical 40-bit PFN and mapped back onto descriptor bits.
 #[must_use]
 pub fn unused_mask(max_phys_bits: u32) -> u64 {
-    assert!((12..=52).contains(&max_phys_bits), "max_phys_bits out of range");
+    assert!(
+        (12..=52).contains(&max_phys_bits),
+        "max_phys_bits out of range"
+    );
     let pfn_bits_used = max_phys_bits - 12;
     let mut mask = bits::IGNORED_MASK;
     for pfn_bit in pfn_bits_used..40 {
-        mask |= if pfn_bit >= 38 { 1u64 << (8 + (pfn_bit - 38)) } else { 1u64 << (12 + pfn_bit) };
+        mask |= if pfn_bit >= 38 {
+            1u64 << (8 + (pfn_bit - 38))
+        } else {
+            1u64 << (12 + pfn_bit)
+        };
     }
     mask
 }
@@ -153,7 +160,14 @@ mod tests {
     #[test]
     fn frame_split_roundtrip() {
         // Exercise both PFN fields: a frame with bits above bit 38 set.
-        for pfn in [0u64, 1, (1 << 38) - 1, 1 << 38, (1 << 40) - 1, 0x2_5555_5555] {
+        for pfn in [
+            0u64,
+            1,
+            (1 << 38) - 1,
+            1 << 38,
+            (1 << 40) - 1,
+            0x2_5555_5555,
+        ] {
             let mut d = Descriptor::ZERO;
             d.set_frame(Frame(pfn));
             assert_eq!(d.frame(), Frame(pfn), "pfn={pfn:#x}");

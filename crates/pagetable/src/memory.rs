@@ -68,7 +68,9 @@ impl VecMemory {
     /// Allocates `size` bytes of zeroed simulated memory.
     #[must_use]
     pub fn new(size: usize) -> Self {
-        Self { data: vec![0; size] }
+        Self {
+            data: vec![0; size],
+        }
     }
 
     /// Borrows the raw contents.

@@ -49,7 +49,11 @@ impl FrameAllocator {
     /// Creates an allocator over frames `[first, limit)`.
     #[must_use]
     pub fn new(first: u64, limit: u64) -> Self {
-        Self { next: first, limit, free: Vec::new() }
+        Self {
+            next: first,
+            limit,
+            free: Vec::new(),
+        }
     }
 
     /// Allocates one frame.
@@ -122,7 +126,13 @@ impl AddressSpace {
         let mut allocator = FrameAllocator::new(1, limit);
         let root = allocator.alloc().ok_or(MapError::OutOfMemory)?;
         table::zero_page(mem, root);
-        Ok(Self { root, max_phys_bits, allocator, table_frames: vec![root], mapped_pages: 0 })
+        Ok(Self {
+            root,
+            max_phys_bits,
+            allocator,
+            table_frames: vec![root],
+            mapped_pages: 0,
+        })
     }
 
     /// The PML4 root frame (CR3).
@@ -222,7 +232,11 @@ impl AddressSpace {
         frame: Frame,
         flags: PteFlags,
     ) -> Result<(), MapError> {
-        assert_eq!(va.as_u64() & ((1 << 21) - 1), 0, "huge VA must be 2 MB aligned");
+        assert_eq!(
+            va.as_u64() & ((1 << 21) - 1),
+            0,
+            "huge VA must be 2 MB aligned"
+        );
         assert_eq!(frame.0 & 0x1ff, 0, "huge frame must be 2 MB aligned");
         let mut table = self.root;
         for level in (2..4).rev() {
@@ -253,7 +267,11 @@ impl AddressSpace {
     /// # Errors
     ///
     /// [`MapError::NotMapped`] if no leaf mapping exists.
-    pub fn unmap<M: PhysMem + ?Sized>(&mut self, mem: &mut M, va: VirtAddr) -> Result<Frame, MapError> {
+    pub fn unmap<M: PhysMem + ?Sized>(
+        &mut self,
+        mem: &mut M,
+        va: VirtAddr,
+    ) -> Result<Frame, MapError> {
         let mut table = self.root;
         for level in (1..4).rev() {
             let entry = table::read_entry(mem, table, va.level_index(level));
@@ -277,7 +295,11 @@ impl AddressSpace {
     /// # Errors
     ///
     /// See [`Walker::walk`].
-    pub fn translate<M: PhysMem + ?Sized>(&self, mem: &M, va: VirtAddr) -> Result<PhysAddr, TranslationError> {
+    pub fn translate<M: PhysMem + ?Sized>(
+        &self,
+        mem: &M,
+        va: VirtAddr,
+    ) -> Result<PhysAddr, TranslationError> {
         self.walker().translate(mem, va)
     }
 
@@ -320,8 +342,7 @@ impl AddressSpace {
                     if !e2.present() {
                         continue;
                     }
-                    let va_base =
-                        ((i4 as u64) << 39) | ((i3 as u64) << 30) | ((i2 as u64) << 21);
+                    let va_base = ((i4 as u64) << 39) | ((i3 as u64) << 30) | ((i2 as u64) << 21);
                     if e2.huge_page() {
                         out.push((VirtAddr::new(va_base), e2.frame(), e2, true));
                         continue;
@@ -441,8 +462,12 @@ mod tests {
         let (mut mem, mut space) = setup();
         let va = VirtAddr::new(0x5555_4444_3000);
         let frame = space.alloc_frame(&mut mem).unwrap();
-        space.map(&mut mem, va, frame, PteFlags::user_data()).unwrap();
-        let pa = space.translate(&mem, VirtAddr::new(va.as_u64() + 0x123)).unwrap();
+        space
+            .map(&mut mem, va, frame, PteFlags::user_data())
+            .unwrap();
+        let pa = space
+            .translate(&mem, VirtAddr::new(va.as_u64() + 0x123))
+            .unwrap();
         assert_eq!(pa, PhysAddr::from_frame(frame, 0x123));
         assert_eq!(space.unmap(&mut mem, va).unwrap(), frame);
         assert!(space.translate(&mem, va).is_err());
@@ -454,26 +479,42 @@ mod tests {
         let va = VirtAddr::new(0x1000);
         space.map_new(&mut mem, va, PteFlags::user_data()).unwrap();
         let f = space.alloc_frame(&mut mem).unwrap();
-        assert_eq!(space.map(&mut mem, va, f, PteFlags::user_data()), Err(MapError::AlreadyMapped));
+        assert_eq!(
+            space.map(&mut mem, va, f, PteFlags::user_data()),
+            Err(MapError::AlreadyMapped)
+        );
     }
 
     #[test]
     fn unmap_of_unmapped_fails() {
         let (mut mem, mut space) = setup();
-        assert_eq!(space.unmap(&mut mem, VirtAddr::new(0x1000)), Err(MapError::NotMapped));
+        assert_eq!(
+            space.unmap(&mut mem, VirtAddr::new(0x1000)),
+            Err(MapError::NotMapped)
+        );
     }
 
     #[test]
     fn table_frames_grow_with_distant_mappings() {
         let (mut mem, mut space) = setup();
         assert_eq!(space.table_frames().len(), 1); // root only
-        space.map_new(&mut mem, VirtAddr::new(0x1000), PteFlags::user_data()).unwrap();
+        space
+            .map_new(&mut mem, VirtAddr::new(0x1000), PteFlags::user_data())
+            .unwrap();
         assert_eq!(space.table_frames().len(), 4); // +PDPT +PD +PT
-        // Adjacent page reuses all intermediate tables.
-        space.map_new(&mut mem, VirtAddr::new(0x2000), PteFlags::user_data()).unwrap();
+                                                   // Adjacent page reuses all intermediate tables.
+        space
+            .map_new(&mut mem, VirtAddr::new(0x2000), PteFlags::user_data())
+            .unwrap();
         assert_eq!(space.table_frames().len(), 4);
         // A distant VA needs a fresh subtree.
-        space.map_new(&mut mem, VirtAddr::new(0x7f00_0000_0000), PteFlags::user_data()).unwrap();
+        space
+            .map_new(
+                &mut mem,
+                VirtAddr::new(0x7f00_0000_0000),
+                PteFlags::user_data(),
+            )
+            .unwrap();
         assert_eq!(space.table_frames().len(), 7);
     }
 
@@ -481,7 +522,13 @@ mod tests {
     fn os_invariant_holds_after_many_maps() {
         let (mut mem, mut space) = setup();
         for i in 0..200u64 {
-            space.map_new(&mut mem, VirtAddr::new(0x4000_0000 + i * PAGE_SIZE as u64), PteFlags::user_data()).unwrap();
+            space
+                .map_new(
+                    &mut mem,
+                    VirtAddr::new(0x4000_0000 + i * PAGE_SIZE as u64),
+                    PteFlags::user_data(),
+                )
+                .unwrap();
         }
         assert_eq!(space.verify_os_invariant(&mem), 0);
         assert_eq!(space.mapped_pages(), 200);
@@ -507,7 +554,9 @@ mod tests {
     #[test]
     fn pte_line_addrs_cover_table_pages() {
         let (mut mem, mut space) = setup();
-        space.map_new(&mut mem, VirtAddr::new(0x1000), PteFlags::user_data()).unwrap();
+        space
+            .map_new(&mut mem, VirtAddr::new(0x1000), PteFlags::user_data())
+            .unwrap();
         let lines = space.pte_line_addrs();
         assert_eq!(lines.len(), 4 * (PAGE_SIZE / CACHELINE_SIZE));
         // Each line address is line-aligned and inside a table frame.
@@ -529,12 +578,24 @@ mod tests {
         }
         // Plus one huge page.
         let huge_frame = space.allocator.alloc_contiguous(512, 512).unwrap();
-        space.map_huge_2mb(&mut mem, VirtAddr::new(0x4000_0000), huge_frame, PteFlags::user_data()).unwrap();
+        space
+            .map_huge_2mb(
+                &mut mem,
+                VirtAddr::new(0x4000_0000),
+                huge_frame,
+                PteFlags::user_data(),
+            )
+            .unwrap();
 
         let mappings = space.iter_mappings(&mem);
         assert_eq!(mappings.len(), 101);
         for (va, f) in expected {
-            assert!(mappings.iter().any(|&(v, fr, _, huge)| v == va && fr == f && !huge), "{va}");
+            assert!(
+                mappings
+                    .iter()
+                    .any(|&(v, fr, _, huge)| v == va && fr == f && !huge),
+                "{va}"
+            );
         }
         assert!(mappings.iter().any(|&(v, fr, _, huge)| {
             v == VirtAddr::new(0x4000_0000) && fr == huge_frame && huge
@@ -549,7 +610,13 @@ mod tests {
     fn migrate_table_page_preserves_translations() {
         let (mut mem, mut space) = setup();
         for i in 0..600u64 {
-            space.map_new(&mut mem, VirtAddr::new(0x4000_0000 + i * PAGE_SIZE as u64), PteFlags::user_data()).unwrap();
+            space
+                .map_new(
+                    &mut mem,
+                    VirtAddr::new(0x4000_0000 + i * PAGE_SIZE as u64),
+                    PteFlags::user_data(),
+                )
+                .unwrap();
         }
         let before: Vec<(VirtAddr, PhysAddr)> = (0..600u64)
             .map(|i| {
@@ -574,10 +641,18 @@ mod tests {
     #[test]
     fn migrate_rejects_root_and_foreign_frames() {
         let (mut mem, mut space) = setup();
-        space.map_new(&mut mem, VirtAddr::new(0x1000), PteFlags::user_data()).unwrap();
+        space
+            .map_new(&mut mem, VirtAddr::new(0x1000), PteFlags::user_data())
+            .unwrap();
         let root = space.root();
-        assert_eq!(space.migrate_table_page(&mut mem, root), Err(MapError::NotMapped));
-        assert_eq!(space.migrate_table_page(&mut mem, Frame(0xdead)), Err(MapError::NotMapped));
+        assert_eq!(
+            space.migrate_table_page(&mut mem, root),
+            Err(MapError::NotMapped)
+        );
+        assert_eq!(
+            space.migrate_table_page(&mut mem, Frame(0xdead)),
+            Err(MapError::NotMapped)
+        );
     }
 
     #[test]
@@ -586,10 +661,14 @@ mod tests {
         let mut space = AddressSpace::new(&mut mem, 32).unwrap();
         let frame = space.allocator.alloc_contiguous(512, 512).unwrap();
         let va = VirtAddr::new(0x4000_0000);
-        space.map_huge_2mb(&mut mem, va, frame, PteFlags::user_data()).unwrap();
+        space
+            .map_huge_2mb(&mut mem, va, frame, PteFlags::user_data())
+            .unwrap();
         // Translation works across the whole 2 MB span via the walker.
         for off in [0u64, 0x1000, 0x1f_f000, 0x12_3456] {
-            let pa = space.translate(&mem, VirtAddr::new(va.as_u64() + off)).unwrap();
+            let pa = space
+                .translate(&mem, VirtAddr::new(va.as_u64() + off))
+                .unwrap();
             assert_eq!(pa.as_u64(), frame.base().as_u64() + off, "off={off:#x}");
         }
         assert_eq!(space.mapped_pages(), 512);
@@ -603,7 +682,12 @@ mod tests {
         let mut space = AddressSpace::new(&mut mem, 32).unwrap();
         let frame = space.allocator.alloc_contiguous(512, 512).unwrap();
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _ = space.map_huge_2mb(&mut mem, VirtAddr::new(0x4000_1000), frame, PteFlags::user_data());
+            let _ = space.map_huge_2mb(
+                &mut mem,
+                VirtAddr::new(0x4000_1000),
+                frame,
+                PteFlags::user_data(),
+            );
         }));
         assert!(r.is_err(), "misaligned VA must be rejected");
     }

@@ -37,7 +37,9 @@ pub fn zero_page<M: PhysMem + ?Sized>(mem: &mut M, frame: Frame) {
 
 /// Returns the number of present entries in a table page.
 pub fn count_present<M: PhysMem + ?Sized>(mem: &M, table: Frame) -> usize {
-    (0..PTES_PER_PAGE).filter(|&i| read_entry(mem, table, i).present()).count()
+    (0..PTES_PER_PAGE)
+        .filter(|&i| read_entry(mem, table, i).present())
+        .count()
 }
 
 #[cfg(test)]
@@ -71,7 +73,12 @@ mod tests {
     fn zero_page_clears_and_count_present() {
         let mut mem = VecMemory::new(2 * PAGE_SIZE);
         for i in 0..8 {
-            write_entry(&mut mem, Frame(1), i, Pte::new(Frame(1), PteFlags::user_data()));
+            write_entry(
+                &mut mem,
+                Frame(1),
+                i,
+                Pte::new(Frame(1), PteFlags::user_data()),
+            );
         }
         assert_eq!(count_present(&mem, Frame(1)), 8);
         zero_page(&mut mem, Frame(1));

@@ -82,7 +82,10 @@ impl Walker {
     /// `max_phys_bits` of physical address space.
     #[must_use]
     pub fn new(root: Frame, max_phys_bits: u32) -> Self {
-        Self { root, max_phys_bits }
+        Self {
+            root,
+            max_phys_bits,
+        }
     }
 
     /// The root (CR3) frame.
@@ -99,14 +102,22 @@ impl Walker {
     /// [`TranslationError::PfnOutOfBounds`] when an entry references physical
     /// memory beyond the installed size (the OS-visible symptom of a PTE that
     /// still contains an embedded MAC, or of a corrupted PFN).
-    pub fn walk<M: PhysMem + ?Sized>(&self, mem: &M, va: VirtAddr) -> Result<Walk, TranslationError> {
+    pub fn walk<M: PhysMem + ?Sized>(
+        &self,
+        mem: &M,
+        va: VirtAddr,
+    ) -> Result<Walk, TranslationError> {
         let max_frame = 1u64 << (self.max_phys_bits - 12);
         let mut accesses = Vec::with_capacity(4);
         let mut table = self.root;
         for level in (0..4).rev() {
             let index = va.level_index(level);
             let pte = table::read_entry(mem, table, index);
-            accesses.push(WalkAccess { entry_addr: table::entry_addr(table, index), level, pte });
+            accesses.push(WalkAccess {
+                entry_addr: table::entry_addr(table, index),
+                level,
+                pte,
+            });
             if !pte.present() {
                 return Err(TranslationError::NotPresent { level });
             }
@@ -135,7 +146,11 @@ impl Walker {
     /// # Errors
     ///
     /// Same as [`Walker::walk`].
-    pub fn translate<M: PhysMem + ?Sized>(&self, mem: &M, va: VirtAddr) -> Result<PhysAddr, TranslationError> {
+    pub fn translate<M: PhysMem + ?Sized>(
+        &self,
+        mem: &M,
+        va: VirtAddr,
+    ) -> Result<PhysAddr, TranslationError> {
         self.walk(mem, va).map(|w| w.phys)
     }
 }
@@ -151,10 +166,25 @@ mod tests {
     fn build_single_mapping(va: VirtAddr, target: Frame) -> (VecMemory, Frame) {
         let mut mem = VecMemory::new(64 * PAGE_SIZE);
         let (root, pdpt, pd, pt) = (Frame(1), Frame(2), Frame(3), Frame(4));
-        table::write_entry(&mut mem, root, va.pml4_index(), Pte::new(pdpt, PteFlags::table()));
-        table::write_entry(&mut mem, pdpt, va.pdpt_index(), Pte::new(pd, PteFlags::table()));
+        table::write_entry(
+            &mut mem,
+            root,
+            va.pml4_index(),
+            Pte::new(pdpt, PteFlags::table()),
+        );
+        table::write_entry(
+            &mut mem,
+            pdpt,
+            va.pdpt_index(),
+            Pte::new(pd, PteFlags::table()),
+        );
         table::write_entry(&mut mem, pd, va.pd_index(), Pte::new(pt, PteFlags::table()));
-        table::write_entry(&mut mem, pt, va.pt_index(), Pte::new(target, PteFlags::user_data()));
+        table::write_entry(
+            &mut mem,
+            pt,
+            va.pt_index(),
+            Pte::new(target, PteFlags::user_data()),
+        );
         (mem, root)
     }
 
@@ -208,8 +238,18 @@ mod tests {
         let va = VirtAddr::new(0x4000_0000 + 0x1f_f123);
         let mut mem = VecMemory::new(64 * PAGE_SIZE);
         let (root, pdpt, pd) = (Frame(1), Frame(2), Frame(3));
-        table::write_entry(&mut mem, root, va.pml4_index(), Pte::new(pdpt, PteFlags::table()));
-        table::write_entry(&mut mem, pdpt, va.pdpt_index(), Pte::new(pd, PteFlags::table()));
+        table::write_entry(
+            &mut mem,
+            root,
+            va.pml4_index(),
+            Pte::new(pdpt, PteFlags::table()),
+        );
+        table::write_entry(
+            &mut mem,
+            pdpt,
+            va.pdpt_index(),
+            Pte::new(pd, PteFlags::table()),
+        );
         // 2 MB page at frame 0x800 (must be 2 MB aligned: low 9 PFN bits 0).
         let mut leaf = Pte::new(Frame(0x800), PteFlags::user_data());
         leaf = Pte::from_raw(leaf.raw() | crate::x86_64::bits::HUGE_PAGE);
@@ -227,6 +267,9 @@ mod tests {
         let va = VirtAddr::new(0x7f12_3456_7abc);
         let (mem, root) = build_single_mapping(va, Frame(0x20));
         let walker = Walker::new(root, 32);
-        assert_eq!(walker.translate(&mem, va).unwrap(), walker.walk(&mem, va).unwrap().phys);
+        assert_eq!(
+            walker.translate(&mem, va).unwrap(),
+            walker.walk(&mem, va).unwrap().phys
+        );
     }
 }

@@ -193,8 +193,15 @@ impl Pte {
 /// `39:max_phys_bits` are additionally zero but unused by the MAC (Table IV).
 #[must_use]
 pub fn unused_mask(max_phys_bits: u32) -> u64 {
-    assert!((12..=52).contains(&max_phys_bits), "max_phys_bits out of range");
-    let unused_pfn = if max_phys_bits >= 52 { 0 } else { bits::PFN_MASK & !((1u64 << max_phys_bits) - 1) };
+    assert!(
+        (12..=52).contains(&max_phys_bits),
+        "max_phys_bits out of range"
+    );
+    let unused_pfn = if max_phys_bits >= 52 {
+        0
+    } else {
+        bits::PFN_MASK & !((1u64 << max_phys_bits) - 1)
+    };
     unused_pfn | bits::IGNORED_MASK
 }
 
@@ -203,7 +210,10 @@ pub fn unused_mask(max_phys_bits: u32) -> u64 {
 /// `(max_phys_bits-1):12`, and the protection-key/NX bits 63:59.
 #[must_use]
 pub fn mac_protected_mask(max_phys_bits: u32) -> u64 {
-    assert!((12..=52).contains(&max_phys_bits), "max_phys_bits out of range");
+    assert!(
+        (12..=52).contains(&max_phys_bits),
+        "max_phys_bits out of range"
+    );
     let flags = 0x1ffu64 & !bits::ACCESSED; // 8:0 except accessed
     let pfn_in_use = bits::PFN_MASK & ((1u64 << max_phys_bits) - 1);
     flags | bits::OS_BITS_MASK | pfn_in_use | bits::MPK_MASK | bits::NX
@@ -359,7 +369,11 @@ mod tests {
         let m = mac_protected_mask(40);
         assert_eq!(m & bits::ACCESSED, 0, "accessed bit must be unprotected");
         assert_eq!(m & (0xfff << 40), 0, "MAC region must be unprotected");
-        assert_eq!(m & bits::IGNORED_MASK, 0, "ignored bits must be unprotected");
+        assert_eq!(
+            m & bits::IGNORED_MASK,
+            0,
+            "ignored bits must be unprotected"
+        );
         assert_ne!(m & bits::NX, 0);
         assert_ne!(m & bits::MPK_MASK, 0);
         assert_ne!(m & bits::PRESENT, 0);
@@ -370,7 +384,11 @@ mod tests {
     #[test]
     fn protected_and_unused_masks_are_disjoint() {
         for m in [28u32, 32, 34, 40] {
-            assert_eq!(mac_protected_mask(m) & unused_mask(m), 0, "max_phys_bits={m}");
+            assert_eq!(
+                mac_protected_mask(m) & unused_mask(m),
+                0,
+                "max_phys_bits={m}"
+            );
         }
     }
 

@@ -166,7 +166,10 @@ mod tests {
         assert!(MonotonicPolicy::true_cell_reachable(before2, after2));
         assert_eq!(p.classify(before, after), FlipThreat::MetadataEscalation);
         assert_eq!(p.classify(before2, after2), FlipThreat::MetadataEscalation);
-        assert!(p.guarantee_holds(before2, after2), "the PFN guarantee technically holds...");
+        assert!(
+            p.guarantee_holds(before2, after2),
+            "the PFN guarantee technically holds..."
+        );
         // ...yet W^X is now subverted — exactly why PT-Guard MACs all fields.
     }
 
@@ -175,6 +178,9 @@ mod tests {
         let p = policy();
         let before = Pte::new(Frame(0x4_2424), PteFlags::user_data());
         let after = Pte::from_raw(before.raw() & !(1 << 14)); // PFN -= 4 (bit 2 is set)
-        assert_eq!(p.classify(before, after), FlipThreat::ContainedPfnCorruption);
+        assert_eq!(
+            p.classify(before, after),
+            FlipThreat::ContainedPfnCorruption
+        );
     }
 }

@@ -33,7 +33,9 @@ impl SecWalkEdc {
     /// address space.
     #[must_use]
     pub fn new(max_phys_bits: u32) -> Self {
-        Self { protected_mask: mac_protected_mask(max_phys_bits) }
+        Self {
+            protected_mask: mac_protected_mask(max_phys_bits),
+        }
     }
 
     /// The protected-bit mask the code covers.
@@ -47,7 +49,7 @@ impl SecWalkEdc {
     pub fn compute(&self, pte: u64) -> u32 {
         let data = pte & self.protected_mask;
         let crc = crc24(data);
-        let parity = (data.count_ones() & 1) as u32;
+        let parity = data.count_ones() & 1;
         (crc << 1) | parity
     }
 
@@ -74,7 +76,7 @@ impl SecWalkEdc {
                 if delta == 0 || delta & !self.protected_mask != 0 {
                     continue;
                 }
-                if delta.count_ones() % 2 == 0 && crc24(delta) == 0 {
+                if delta.count_ones().is_multiple_of(2) && crc24(delta) == 0 {
                     return Some(delta);
                 }
             }
@@ -130,11 +132,16 @@ mod tests {
         let c = checker();
         let pte = (0x0abcdu64 << 12) | 0x67 | (1 << 63);
         let edc = c.compute(pte);
-        let bits: Vec<u32> = (0..64).filter(|&b| c.protected_mask() >> b & 1 == 1).collect();
+        let bits: Vec<u32> = (0..64)
+            .filter(|&b| c.protected_mask() >> b & 1 == 1)
+            .collect();
         for (i, &b1) in bits.iter().enumerate() {
             assert!(!c.verify(pte ^ (1 << b1), edc), "1-flip at {b1} undetected");
             for &b2 in &bits[i + 1..] {
-                assert!(!c.verify(pte ^ (1 << b1) ^ (1 << b2), edc), "2-flip {b1},{b2} undetected");
+                assert!(
+                    !c.verify(pte ^ (1 << b1) ^ (1 << b2), edc),
+                    "2-flip {b1},{b2} undetected"
+                );
             }
         }
     }
@@ -145,7 +152,9 @@ mod tests {
         let c = checker();
         let pte = (0x00fedu64 << 12) | 0x07;
         let edc = c.compute(pte);
-        let bits: Vec<u32> = (0..64).filter(|&b| c.protected_mask() >> b & 1 == 1).collect();
+        let bits: Vec<u32> = (0..64)
+            .filter(|&b| c.protected_mask() >> b & 1 == 1)
+            .collect();
         let n = bits.len();
         let mut checked = 0u64;
         for a in (0..n).step_by(3) {
@@ -169,7 +178,9 @@ mod tests {
     fn linear_codeword_tamper_is_undetected() {
         // The structural weakness: a codeword-shaped δ passes for any PTE.
         let c = checker();
-        let delta = c.undetectable_delta().expect("a linear code always has codewords");
+        let delta = c
+            .undetectable_delta()
+            .expect("a linear code always has codewords");
         assert_ne!(delta, 0);
         assert_eq!(delta & !c.protected_mask(), 0);
         for pte in [(0x12345u64 << 12) | 0x27, 0, (0xfffffu64 << 12) | 0x67] {

@@ -52,7 +52,10 @@ impl Default for PtGuardConfig {
         Self {
             format: PteFormat::X86_64,
             max_phys_bits: 40,
-            key: [0x0f0e_0d0c_0b0a_0908_0706_0504_0302_0100, 0xcafe_f00d_dead_beef_0123_4567_89ab_cdef],
+            key: [
+                0x0f0e_0d0c_0b0a_0908_0706_0504_0302_0100,
+                0xcafe_f00d_dead_beef_0123_4567_89ab_cdef,
+            ],
             mac_rounds: 9,
             sbox: Sbox::Sigma1,
             optimized: false,
@@ -69,14 +72,20 @@ impl PtGuardConfig {
     /// The Optimized PT-Guard of Section V (identifier + MAC-zero).
     #[must_use]
     pub fn optimized() -> Self {
-        Self { optimized: true, ..Self::default() }
+        Self {
+            optimized: true,
+            ..Self::default()
+        }
     }
 
     /// PT-Guard over ARMv8 stage-1 descriptors (Table II), at the paper's
     /// 1 TB design point.
     #[must_use]
     pub fn armv8() -> Self {
-        let mut cfg = Self { format: PteFormat::ArmV8, ..Self::default() };
+        let mut cfg = Self {
+            format: PteFormat::ArmV8,
+            ..Self::default()
+        };
         cfg.identifier &= (1 << cfg.format.id_bits()) - 1;
         cfg
     }
@@ -107,11 +116,20 @@ impl PtGuardConfig {
             "max_phys_bits must be in (12, 40], got {}",
             self.max_phys_bits
         );
-        assert!(self.identifier < (1u64 << self.format.id_bits()), "identifier exceeds the format's ignored field");
+        assert!(
+            self.identifier < (1u64 << self.format.id_bits()),
+            "identifier exceeds the format's ignored field"
+        );
         if self.format == PteFormat::ArmV8 {
-            assert_eq!(self.max_phys_bits, 40, "ARMv8 support is fixed at the 1 TB design point");
+            assert_eq!(
+                self.max_phys_bits, 40,
+                "ARMv8 support is fixed at the 1 TB design point"
+            );
         }
-        assert!(self.soft_match_k < MAC_BITS, "soft_match_k must be far below the MAC width");
+        assert!(
+            self.soft_match_k < MAC_BITS,
+            "soft_match_k must be far below the MAC width"
+        );
     }
 }
 
@@ -135,12 +153,22 @@ mod tests {
         let base = PtGuardConfig::default();
         let opt = PtGuardConfig::optimized();
         assert!(opt.optimized);
-        assert_eq!(PtGuardConfig { optimized: false, ..opt }, base);
+        assert_eq!(
+            PtGuardConfig {
+                optimized: false,
+                ..opt
+            },
+            base
+        );
     }
 
     #[test]
     #[should_panic(expected = "max_phys_bits")]
     fn rejects_pfn_overlapping_mac() {
-        PtGuardConfig { max_phys_bits: 41, ..PtGuardConfig::default() }.validate();
+        PtGuardConfig {
+            max_phys_bits: 41,
+            ..PtGuardConfig::default()
+        }
+        .validate();
     }
 }

@@ -12,7 +12,7 @@
 //! 1. *Soft match*: retry the stored line tolerating ≤ k MAC-bit faults (1 guess).
 //! 2. *Flip and check*: flip each protected bit in turn (44 × 8 = 352 guesses for M = 40).
 //! 3. *Zero reset*: treat almost-zero PTEs (≤ 4 protected bits set) as zero (1 guess).
-//! 4. + 5. *Flag majority vote* and *PFN contiguity*, independently and
+//! 4. *Flag majority vote* and 5. *PFN contiguity*, independently and
 //!    combined (18 guesses).
 //!
 //! Maximum ≈ 372 guesses (`G_MAX`), the figure the security model uses.
@@ -93,7 +93,11 @@ impl<'a> Corrector<'a> {
     /// almost-zero cut-off `zero_reset_bits`.
     #[must_use]
     pub fn new(mac: &'a PteMac, k: u32, zero_reset_bits: u32) -> Self {
-        Self { mac, k, zero_reset_bits }
+        Self {
+            mac,
+            k,
+            zero_reset_bits,
+        }
     }
 
     /// Attempts to correct `line` (read from DRAM at `addr`, whose exact MAC
@@ -110,7 +114,11 @@ impl<'a> Corrector<'a> {
 
         // Step 1: soft match of the line as-is.
         if check(line, &mut guesses) {
-            return CorrectionOutcome::Corrected(Corrected { line: *line, guesses, step: CorrectionStep::SoftMatch });
+            return CorrectionOutcome::Corrected(Corrected {
+                line: *line,
+                guesses,
+                step: CorrectionStep::SoftMatch,
+            });
         }
 
         // Step 2: flip and check every protected bit.
@@ -123,7 +131,11 @@ impl<'a> Corrector<'a> {
                 let mut cand = *line;
                 cand.set_word(word, cand.word(word) ^ (1 << bit));
                 if check(&cand, &mut guesses) {
-                    return CorrectionOutcome::Corrected(Corrected { line: cand, guesses, step: CorrectionStep::FlipAndCheck });
+                    return CorrectionOutcome::Corrected(Corrected {
+                        line: cand,
+                        guesses,
+                        step: CorrectionStep::FlipAndCheck,
+                    });
                 }
             }
         }
@@ -131,7 +143,11 @@ impl<'a> Corrector<'a> {
         // Step 3: reset almost-zero PTEs; subsequent guesses build on this.
         let base = self.reset_almost_zero(line, protected);
         if check(&base, &mut guesses) {
-            return CorrectionOutcome::Corrected(Corrected { line: base, guesses, step: CorrectionStep::ZeroReset });
+            return CorrectionOutcome::Corrected(Corrected {
+                line: base,
+                guesses,
+                step: CorrectionStep::ZeroReset,
+            });
         }
 
         // Steps 4 + 5: flag majority vote × PFN-contiguity candidates.
@@ -140,8 +156,9 @@ impl<'a> Corrector<'a> {
         // contiguity reconstruction).
         let pfn_mask = self.mac.pfn_mask();
         let flag_mask = protected & !pfn_mask;
-        let nonzero: Vec<usize> =
-            (0..PTES_PER_LINE).filter(|&i| base.word(i) & protected != 0).collect();
+        let nonzero: Vec<usize> = (0..PTES_PER_LINE)
+            .filter(|&i| base.word(i) & protected != 0)
+            .collect();
         if !nonzero.is_empty() {
             let flag_choices = [None, Some(self.majority_flags(&base, &nonzero, flag_mask))];
             let mut pfn_choices: Vec<Option<Vec<(usize, u64)>>> = vec![None];
@@ -213,12 +230,20 @@ impl<'a> Corrector<'a> {
                 voted |= m;
             }
         }
-        nonzero.iter().map(|&i| (i, (line.word(i) & !flag_mask) | voted)).collect()
+        nonzero
+            .iter()
+            .map(|&i| (i, (line.word(i) & !flag_mask) | voted))
+            .collect()
     }
 
     /// Step 5a helper: majority vote over the top PFN bits (all but the low
     /// 8), keeping each entry's own low 8 bits.
-    fn vote_top_pfn(&self, line: &Line, nonzero: &[usize], pfn_mask: u64) -> Option<Vec<(usize, u64)>> {
+    fn vote_top_pfn(
+        &self,
+        line: &Line,
+        nonzero: &[usize],
+        pfn_mask: u64,
+    ) -> Option<Vec<(usize, u64)>> {
         let low8 = 0xffu64 << bits::PFN_SHIFT;
         let top_mask = pfn_mask & !low8;
         if top_mask == 0 {
@@ -235,7 +260,12 @@ impl<'a> Corrector<'a> {
                 voted |= m;
             }
         }
-        Some(nonzero.iter().map(|&i| (i, voted | (line.word(i) & pfn_mask & low8))).collect())
+        Some(
+            nonzero
+                .iter()
+                .map(|&i| (i, voted | (line.word(i) & pfn_mask & low8)))
+                .collect(),
+        )
     }
 
     /// Step 5b helper: assume entry `b`'s PFN is correct and reconstruct the
@@ -331,7 +361,11 @@ mod tests {
             match c.correct(&faulty, addr) {
                 CorrectionOutcome::Corrected(r) => {
                     assert_eq!(r.line, clean, "bit {bit}");
-                    assert!(matches!(r.step, CorrectionStep::FlipAndCheck), "bit {bit}: {:?}", r.step);
+                    assert!(
+                        matches!(r.step, CorrectionStep::FlipAndCheck),
+                        "bit {bit}: {:?}",
+                        r.step
+                    );
                 }
                 other => panic!("bit {bit}: {other:?}"),
             }
@@ -398,7 +432,14 @@ mod tests {
     /// exploit beyond single-bit search.
     fn noncontiguous_line(mac: &PteMac, addr: PhysAddr) -> Line {
         let mut line = Line::ZERO;
-        let pfns = [0x0a1_b2c3u64, 0x571_0000, 0x123_4567, 0x0ff_ff00, 0x800_0001, 0x2d2_d2d2];
+        let pfns = [
+            0x0a1_b2c3u64,
+            0x571_0000,
+            0x123_4567,
+            0x0ff_ff00,
+            0x800_0001,
+            0x2d2_d2d2,
+        ];
         for (i, p) in pfns.iter().enumerate() {
             line.set_word(i, (p << 12) | 0x27);
         }

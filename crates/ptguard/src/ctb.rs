@@ -122,7 +122,10 @@ mod tests {
             assert!(ctb.insert(PhysAddr::new(i * 64)));
         }
         assert!(ctb.is_full());
-        assert!(!ctb.insert(PhysAddr::new(0x9999_9940)), "fifth insert must fail");
+        assert!(
+            !ctb.insert(PhysAddr::new(0x9999_9940)),
+            "fifth insert must fail"
+        );
         ctb.clear();
         assert!(ctb.is_empty());
         assert!(ctb.insert(PhysAddr::new(0x9999_9940)));

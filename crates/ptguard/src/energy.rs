@@ -22,7 +22,11 @@ pub struct EnergyModel {
 
 impl Default for EnergyModel {
     fn default() -> Self {
-        Self { mac_nj: 1.6, dram_access_nj: 25.0, pattern_match_nj: 0.01 }
+        Self {
+            mac_nj: 1.6,
+            dram_access_nj: 25.0,
+            pattern_match_nj: 0.01,
+        }
     }
 }
 
@@ -110,7 +114,11 @@ mod tests {
         // negligible next to DRAM access energy.
         let stats = drive(PtGuardConfig::optimized());
         let r = EnergyModel::default().report(&stats);
-        assert!(r.mac_fraction_of_reads < 0.05, "fraction {}", r.mac_fraction_of_reads);
+        assert!(
+            r.mac_fraction_of_reads < 0.05,
+            "fraction {}",
+            r.mac_fraction_of_reads
+        );
         assert!(r.overhead() < 0.01, "overhead {}", r.overhead());
     }
 
@@ -125,7 +133,11 @@ mod tests {
 
     #[test]
     fn report_arithmetic() {
-        let model = EnergyModel { mac_nj: 2.0, dram_access_nj: 20.0, pattern_match_nj: 0.0 };
+        let model = EnergyModel {
+            mac_nj: 2.0,
+            dram_access_nj: 20.0,
+            pattern_match_nj: 0.0,
+        };
         let stats = EngineStats {
             reads: 100,
             writes: 100,

@@ -123,7 +123,12 @@ impl PtGuardEngine {
     #[must_use]
     pub fn new(cfg: PtGuardConfig) -> Self {
         cfg.validate();
-        Self { mac: PteMac::from_config(&cfg), ctb: CollisionTrackingBuffer::new(), stats: EngineStats::default(), cfg }
+        Self {
+            mac: PteMac::from_config(&cfg),
+            ctb: CollisionTrackingBuffer::new(),
+            stats: EngineStats::default(),
+            cfg,
+        }
     }
 
     /// The engine's configuration.
@@ -175,14 +180,20 @@ impl PtGuardEngine {
             // A previously colliding line overwritten by a protected line is
             // no longer colliding.
             self.ctb.remove(addr);
-            return WriteOutcome { line: out, protected: true, collision_tracked: false, rekey_required: false, mac_computed: computed };
+            return WriteOutcome {
+                line: out,
+                protected: true,
+                collision_tracked: false,
+                rekey_required: false,
+                mac_computed: computed,
+            };
         }
 
         // Non-matching line: write-time collision detection (Section IV-D).
         // In optimized mode a collision additionally requires the identifier
         // region to alias the identifier (otherwise reads never strip it).
-        let id_aliases =
-            !self.cfg.optimized || pattern::extract_identifier_for(&line, fmt) == self.cfg.identifier;
+        let id_aliases = !self.cfg.optimized
+            || pattern::extract_identifier_for(&line, fmt) == self.cfg.identifier;
         let mut collision = false;
         let mut mac_computed = false;
         if id_aliases {
@@ -201,7 +212,13 @@ impl PtGuardEngine {
         } else {
             self.ctb.remove(addr);
         }
-        WriteOutcome { line, protected: false, collision_tracked: collision, rekey_required, mac_computed }
+        WriteOutcome {
+            line,
+            protected: false,
+            collision_tracked: collision,
+            rekey_required,
+            mac_computed,
+        }
     }
 
     /// Processes a DRAM read of `line` from `addr` (Sections IV-C to IV-E,
@@ -214,7 +231,12 @@ impl PtGuardEngine {
 
         // Tracked colliding lines are forwarded untouched, no MAC work.
         if self.ctb.contains(addr) {
-            return ReadOutcome { line, verdict: ReadVerdict::Forwarded, mac_computed: false, added_latency_cycles: 0 };
+            return ReadOutcome {
+                line,
+                verdict: ReadVerdict::Forwarded,
+                mac_computed: false,
+                added_latency_cycles: 0,
+            };
         }
 
         let fmt = self.cfg.format;
@@ -223,7 +245,12 @@ impl PtGuardEngine {
             if id != self.cfg.identifier && !is_pte {
                 // No identifier: not a protected line; skip the MAC entirely.
                 self.stats.identifier_skips += 1;
-                return ReadOutcome { line, verdict: ReadVerdict::Forwarded, mac_computed: false, added_latency_cycles: 0 };
+                return ReadOutcome {
+                    line,
+                    verdict: ReadVerdict::Forwarded,
+                    mac_computed: false,
+                    added_latency_cycles: 0,
+                };
             }
             // MAC-zero shortcut: an all-zero payload carrying the
             // precomputed MAC-zero verifies by comparison alone.
@@ -255,13 +282,23 @@ impl PtGuardEngine {
             } else {
                 pattern::strip_mac_for(&line, fmt)
             };
-            return ReadOutcome { line: stripped, verdict: ReadVerdict::Verified, mac_computed: true, added_latency_cycles: latency };
+            return ReadOutcome {
+                line: stripped,
+                verdict: ReadVerdict::Verified,
+                mac_computed: true,
+                added_latency_cycles: latency,
+            };
         }
 
         if !is_pte {
             // Regular data without a matching MAC: forward unchanged — no
             // worse than consuming bit-flipped data on a baseline machine.
-            return ReadOutcome { line, verdict: ReadVerdict::Forwarded, mac_computed: true, added_latency_cycles: latency };
+            return ReadOutcome {
+                line,
+                verdict: ReadVerdict::Forwarded,
+                mac_computed: true,
+                added_latency_cycles: latency,
+            };
         }
 
         // Page-table walk with a MAC mismatch: correction, then exception.
@@ -279,12 +316,16 @@ impl PtGuardEngine {
                 self.stats.corrected += 1;
                 return ReadOutcome {
                     line: Line::ZERO,
-                    verdict: ReadVerdict::Corrected { guesses: 1, step: CorrectionStep::ZeroReset },
+                    verdict: ReadVerdict::Corrected {
+                        guesses: 1,
+                        step: CorrectionStep::ZeroReset,
+                    },
                     mac_computed: true,
                     added_latency_cycles: latency.saturating_mul(2),
                 };
             }
-            let corrector = Corrector::new(&self.mac, self.cfg.soft_match_k, self.cfg.zero_reset_bits);
+            let corrector =
+                Corrector::new(&self.mac, self.cfg.soft_match_k, self.cfg.zero_reset_bits);
             if let CorrectionOutcome::Corrected(c) = corrector.correct(&line, addr) {
                 self.stats.corrected += 1;
                 let stripped = if self.cfg.optimized {
@@ -294,7 +335,10 @@ impl PtGuardEngine {
                 };
                 return ReadOutcome {
                     line: stripped,
-                    verdict: ReadVerdict::Corrected { guesses: c.guesses, step: c.step },
+                    verdict: ReadVerdict::Corrected {
+                        guesses: c.guesses,
+                        step: c.step,
+                    },
                     mac_computed: true,
                     added_latency_cycles: latency.saturating_mul(1 + c.guesses),
                 };
@@ -302,7 +346,12 @@ impl PtGuardEngine {
         }
 
         self.stats.check_failures += 1;
-        ReadOutcome { line, verdict: ReadVerdict::CheckFailed, mac_computed: true, added_latency_cycles: latency }
+        ReadOutcome {
+            line,
+            verdict: ReadVerdict::CheckFailed,
+            mac_computed: true,
+            added_latency_cycles: latency,
+        }
     }
 
     /// Full-memory re-keying (Section VII-B): reads every line under the old
@@ -338,12 +387,30 @@ mod tests {
     use super::*;
 
     fn pte_line() -> Line {
-        Line::from_words([0x1234_5027, 0x1235_5027, 0, 0x8000_0000_1111_1007, 0, 0, 0, 0])
+        Line::from_words([
+            0x1234_5027,
+            0x1235_5027,
+            0,
+            0x8000_0000_1111_1007,
+            0,
+            0,
+            0,
+            0,
+        ])
     }
 
     fn data_line() -> Line {
         // Regular data: has bits inside the MAC region, never matches.
-        Line::from_words([u64::MAX, 0x1234_5678_9abc_def0, 0xffff_ffff_0000_1111, 7, 8, 9, 10, 11])
+        Line::from_words([
+            u64::MAX,
+            0x1234_5678_9abc_def0,
+            0xffff_ffff_0000_1111,
+            7,
+            8,
+            9,
+            10,
+            11,
+        ])
     }
 
     #[test]
@@ -373,7 +440,10 @@ mod tests {
 
     #[test]
     fn tampered_pte_walk_fails_or_corrects() {
-        let mut e = PtGuardEngine::new(PtGuardConfig { correction: false, ..PtGuardConfig::default() });
+        let mut e = PtGuardEngine::new(PtGuardConfig {
+            correction: false,
+            ..PtGuardConfig::default()
+        });
         let addr = PhysAddr::new(0x4000);
         let w = e.process_write(pte_line(), addr);
         let mut tampered = w.line;
@@ -582,10 +652,19 @@ mod tests {
         let w1 = e.process_write(Line::ZERO, a1);
         let w2 = e.process_write(Line::ZERO, a2);
         assert!(w1.mac_computed && w2.mac_computed);
-        assert_ne!(w1.line, w2.line, "address binding must differentiate zero lines");
-        assert_eq!(e.process_read(w1.line, a1, true).verdict, ReadVerdict::Verified);
-        assert_eq!(e.process_read(w2.line, a1, true).verdict, ReadVerdict::CheckFailed,
-            "a relocated zero line must not verify");
+        assert_ne!(
+            w1.line, w2.line,
+            "address binding must differentiate zero lines"
+        );
+        assert_eq!(
+            e.process_read(w1.line, a1, true).verdict,
+            ReadVerdict::Verified
+        );
+        assert_eq!(
+            e.process_read(w2.line, a1, true).verdict,
+            ReadVerdict::CheckFailed,
+            "a relocated zero line must not verify"
+        );
     }
 
     #[test]
@@ -606,7 +685,10 @@ mod tests {
         let r = e.process_read(id_flipped, addr, false);
         assert_eq!(r.verdict, ReadVerdict::Forwarded);
         assert!(!r.mac_computed);
-        assert_eq!(r.line, id_flipped, "line (with MAC residue) forwarded as-is");
+        assert_eq!(
+            r.line, id_flipped,
+            "line (with MAC residue) forwarded as-is"
+        );
 
         // Page-table walk of the same line: the MAC check still runs and
         // the identifier flip is trivially repaired (id bits are stripped).

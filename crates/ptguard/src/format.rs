@@ -45,10 +45,25 @@ pub enum PteFormat {
     ArmV8,
 }
 
-const X86_MAC: &[Segment] = &[Segment { shift: 40, width: 12 }];
-const X86_ID: &[Segment] = &[Segment { shift: 52, width: 7 }];
-const ARM_MAC: &[Segment] = &[Segment { shift: 40, width: 10 }, Segment { shift: 8, width: 2 }];
-const ARM_ID: &[Segment] = &[Segment { shift: 55, width: 4 }];
+const X86_MAC: &[Segment] = &[Segment {
+    shift: 40,
+    width: 12,
+}];
+const X86_ID: &[Segment] = &[Segment {
+    shift: 52,
+    width: 7,
+}];
+const ARM_MAC: &[Segment] = &[
+    Segment {
+        shift: 40,
+        width: 10,
+    },
+    Segment { shift: 8, width: 2 },
+];
+const ARM_ID: &[Segment] = &[Segment {
+    shift: 55,
+    width: 4,
+}];
 
 impl PteFormat {
     /// Per-entry bit runs that hold the MAC share (12 bits per entry, 96
@@ -91,13 +106,19 @@ impl PteFormat {
     /// Per-word mask of the MAC region.
     #[must_use]
     pub fn mac_field_mask(self) -> u64 {
-        self.mac_segments().iter().map(|s| s.mask()).fold(0, |a, m| a | m)
+        self.mac_segments()
+            .iter()
+            .map(|s| s.mask())
+            .fold(0, |a, m| a | m)
     }
 
     /// Per-word mask of the identifier region.
     #[must_use]
     pub fn id_field_mask(self) -> u64 {
-        self.id_segments().iter().map(|s| s.mask()).fold(0, |a, m| a | m)
+        self.id_segments()
+            .iter()
+            .map(|s| s.mask())
+            .fold(0, |a, m| a | m)
     }
 
     /// Per-word mask of the bits the MAC protects (Table IV and its ARMv8
@@ -113,7 +134,10 @@ impl PteFormat {
         match self {
             PteFormat::X86_64 => x86_64::mac_protected_mask(max_phys_bits),
             PteFormat::ArmV8 => {
-                assert_eq!(max_phys_bits, 40, "ARMv8 segments are fixed at the 1 TB design point");
+                assert_eq!(
+                    max_phys_bits, 40,
+                    "ARMv8 segments are fixed at the 1 TB design point"
+                );
                 // Everything except: accessed (bit 10), the MAC segments
                 // (49:40 and 9:8), and the ignored bits 58:55.
                 let excluded =
@@ -131,7 +155,10 @@ impl PteFormat {
         match self {
             PteFormat::X86_64 => x86_64::bits::PFN_MASK & ((1u64 << max_phys_bits) - 1),
             PteFormat::ArmV8 => {
-                assert_eq!(max_phys_bits, 40, "ARMv8 segments are fixed at the 1 TB design point");
+                assert_eq!(
+                    max_phys_bits, 40,
+                    "ARMv8 segments are fixed at the 1 TB design point"
+                );
                 armv8::bits::PFN_LOW_MASK & ((1u64 << max_phys_bits) - 1)
             }
         }
@@ -171,9 +198,17 @@ mod tests {
     #[test]
     fn armv8_mac_region_covers_split_pfn() {
         let m = PteFormat::ArmV8.mac_field_mask();
-        assert_ne!(m & (0b11 << 8), 0, "`PFN[39:38]` bits must be in the MAC region");
+        assert_ne!(
+            m & (0b11 << 8),
+            0,
+            "`PFN[39:38]` bits must be in the MAC region"
+        );
         assert_ne!(m & (0x3ff << 40), 0);
-        assert_eq!(m & (1 << 10), 0, "accessed bit must not be in the MAC region");
+        assert_eq!(
+            m & (1 << 10),
+            0,
+            "accessed bit must not be in the MAC region"
+        );
     }
 
     #[test]
@@ -184,7 +219,10 @@ mod tests {
 
     #[test]
     fn segment_mask_arithmetic() {
-        let s = Segment { shift: 40, width: 12 };
+        let s = Segment {
+            shift: 40,
+            width: 12,
+        };
         assert_eq!(s.mask(), 0xfff << 40);
         let s = Segment { shift: 8, width: 2 };
         assert_eq!(s.mask(), 0b11 << 8);

@@ -18,7 +18,9 @@ pub struct Line {
 
 impl Line {
     /// The all-zero line.
-    pub const ZERO: Line = Line { words: [0; PTES_PER_LINE] };
+    pub const ZERO: Line = Line {
+        words: [0; PTES_PER_LINE],
+    };
 
     /// Builds a line from eight words (word 0 = lowest address).
     #[must_use]
@@ -29,7 +31,9 @@ impl Line {
     /// Builds a line from 64 raw bytes.
     #[must_use]
     pub fn from_bytes(bytes: &[u8; CACHELINE_SIZE]) -> Self {
-        Self { words: line_to_words(bytes) }
+        Self {
+            words: line_to_words(bytes),
+        }
     }
 
     /// The eight words of the line.
@@ -104,7 +108,11 @@ impl Line {
     /// Hamming distance to another line.
     #[must_use]
     pub fn hamming(&self, other: &Line) -> u32 {
-        self.words.iter().zip(other.words.iter()).map(|(a, b)| (a ^ b).count_ones()).sum()
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
     }
 
     /// Flips one bit (0 ≤ `bit` < 512; bit 0 = LSB of word 0).

@@ -58,11 +58,23 @@ impl PteMac {
 
     /// Builds the MAC engine for a specific PTE format.
     #[must_use]
-    pub fn with_format(key: [u128; 2], rounds: usize, sbox: Sbox, max_phys_bits: u32, format: PteFormat) -> Self {
+    pub fn with_format(
+        key: [u128; 2],
+        rounds: usize,
+        sbox: Sbox,
+        max_phys_bits: u32,
+        format: PteFormat,
+    ) -> Self {
         let cipher = Qarma128::new(key, rounds, sbox);
         let protected_mask = format.protected_mask(max_phys_bits);
         let pfn_mask = format.pfn_mask(max_phys_bits);
-        let mut engine = Self { cipher, format, protected_mask, pfn_mask, mac_zero: 0 };
+        let mut engine = Self {
+            cipher,
+            format,
+            protected_mask,
+            pfn_mask,
+            mac_zero: 0,
+        };
         engine.mac_zero = engine.compute(&Line::ZERO, PhysAddr::new(0));
         engine
     }
@@ -70,7 +82,13 @@ impl PteMac {
     /// Builds the MAC engine from a [`PtGuardConfig`].
     #[must_use]
     pub fn from_config(cfg: &PtGuardConfig) -> Self {
-        Self::with_format(cfg.key, cfg.mac_rounds, cfg.sbox, cfg.max_phys_bits, cfg.format)
+        Self::with_format(
+            cfg.key,
+            cfg.mac_rounds,
+            cfg.sbox,
+            cfg.max_phys_bits,
+            cfg.format,
+        )
     }
 
     /// Builds a MAC engine covering *every* bit of the line (no PTE-format
@@ -155,7 +173,16 @@ mod tests {
     }
 
     fn sample_line() -> Line {
-        Line::from_words([0x1234_5027, 0x1235_5027, 0, 0x8000_0000_1111_1007, 0, 0, 42 << 12 | 0x27, 0])
+        Line::from_words([
+            0x1234_5027,
+            0x1235_5027,
+            0,
+            0x8000_0000_1111_1007,
+            0,
+            0,
+            42 << 12 | 0x27,
+            0,
+        ])
     }
 
     #[test]
@@ -170,9 +197,15 @@ mod tests {
     fn mac_binds_address() {
         let e = engine();
         let l = sample_line();
-        assert_ne!(e.compute(&l, PhysAddr::new(0x40)), e.compute(&l, PhysAddr::new(0x80)));
+        assert_ne!(
+            e.compute(&l, PhysAddr::new(0x40)),
+            e.compute(&l, PhysAddr::new(0x80))
+        );
         // Sub-line offsets are irrelevant: the line address is what binds.
-        assert_eq!(e.compute(&l, PhysAddr::new(0x40)), e.compute(&l, PhysAddr::new(0x7f)));
+        assert_eq!(
+            e.compute(&l, PhysAddr::new(0x40)),
+            e.compute(&l, PhysAddr::new(0x7f))
+        );
     }
 
     #[test]
@@ -207,7 +240,10 @@ mod tests {
                 let mac = e.compute(&tampered, addr);
                 assert_ne!(mac, base, "undetected flip: word {word} bit {bit}");
                 // Tampering scrambles roughly half the MAC (PRF behaviour).
-                assert!((mac ^ base).count_ones() > 16, "weak diffusion at word {word} bit {bit}");
+                assert!(
+                    (mac ^ base).count_ones() > 16,
+                    "weak diffusion at word {word} bit {bit}"
+                );
             }
         }
     }
@@ -224,7 +260,10 @@ mod tests {
                 damaged ^= 1 << (10 * b); // k distinct flipped MAC bits
             }
             assert!(e.soft_verify(&l, addr, damaged, 4));
-            assert_eq!(e.soft_verify(&l, addr, damaged, k.saturating_sub(1)), k == 0);
+            assert_eq!(
+                e.soft_verify(&l, addr, damaged, k.saturating_sub(1)),
+                k == 0
+            );
         }
         let mut wrecked = mac;
         for b in 0..5 {
@@ -272,6 +311,9 @@ mod tests {
         let a = engine();
         let b = PteMac::from_config(&PtGuardConfig::default().with_key([99, 100]));
         let l = sample_line();
-        assert_ne!(a.compute(&l, PhysAddr::new(0)), b.compute(&l, PhysAddr::new(0)));
+        assert_ne!(
+            a.compute(&l, PhysAddr::new(0)),
+            b.compute(&l, PhysAddr::new(0))
+        );
     }
 }

@@ -32,8 +32,16 @@ impl GradualRekey {
     /// migrated ones. `memory_size` bounds the sweep.
     #[must_use]
     pub fn begin(old: PtGuardEngine, new_key: [u128; 2], memory_size: u64) -> Self {
-        let cfg = PtGuardConfig { key: new_key, ..*old.config() };
-        Self { old, new: PtGuardEngine::new(cfg), boundary: 0, total: memory_size }
+        let cfg = PtGuardConfig {
+            key: new_key,
+            ..*old.config()
+        };
+        Self {
+            old,
+            new: PtGuardEngine::new(cfg),
+            boundary: 0,
+            total: memory_size,
+        }
     }
 
     /// Bytes migrated so far.
@@ -111,7 +119,16 @@ mod tests {
     use pagetable::memory::VecMemory;
 
     fn pte_line(pfn: u64) -> Line {
-        Line::from_words([(pfn << 12) | 0x27, ((pfn + 1) << 12) | 0x27, 0, 0, 0, 0, 0, 0])
+        Line::from_words([
+            (pfn << 12) | 0x27,
+            ((pfn + 1) << 12) | 0x27,
+            0,
+            0,
+            0,
+            0,
+            0,
+            0,
+        ])
     }
 
     /// Sets up memory with protected PTE lines at every 4th line plus data.
@@ -145,7 +162,12 @@ mod tests {
             for (addr, original) in &ptes {
                 let stored = Line::from_bytes(&mem.read_line(*addr));
                 let out = rk.process_read(stored, *addr, true);
-                assert_eq!(out.verdict, ReadVerdict::Verified, "addr {addr:?} boundary {}", rk.progress());
+                assert_eq!(
+                    out.verdict,
+                    ReadVerdict::Verified,
+                    "addr {addr:?} boundary {}",
+                    rk.progress()
+                );
                 assert_eq!(out.line, *original);
             }
             stages += 1;
@@ -182,7 +204,10 @@ mod tests {
         let mut rk = GradualRekey::begin(engine, [0x1234, 0x5678], mem.size());
         while !rk.step(&mut mem, 256) {}
         let after_mac = pattern::extract_mac(&Line::from_bytes(&mem.read_line(addr)));
-        assert_ne!(before_mac, after_mac, "MAC must be recomputed under the new key");
+        assert_ne!(
+            before_mac, after_mac,
+            "MAC must be recomputed under the new key"
+        );
     }
 
     #[test]

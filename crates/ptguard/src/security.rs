@@ -36,7 +36,9 @@ pub fn binomial(n: u32, k: u32) -> u128 {
     let k = k.min(n - k);
     let mut acc: u128 = 1;
     for i in 0..k {
-        acc = acc.checked_mul(u128::from(n - i)).expect("binomial overflow");
+        acc = acc
+            .checked_mul(u128::from(n - i))
+            .expect("binomial overflow");
         acc /= u128::from(i + 1);
     }
     acc
@@ -96,7 +98,9 @@ fn ln_factorial(n: u32) -> f64 {
 /// `target` (the paper uses `target = 1 %`).
 #[must_use]
 pub fn select_k(n: u32, p_flip: f64, target: f64) -> u32 {
-    (0..n).find(|&k| p_uncorrectable(n, k, p_flip) < target).unwrap_or(n)
+    (0..n)
+        .find(|&k| p_uncorrectable(n, k, p_flip) < target)
+        .unwrap_or(n)
 }
 
 /// Expected time (in years) for a Rowhammer attack to escape detection,
@@ -180,7 +184,10 @@ mod tests {
     fn k4_keeps_uncorrectable_below_1pct_at_lpddr4() {
         // Equation 2 at p_flip = 1 % (LPDDR4 worst case).
         assert!(p_uncorrectable(96, 4, 0.01) < 0.01);
-        assert!(p_uncorrectable(96, 3, 0.01) >= 0.01 * 0.1, "k=3 should be near/above the bar");
+        assert!(
+            p_uncorrectable(96, 3, 0.01) >= 0.01 * 0.1,
+            "k=3 should be near/above the bar"
+        );
         assert_eq!(select_k(96, 0.01, 0.01), 4, "the paper selects k = 4");
     }
 

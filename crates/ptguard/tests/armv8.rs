@@ -22,12 +22,21 @@ fn armv8_pte_line() -> Line {
 fn armv8_line_matches_patterns() {
     let line = armv8_pte_line();
     assert!(pattern::matches_pattern_for(&line, PteFormat::ArmV8));
-    assert!(pattern::matches_extended_pattern_for(&line, PteFormat::ArmV8));
+    assert!(pattern::matches_extended_pattern_for(
+        &line,
+        PteFormat::ArmV8
+    ));
 }
 
 #[test]
 fn armv8_write_read_roundtrip() {
-    for cfg in [PtGuardConfig::armv8(), PtGuardConfig { optimized: true, ..PtGuardConfig::armv8() }] {
+    for cfg in [
+        PtGuardConfig::armv8(),
+        PtGuardConfig {
+            optimized: true,
+            ..PtGuardConfig::armv8()
+        },
+    ] {
         let mut e = PtGuardEngine::new(cfg);
         let line = armv8_pte_line();
         let addr = PhysAddr::new(0x9_0040);
@@ -50,12 +59,19 @@ fn armv8_mac_occupies_split_field() {
     let fmt = PteFormat::ArmV8;
     let delta_mask = fmt.mac_field_mask() | fmt.id_field_mask();
     for i in 0..8 {
-        assert_eq!(w.line.word(i) & !delta_mask, line.word(i) & !delta_mask, "word {i}");
+        assert_eq!(
+            w.line.word(i) & !delta_mask,
+            line.word(i) & !delta_mask,
+            "word {i}"
+        );
     }
     // And the MAC share uses both segments for a non-degenerate value.
     let mac = pattern::extract_mac_for(&w.line, fmt);
     assert_ne!(mac, 0);
-    assert!(w.line.words().iter().any(|wd| wd & (0b11 << 8) != 0), "PFN[39:38] bits must carry MAC share");
+    assert!(
+        w.line.words().iter().any(|wd| wd & (0b11 << 8) != 0),
+        "PFN[39:38] bits must carry MAC share"
+    );
 }
 
 #[test]
@@ -115,7 +131,10 @@ fn armv8_contiguity_correction_uses_low_pfn_field() {
 
 #[test]
 fn armv8_identifier_is_32_bits() {
-    let cfg = PtGuardConfig { optimized: true, ..PtGuardConfig::armv8() };
+    let cfg = PtGuardConfig {
+        optimized: true,
+        ..PtGuardConfig::armv8()
+    };
     assert!(cfg.identifier < (1 << 32));
     let mut e = PtGuardEngine::new(cfg);
     // A data line without the identifier skips MAC computation.

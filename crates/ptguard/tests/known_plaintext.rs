@@ -44,7 +44,10 @@ fn attacker_can_harvest_a_mac_for_chosen_data() {
     let read = engine.process_read(hammered, addr, false);
     assert_eq!(read.verdict, ReadVerdict::Forwarded);
     let leaked = pattern::extract_mac(&read.line);
-    assert_eq!(leaked, true_mac, "the attacker has harvested a (data, MAC) pair");
+    assert_eq!(
+        leaked, true_mac,
+        "the attacker has harvested a (data, MAC) pair"
+    );
 }
 
 #[test]

@@ -243,9 +243,9 @@ mod tests {
         // A single non-zero cell must spread to the three *other* rows of its
         // column (diagonal of the circulant is zero).
         let mut s = [0u8; NUM_CELLS];
-        s[4 * 1 + 2] = 0x1; // row 1, col 2
+        s[4 + 2] = 0x1; // row 1, col 2
         let out = mix_columns(&s, &[0, 1, 2, 1], 4);
-        assert_eq!(out[4 * 1 + 2], 0, "diagonal entry must be zero");
+        assert_eq!(out[4 + 2], 0, "diagonal entry must be zero");
         for row in [0usize, 2, 3] {
             assert_ne!(out[4 * row + 2], 0, "row {row} did not receive diffusion");
         }

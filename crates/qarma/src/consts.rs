@@ -58,17 +58,17 @@ mod tests {
 
     #[test]
     fn constants_are_distinct() {
-        for i in 0..C64.len() {
-            for j in (i + 1)..C64.len() {
-                assert_ne!(C64[i], C64[j]);
+        for (i, a) in C64.iter().enumerate() {
+            for b in C64.iter().skip(i + 1) {
+                assert_ne!(a, b);
             }
-            assert_ne!(C64[i], ALPHA64);
+            assert_ne!(*a, ALPHA64);
         }
-        for i in 0..C128.len() {
-            for j in (i + 1)..C128.len() {
-                assert_ne!(C128[i], C128[j]);
+        for (i, a) in C128.iter().enumerate() {
+            for b in C128.iter().skip(i + 1) {
+                assert_ne!(a, b);
             }
-            assert_ne!(C128[i], ALPHA128);
+            assert_ne!(*a, ALPHA128);
         }
     }
 

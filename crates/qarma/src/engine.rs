@@ -89,7 +89,14 @@ impl Core {
     }
 
     /// Encrypts one block given the expanded keys (as cell arrays).
-    pub(crate) fn encrypt(&self, p: &State, t: &State, w0: &State, w1: &State, k0: &State) -> State {
+    pub(crate) fn encrypt(
+        &self,
+        p: &State,
+        t: &State,
+        w0: &State,
+        w1: &State,
+        k0: &State,
+    ) -> State {
         let tau_inv = invert_perm(&TAU);
         let k1 = self.derive_k1(k0);
         let ts = self.tweak_schedule(t);
@@ -97,8 +104,8 @@ impl Core {
         let mut s = cells::xor(p, w0);
 
         // Forward rounds.
-        for i in 0..self.rounds {
-            let rk = cells::xor(&cells::xor(k0, &ts[i]), &self.round_consts[i]);
+        for (i, ti) in ts.iter().enumerate().take(self.rounds) {
+            let rk = cells::xor(&cells::xor(k0, ti), &self.round_consts[i]);
             cells::xor_into(&mut s, &rk);
             if i != 0 {
                 s = cells::permute(&s, &TAU);
@@ -143,7 +150,14 @@ impl Core {
     }
 
     /// Decrypts one block: the exact structural inverse of [`Core::encrypt`].
-    pub(crate) fn decrypt(&self, c: &State, t: &State, w0: &State, w1: &State, k0: &State) -> State {
+    pub(crate) fn decrypt(
+        &self,
+        c: &State,
+        t: &State,
+        w0: &State,
+        w1: &State,
+        k0: &State,
+    ) -> State {
         let tau_inv = invert_perm(&TAU);
         let k1 = self.derive_k1(k0);
         let ts = self.tweak_schedule(t);
@@ -151,9 +165,9 @@ impl Core {
         let mut s = cells::xor(c, w1);
 
         // Invert the backward rounds (apply forward, ascending).
-        for i in 0..self.rounds {
+        for (i, ti) in ts.iter().enumerate().take(self.rounds) {
             let rk = cells::xor(
-                &cells::xor(&cells::xor(k0, &self.alpha), &ts[i]),
+                &cells::xor(&cells::xor(k0, &self.alpha), ti),
                 &self.round_consts[i],
             );
             cells::xor_into(&mut s, &rk);

@@ -43,8 +43,8 @@
 #![warn(missing_docs)]
 
 pub mod cells;
-pub(crate) mod engine;
 pub mod consts;
+pub(crate) mod engine;
 pub mod pac;
 pub mod q128;
 pub mod q64;

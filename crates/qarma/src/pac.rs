@@ -34,7 +34,11 @@ pub struct AuthFailure {
 
 impl core::fmt::Display for AuthFailure {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "pointer authentication failed (poisoned {:#x})", self.poisoned)
+        write!(
+            f,
+            "pointer authentication failed (poisoned {:#x})",
+            self.poisoned
+        )
     }
 }
 
@@ -51,7 +55,9 @@ impl PacKey {
     /// Creates a PAC key. ARM's architected QARMA uses 5 rounds.
     #[must_use]
     pub fn new(key: [u64; 2]) -> Self {
-        Self { cipher: Qarma64::new(key, 5, Sbox::Sigma1) }
+        Self {
+            cipher: Qarma64::new(key, 5, Sbox::Sigma1),
+        }
     }
 
     /// Computes the truncated PAC of `ptr` under `modifier`.
@@ -90,7 +96,9 @@ impl PacKey {
             Ok(ptr)
         } else {
             // ARM flips a fixed "error code" bit into the PAC field.
-            Err(AuthFailure { poisoned: ptr | (0x2000 << VA_BITS) | (signed & (1 << 63)) })
+            Err(AuthFailure {
+                poisoned: ptr | (0x2000 << VA_BITS) | (signed & (1 << 63)),
+            })
         }
     }
 
@@ -124,7 +132,11 @@ mod tests {
         let k = key();
         let signed = k.sign(0x7fff_0000_1000, 1);
         let err = k.auth(signed, 2).unwrap_err();
-        assert_ne!(err.poisoned & !((1 << VA_BITS) - 1), 0, "poison must be non-canonical");
+        assert_ne!(
+            err.poisoned & !((1 << VA_BITS) - 1),
+            0,
+            "poison must be non-canonical"
+        );
     }
 
     #[test]
@@ -134,7 +146,10 @@ mod tests {
         let signed = k.sign(0x7f12_3456_7890, 0x42);
         for bit in [0u32, 13, 30, 47, 50, 60] {
             let flipped = signed ^ (1 << bit);
-            assert!(k.auth(flipped, 0x42).is_err(), "flip at bit {bit} must fail auth");
+            assert!(
+                k.auth(flipped, 0x42).is_err(),
+                "flip at bit {bit} must fail auth"
+            );
         }
     }
 

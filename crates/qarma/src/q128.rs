@@ -43,7 +43,7 @@ impl Qarma128 {
     #[must_use]
     pub fn new(key: [u128; 2], rounds: usize, sbox: Sbox) -> Self {
         assert!(
-            rounds >= 1 && rounds <= MAX_ROUNDS_128,
+            (1..=MAX_ROUNDS_128).contains(&rounds),
             "QARMA-128 supports 1..={MAX_ROUNDS_128} rounds, got {rounds}"
         );
         let core = Core {
@@ -55,7 +55,11 @@ impl Qarma128 {
             round_consts: C128[..rounds].iter().map(|&c| unpack128(c)).collect(),
             alpha: unpack128(ALPHA128),
         };
-        Self { w0: key[0], k0: key[1], core }
+        Self {
+            w0: key[0],
+            k0: key[1],
+            core,
+        }
     }
 
     /// Encrypts `plaintext` under `tweak`.
@@ -64,7 +68,11 @@ impl Qarma128 {
         let w0 = unpack128(self.w0);
         let w1 = unpack128(ortho128(self.w0));
         let k0 = unpack128(self.k0);
-        pack128(&self.core.encrypt(&unpack128(plaintext), &unpack128(tweak), &w0, &w1, &k0))
+        pack128(
+            &self
+                .core
+                .encrypt(&unpack128(plaintext), &unpack128(tweak), &w0, &w1, &k0),
+        )
     }
 
     /// Decrypts `ciphertext` under `tweak`.
@@ -73,7 +81,11 @@ impl Qarma128 {
         let w0 = unpack128(self.w0);
         let w1 = unpack128(ortho128(self.w0));
         let k0 = unpack128(self.k0);
-        pack128(&self.core.decrypt(&unpack128(ciphertext), &unpack128(tweak), &w0, &w1, &k0))
+        pack128(
+            &self
+                .core
+                .decrypt(&unpack128(ciphertext), &unpack128(tweak), &w0, &w1, &k0),
+        )
     }
 
     /// Number of forward/backward rounds `r`.

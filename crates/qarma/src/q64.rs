@@ -40,7 +40,7 @@ impl Qarma64 {
     #[must_use]
     pub fn new(key: [u64; 2], rounds: usize, sbox: Sbox) -> Self {
         assert!(
-            rounds >= 1 && rounds <= MAX_ROUNDS_64,
+            (1..=MAX_ROUNDS_64).contains(&rounds),
             "QARMA-64 supports 1..={MAX_ROUNDS_64} rounds, got {rounds}"
         );
         let core = Core {
@@ -51,7 +51,11 @@ impl Qarma64 {
             round_consts: C64[..rounds].iter().map(|&c| unpack64(c)).collect(),
             alpha: unpack64(ALPHA64),
         };
-        Self { w0: key[0], k0: key[1], core }
+        Self {
+            w0: key[0],
+            k0: key[1],
+            core,
+        }
     }
 
     /// Encrypts `plaintext` under `tweak`.
@@ -60,7 +64,11 @@ impl Qarma64 {
         let w0 = unpack64(self.w0);
         let w1 = unpack64(ortho64(self.w0));
         let k0 = unpack64(self.k0);
-        pack64(&self.core.encrypt(&unpack64(plaintext), &unpack64(tweak), &w0, &w1, &k0))
+        pack64(
+            &self
+                .core
+                .encrypt(&unpack64(plaintext), &unpack64(tweak), &w0, &w1, &k0),
+        )
     }
 
     /// Decrypts `ciphertext` under `tweak`.
@@ -69,7 +77,11 @@ impl Qarma64 {
         let w0 = unpack64(self.w0);
         let w1 = unpack64(ortho64(self.w0));
         let k0 = unpack64(self.k0);
-        pack64(&self.core.decrypt(&unpack64(ciphertext), &unpack64(tweak), &w0, &w1, &k0))
+        pack64(
+            &self
+                .core
+                .decrypt(&unpack64(ciphertext), &unpack64(tweak), &w0, &w1, &k0),
+        )
     }
 
     /// Number of forward/backward rounds `r`.
@@ -130,7 +142,10 @@ mod tests {
             total += (c.encrypt(PT ^ (1 << bit), TW) ^ base).count_ones();
         }
         let avg = f64::from(total) / 64.0;
-        assert!((24.0..40.0).contains(&avg), "weak avalanche: avg {avg} flipped bits");
+        assert!(
+            (24.0..40.0).contains(&avg),
+            "weak avalanche: avg {avg} flipped bits"
+        );
     }
 
     #[test]
@@ -142,7 +157,10 @@ mod tests {
             total += (c.encrypt(PT, TW ^ (1 << bit)) ^ base).count_ones();
         }
         let avg = f64::from(total) / 64.0;
-        assert!((24.0..40.0).contains(&avg), "weak tweak avalanche: avg {avg}");
+        assert!(
+            (24.0..40.0).contains(&avg),
+            "weak tweak avalanche: avg {avg}"
+        );
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! # Deterministic std-only randomness
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! cannot depend on `rand`. Everything that needs randomness — fault
+//! injection, the census model, bundle mixing, property tests — draws from
+//! this one SplitMix64 generator instead. SplitMix64 passes BigCrush, has a
+//! full 2^64 period from any seed (including 0), and is the standard
+//! seeding primitive of the xoshiro family, which makes it more than
+//! adequate for simulation workloads; nothing here is cryptographic.
+//!
+//! The API mirrors the handful of `rand` calls the repo used
+//! (`gen_range`, `gen_bool`), so call sites stay recognizable.
+
+#![warn(missing_docs)]
+
+/// A SplitMix64 pseudo-random generator (Steele et al., "Fast splittable
+/// pseudorandom number generators", OOPSLA 2014).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Every seed — including 0 — yields a
+    /// full-period, well-mixed stream.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`, using the top 53 bits.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a probability.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+        // `next_f64() < 1.0` always, so p = 1.0 always fires and p = 0.0
+        // never does.
+        self.next_f64() < p
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range {lo}..{hi}");
+        // Modulo bias is ~(hi-lo)/2^64 — irrelevant for simulation ranges.
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.gen_range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or not finite.
+    pub fn gen_range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(
+            lo < hi && lo.is_finite() && hi.is_finite(),
+            "bad range {lo}..{hi}"
+        );
+        lo + self.next_f64() * (hi - lo)
+    }
+
+    /// A standard-normal sample via Box-Muller.
+    pub fn normal(&mut self) -> f64 {
+        let u1 = self.gen_range_f64(f64::EPSILON, 1.0);
+        let u2 = self.next_f64();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = (0..10).map(|_| SplitMix64::new(7).next_u64()).collect();
+        let mut r = SplitMix64::new(7);
+        assert!(a.iter().all(|&x| x == a[0]));
+        let b: Vec<u64> = (0..10).map(|_| r.next_u64()).collect();
+        assert_eq!(b.len(), 10);
+        let mut r2 = SplitMix64::new(7);
+        let c: Vec<u64> = (0..10).map(|_| r2.next_u64()).collect();
+        assert_eq!(b, c);
+        assert_ne!(b[0], SplitMix64::new(8).next_u64());
+    }
+
+    #[test]
+    fn f64_stays_in_unit_interval() {
+        let mut r = SplitMix64::new(1);
+        for _ in 0..10_000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = SplitMix64::new(2);
+        assert!((0..1000).all(|_| !r.gen_bool(0.0)));
+        assert!((0..1000).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_bool_rate_tracks_p() {
+        let mut r = SplitMix64::new(3);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((23_000..27_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn ranges_are_inclusive_exclusive() {
+        let mut r = SplitMix64::new(4);
+        for _ in 0..10_000 {
+            let v = r.gen_range_u64(10, 13);
+            assert!((10..13).contains(&v));
+            let u = r.gen_range_usize(0, 5);
+            assert!(u < 5);
+            let f = r.gen_range_f64(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn normal_has_plausible_moments() {
+        let mut r = SplitMix64::new(5);
+        let n = 200_000;
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = r.normal();
+            sum += x;
+            sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((0.95..1.05).contains(&var), "var = {var}");
+    }
+}

@@ -64,7 +64,11 @@ pub struct AttackReport {
 }
 
 /// Hammers a single aggressor row.
-pub fn single_sided<M: Mitigation>(s: &mut HammerSession<M>, aggressor: RowId, acts: u64) -> AttackReport {
+pub fn single_sided<M: Mitigation>(
+    s: &mut HammerSession<M>,
+    aggressor: RowId,
+    acts: u64,
+) -> AttackReport {
     let before = s.attacker_acts();
     for _ in 0..acts {
         s.activate(aggressor);
@@ -73,7 +77,11 @@ pub fn single_sided<M: Mitigation>(s: &mut HammerSession<M>, aggressor: RowId, a
 }
 
 /// Hammers the two rows sandwiching `victim`, alternating.
-pub fn double_sided<M: Mitigation>(s: &mut HammerSession<M>, victim: RowId, acts_per_side: u64) -> AttackReport {
+pub fn double_sided<M: Mitigation>(
+    s: &mut HammerSession<M>,
+    victim: RowId,
+    acts_per_side: u64,
+) -> AttackReport {
     let rows = s.device().geometry().rows_per_bank;
     let before = s.attacker_acts();
     let (below, above) = (victim.offset(-1, rows), victim.offset(1, rows));
@@ -87,16 +95,27 @@ pub fn double_sided<M: Mitigation>(s: &mut HammerSession<M>, victim: RowId, acts
     }
     // Report distances relative to an aggressor (below): the victim sits at
     // distance 1.
-    report(s, AttackKind::DoubleSided, below.or(above).expect("some neighbour exists"), before)
+    report(
+        s,
+        AttackKind::DoubleSided,
+        below.or(above).expect("some neighbour exists"),
+        before,
+    )
 }
 
 /// N-sided pattern: `n` aggressors at stride 2 starting at `first`, cycled
 /// round-robin to thrash limited trackers.
-pub fn many_sided<M: Mitigation>(s: &mut HammerSession<M>, first: RowId, n: u32, rounds: u64) -> AttackReport {
+pub fn many_sided<M: Mitigation>(
+    s: &mut HammerSession<M>,
+    first: RowId,
+    n: u32,
+    rounds: u64,
+) -> AttackReport {
     let rows = s.device().geometry().rows_per_bank;
     let before = s.attacker_acts();
-    let aggressors: Vec<RowId> =
-        (0..n).filter_map(|i| first.offset(2 * i64::from(i), rows)).collect();
+    let aggressors: Vec<RowId> = (0..n)
+        .filter_map(|i| first.offset(2 * i64::from(i), rows))
+        .collect();
     for _ in 0..rounds {
         for &a in &aggressors {
             s.activate(a);
@@ -139,7 +158,11 @@ pub fn blacksmith<M: Mitigation>(
 /// disturbs `a±2` — flipping bits two rows away from the aggressor. A light
 /// dose of direct `a±1` activations (as in the original attack) accelerates
 /// the trigger.
-pub fn half_double<M: Mitigation>(s: &mut HammerSession<M>, aggressor: RowId, rounds: u64) -> AttackReport {
+pub fn half_double<M: Mitigation>(
+    s: &mut HammerSession<M>,
+    aggressor: RowId,
+    rounds: u64,
+) -> AttackReport {
     let rows = s.device().geometry().rows_per_bank;
     let before = s.attacker_acts();
     for i in 0..rounds {
@@ -158,7 +181,12 @@ pub fn half_double<M: Mitigation>(s: &mut HammerSession<M>, aggressor: RowId, ro
     report(s, AttackKind::HalfDouble, aggressor, before)
 }
 
-fn report<M: Mitigation>(s: &HammerSession<M>, kind: AttackKind, primary: RowId, acts_before: u64) -> AttackReport {
+fn report<M: Mitigation>(
+    s: &HammerSession<M>,
+    kind: AttackKind,
+    primary: RowId,
+    acts_before: u64,
+) -> AttackReport {
     AttackReport {
         kind,
         acts: s.attacker_acts() - acts_before,
@@ -226,16 +254,28 @@ mod tests {
 
         let mut s = HammerSession::new(device(), Graphene::new(64, (RTH / 8.0) as u64));
         let r = half_double(&mut s, aggressor, rounds);
-        assert!(s.mitigation().refreshes_issued() > 0, "Graphene must be active");
-        assert_eq!(r.flips_d1, 0, "distance-1 victims are (correctly) protected");
-        assert!(r.flips_d2 > 0, "Half-Double must flip distance-2 rows (got {r:?})");
+        assert!(
+            s.mitigation().refreshes_issued() > 0,
+            "Graphene must be active"
+        );
+        assert_eq!(
+            r.flips_d1, 0,
+            "distance-1 victims are (correctly) protected"
+        );
+        assert!(
+            r.flips_d2 > 0,
+            "Half-Double must flip distance-2 rows (got {r:?})"
+        );
 
         // Contrast: without the mitigation's refreshes, the same activation
         // budget does NOT flip distance-2 rows — the mitigation itself is
         // the amplifier.
         let mut u = HammerSession::new(device(), NoMitigation);
         let ru = half_double(&mut u, aggressor, rounds);
-        assert_eq!(ru.flips_d2, 0, "unmitigated distance-2 must survive (got {ru:?})");
+        assert_eq!(
+            ru.flips_d2, 0,
+            "unmitigated distance-2 must survive (got {ru:?})"
+        );
     }
 
     #[test]
@@ -251,14 +291,20 @@ mod tests {
         // The mitigation was designed for RTH=16K but the module flips at 2K.
         let mut s = HammerSession::new(device(), Graphene::new(64, 16_000 / 8));
         let r = double_sided(&mut s, RowId { bank: 0, row: 500 }, 4 * RTH as u64);
-        assert!(r.flips_total > 0, "a lower true threshold must break a tuned mitigation");
+        assert!(
+            r.flips_total > 0,
+            "a lower true threshold must break a tuned mitigation"
+        );
     }
 
     #[test]
     fn blacksmith_sustains_pressure_against_trr() {
         let mut s = HammerSession::new(device(), Trr::ddr4_typical(RTH as u64));
         let r = blacksmith(&mut s, RowId { bank: 0, row: 530 }, 8, 8 * RTH as u64);
-        assert!(r.flips_total > 0, "Blacksmith must flip under TRR (got {r:?})");
+        assert!(
+            r.flips_total > 0,
+            "Blacksmith must flip under TRR (got {r:?})"
+        );
     }
 
     #[test]
@@ -269,6 +315,9 @@ mod tests {
 
         let mut s2 = HammerSession::new(device(), NoMitigation);
         double_sided(&mut s2, RowId { bank: 0, row: 500 }, (RTH * 1.2) as u64);
-        assert!(s2.flips() >= single_flips, "double-sided is at least as effective");
+        assert!(
+            s2.flips() >= single_flips,
+            "double-sided is at least as effective"
+        );
     }
 }

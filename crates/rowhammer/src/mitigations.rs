@@ -70,7 +70,13 @@ impl Trr {
     /// trigger at `refresh_threshold` activations.
     #[must_use]
     pub fn new(table_size: usize, refresh_threshold: u64) -> Self {
-        Self { table_size, refresh_threshold, table: Vec::new(), seq: 0, refreshes: 0 }
+        Self {
+            table_size,
+            refresh_threshold,
+            table: Vec::new(),
+            seq: 0,
+            refreshes: 0,
+        }
     }
 
     /// A DDR4-typical configuration: 4 entries, refresh at RTH/4.
@@ -139,7 +145,11 @@ impl Para {
     /// Creates a PARA engine refreshing neighbours with `probability`.
     #[must_use]
     pub fn new(probability: f64, seed: u64) -> Self {
-        Self { probability, refreshes: 0, rng_state: seed | 1 }
+        Self {
+            probability,
+            refreshes: 0,
+            rng_state: seed | 1,
+        }
     }
 
     fn next_f64(&mut self) -> f64 {
@@ -194,7 +204,12 @@ impl Graphene {
     /// that refreshes victims every `refresh_threshold` activations.
     #[must_use]
     pub fn new(capacity: usize, refresh_threshold: u64) -> Self {
-        Self { counters: HashMap::new(), capacity, refresh_threshold, refreshes: 0 }
+        Self {
+            counters: HashMap::new(),
+            capacity,
+            refresh_threshold,
+            refreshes: 0,
+        }
     }
 }
 
@@ -253,7 +268,13 @@ impl Blockhammer {
     /// activations and delays further activations by `throttle_delay_ns`.
     #[must_use]
     pub fn new(blacklist_threshold: u64, throttle_delay_ns: f64) -> Self {
-        Self { blacklist_threshold, throttle_delay_ns, counters: HashMap::new(), refreshes: 0, delay_ns: 0.0 }
+        Self {
+            blacklist_threshold,
+            throttle_delay_ns,
+            counters: HashMap::new(),
+            refreshes: 0,
+            delay_ns: 0.0,
+        }
     }
 }
 
@@ -364,7 +385,10 @@ mod tests {
     use dram::RowhammerConfig;
 
     fn device() -> DramDevice {
-        DramDevice::ddr4_4gb(RowhammerConfig { threshold: 2000.0, ..RowhammerConfig::default() })
+        DramDevice::ddr4_4gb(RowhammerConfig {
+            threshold: 2000.0,
+            ..RowhammerConfig::default()
+        })
     }
 
     #[test]
@@ -385,10 +409,17 @@ mod tests {
         // 12 aggressors round-robin: the 4-entry table keeps evicting, so
         // no row ever accumulates 100 tracked activations.
         for i in 0..100_000u32 {
-            let row = RowId { bank: 0, row: 1000 + 2 * (i % 12) };
+            let row = RowId {
+                bank: 0,
+                row: 1000 + 2 * (i % 12),
+            };
             trr.on_activate(row, &mut d);
         }
-        assert_eq!(trr.refreshes_issued(), 0, "many-sided pattern must starve TRR");
+        assert_eq!(
+            trr.refreshes_issued(),
+            0,
+            "many-sided pattern must starve TRR"
+        );
     }
 
     #[test]
@@ -400,7 +431,10 @@ mod tests {
             para.on_activate(row, &mut d);
         }
         let r = para.refreshes_issued() as f64;
-        assert!((1200.0..2800.0).contains(&r), "refreshes = {r} (expect ≈2000)");
+        assert!(
+            (1200.0..2800.0).contains(&r),
+            "refreshes = {r} (expect ≈2000)"
+        );
     }
 
     #[test]
@@ -411,7 +445,11 @@ mod tests {
         for _ in 0..5000 {
             g.on_activate(row, &mut d);
         }
-        assert!(g.refreshes_issued() >= 8, "refreshes = {}", g.refreshes_issued());
+        assert!(
+            g.refreshes_issued() >= 8,
+            "refreshes = {}",
+            g.refreshes_issued()
+        );
     }
 
     #[test]
@@ -445,7 +483,11 @@ mod tests {
         for _ in 0..10_000 {
             s.on_activate(RowId { bank: 0, row: 900 }, &mut d);
         }
-        assert_eq!(s.refreshes_issued(), 0, "unregistered regions are invisible to software");
+        assert_eq!(
+            s.refreshes_issued(),
+            0,
+            "unregistered regions are invisible to software"
+        );
     }
 
     #[test]

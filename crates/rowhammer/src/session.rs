@@ -19,7 +19,11 @@ impl<M: Mitigation> HammerSession<M> {
     /// Creates a session.
     #[must_use]
     pub fn new(device: DramDevice, mitigation: M) -> Self {
-        Self { device, mitigation, attacker_acts: 0 }
+        Self {
+            device,
+            mitigation,
+            attacker_acts: 0,
+        }
     }
 
     /// One attacker-controlled activation of `row`.
@@ -118,7 +122,11 @@ mod tests {
             s.activate(RowId { bank: 0, row: 99 });
             s.activate(RowId { bank: 0, row: 101 });
         }
-        assert_eq!(s.flips_at_distance(RowId { bank: 0, row: 99 }, 1), 0, "TRR must protect distance-1 victims");
+        assert_eq!(
+            s.flips_at_distance(RowId { bank: 0, row: 99 }, 1),
+            0,
+            "TRR must protect distance-1 victims"
+        );
         assert!(s.mitigation().refreshes_issued() > 0);
     }
 }

@@ -12,6 +12,9 @@
 //! * [`multicore`] — the Section VII-C model: per-core private L1/L2 over a
 //!   contended shared LLC/DRAM, with an out-of-order overlap factor, used
 //!   for the SPEC-SAME/MIX bundles.
+//! * [`source`] — the [`source::OpSource`] abstraction: cores execute from
+//!   either a live [`workloads::tracegen::TraceGenerator`] or a recorded
+//!   binary trace ([`trace::TraceReader`]), interchangeably.
 //!
 //! The paper's performance artefacts map onto this crate directly:
 //! Figure 6 = [`runner::simulate_workload`] across the 25 profiles,
@@ -23,5 +26,9 @@
 pub mod multicore;
 pub mod runner;
 pub mod shared;
+pub mod source;
 
-pub use runner::{build_machine, simulate_workload, Machine, Protection, RunResult};
+pub use runner::{
+    build_machine, build_machine_from_source, simulate_workload, Machine, Protection, RunResult,
+};
+pub use source::OpSource;

@@ -24,6 +24,8 @@ use dram::{DramDevice, DramGeometry, DramTiming, RowhammerConfig};
 use workloads::multiprog::Bundle;
 use workloads::tracegen::{Op, TraceGenerator};
 
+use crate::source::OpSource;
+
 /// Multi-core model parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct MultiCoreConfig {
@@ -41,7 +43,13 @@ pub struct MultiCoreConfig {
 
 impl Default for MultiCoreConfig {
     fn default() -> Self {
-        Self { cores: 4, o3_overlap: 0.6, contention: 2.5, instructions_per_core: 100_000, dram_gb: 16 }
+        Self {
+            cores: 4,
+            o3_overlap: 0.6,
+            contention: 2.5,
+            instructions_per_core: 100_000,
+            dram_gb: 16,
+        }
     }
 }
 
@@ -55,12 +63,15 @@ pub struct BundleResult {
     pub slowdown: f64,
 }
 
-/// Runs one core's workload and returns its cycle count.
-fn run_core(
+/// Runs one core's workload from `source` and returns its cycle count.
+///
+/// Generic over the op source so a core can execute a recorded trace
+/// instead of a live generator; `profile` sizes the mapped address span.
+pub fn run_core_from_source<S: OpSource>(
+    mut source: S,
     profile: workloads::WorkloadProfile,
     guard: Option<PtGuardConfig>,
     cfg: &MultiCoreConfig,
-    seed: u64,
 ) -> u64 {
     // Per-core view: private L1/L2, a 1 MB slice of the shared LLC, and a
     // contended DRAM channel.
@@ -76,13 +87,17 @@ fn run_core(
     let controller = MemoryController::new(device, engine, mem_cfg.core_ghz);
     let mut sys = MemorySystem::new(mem_cfg, controller);
 
-    let mut gen = TraceGenerator::new(profile, seed);
-    let (base, pages) = gen.va_span();
+    let base = TraceGenerator::HEAP_BASE;
+    let pages = profile.hot_pages + profile.stream_pages;
     let mut port = OsPort::new(&mut sys);
     let mut space = AddressSpace::new(&mut port, 34).expect("root");
     for i in 0..pages {
         space
-            .map_new(&mut port, VirtAddr::new(base + i * PAGE_SIZE as u64), PteFlags::user_data())
+            .map_new(
+                &mut port,
+                VirtAddr::new(base + i * PAGE_SIZE as u64),
+                PteFlags::user_data(),
+            )
             .expect("map");
     }
     let root = space.root();
@@ -100,7 +115,7 @@ fn run_core(
         }
         for _ in 0..cfg.instructions_per_core {
             cycles_fp += 1.0;
-            match gen.next_op() {
+            match source.next_op() {
                 Op::Compute => {}
                 Op::Load(va) => {
                     let out = sys.load(va);
@@ -119,15 +134,22 @@ fn run_core(
 /// Evaluates one bundle: per-core slowdown of PT-Guard vs baseline,
 /// averaged across cores (each core runs with a distinct seed).
 #[must_use]
-pub fn evaluate_bundle(bundle: &Bundle, guard: PtGuardConfig, cfg: &MultiCoreConfig) -> BundleResult {
+pub fn evaluate_bundle(
+    bundle: &Bundle,
+    guard: PtGuardConfig,
+    cfg: &MultiCoreConfig,
+) -> BundleResult {
     let mut total = 0.0;
     for (core, w) in bundle.workloads.iter().enumerate() {
         let seed = 1000 + core as u64;
-        let base = run_core(*w, None, cfg, seed);
-        let guarded = run_core(*w, Some(guard), cfg, seed);
+        let base = run_core_from_source(TraceGenerator::new(*w, seed), *w, None, cfg);
+        let guarded = run_core_from_source(TraceGenerator::new(*w, seed), *w, Some(guard), cfg);
         total += guarded as f64 / base as f64 - 1.0;
     }
-    BundleResult { name: bundle.name.clone(), slowdown: total / bundle.workloads.len() as f64 }
+    BundleResult {
+        name: bundle.name.clone(),
+        slowdown: total / bundle.workloads.len() as f64,
+    }
 }
 
 #[cfg(test)]
@@ -137,12 +159,23 @@ mod tests {
 
     #[test]
     fn multicore_slowdown_is_small() {
-        let cfg = MultiCoreConfig { instructions_per_core: 40_000, ..MultiCoreConfig::default() };
+        let cfg = MultiCoreConfig {
+            instructions_per_core: 40_000,
+            ..MultiCoreConfig::default()
+        };
         // Pick a memory-hungry SAME bundle (worst case in the paper).
         let bundles = same_bundles(2); // 2 cores for test speed
         let lbm = bundles.iter().find(|b| b.name == "SAME-lbm").unwrap();
         let r = evaluate_bundle(lbm, PtGuardConfig::default(), &cfg);
-        assert!(r.slowdown >= -0.002, "guard can't be meaningfully faster: {}", r.slowdown);
-        assert!(r.slowdown < 0.05, "multi-core slowdown should be small: {}", r.slowdown);
+        assert!(
+            r.slowdown >= -0.002,
+            "guard can't be meaningfully faster: {}",
+            r.slowdown
+        );
+        assert!(
+            r.slowdown < 0.05,
+            "multi-core slowdown should be small: {}",
+            r.slowdown
+        );
     }
 }

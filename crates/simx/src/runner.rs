@@ -11,15 +11,20 @@ use ptguard::{PtGuardConfig, PtGuardEngine};
 use workloads::tracegen::{Op, TraceGenerator};
 use workloads::WorkloadProfile;
 
+use crate::source::OpSource;
+
 /// A fully-built simulated machine for one workload.
+///
+/// Generic over the instruction source: `Machine` (the default) generates
+/// ops live, `Machine<TraceReader>` replays a recorded trace.
 #[derive(Debug)]
-pub struct Machine {
+pub struct Machine<S: OpSource = TraceGenerator> {
     /// The memory hierarchy (device + controller + caches + TLB).
     pub sys: MemorySystem,
     /// The workload's address space (page tables live in simulated DRAM).
     pub space: AddressSpace,
-    /// The instruction generator.
-    pub gen: TraceGenerator,
+    /// The instruction source (live generator or trace replay).
+    pub source: S,
 }
 
 /// Result of one simulation run.
@@ -69,7 +74,12 @@ pub enum Protection {
 ///
 /// Panics if the workload footprint exceeds the DRAM capacity.
 #[must_use]
-pub fn build_machine(profile: WorkloadProfile, guard: Option<PtGuardConfig>, seed: u64, dram_gb: u64) -> Machine {
+pub fn build_machine(
+    profile: WorkloadProfile,
+    guard: Option<PtGuardConfig>,
+    seed: u64,
+    dram_gb: u64,
+) -> Machine {
     let protection = match guard {
         Some(cfg) => Protection::PtGuard(cfg),
         None => Protection::None,
@@ -83,20 +93,55 @@ pub fn build_machine(profile: WorkloadProfile, guard: Option<PtGuardConfig>, see
 ///
 /// Panics if the workload footprint exceeds the DRAM capacity.
 #[must_use]
-pub fn build_machine_with(profile: WorkloadProfile, protection: Protection, seed: u64, dram_gb: u64) -> Machine {
+pub fn build_machine_with(
+    profile: WorkloadProfile,
+    protection: Protection,
+    seed: u64,
+    dram_gb: u64,
+) -> Machine {
+    build_machine_from_source(
+        TraceGenerator::new(profile, seed),
+        profile,
+        protection,
+        dram_gb,
+    )
+}
+
+/// Builds the machine around an arbitrary instruction source.
+///
+/// `profile` still determines the mapped address span and must match the
+/// source's footprint (for a trace replay, the profile named in the trace
+/// header). The machine build is seed-independent, so a replayed machine
+/// is identical to the live one the trace was recorded on.
+///
+/// # Panics
+///
+/// Panics if the workload footprint exceeds the DRAM capacity.
+#[must_use]
+pub fn build_machine_from_source<S: OpSource>(
+    source: S,
+    profile: WorkloadProfile,
+    protection: Protection,
+    dram_gb: u64,
+) -> Machine<S> {
     let geometry = DramGeometry::with_capacity(dram_gb << 30);
     let device = DramDevice::new(geometry, DramTiming::default(), RowhammerConfig::immune());
     let core_ghz = MemSysConfig::default().core_ghz;
     let controller = match protection {
         Protection::None => MemoryController::new(device, None, core_ghz),
-        Protection::PtGuard(cfg) => MemoryController::new(device, Some(PtGuardEngine::new(cfg)), core_ghz),
+        Protection::PtGuard(cfg) => {
+            MemoryController::new(device, Some(PtGuardEngine::new(cfg)), core_ghz)
+        }
         Protection::FullMemoryMac => MemoryController::with_full_memory_mac(device, core_ghz),
     };
     let mut sys = MemorySystem::new(MemSysConfig::default(), controller);
 
-    let gen = TraceGenerator::new(profile, seed);
-    let (base, pages) = gen.va_span();
-    assert!(pages * PAGE_SIZE as u64 + (64 << 20) < (dram_gb << 30), "footprint exceeds DRAM");
+    let base = TraceGenerator::HEAP_BASE;
+    let pages = profile.hot_pages + profile.stream_pages;
+    assert!(
+        pages * PAGE_SIZE as u64 + (64 << 20) < (dram_gb << 30),
+        "footprint exceeds DRAM"
+    );
 
     // OS model: build the address space through the cache hierarchy so PTE
     // lines acquire MACs when they drain to DRAM. Frames are allocated
@@ -105,13 +150,15 @@ pub fn build_machine_with(profile: WorkloadProfile, protection: Protection, seed
     let mut space = AddressSpace::new(&mut port, 32).expect("root allocation");
     for i in 0..pages {
         let va = VirtAddr::new(base + i * PAGE_SIZE as u64);
-        space.map_new(&mut port, va, PteFlags::user_data()).expect("mapping");
+        space
+            .map_new(&mut port, va, PteFlags::user_data())
+            .expect("mapping");
     }
     let root = space.root();
     sys.set_root(root, 32);
     // Quiesce: page tables reach DRAM (and get MAC-protected).
     sys.flush_caches();
-    Machine { sys, space, gen }
+    Machine { sys, space, source }
 }
 
 /// Runs `instructions` instructions on a built machine.
@@ -119,13 +166,18 @@ pub fn build_machine_with(profile: WorkloadProfile, protection: Protection, seed
 /// The core is in-order and blocking (gem5 `TimingSimpleCPU`-like, matching
 /// the paper's pessimistic single-core setup): every instruction costs one
 /// cycle plus its full memory latency.
-pub fn run(machine: &mut Machine, instructions: u64) -> RunResult {
+pub fn run<S: OpSource>(machine: &mut Machine<S>, instructions: u64) -> RunResult {
     let mut cycles = 0u64;
     let stats_before = machine.sys.stats();
-    let mac_before = machine.sys.controller.engine().map(|e| e.stats().read_mac_computations).unwrap_or(0);
+    let mac_before = machine
+        .sys
+        .controller
+        .engine()
+        .map(|e| e.stats().read_mac_computations)
+        .unwrap_or(0);
     for _ in 0..instructions {
         cycles += 1;
-        match machine.gen.next_op() {
+        match machine.source.next_op() {
             Op::Compute => {}
             Op::Load(va) => {
                 let out = machine.sys.load(va);
@@ -140,8 +192,8 @@ pub fn run(machine: &mut Machine, instructions: u64) -> RunResult {
         }
     }
     let stats = machine.sys.stats();
-    let llc_misses =
-        (stats.llc_misses + stats.walk_llc_misses) - (stats_before.llc_misses + stats_before.walk_llc_misses);
+    let llc_misses = (stats.llc_misses + stats.walk_llc_misses)
+        - (stats_before.llc_misses + stats_before.walk_llc_misses);
     let mac_computations = machine
         .sys
         .controller
@@ -244,12 +296,19 @@ mod tests {
         // integrity pays extra DRAM accesses; PT-Guard pays only latency.
         let p = by_name("sssp").unwrap(); // pointer-chaser: worst case for a MAC table
         let base = simulate_workload_with(p, Protection::None, INSTRS, 4);
-        let guard = simulate_workload_with(p, Protection::PtGuard(PtGuardConfig::default()), INSTRS, 4);
+        let guard =
+            simulate_workload_with(p, Protection::PtGuard(PtGuardConfig::default()), INSTRS, 4);
         let full = simulate_workload_with(p, Protection::FullMemoryMac, INSTRS, 4);
         let s_guard = guard.cycles as f64 / base.cycles as f64 - 1.0;
         let s_full = full.cycles as f64 / base.cycles as f64 - 1.0;
-        assert!(s_full > 2.0 * s_guard, "full-memory {s_full} vs PT-Guard {s_guard}");
-        assert_eq!(full.integrity_faults, 0, "benign run must verify everywhere");
+        assert!(
+            s_full > 2.0 * s_guard,
+            "full-memory {s_full} vs PT-Guard {s_guard}"
+        );
+        assert_eq!(
+            full.integrity_faults, 0,
+            "benign run must verify everywhere"
+        );
     }
 
     #[test]

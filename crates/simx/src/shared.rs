@@ -26,6 +26,8 @@ use ptguard::{PtGuardConfig, PtGuardEngine};
 use workloads::multiprog::Bundle;
 use workloads::tracegen::{Op, TraceGenerator};
 
+use crate::source::OpSource;
+
 /// Shared-model parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct SharedConfig {
@@ -42,17 +44,22 @@ pub struct SharedConfig {
 
 impl Default for SharedConfig {
     fn default() -> Self {
-        Self { o3_overlap: 0.6, instructions_per_core: 60_000, dram_gb: 16, burst_occupancy_ns: 6.0 }
+        Self {
+            o3_overlap: 0.6,
+            instructions_per_core: 60_000,
+            dram_gb: 16,
+            burst_occupancy_ns: 6.0,
+        }
     }
 }
 
 /// One core's private front-end.
-struct CoreStack {
+struct CoreStack<S: OpSource> {
     l1: Cache,
     l2: Cache,
     tlb: Tlb,
     mmu: MmuCache,
-    gen: TraceGenerator,
+    source: S,
     root: Frame,
     /// Local time in cycles (the core's pipeline clock).
     now_cycles: f64,
@@ -60,8 +67,12 @@ struct CoreStack {
 }
 
 /// The shared back-end plus per-core stacks.
-pub struct SharedSystem {
-    cores: Vec<CoreStack>,
+///
+/// Generic over the per-core instruction source (live generator by
+/// default; trace replay plugs in the same way as for
+/// [`crate::Machine`]).
+pub struct SharedSystem<S: OpSource = TraceGenerator> {
+    cores: Vec<CoreStack<S>>,
     llc: Cache,
     controller: MemoryController,
     cfg: SharedConfig,
@@ -74,7 +85,7 @@ pub struct SharedSystem {
     pub dram_requests: u64,
 }
 
-impl SharedSystem {
+impl SharedSystem<TraceGenerator> {
     /// Builds a shared system running `bundle` (one workload per core).
     ///
     /// # Panics
@@ -82,6 +93,33 @@ impl SharedSystem {
     /// Panics if address-space construction fails (undersized DRAM).
     #[must_use]
     pub fn new(bundle: &Bundle, guard: Option<PtGuardConfig>, cfg: SharedConfig) -> Self {
+        let sources = bundle
+            .workloads
+            .iter()
+            .enumerate()
+            .map(|(i, w)| TraceGenerator::new(*w, 0x5ca1e + i as u64))
+            .collect();
+        Self::from_sources(bundle, sources, guard, cfg)
+    }
+}
+
+impl<S: OpSource> SharedSystem<S> {
+    /// Builds a shared system with one explicit source per core (paired
+    /// positionally with `bundle.workloads`, which size the address
+    /// spaces).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources` and the bundle disagree on core count, or if
+    /// address-space construction fails (undersized DRAM).
+    #[must_use]
+    pub fn from_sources(
+        bundle: &Bundle,
+        sources: Vec<S>,
+        guard: Option<PtGuardConfig>,
+        cfg: SharedConfig,
+    ) -> Self {
+        assert_eq!(sources.len(), bundle.workloads.len(), "one source per core");
         let mut mem_cfg = MemSysConfig::default();
         mem_cfg.llc.size_bytes = bundle.workloads.len() * (1 << 20); // 1 MB/core
         let geometry = DramGeometry::with_capacity(cfg.dram_gb << 30);
@@ -95,24 +133,32 @@ impl SharedSystem {
         // then write lines straight through the controller write path.
         let mut sys = MemorySystem::new(mem_cfg, controller);
         let mut cores = Vec::new();
-        for (i, w) in bundle.workloads.iter().enumerate() {
-            let gen = TraceGenerator::new(*w, 0x5ca1e + i as u64);
-            // Give each core a disjoint VA slice by rebasing the generator's
+        for (w, source) in bundle.workloads.iter().zip(sources) {
+            // Give each core a disjoint VA slice by rebasing the source's
             // stream through a per-core address space.
-            let (base, pages) = gen.va_span();
+            let base = TraceGenerator::HEAP_BASE;
+            let pages = w.hot_pages + w.stream_pages;
             let mut port = OsPort::new(&mut sys);
             let mut space = AddressSpace::new(&mut port, 34).expect("space");
             for p in 0..pages {
                 space
-                    .map_new(&mut port, VirtAddr::new(base + p * PAGE_SIZE as u64), PteFlags::user_data())
+                    .map_new(
+                        &mut port,
+                        VirtAddr::new(base + p * PAGE_SIZE as u64),
+                        PteFlags::user_data(),
+                    )
                     .expect("map");
             }
             cores.push(CoreStack {
                 l1: Cache::new(mem_cfg.l1d),
                 l2: Cache::new(mem_cfg.l2),
                 tlb: Tlb::new(mem_cfg.tlb_entries),
-                mmu: MmuCache::new(mem_cfg.mmu_cache_entries, mem_cfg.mmu_cache_ways, mem_cfg.mmu_cache_latency_cycles),
-                gen,
+                mmu: MmuCache::new(
+                    mem_cfg.mmu_cache_entries,
+                    mem_cfg.mmu_cache_ways,
+                    mem_cfg.mmu_cache_latency_cycles,
+                ),
+                source,
                 root: space.root(),
                 now_cycles: 0.0,
                 done: 0,
@@ -136,7 +182,13 @@ impl SharedSystem {
 
     /// A line access from core `ci`: private L1/L2, shared LLC, queued DRAM.
     /// Returns (line, cycles, verdict).
-    fn line_access(&mut self, ci: usize, addr: PhysAddr, write: bool, is_pte: bool) -> (Line, u64, ReadVerdict) {
+    fn line_access(
+        &mut self,
+        ci: usize,
+        addr: PhysAddr,
+        write: bool,
+        is_pte: bool,
+    ) -> (Line, u64, ReadVerdict) {
         let core = &mut self.cores[ci];
         let mut cycles = core.l1.latency_cycles;
         if let Some(line) = core.l1.lookup(addr, write && !is_pte) {
@@ -211,7 +263,8 @@ impl SharedSystem {
         let mut cycles = 0u64;
         let mut table = self.cores[ci].root;
         for level in (0..4usize).rev() {
-            let entry_addr = PhysAddr::new(table.base().as_u64() + (va.level_index(level) as u64) * 8);
+            let entry_addr =
+                PhysAddr::new(table.base().as_u64() + (va.level_index(level) as u64) * 8);
             let pte = if level > 0 {
                 if let Some(hit) = self.cores[ci].mmu.lookup(entry_addr) {
                     cycles += self.cores[ci].mmu.latency_cycles;
@@ -255,7 +308,7 @@ impl SharedSystem {
 
     /// Executes one instruction on core `ci`, advancing its local clock.
     fn step(&mut self, ci: usize) {
-        let op = self.cores[ci].gen.next_op();
+        let op = self.cores[ci].source.next_op();
         self.cores[ci].now_cycles += 1.0;
         let (va, write) = match op {
             Op::Compute => return,
@@ -291,7 +344,10 @@ impl SharedSystem {
         self.channel_free_at = 0.0;
         // Measured region.
         self.run_region();
-        self.cores.iter().map(|c| c.now_cycles.round() as u64).collect()
+        self.cores
+            .iter()
+            .map(|c| c.now_cycles.round() as u64)
+            .collect()
     }
 
     fn run_region(&mut self) {
@@ -302,7 +358,7 @@ impl SharedSystem {
             // realistically at the channel.
             let mut next: Option<usize> = None;
             for (i, c) in self.cores.iter().enumerate() {
-                if c.done < target && next.map_or(true, |n| c.now_cycles < self.cores[n].now_cycles) {
+                if c.done < target && next.is_none_or(|n| c.now_cycles < self.cores[n].now_cycles) {
                     next = Some(i);
                 }
             }
@@ -333,7 +389,10 @@ mod tests {
 
     #[test]
     fn shared_model_is_deterministic() {
-        let cfg = SharedConfig { instructions_per_core: 8_000, ..SharedConfig::default() };
+        let cfg = SharedConfig {
+            instructions_per_core: 8_000,
+            ..SharedConfig::default()
+        };
         let bundles = same_bundles(2);
         let b = &bundles[0];
         let a = SharedSystem::new(b, None, cfg).run();
@@ -346,7 +405,10 @@ mod tests {
         // A lone core's requests are spaced by its own stalls; adding cores
         // makes streams collide at the channel. (Memory-bound bundles
         // saturate quickly, so compare 1 vs 4 cores.)
-        let cfg = SharedConfig { instructions_per_core: 15_000, ..SharedConfig::default() };
+        let cfg = SharedConfig {
+            instructions_per_core: 15_000,
+            ..SharedConfig::default()
+        };
         let one = same_bundles(1);
         let four = same_bundles(4);
         let lbm1 = one.iter().find(|b| b.name == "SAME-lbm").unwrap();
@@ -357,17 +419,26 @@ mod tests {
         let _ = s4.run();
         let q1 = s1.queued_requests as f64 / s1.dram_requests.max(1) as f64;
         let q4 = s4.queued_requests as f64 / s4.dram_requests.max(1) as f64;
-        assert!(q4 > q1 + 0.02, "queueing must grow with core count: {q1} vs {q4}");
+        assert!(
+            q4 > q1 + 0.02,
+            "queueing must grow with core count: {q1} vs {q4}"
+        );
     }
 
     #[test]
     fn shared_model_contends_and_stays_cheap() {
-        let cfg = SharedConfig { instructions_per_core: 25_000, ..SharedConfig::default() };
+        let cfg = SharedConfig {
+            instructions_per_core: 25_000,
+            ..SharedConfig::default()
+        };
         let bundles = same_bundles(4);
         let lbm = bundles.iter().find(|b| b.name == "SAME-lbm").unwrap();
         let slowdown = evaluate_bundle_shared(lbm, PtGuardConfig::default(), cfg);
         assert!(slowdown > -0.005, "{slowdown}");
-        assert!(slowdown < 0.04, "shared-model slowdown should be small: {slowdown}");
+        assert!(
+            slowdown < 0.04,
+            "shared-model slowdown should be small: {slowdown}"
+        );
 
         // Contention must actually occur for a 4-core memory-bound bundle.
         let mut sys = SharedSystem::new(lbm, None, cfg);

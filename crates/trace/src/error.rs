@@ -1,0 +1,69 @@
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong producing or consuming a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O failure (open, read, write).
+    Io(io::Error),
+    /// The stream does not start with the `PTGT` magic.
+    BadMagic([u8; 4]),
+    /// The stream is a later format version than this reader understands.
+    UnsupportedVersion(u16),
+    /// A chunk payload failed its CRC-32 check.
+    ChecksumMismatch {
+        /// Zero-based index of the offending chunk.
+        chunk: u64,
+    },
+    /// The stream ended before the trailer (e.g. a partial copy).
+    Truncated,
+    /// The stream is structurally invalid (bad tag, overlong varint,
+    /// impossible length, ...).
+    Corrupt(String),
+    /// The header, trailer and decoded stream disagree on the op count.
+    CountMismatch {
+        /// Count the header/trailer declared.
+        declared: u64,
+        /// Count actually observed.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::BadMagic(m) => write!(f, "not a PT-Guard trace (magic {m:02x?})"),
+            TraceError::UnsupportedVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceError::ChecksumMismatch { chunk } => {
+                write!(f, "checksum mismatch in chunk {chunk}")
+            }
+            TraceError::Truncated => write!(f, "trace truncated before trailer"),
+            TraceError::Corrupt(why) => write!(f, "corrupt trace: {why}"),
+            TraceError::CountMismatch { declared, actual } => {
+                write!(f, "op count mismatch: declared {declared}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        // A short read is how truncation manifests everywhere below the
+        // header, so fold it into the typed variant.
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            TraceError::Truncated
+        } else {
+            TraceError::Io(e)
+        }
+    }
+}

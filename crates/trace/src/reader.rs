@@ -1,0 +1,256 @@
+//! Prefetching trace decoder.
+//!
+//! The header is parsed synchronously by [`TraceReader::open`] so format
+//! errors surface immediately; chunk decoding then moves to a background
+//! thread that keeps up to two decoded chunks in flight
+//! ([`std::sync::mpsc::sync_channel`] with bound 2), so disk reads and
+//! varint decoding overlap with the simulation consuming the ops.
+
+use std::fs::File;
+use std::io::{BufReader, Read};
+use std::path::Path;
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::thread::JoinHandle;
+
+use pagetable::addr::VirtAddr;
+use workloads::tracegen::Op;
+
+use crate::error::TraceError;
+use crate::format::{
+    crc32, get_varint, unzigzag, MAGIC, TAG_COMPUTE_RUN, TAG_LOAD, TAG_STORE, TRAILER_SENTINEL,
+    VERSION,
+};
+
+/// Decoded trace header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceHeader {
+    /// Format version of the stream.
+    pub version: u16,
+    /// Workload profile name the trace was generated from.
+    pub profile: String,
+    /// Generator seed.
+    pub seed: u64,
+    /// Total ops in the stream.
+    pub op_count: u64,
+}
+
+/// Number of decoded chunks the background thread keeps ready.
+const PREFETCH_CHUNKS: usize = 2;
+
+/// Streaming reader over a trace produced by [`crate::TraceWriter`].
+#[derive(Debug)]
+pub struct TraceReader {
+    header: TraceHeader,
+    rx: Receiver<Result<Vec<Op>, TraceError>>,
+    current: std::vec::IntoIter<Op>,
+    /// Set once the channel reports a clean end or an error was returned.
+    finished: bool,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TraceReader {
+    /// Opens `path`, parses the header, and starts the decode thread.
+    pub fn open(path: &Path) -> Result<Self, TraceError> {
+        let file = File::open(path).map_err(TraceError::Io)?;
+        Self::new(BufReader::new(file))
+    }
+
+    /// Like [`open`](Self::open) over any [`Read`] stream.
+    pub fn new<R: Read + Send + 'static>(mut input: R) -> Result<Self, TraceError> {
+        let header = read_header(&mut input)?;
+        let expected = header.op_count;
+        let (tx, rx) = sync_channel(PREFETCH_CHUNKS);
+        let handle = std::thread::spawn(move || {
+            let mut decoded = 0u64;
+            let mut chunk_index = 0u64;
+            loop {
+                match read_chunk(&mut input, chunk_index) {
+                    Ok(Some(ops)) => {
+                        decoded += ops.len() as u64;
+                        chunk_index += 1;
+                        if tx.send(Ok(ops)).is_err() {
+                            return; // reader dropped mid-stream
+                        }
+                    }
+                    Ok(None) => {
+                        // Trailer reached: cross-check the counts.
+                        match read_trailer_count(&mut input) {
+                            Ok(total) if total == decoded && total == expected => {}
+                            Ok(total) => {
+                                let actual = if total == decoded { decoded } else { total };
+                                let _ = tx.send(Err(TraceError::CountMismatch {
+                                    declared: expected,
+                                    actual,
+                                }));
+                            }
+                            Err(e) => {
+                                let _ = tx.send(Err(e));
+                            }
+                        }
+                        return; // clean end: dropping tx closes the channel
+                    }
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        return;
+                    }
+                }
+            }
+        });
+        Ok(Self {
+            header,
+            rx,
+            current: Vec::new().into_iter(),
+            finished: false,
+            handle: Some(handle),
+        })
+    }
+
+    /// The stream's header.
+    #[must_use]
+    pub fn header(&self) -> &TraceHeader {
+        &self.header
+    }
+
+    /// Returns the next op, `Ok(None)` at a clean end of stream, or the
+    /// first decode error. After an error (or the end) the reader is
+    /// exhausted and keeps returning `Ok(None)`.
+    pub fn try_next(&mut self) -> Result<Option<Op>, TraceError> {
+        loop {
+            if let Some(op) = self.current.next() {
+                return Ok(Some(op));
+            }
+            if self.finished {
+                return Ok(None);
+            }
+            match self.rx.recv() {
+                Ok(Ok(ops)) => self.current = ops.into_iter(),
+                Ok(Err(e)) => {
+                    self.finished = true;
+                    return Err(e);
+                }
+                Err(_) => {
+                    // Sender dropped without an error: clean end of stream.
+                    self.finished = true;
+                    return Ok(None);
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for TraceReader {
+    type Item = Result<Op, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.try_next().transpose()
+    }
+}
+
+impl Drop for TraceReader {
+    fn drop(&mut self) {
+        // Unblock the decoder (it may be parked on the bounded channel),
+        // then reap it.
+        while self.rx.try_recv().is_ok() {}
+        drop(std::mem::replace(&mut self.rx, sync_channel(1).1));
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn read_header<R: Read>(input: &mut R) -> Result<TraceHeader, TraceError> {
+    let mut magic = [0u8; 4];
+    input.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(TraceError::BadMagic(magic));
+    }
+    let version = u16::from_le_bytes(read_array(input)?);
+    if version != VERSION {
+        return Err(TraceError::UnsupportedVersion(version));
+    }
+    let mut len = [0u8; 1];
+    input.read_exact(&mut len)?;
+    let mut name = vec![0u8; len[0] as usize];
+    input.read_exact(&mut name)?;
+    let profile = String::from_utf8(name)
+        .map_err(|_| TraceError::Corrupt("profile name is not UTF-8".into()))?;
+    let seed = u64::from_le_bytes(read_array(input)?);
+    let op_count = u64::from_le_bytes(read_array(input)?);
+    Ok(TraceHeader {
+        version,
+        profile,
+        seed,
+        op_count,
+    })
+}
+
+fn read_array<R: Read, const N: usize>(input: &mut R) -> Result<[u8; N], TraceError> {
+    let mut buf = [0u8; N];
+    input.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Reads one chunk; `Ok(None)` means the trailer sentinel was seen.
+fn read_chunk<R: Read>(input: &mut R, index: u64) -> Result<Option<Vec<Op>>, TraceError> {
+    // Distinguish "no next chunk header at all" (truncated) only here; a
+    // partial header/payload is truncation too, via the EOF → Truncated
+    // mapping in `From<io::Error>`.
+    let payload_len = u32::from_le_bytes(read_array(input)?);
+    if payload_len == TRAILER_SENTINEL {
+        return Ok(None);
+    }
+    let op_count = u32::from_le_bytes(read_array(input)?);
+    let mut payload = vec![0u8; payload_len as usize];
+    input.read_exact(&mut payload)?;
+    let stored_crc = u32::from_le_bytes(read_array(input)?);
+    if crc32(&payload) != stored_crc {
+        return Err(TraceError::ChecksumMismatch { chunk: index });
+    }
+    decode_payload(&payload, op_count)
+        .ok_or_else(|| TraceError::Corrupt(format!("undecodable payload in chunk {index}")))
+        .map(Some)
+}
+
+/// Decodes a checksum-verified payload into ops; `None` on structural rot
+/// (which a passing CRC makes astronomically unlikely, but a hand-built
+/// stream can still be malformed).
+fn decode_payload(payload: &[u8], op_count: u32) -> Option<Vec<Op>> {
+    let mut ops = Vec::with_capacity(op_count as usize);
+    let mut pos = 0usize;
+    let mut prev_addr = 0u64;
+    while pos < payload.len() {
+        let tag = payload[pos];
+        pos += 1;
+        let arg = get_varint(payload, &mut pos)?;
+        match tag {
+            TAG_COMPUTE_RUN => {
+                // Bound by the chunk's declared op count before allocating,
+                // so a corrupt run length can't balloon memory.
+                if arg == 0 || ops.len() as u64 + arg > u64::from(op_count) {
+                    return None;
+                }
+                for _ in 0..arg {
+                    ops.push(Op::Compute);
+                }
+            }
+            TAG_LOAD | TAG_STORE => {
+                prev_addr = prev_addr.wrapping_add(unzigzag(arg) as u64);
+                let va = VirtAddr::new(prev_addr);
+                ops.push(if tag == TAG_LOAD {
+                    Op::Load(va)
+                } else {
+                    Op::Store(va)
+                });
+            }
+            _ => return None,
+        }
+    }
+    if ops.len() != op_count as usize {
+        return None;
+    }
+    Some(ops)
+}
+
+fn read_trailer_count<R: Read>(input: &mut R) -> Result<u64, TraceError> {
+    Ok(u64::from_le_bytes(read_array(input)?))
+}

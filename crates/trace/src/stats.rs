@@ -1,0 +1,82 @@
+//! One-pass trace summaries for the `exp trace-stats` report.
+
+use std::collections::HashSet;
+
+use workloads::tracegen::Op;
+
+use crate::error::TraceError;
+use crate::reader::TraceReader;
+
+/// Aggregate statistics of one trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Total ops.
+    pub ops: u64,
+    /// Non-memory (compute) ops.
+    pub computes: u64,
+    /// Loads.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// Distinct 4 KB pages touched.
+    pub unique_pages: u64,
+    /// Memory ops below the hot/cold boundary (0 when no boundary given).
+    pub hot_accesses: u64,
+    /// Memory ops at or above the boundary.
+    pub cold_accesses: u64,
+}
+
+impl TraceStats {
+    /// Consumes `reader`, tallying the op mix and footprint. `hot_end`
+    /// is the first address past the hot region (from the profile's
+    /// `hot_pages`); pass `None` when the profile is unknown and the
+    /// hot/cold split will be all-cold.
+    pub fn collect(reader: &mut TraceReader, hot_end: Option<u64>) -> Result<Self, TraceError> {
+        let mut s = Self {
+            ops: 0,
+            computes: 0,
+            loads: 0,
+            stores: 0,
+            unique_pages: 0,
+            hot_accesses: 0,
+            cold_accesses: 0,
+        };
+        let mut pages = HashSet::new();
+        while let Some(op) = reader.try_next()? {
+            s.ops += 1;
+            let va = match op {
+                Op::Compute => {
+                    s.computes += 1;
+                    continue;
+                }
+                Op::Load(va) => {
+                    s.loads += 1;
+                    va
+                }
+                Op::Store(va) => {
+                    s.stores += 1;
+                    va
+                }
+            };
+            pages.insert(va.as_u64() >> 12);
+            match hot_end {
+                Some(end) if va.as_u64() < end => s.hot_accesses += 1,
+                _ => s.cold_accesses += 1,
+            }
+        }
+        s.unique_pages = pages.len() as u64;
+        Ok(s)
+    }
+
+    /// Memory ops (loads + stores).
+    #[must_use]
+    pub fn mem_ops(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Touched footprint in bytes (`unique_pages` × 4 KB).
+    #[must_use]
+    pub fn footprint_bytes(&self) -> u64 {
+        self.unique_pages * 4096
+    }
+}

@@ -4,8 +4,7 @@
 //! and 16 SPEC2017-MIX bundles (4 randomly selected from 18 choices) on a
 //! 4-core system.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rng::SplitMix64;
 
 use crate::profiles::{Suite, WorkloadProfile, ALL_WORKLOADS};
 
@@ -34,7 +33,10 @@ pub fn spec_pool() -> Vec<WorkloadProfile> {
 pub fn same_bundles(cores: usize) -> Vec<Bundle> {
     spec_pool()
         .into_iter()
-        .map(|w| Bundle { name: format!("SAME-{}", w.name), workloads: vec![w; cores] })
+        .map(|w| Bundle {
+            name: format!("SAME-{}", w.name),
+            workloads: vec![w; cores],
+        })
         .collect()
 }
 
@@ -42,11 +44,16 @@ pub fn same_bundles(cores: usize) -> Vec<Bundle> {
 #[must_use]
 pub fn mix_bundles(cores: usize, seed: u64) -> Vec<Bundle> {
     let pool = spec_pool();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     (0..16)
         .map(|i| {
-            let workloads = (0..cores).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
-            Bundle { name: format!("MIX-{i:02}"), workloads }
+            let workloads = (0..cores)
+                .map(|_| pool[rng.gen_range_usize(0, pool.len())])
+                .collect();
+            Bundle {
+                name: format!("MIX-{i:02}"),
+                workloads,
+            }
         })
         .collect()
 }
@@ -83,8 +90,8 @@ mod tests {
             assert_eq!(xs, ys);
         }
         // At least one mix should be heterogeneous.
-        assert!(a.iter().any(|bundle| {
-            bundle.workloads.windows(2).any(|w| w[0].name != w[1].name)
-        }));
+        assert!(a
+            .iter()
+            .any(|bundle| { bundle.workloads.windows(2).any(|w| w[0].name != w[1].name) }));
     }
 }

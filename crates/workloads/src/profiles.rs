@@ -145,7 +145,11 @@ pub fn by_name(name: &str) -> Option<WorkloadProfile> {
 /// The memory-intensive subset the paper calls out (LLC-MPKI > 10).
 #[must_use]
 pub fn memory_intensive() -> Vec<WorkloadProfile> {
-    ALL_WORKLOADS.iter().copied().filter(|w| w.target_mpki > 10.0).collect()
+    ALL_WORKLOADS
+        .iter()
+        .copied()
+        .filter(|w| w.target_mpki > 10.0)
+        .collect()
 }
 
 #[cfg(test)]
@@ -155,7 +159,10 @@ mod tests {
     #[test]
     fn twenty_five_workloads_like_the_paper() {
         assert_eq!(ALL_WORKLOADS.len(), 25);
-        let gap_count = ALL_WORKLOADS.iter().filter(|w| w.suite == Suite::Gap).count();
+        let gap_count = ALL_WORKLOADS
+            .iter()
+            .filter(|w| w.suite == Suite::Gap)
+            .count();
         assert_eq!(gap_count, 5);
     }
 
@@ -176,19 +183,48 @@ mod tests {
     #[test]
     fn memory_intensive_set_matches_paper_callouts() {
         let names: Vec<&str> = memory_intensive().iter().map(|w| w.name).collect();
-        for expected in ["xalancbmk", "lbm", "fotonik3d", "bc", "bfs", "cc", "pr", "sssp"] {
-            assert!(names.contains(&expected), "{expected} should be memory-intensive");
+        for expected in [
+            "xalancbmk",
+            "lbm",
+            "fotonik3d",
+            "bc",
+            "bfs",
+            "cc",
+            "pr",
+            "sssp",
+        ] {
+            assert!(
+                names.contains(&expected),
+                "{expected} should be memory-intensive"
+            );
         }
         assert!(!names.contains(&"povray"));
     }
 
     #[test]
     fn pointer_chasers_are_flagged() {
-        for name in ["mcf", "omnetpp", "xalancbmk", "bc", "bfs", "cc", "pr", "sssp"] {
-            assert_eq!(by_name(name).unwrap().pattern, AccessPattern::Random, "{name}");
+        for name in [
+            "mcf",
+            "omnetpp",
+            "xalancbmk",
+            "bc",
+            "bfs",
+            "cc",
+            "pr",
+            "sssp",
+        ] {
+            assert_eq!(
+                by_name(name).unwrap().pattern,
+                AccessPattern::Random,
+                "{name}"
+            );
         }
         for name in ["lbm", "bwaves", "fotonik3d", "perlbench"] {
-            assert_eq!(by_name(name).unwrap().pattern, AccessPattern::Streaming, "{name}");
+            assert_eq!(
+                by_name(name).unwrap().pattern,
+                AccessPattern::Streaming,
+                "{name}"
+            );
         }
     }
 
@@ -203,8 +239,16 @@ mod tests {
     #[test]
     fn footprints_exceed_llc() {
         for w in &ALL_WORKLOADS {
-            assert!(w.stream_pages * 4096 >= (2 << 20) * 12, "{} footprint too small", w.name);
-            assert!(w.hot_pages * 4096 <= 256 << 10, "{} hot set must cache well", w.name);
+            assert!(
+                w.stream_pages * 4096 >= (2 << 20) * 12,
+                "{} footprint too small",
+                w.name
+            );
+            assert!(
+                w.hot_pages * 4096 <= 256 << 10,
+                "{} hot set must cache well",
+                w.name
+            );
         }
     }
 }

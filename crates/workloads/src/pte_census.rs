@@ -13,8 +13,7 @@
 //! marginals and realistic per-process spread, reproducing Figure 8's shape
 //! and feeding the Figure 9 correction study.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rng::SplitMix64;
 
 /// Default non-zero PTE flag template: present, writable, user, accessed,
 /// dirty, NX.
@@ -92,10 +91,10 @@ pub struct CensusReport {
 /// Generates one process's page tables.
 #[must_use]
 pub fn generate_process(cfg: &CensusConfig, pid: usize) -> ProcessPageTables {
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ ((pid as u64) << 24));
+    let mut rng = SplitMix64::new(cfg.seed ^ ((pid as u64) << 24));
     // Per-process knobs: zero fraction and run-extension probability.
-    let zero_frac = (cfg.mean_zero_frac + cfg.zero_spread * normal(&mut rng)).clamp(0.20, 0.97);
-    let run_extend: f64 = rng.gen_range(0.05..0.93);
+    let zero_frac = (cfg.mean_zero_frac + cfg.zero_spread * rng.normal()).clamp(0.20, 0.97);
+    let run_extend: f64 = rng.gen_range_f64(0.05, 0.93);
     let flags = DEFAULT_FLAGS;
     // Entries arrive as zero singletons or non-zero runs of expected length
     // E[L] ≈ 1/(1−run_extend); pick the zero-block probability `q` so the
@@ -120,7 +119,7 @@ pub fn generate_process(cfg: &CensusConfig, pid: usize) -> ProcessPageTables {
                 continue; // zero PTE
             }
             // Start a new run at a fresh physical location.
-            next_pfn = rng.gen_range(1u64..(1 << 28) - 64);
+            next_pfn = rng.gen_range_u64(1, (1 << 28) - 64);
             run_left = 1;
             while run_left < 32 && rng.gen_bool(run_extend) {
                 run_left += 1;
@@ -164,7 +163,11 @@ pub fn classify_line(line: &[u64; 8]) -> [PteClass; 8] {
                 break;
             }
         }
-        out[i] = if contiguous { PteClass::Contiguous } else { PteClass::NonContiguous };
+        out[i] = if contiguous {
+            PteClass::Contiguous
+        } else {
+            PteClass::NonContiguous
+        };
     }
     out
 }
@@ -215,7 +218,11 @@ pub fn run_census(cfg: &CensusConfig) -> CensusReport {
             }
         }
         let total = (z + c + n) as f64;
-        per_process.push((100.0 * z as f64 / total, 100.0 * c as f64 / total, 100.0 * n as f64 / total));
+        per_process.push((
+            100.0 * z as f64 / total,
+            100.0 * c as f64 / total,
+            100.0 * n as f64 / total,
+        ));
         tz += z;
         tc += c;
         tn += n;
@@ -232,13 +239,6 @@ pub fn run_census(cfg: &CensusConfig) -> CensusReport {
     }
 }
 
-/// A standard-normal sample via Box-Muller.
-fn normal<R: Rng>(rng: &mut R) -> f64 {
-    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,7 +247,16 @@ mod tests {
     fn classification_matches_paper_rule() {
         // Entries: [pfn 10, pfn 11, 0, pfn 50, 0, 0, pfn 49, 0]
         let f = DEFAULT_FLAGS;
-        let line = [(10 << 12) | f, (11 << 12) | f, 0, (50 << 12) | f, 0, 0, (49 << 12) | f, 0];
+        let line = [
+            (10 << 12) | f,
+            (11 << 12) | f,
+            0,
+            (50 << 12) | f,
+            0,
+            0,
+            (49 << 12) | f,
+            0,
+        ];
         let c = classify_line(&line);
         assert_eq!(c[0], PteClass::Contiguous); // 10 next to 11
         assert_eq!(c[1], PteClass::Contiguous);
@@ -265,17 +274,37 @@ mod tests {
 
     #[test]
     fn census_reproduces_paper_marginals() {
-        let cfg = CensusConfig { processes: 200, lines_per_process: 300, ..CensusConfig::default() };
+        let cfg = CensusConfig {
+            processes: 200,
+            lines_per_process: 300,
+            ..CensusConfig::default()
+        };
         let r = run_census(&cfg);
-        assert!((55.0..73.0).contains(&r.pct_zero), "zero % = {}", r.pct_zero);
-        assert!((17.0..31.0).contains(&r.pct_contiguous), "contiguous % = {}", r.pct_contiguous);
-        assert!(r.flag_uniformity > 0.99, "uniformity = {}", r.flag_uniformity);
+        assert!(
+            (55.0..73.0).contains(&r.pct_zero),
+            "zero % = {}",
+            r.pct_zero
+        );
+        assert!(
+            (17.0..31.0).contains(&r.pct_contiguous),
+            "contiguous % = {}",
+            r.pct_contiguous
+        );
+        assert!(
+            r.flag_uniformity > 0.99,
+            "uniformity = {}",
+            r.flag_uniformity
+        );
         assert_eq!(r.per_process.len(), 200);
     }
 
     #[test]
     fn per_process_spread_covers_figure8_range() {
-        let cfg = CensusConfig { processes: 300, lines_per_process: 200, ..CensusConfig::default() };
+        let cfg = CensusConfig {
+            processes: 300,
+            lines_per_process: 200,
+            ..CensusConfig::default()
+        };
         let r = run_census(&cfg);
         let max_contig = r.per_process.first().map(|p| p.1).unwrap_or(0.0);
         let min_contig = r.per_process.last().map(|p| p.1).unwrap_or(0.0);

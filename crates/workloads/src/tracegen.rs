@@ -70,7 +70,10 @@ impl TraceGenerator {
     /// `(base, pages)`.
     #[must_use]
     pub fn va_span(&self) -> (u64, u64) {
-        (self.base, self.profile.hot_pages + self.profile.stream_pages)
+        (
+            self.base,
+            self.profile.hot_pages + self.profile.stream_pages,
+        )
     }
 
     fn next_u64(&mut self) -> u64 {
@@ -155,7 +158,10 @@ mod tests {
         let ops: Vec<Op> = TraceGenerator::new(p, 1).take(200_000).collect();
         let mem = ops.iter().filter(|o| !matches!(o, Op::Compute)).count() as f64;
         let ratio = mem / ops.len() as f64;
-        assert!((p.mem_ratio - 0.02..p.mem_ratio + 0.02).contains(&ratio), "ratio = {ratio}");
+        assert!(
+            (p.mem_ratio - 0.02..p.mem_ratio + 0.02).contains(&ratio),
+            "ratio = {ratio}"
+        );
     }
 
     #[test]
@@ -165,7 +171,10 @@ mod tests {
         let mem = ops.iter().filter(|o| !matches!(o, Op::Compute)).count() as f64;
         let stores = ops.iter().filter(|o| matches!(o, Op::Store(_))).count() as f64;
         let ratio = stores / mem;
-        assert!((p.store_ratio - 0.04..p.store_ratio + 0.04).contains(&ratio), "ratio = {ratio}");
+        assert!(
+            (p.store_ratio - 0.04..p.store_ratio + 0.04).contains(&ratio),
+            "ratio = {ratio}"
+        );
     }
 
     #[test]
@@ -183,7 +192,11 @@ mod tests {
                 }
             }
         }
-        assert!(pages.len() > 250, "only {} distinct cold pages", pages.len());
+        assert!(
+            pages.len() > 250,
+            "only {} distinct cold pages",
+            pages.len()
+        );
     }
 
     #[test]

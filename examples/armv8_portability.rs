@@ -16,9 +16,18 @@ fn main() {
     println!("=== PT-Guard on ARMv8 descriptors ===\n");
 
     let fmt = PteFormat::ArmV8;
-    println!("MAC region per descriptor : bits 49:40 + 9:8 ({} bits, split with the PFN)", fmt.mac_field_mask().count_ones());
-    println!("identifier region         : bits 58:55 ({} bits/line)", fmt.id_bits());
-    println!("protected bits            : {} per descriptor (vs 44 on x86_64)\n", fmt.protected_mask(40).count_ones());
+    println!(
+        "MAC region per descriptor : bits 49:40 + 9:8 ({} bits, split with the PFN)",
+        fmt.mac_field_mask().count_ones()
+    );
+    println!(
+        "identifier region         : bits 58:55 ({} bits/line)",
+        fmt.id_bits()
+    );
+    println!(
+        "protected bits            : {} per descriptor (vs 44 on x86_64)\n",
+        fmt.protected_mask(40).count_ones()
+    );
 
     let mut engine = PtGuardEngine::new(PtGuardConfig::armv8());
 
@@ -33,7 +42,11 @@ fn main() {
     assert!(written.protected);
     println!("descriptor line in DRAM (MAC share visible in bits 49:40 and 9:8):");
     for i in 0..4 {
-        println!("  [{i}] {:#018x} -> {:#018x}", line.word(i), written.line.word(i));
+        println!(
+            "  [{i}] {:#018x} -> {:#018x}",
+            line.word(i),
+            written.line.word(i)
+        );
     }
 
     // Clean walk verifies and strips.

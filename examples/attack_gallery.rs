@@ -46,27 +46,47 @@ fn main() {
     // 1. Double-sided vs nothing: the 2014 baseline.
     let mut s = HammerSession::new(device(), NoMitigation);
     let r = double_sided(&mut s, RowId { bank: 0, row: 500 }, 4 * RTH as u64);
-    println!("double-sided  vs no mitigation : {:5} flips  -> {}", r.flips_total, verdict(r.flips_total));
+    println!(
+        "double-sided  vs no mitigation : {:5} flips  -> {}",
+        r.flips_total,
+        verdict(r.flips_total)
+    );
 
     // 2. TRR stops double-sided...
     let mut s = HammerSession::new(device(), Trr::ddr4_typical(RTH as u64));
     let r = double_sided(&mut s, RowId { bank: 0, row: 500 }, 4 * RTH as u64);
-    println!("double-sided  vs TRR           : {:5} flips  -> {}", r.flips_total, verdict(r.flips_total));
+    println!(
+        "double-sided  vs TRR           : {:5} flips  -> {}",
+        r.flips_total,
+        verdict(r.flips_total)
+    );
 
     // 3. ...but TRRespass's many-sided pattern thrashes its tracker.
     let mut s = HammerSession::new(device(), Trr::ddr4_typical(RTH as u64));
     let r = many_sided(&mut s, RowId { bank: 0, row: 490 }, 12, 6 * RTH as u64);
-    println!("many-sided    vs TRR           : {:5} flips  -> {}  (TRRespass)", r.flips_total, verdict(r.flips_total));
+    println!(
+        "many-sided    vs TRR           : {:5} flips  -> {}  (TRRespass)",
+        r.flips_total,
+        verdict(r.flips_total)
+    );
 
     // 4. Blacksmith's frequency scheduling sustains pressure too.
     let mut s = HammerSession::new(device(), Trr::ddr4_typical(RTH as u64));
     let r = blacksmith(&mut s, RowId { bank: 0, row: 530 }, 8, 8 * RTH as u64);
-    println!("Blacksmith    vs TRR           : {:5} flips  -> {}", r.flips_total, verdict(r.flips_total));
+    println!(
+        "Blacksmith    vs TRR           : {:5} flips  -> {}",
+        r.flips_total,
+        verdict(r.flips_total)
+    );
 
     // 5. Graphene counts exactly — double-sided dies...
     let mut s = HammerSession::new(device(), Graphene::new(64, (RTH / 8.0) as u64));
     let r = double_sided(&mut s, RowId { bank: 0, row: 500 }, 6 * RTH as u64);
-    println!("double-sided  vs Graphene      : {:5} flips  -> {}", r.flips_total, verdict(r.flips_total));
+    println!(
+        "double-sided  vs Graphene      : {:5} flips  -> {}",
+        r.flips_total,
+        verdict(r.flips_total)
+    );
 
     // 6. ...but Half-Double turns Graphene's own victim refreshes into
     //    distance-2 hammering.
@@ -86,8 +106,17 @@ fn main() {
     soft.register_pt_row(RowId { bank: 0, row: 500 });
     let mut s = HammerSession::new(device(), soft);
     let r = double_sided(&mut s, RowId { bank: 0, row: 500 }, 4 * RTH as u64);
-    let pt_flips = s.device().flips().iter().filter(|f| f.row.row == 500).count();
-    println!("double-sided  vs SoftTRR       : {:5} flips in the PT row -> {}", pt_flips, verdict(pt_flips as u64));
+    let pt_flips = s
+        .device()
+        .flips()
+        .iter()
+        .filter(|f| f.row.row == 500)
+        .count();
+    println!(
+        "double-sided  vs SoftTRR       : {:5} flips in the PT row -> {}",
+        pt_flips,
+        verdict(pt_flips as u64)
+    );
     let _ = r;
 
     // 8. ...but, being victim-refresh at heart, falls to Half-Double just
@@ -109,7 +138,11 @@ fn main() {
     //    module (the paper's 27x-in-7-years trend).
     let mut s = HammerSession::new(device(), Graphene::new(64, 16_000 / 8));
     let r = double_sided(&mut s, RowId { bank: 0, row: 500 }, 4 * RTH as u64);
-    println!("double-sided  vs Graphene@16K  : {:5} flips  -> {}  (module RTH dropped to 2K)", r.flips_total, verdict(r.flips_total));
+    println!(
+        "double-sided  vs Graphene@16K  : {:5} flips  -> {}  (module RTH dropped to 2K)",
+        r.flips_total,
+        verdict(r.flips_total)
+    );
 
     println!("\nconclusion: access-pattern and threshold assumptions keep breaking;");
     println!("PT-Guard instead cryptographically verifies every page-table walk —");

@@ -35,11 +35,18 @@ fn demonstrate(
     println!("  flips injected : {}", faulty.hamming(clean));
     match corrector.correct(&faulty, addr) {
         CorrectionOutcome::Corrected(c) => {
-            println!("  outcome        : corrected via {:?} after {} guesses", c.step, c.guesses);
+            println!(
+                "  outcome        : corrected via {:?} after {} guesses",
+                c.step, c.guesses
+            );
             assert_eq!(c.step, expect);
             // The corrected line's MAC region keeps the (possibly faulty,
             // ≤ k bits) stored MAC; the *content* must match exactly.
-            assert_eq!(strip_mac(&c.line), strip_mac(clean), "corrected content must equal the written one");
+            assert_eq!(
+                strip_mac(&c.line),
+                strip_mac(clean),
+                "corrected content must equal the written one"
+            );
         }
         CorrectionOutcome::Uncorrectable { guesses } => {
             println!("  outcome        : uncorrectable after {guesses} guesses");
@@ -64,18 +71,39 @@ fn main() {
     let mut faulty = clean;
     faulty.set_word(0, faulty.word(0) ^ (1 << 43));
     faulty.set_word(5, faulty.word(5) ^ (1 << 50));
-    demonstrate("1. flips inside the MAC (soft match)", &corrector, &clean, faulty, addr, CorrectionStep::SoftMatch);
+    demonstrate(
+        "1. flips inside the MAC (soft match)",
+        &corrector,
+        &clean,
+        faulty,
+        addr,
+        CorrectionStep::SoftMatch,
+    );
 
     // Step 2: the classic single-bit Rowhammer flip — flip-and-check walks
     // all 352 protected bits.
     let mut faulty = clean;
     faulty.flip_bit(64 + 13); // PFN bit of entry 1
-    demonstrate("2. single data-bit flip (flip and check)", &corrector, &clean, faulty, addr, CorrectionStep::FlipAndCheck);
+    demonstrate(
+        "2. single data-bit flip (flip and check)",
+        &corrector,
+        &clean,
+        faulty,
+        addr,
+        CorrectionStep::FlipAndCheck,
+    );
 
     // Step 3: a shredded zero PTE — almost-zero entries reset to zero.
     let mut faulty = clean;
     faulty.set_word(7, faulty.word(7) ^ 0b101 ^ (1 << 30));
-    demonstrate("3. scattered flips in a zero PTE (zero reset)", &corrector, &clean, faulty, addr, CorrectionStep::ZeroReset);
+    demonstrate(
+        "3. scattered flips in a zero PTE (zero reset)",
+        &corrector,
+        &clean,
+        faulty,
+        addr,
+        CorrectionStep::ZeroReset,
+    );
 
     // Steps 4+5: multi-entry damage recovered from value locality — flag
     // majority vote and PFN contiguity reconstruction.
@@ -95,7 +123,10 @@ fn main() {
     // is detected but not correctable — the OS gets an exception instead of
     // a corrupted translation.
     let mut noncontig = Line::ZERO;
-    for (i, p) in [0x0a1_b2c3u64, 0x571_0000, 0x123_4567, 0x0ff_ff00].iter().enumerate() {
+    for (i, p) in [0x0a1_b2c3u64, 0x571_0000, 0x123_4567, 0x0ff_ff00]
+        .iter()
+        .enumerate()
+    {
         noncontig.set_word(i, (p << 12) | 0x27);
     }
     let noncontig = embed_mac(&noncontig, mac.compute(&noncontig, addr));
@@ -106,7 +137,9 @@ fn main() {
     println!("--- 6. scattered damage, no locality to exploit ---");
     match corrector.correct(&faulty, addr) {
         CorrectionOutcome::Uncorrectable { guesses } => {
-            println!("  outcome        : uncorrectable after {guesses} guesses — PTECheckFailed raised");
+            println!(
+                "  outcome        : uncorrectable after {guesses} guesses — PTECheckFailed raised"
+            );
             println!("  (detection always holds; correction is best-effort)");
         }
         CorrectionOutcome::Corrected(c) => panic!("unexpected correction: {c:?}"),

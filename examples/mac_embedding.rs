@@ -16,29 +16,62 @@ fn main() {
 
     // --- 1. Pattern matching decides who gets a MAC. ---
     let mut engine = PtGuardEngine::new(PtGuardConfig::default());
-    let pte_line = Line::from_words([(0x7700 << 12) | 0x27, (0x7701 << 12) | 0x27, 0, 0, 0, 0, 0, 0]);
+    let pte_line = Line::from_words([
+        (0x7700 << 12) | 0x27,
+        (0x7701 << 12) | 0x27,
+        0,
+        0,
+        0,
+        0,
+        0,
+        0,
+    ]);
     let data_line = Line::from_words([u64::MAX, 42, 0x1234_5678_9abc_def0, 7, 8, 9, 10, 11]);
-    println!("PTE-shaped line matches 96-bit pattern : {}", pattern::matches_base_pattern(&pte_line));
-    println!("random data line matches                : {}\n", pattern::matches_base_pattern(&data_line));
+    println!(
+        "PTE-shaped line matches 96-bit pattern : {}",
+        pattern::matches_base_pattern(&pte_line)
+    );
+    println!(
+        "random data line matches                : {}\n",
+        pattern::matches_base_pattern(&data_line)
+    );
 
     let w = engine.process_write(pte_line, PhysAddr::new(0x100));
     println!("PTE line written: protected = {}", w.protected);
-    println!("  MAC now in bits 51:40 of every entry: {:#x}", pattern::extract_mac(&w.line));
+    println!(
+        "  MAC now in bits 51:40 of every entry: {:#x}",
+        pattern::extract_mac(&w.line)
+    );
     let w2 = engine.process_write(data_line, PhysAddr::new(0x200));
-    println!("data line written: protected = {} (stored verbatim)\n", w2.protected);
+    println!(
+        "data line written: protected = {} (stored verbatim)\n",
+        w2.protected
+    );
 
     // --- 2. Optimized PT-Guard: the identifier gates MAC checks. ---
     let mut opt = PtGuardEngine::new(PtGuardConfig::optimized());
     let w = opt.process_write(pte_line, PhysAddr::new(0x300));
-    println!("optimized engine embeds a 56-bit identifier: {:#x}", pattern::extract_identifier(&w.line));
+    println!(
+        "optimized engine embeds a 56-bit identifier: {:#x}",
+        pattern::extract_identifier(&w.line)
+    );
     let r = opt.process_read(data_line, PhysAddr::new(0x400), false);
-    println!("data read without identifier: mac_computed = {} (zero added latency)", r.mac_computed);
+    println!(
+        "data read without identifier: mac_computed = {} (zero added latency)",
+        r.mac_computed
+    );
 
     // --- 3. MAC-zero: all-zero lines cost nothing. ---
     let wz = opt.process_write(Line::ZERO, PhysAddr::new(0x500));
-    println!("zero line write: mac_computed = {} (precomputed MAC-zero used)", wz.mac_computed);
+    println!(
+        "zero line write: mac_computed = {} (precomputed MAC-zero used)",
+        wz.mac_computed
+    );
     let rz = opt.process_read(wz.line, PhysAddr::new(0x500), false);
-    println!("zero line read : verdict = {:?}, mac_computed = {}\n", rz.verdict, rz.mac_computed);
+    println!(
+        "zero line read : verdict = {:?}, mac_computed = {}\n",
+        rz.verdict, rz.mac_computed
+    );
 
     // --- 4. Colliding lines: the 2^-96 case, handled by the CTB. ---
     // Forge one deliberately (a benign system would wait ~a trillion years).
@@ -47,10 +80,17 @@ fn main() {
     let forged_mac = engine.mac_unit().compute(&payload, addr);
     let colliding = pattern::embed_mac(&payload, forged_mac);
     let w = engine.process_write(colliding, addr);
-    println!("forged colliding line written: tracked in CTB = {}", w.collision_tracked);
+    println!(
+        "forged colliding line written: tracked in CTB = {}",
+        w.collision_tracked
+    );
     let r = engine.process_read(colliding, addr, false);
     assert_eq!(r.line, colliding);
-    println!("read of colliding line: forwarded untouched (verdict {:?}), CTB occupancy = {}\n", r.verdict, engine.ctb().len());
+    println!(
+        "read of colliding line: forwarded untouched (verdict {:?}), CTB occupancy = {}\n",
+        r.verdict,
+        engine.ctb().len()
+    );
 
     // --- 5. CTB overflow triggers re-keying. ---
     let mut rekey_needed = false;
@@ -69,7 +109,10 @@ fn main() {
     let stored = engine.process_write(pte_line, pte_addr);
     mem.write_line(pte_addr, &stored.line.to_bytes());
     let reprotected = engine.rekey_memory(&mut mem, [0x1111_2222, 0x3333_4444]);
-    println!("re-keyed memory: {reprotected} protected lines re-MAC'd, CTB cleared ({} entries)", engine.ctb().len());
+    println!(
+        "re-keyed memory: {reprotected} protected lines re-MAC'd, CTB cleared ({} entries)",
+        engine.ctb().len()
+    );
     let back = engine.process_read(Line::from_bytes(&mem.read_line(pte_addr)), pte_addr, true);
     assert_eq!(back.verdict, ReadVerdict::Verified);
     assert_eq!(back.line, pte_line);

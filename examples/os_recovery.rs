@@ -34,7 +34,9 @@ fn main() {
     let mut space = AddressSpace::new(&mut port, 32).expect("space");
     for i in 0..pages {
         let va = VirtAddr::new(base + i * 4096);
-        let frame = space.map_new(&mut port, va, PteFlags::user_data()).expect("map");
+        let frame = space
+            .map_new(&mut port, va, PteFlags::user_data())
+            .expect("map");
         mappings.push((va, frame));
     }
     let root = space.root();
@@ -43,14 +45,20 @@ fn main() {
     for a in space.pte_line_addrs() {
         sys.invalidate_line(a);
     }
-    println!("process mapped: {pages} pages across {} page-table pages\n", space.table_frames().len());
+    println!(
+        "process mapped: {pages} pages across {} page-table pages\n",
+        space.table_frames().len()
+    );
 
     // --- The attacker hammers every page-table row, persistently. ---
     let hammer = |sys: &mut MemorySystem, space: &AddressSpace| {
         let dev = sys.controller.device_mut();
         let rows_per_bank = dev.geometry().rows_per_bank;
-        let mut rows: Vec<_> =
-            space.table_frames().iter().map(|f| dev.geometry().row_of(f.base())).collect();
+        let mut rows: Vec<_> = space
+            .table_frames()
+            .iter()
+            .map(|f| dev.geometry().row_of(f.base()))
+            .collect();
         rows.sort();
         rows.dedup();
         for victim in rows {
@@ -62,7 +70,10 @@ fn main() {
         }
     };
     hammer(&mut sys, &space);
-    println!("attack round 1: {} bit flips injected into DRAM", sys.controller.device().stats().total_flips);
+    println!(
+        "attack round 1: {} bit flips injected into DRAM",
+        sys.controller.device().stats().total_flips
+    );
 
     // The process touches its memory; PT-Guard corrects or faults.
     sys.invalidate_translation_state();
@@ -92,7 +103,10 @@ fn main() {
             }
             let slot = pagetable::table::entry_addr(t, va.pt_index());
             use pagetable::memory::PhysMem;
-            port.write_u64(slot, pagetable::x86_64::Pte::new(*frame, PteFlags::user_data()).raw());
+            port.write_u64(
+                slot,
+                pagetable::x86_64::Pte::new(*frame, PteFlags::user_data()).raw(),
+            );
         }
     }
     sys.flush_caches();
@@ -100,7 +114,10 @@ fn main() {
     for a in space.pte_line_addrs() {
         sys.invalidate_line(a);
     }
-    println!("migrated {} table pages; translations rebuilt\n", victims.len());
+    println!(
+        "migrated {} table pages; translations rebuilt\n",
+        victims.len()
+    );
 
     // --- The attacker keeps hammering; the process keeps running. ---
     hammer(&mut sys, &space);
@@ -114,7 +131,10 @@ fn main() {
             }
         }
     }
-    println!("attack round 2 (same aggressor rows): {ok2}/{} pages load, {wrong} wrong translations", mappings.len());
+    println!(
+        "attack round 2 (same aggressor rows): {ok2}/{} pages load, {wrong} wrong translations",
+        mappings.len()
+    );
     assert_eq!(wrong, 0);
     println!("\nthe invariant held through both rounds: no tampered PTE was ever consumed,");
     println!("and the exception mechanism gave the OS everything it needed to recover.");

@@ -24,7 +24,9 @@ fn main() {
         println!("translation hijack          : YES — a flipped PFN now points the");
         println!("                              attacker's page at foreign physical memory.");
         println!("                              From here the classic exploit forges PTEs");
-        println!("                              and reads/writes arbitrary memory (kernel take-over).");
+        println!(
+            "                              and reads/writes arbitrary memory (kernel take-over)."
+        );
     } else {
         println!("translation hijack          : corrupted but no clean remap this run");
     }
@@ -34,7 +36,10 @@ fn main() {
     println!("walks transparently repaired: {}", r.guarded_corrected);
     println!("integrity exceptions raised : {}", r.guarded_faults);
     println!("silent hijacks              : {}", r.guarded_hijacks);
-    assert_eq!(r.guarded_hijacks, 0, "PT-Guard must never serve a tampered translation");
+    assert_eq!(
+        r.guarded_hijacks, 0,
+        "PT-Guard must never serve a tampered translation"
+    );
 
     println!("\nverdict: the invariant of Section IV-G holds — no PTE cacheline with");
     println!("bit flips is ever consumed on a page-table walk.");

@@ -42,7 +42,10 @@ fn main() {
     let clean = engine.process_read(written.line, addr, true);
     assert_eq!(clean.verdict, ReadVerdict::Verified);
     assert_eq!(clean.line, pte_line);
-    println!("\nclean walk: verified, MAC stripped, {} extra cycles", clean.added_latency_cycles);
+    println!(
+        "\nclean walk: verified, MAC stripped, {} extra cycles",
+        clean.added_latency_cycles
+    );
 
     // Rowhammer flips one PFN bit of entry 1 while the line sits in DRAM.
     let mut hammered = written.line;

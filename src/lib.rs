@@ -12,8 +12,13 @@
 //! * [`memsys`] — caches, TLB, MMU cache, memory controller (+ the
 //!   whole-memory-MAC baseline).
 //! * [`workloads`] — calibrated SPEC/GAP-like models and the PTE census.
-//! * [`simx`] — single-core and multi-core timing simulation.
-//! * [`experiments`] — one regenerator per paper table/figure.
+//! * [`trace`] — binary memory-trace record/replay (chunked, checksummed,
+//!   prefetched).
+//! * [`simx`] — single-core and multi-core timing simulation, generic over
+//!   live-generated or replayed op streams.
+//! * [`experiments`] — one regenerator per paper table/figure, plus the
+//!   `exp record`/`replay`/`trace-stats` pipeline.
+//! * [`rng`] — the std-only deterministic RNG the models share.
 //!
 //! See the README for the architecture overview and EXPERIMENTS.md for
 //! paper-vs-measured results.
@@ -24,6 +29,8 @@ pub use memsys;
 pub use pagetable;
 pub use ptguard;
 pub use qarma;
+pub use rng;
 pub use rowhammer;
 pub use simx;
+pub use trace;
 pub use workloads;

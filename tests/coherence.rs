@@ -2,15 +2,17 @@
 //! through the cache hierarchy is exactly what it reads back — regardless
 //! of evictions, flushes, and PT-Guard's MAC embedding/stripping happening
 //! underneath.
+//!
+//! Formerly proptest-driven; now a deterministic randomized sweep over the
+//! in-tree [`rng::SplitMix64`] (24 cases, as before).
 
 use std::collections::HashMap;
-
-use proptest::prelude::*;
 
 use dram::{DramDevice, RowhammerConfig};
 use memsys::{MemSysConfig, MemoryController, MemorySystem};
 use pagetable::addr::PhysAddr;
 use ptguard::{PtGuardConfig, PtGuardEngine};
+use rng::SplitMix64;
 
 #[derive(Debug, Clone)]
 enum CohOp {
@@ -26,13 +28,22 @@ enum CohOp {
     Evict { slot: u8 },
 }
 
-fn op_strategy() -> impl Strategy<Value = CohOp> {
-    prop_oneof![
-        (any::<u8>(), 0u8..8, any::<u64>()).prop_map(|(slot, word, value)| CohOp::Write { slot, word, value }),
-        (any::<u8>(), 0u8..8).prop_map(|(slot, word)| CohOp::Read { slot, word }),
-        Just(CohOp::Flush),
-        any::<u8>().prop_map(|slot| CohOp::Evict { slot }),
-    ]
+fn random_op(rng: &mut SplitMix64) -> CohOp {
+    match rng.gen_range_usize(0, 4) {
+        0 => CohOp::Write {
+            slot: rng.next_u64() as u8,
+            word: rng.gen_range_u64(0, 8) as u8,
+            value: rng.next_u64(),
+        },
+        1 => CohOp::Read {
+            slot: rng.next_u64() as u8,
+            word: rng.gen_range_u64(0, 8) as u8,
+        },
+        2 => CohOp::Flush,
+        _ => CohOp::Evict {
+            slot: rng.next_u64() as u8,
+        },
+    }
 }
 
 fn slot_addr(slot: u8, word: u8) -> PhysAddr {
@@ -43,17 +54,24 @@ fn slot_addr(slot: u8, word: u8) -> PhysAddr {
 fn build(guarded: bool, optimized: bool) -> MemorySystem {
     let device = DramDevice::ddr4_4gb(RowhammerConfig::immune());
     let engine = guarded.then(|| {
-        PtGuardEngine::new(if optimized { PtGuardConfig::optimized() } else { PtGuardConfig::default() })
+        PtGuardEngine::new(if optimized {
+            PtGuardConfig::optimized()
+        } else {
+            PtGuardConfig::default()
+        })
     });
     let controller = MemoryController::new(device, engine, 3.0);
     MemorySystem::new(MemSysConfig::default(), controller)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn hierarchy_is_functionally_coherent(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+#[test]
+fn hierarchy_is_functionally_coherent() {
+    let mut rng = SplitMix64::new(0xc0e);
+    for _case in 0..24 {
+        let ops: Vec<CohOp> = {
+            let n = rng.gen_range_usize(1, 200);
+            (0..n).map(|_| random_op(&mut rng)).collect()
+        };
         for (guarded, optimized) in [(false, false), (true, false), (true, true)] {
             let mut sys = build(guarded, optimized);
             let mut reference: HashMap<u64, u64> = HashMap::new();
@@ -67,13 +85,10 @@ proptest! {
                     CohOp::Read { slot, word } => {
                         let a = slot_addr(slot, word);
                         let expect = reference.get(&a.as_u64()).copied().unwrap_or(0);
-                        prop_assert_eq!(
+                        assert_eq!(
                             sys.func_read_u64(a),
                             expect,
-                            "guarded={} optimized={} addr={:?}",
-                            guarded,
-                            optimized,
-                            a
+                            "guarded={guarded} optimized={optimized} addr={a:?}"
                         );
                     }
                     CohOp::Flush => sys.flush_caches(),
@@ -91,8 +106,8 @@ proptest! {
                 sys.invalidate_line(PhysAddr::new(*a));
             }
             for (a, v) in &reference {
-                prop_assert_eq!(sys.func_read_u64(PhysAddr::new(*a)), *v);
-                prop_assert_eq!(sys.func_read_u64(PhysAddr::new(*a)), *v);
+                assert_eq!(sys.func_read_u64(PhysAddr::new(*a)), *v);
+                assert_eq!(sys.func_read_u64(PhysAddr::new(*a)), *v);
             }
         }
     }

@@ -1,6 +1,10 @@
-//! Property-based invariants spanning the crates (proptest).
+//! Property-based invariants spanning the crates.
+//!
+//! Formerly proptest-driven; now a deterministic randomized sweep over the
+//! in-tree [`rng::SplitMix64`] so the workspace builds with no network
+//! access. Case counts match the old proptest configuration.
 
-use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 use pagetable::addr::{PhysAddr, VirtAddr};
 use pagetable::memory::VecMemory;
@@ -10,88 +14,114 @@ use ptguard::engine::ReadVerdict;
 use ptguard::line::Line;
 use ptguard::{pattern, PtGuardConfig, PtGuardEngine};
 use qarma::{Qarma128, Qarma64, Sbox};
+use rng::SplitMix64;
 
-/// Strategy: a line that satisfies the OS invariant (PTE-shaped).
-fn pte_shaped_line() -> impl Strategy<Value = Line> {
-    proptest::collection::vec(
-        (0u64..(1 << 28), any::<bool>(), 0u64..16).prop_map(|(pfn, present, flagbits)| {
-            if present {
-                (pfn << 12) | 0x07 | (flagbits << 3) & 0xf8
-            } else {
-                0
-            }
-        }),
-        8,
-    )
-    .prop_map(|v| Line::from_words(v.try_into().expect("8 words")))
-}
+const CASES: usize = 64;
 
-/// Strategy: arbitrary line content (usually not pattern-matching).
-fn any_line() -> impl Strategy<Value = Line> {
-    proptest::collection::vec(any::<u64>(), 8)
-        .prop_map(|v| Line::from_words(v.try_into().expect("8 words")))
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn qarma64_is_a_permutation(key in any::<[u64; 2]>(), pt in any::<u64>(), tw in any::<u64>()) {
-        for sbox in [Sbox::Sigma0, Sbox::Sigma1, Sbox::Sigma2] {
-            let c = Qarma64::new(key, 5, sbox);
-            prop_assert_eq!(c.decrypt(c.encrypt(pt, tw), tw), pt);
+/// A line that satisfies the OS invariant (PTE-shaped).
+fn pte_shaped_line(rng: &mut SplitMix64) -> Line {
+    let mut words = [0u64; 8];
+    for w in words.iter_mut() {
+        let present = rng.gen_bool(0.5);
+        if present {
+            let pfn = rng.gen_range_u64(0, 1 << 28);
+            let flagbits = rng.gen_range_u64(0, 16);
+            *w = (pfn << 12) | 0x07 | (flagbits << 3) & 0xf8;
         }
     }
+    Line::from_words(words)
+}
 
-    #[test]
-    fn qarma128_is_a_permutation(key in any::<[u128; 2]>(), pt in any::<u128>(), tw in any::<u128>()) {
-        let c = Qarma128::new(key, 9, Sbox::Sigma1);
-        prop_assert_eq!(c.decrypt(c.encrypt(pt, tw), tw), pt);
+/// Arbitrary line content (usually not pattern-matching).
+fn any_line(rng: &mut SplitMix64) -> Line {
+    let mut words = [0u64; 8];
+    for w in words.iter_mut() {
+        *w = rng.next_u64();
     }
+    Line::from_words(words)
+}
 
-    #[test]
-    fn protected_roundtrip_is_identity(line in pte_shaped_line(), addr_line in 0u64..(1 << 20)) {
-        // Any OS-invariant-respecting line survives write→read untouched,
-        // in both engine variants.
-        let addr = PhysAddr::new(addr_line * 64);
+#[test]
+fn qarma64_is_a_permutation() {
+    let mut rng = SplitMix64::new(0x1a01);
+    for _ in 0..CASES {
+        let key = [rng.next_u64(), rng.next_u64()];
+        let pt = rng.next_u64();
+        let tw = rng.next_u64();
+        for sbox in [Sbox::Sigma0, Sbox::Sigma1, Sbox::Sigma2] {
+            let c = Qarma64::new(key, 5, sbox);
+            assert_eq!(c.decrypt(c.encrypt(pt, tw), tw), pt);
+        }
+    }
+}
+
+#[test]
+fn qarma128_is_a_permutation() {
+    let mut rng = SplitMix64::new(0x1a02);
+    let u128_of = |r: &mut SplitMix64| (u128::from(r.next_u64()) << 64) | u128::from(r.next_u64());
+    for _ in 0..CASES {
+        let key = [u128_of(&mut rng), u128_of(&mut rng)];
+        let pt = u128_of(&mut rng);
+        let tw = u128_of(&mut rng);
+        let c = Qarma128::new(key, 9, Sbox::Sigma1);
+        assert_eq!(c.decrypt(c.encrypt(pt, tw), tw), pt);
+    }
+}
+
+#[test]
+fn protected_roundtrip_is_identity() {
+    // Any OS-invariant-respecting line survives write→read untouched, in
+    // both engine variants.
+    let mut rng = SplitMix64::new(0x1a03);
+    for _ in 0..CASES {
+        let line = pte_shaped_line(&mut rng);
+        let addr = PhysAddr::new(rng.gen_range_u64(0, 1 << 20) * 64);
         for cfg in [PtGuardConfig::default(), PtGuardConfig::optimized()] {
             let mut e = PtGuardEngine::new(cfg);
             let w = e.process_write(line, addr);
-            prop_assert!(w.protected);
+            assert!(w.protected);
             let r = e.process_read(w.line, addr, true);
-            prop_assert_eq!(r.verdict, ReadVerdict::Verified);
-            prop_assert_eq!(r.line, line);
+            assert_eq!(r.verdict, ReadVerdict::Verified);
+            assert_eq!(r.line, line);
         }
     }
+}
 
-    #[test]
-    fn data_roundtrip_preserves_content(line in any_line(), addr_line in 0u64..(1 << 20)) {
-        // Regular data — protected or not, colliding or not — always comes
-        // back bit-identical on the data-read path.
-        let addr = PhysAddr::new(addr_line * 64);
+#[test]
+fn data_roundtrip_preserves_content() {
+    // Regular data — protected or not, colliding or not — always comes
+    // back bit-identical on the data-read path.
+    let mut rng = SplitMix64::new(0x1a04);
+    for _ in 0..CASES {
+        let line = any_line(&mut rng);
+        let addr = PhysAddr::new(rng.gen_range_u64(0, 1 << 20) * 64);
         let mut e = PtGuardEngine::new(PtGuardConfig::default());
         let w = e.process_write(line, addr);
         let r = e.process_read(w.line, addr, false);
-        prop_assert!(r.verdict.is_ok());
+        assert!(r.verdict.is_ok());
         if w.protected {
             // Pattern-matched: MAC embedded then stripped back out.
-            prop_assert_eq!(r.line, line);
+            assert_eq!(r.line, line);
         } else {
-            prop_assert_eq!(r.line, w.line);
-            prop_assert_eq!(w.line, line);
+            assert_eq!(r.line, w.line);
+            assert_eq!(w.line, line);
         }
     }
+}
 
-    #[test]
-    fn tampered_walks_never_verify_silently(
-        line in pte_shaped_line(),
-        addr_line in 0u64..(1 << 20),
-        flips in proptest::collection::btree_set(0usize..512, 1..6),
-    ) {
-        // Whatever bits flip, a PTE walk either (a) accepts a payload equal
-        // to the original protected content, or (b) raises CheckFailed.
-        // Silent acceptance of modified protected content is forbidden.
-        let addr = PhysAddr::new(addr_line * 64);
+#[test]
+fn tampered_walks_never_verify_silently() {
+    // Whatever bits flip, a PTE walk either (a) accepts a payload equal to
+    // the original protected content, or (b) raises CheckFailed. Silent
+    // acceptance of modified protected content is forbidden.
+    let mut rng = SplitMix64::new(0x1a05);
+    for _ in 0..CASES {
+        let line = pte_shaped_line(&mut rng);
+        let addr = PhysAddr::new(rng.gen_range_u64(0, 1 << 20) * 64);
+        let mut flips = BTreeSet::new();
+        for _ in 0..rng.gen_range_usize(1, 6) {
+            flips.insert(rng.gen_range_usize(0, 512));
+        }
         let mut e = PtGuardEngine::new(PtGuardConfig::default());
         let protected_mask = e.mac_unit().protected_mask();
         let w = e.process_write(line, addr);
@@ -102,32 +132,42 @@ proptest! {
         let r = e.process_read(faulty, addr, true);
         match r.verdict {
             ReadVerdict::Verified | ReadVerdict::Corrected { .. } => {
-                prop_assert_eq!(
+                assert_eq!(
                     r.line.masked(protected_mask),
                     line.masked(protected_mask),
                     "accepted payload must match the written protected content"
                 );
             }
             ReadVerdict::CheckFailed => {}
-            ReadVerdict::Forwarded => prop_assert!(false, "PTE walks always verify"),
+            ReadVerdict::Forwarded => panic!("PTE walks always verify"),
         }
     }
+}
 
-    #[test]
-    fn embed_strip_is_inverse_on_pattern_lines(line in pte_shaped_line(), mac in any::<u128>()) {
-        let mac = mac & ((1 << 96) - 1);
-        prop_assert!(pattern::matches_base_pattern(&line));
+#[test]
+fn embed_strip_is_inverse_on_pattern_lines() {
+    let mut rng = SplitMix64::new(0x1a06);
+    for _ in 0..CASES {
+        let line = pte_shaped_line(&mut rng);
+        let mac =
+            ((u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())) & ((1 << 96) - 1);
+        assert!(pattern::matches_base_pattern(&line));
         let embedded = pattern::embed_mac(&line, mac);
-        prop_assert_eq!(pattern::extract_mac(&embedded), mac);
-        prop_assert_eq!(pattern::strip_mac(&embedded), line);
+        assert_eq!(pattern::extract_mac(&embedded), mac);
+        assert_eq!(pattern::strip_mac(&embedded), line);
     }
+}
 
-    #[test]
-    fn mapping_translate_agrees_with_direct_math(
-        vpns in proptest::collection::btree_set(1u64..(1 << 24), 1..24),
-    ) {
-        // AddressSpace::translate must agree with frame arithmetic for every
-        // mapping it created.
+#[test]
+fn mapping_translate_agrees_with_direct_math() {
+    // AddressSpace::translate must agree with frame arithmetic for every
+    // mapping it created.
+    let mut rng = SplitMix64::new(0x1a07);
+    for _ in 0..24 {
+        let mut vpns = BTreeSet::new();
+        for _ in 0..rng.gen_range_usize(1, 24) {
+            vpns.insert(rng.gen_range_u64(1, 1 << 24));
+        }
         let mut mem = VecMemory::new(32 << 20);
         let mut space = AddressSpace::new(&mut mem, 32).unwrap();
         let mut placed = Vec::new();
@@ -137,9 +177,11 @@ proptest! {
             placed.push((va, frame));
         }
         for (va, frame) in placed {
-            let pa = space.translate(&mem, VirtAddr::new(va.as_u64() + 0x123)).unwrap();
-            prop_assert_eq!(pa, PhysAddr::from_frame(frame, 0x123));
+            let pa = space
+                .translate(&mem, VirtAddr::new(va.as_u64() + 0x123))
+                .unwrap();
+            assert_eq!(pa, PhysAddr::from_frame(frame, 0x123));
         }
-        prop_assert_eq!(space.verify_os_invariant(&mem), 0);
+        assert_eq!(space.verify_os_invariant(&mem), 0);
     }
 }

@@ -1,0 +1,95 @@
+//! End-to-end record/replay determinism: a replayed trace must drive the
+//! simulator to the *bit-identical* RunResult of the live run it was
+//! recorded from — for every workload profile.
+
+use std::path::PathBuf;
+
+use experiments::record_replay;
+use ptguard::PtGuardConfig;
+use simx::runner::Protection;
+use workloads::profiles::{by_name, ALL_WORKLOADS};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ptguard-replay-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Compares two RunResults field by field, requiring exact equality
+/// (floats included — same inputs, same arithmetic, same bits).
+fn assert_identical(name: &str, replayed: simx::RunResult, live: simx::RunResult) {
+    assert_eq!(
+        replayed.instructions, live.instructions,
+        "{name}: instructions"
+    );
+    assert_eq!(replayed.cycles, live.cycles, "{name}: cycles");
+    assert_eq!(replayed.walks, live.walks, "{name}: walks");
+    assert_eq!(
+        replayed.integrity_faults, live.integrity_faults,
+        "{name}: faults"
+    );
+    assert_eq!(
+        replayed.mac_computations, live.mac_computations,
+        "{name}: mac computations"
+    );
+    assert_eq!(
+        replayed.mpki.to_bits(),
+        live.mpki.to_bits(),
+        "{name}: mpki bits"
+    );
+}
+
+#[test]
+fn replay_matches_live_for_every_profile() {
+    // Trial-scale measured region per profile; warm-up doubles it.
+    const INSTRS: u64 = 60_000;
+    for (i, profile) in ALL_WORKLOADS.iter().enumerate() {
+        let path = scratch(&format!("{}.pttrace", profile.name));
+        let seed = 0x5eed + i as u64;
+        record_replay::record(profile.name, INSTRS, seed, &path).unwrap();
+        let (replayed, live) = record_replay::replay_vs_live(&path, Protection::None).unwrap();
+        assert_identical(profile.name, replayed, live);
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn replay_matches_live_under_ptguard_and_fullmem() {
+    const INSTRS: u64 = 40_000;
+    let path = scratch("guarded.pttrace");
+    record_replay::record("xalancbmk", INSTRS, 0x9e1a, &path).unwrap();
+    for protection in [
+        Protection::PtGuard(PtGuardConfig::default()),
+        Protection::PtGuard(PtGuardConfig::optimized()),
+        Protection::FullMemoryMac,
+    ] {
+        let (replayed, live) = record_replay::replay_vs_live(&path, protection).unwrap();
+        assert_identical("xalancbmk", replayed, live);
+        assert_eq!(
+            replayed.integrity_faults, 0,
+            "benign replay must verify clean"
+        );
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn replaying_twice_is_deterministic() {
+    let path = scratch("twice.pttrace");
+    record_replay::record("bfs", 30_000, 0x2ce, &path).unwrap();
+    let a = record_replay::replay(&path, Protection::PtGuard(PtGuardConfig::default())).unwrap();
+    let b = record_replay::replay(&path, Protection::PtGuard(PtGuardConfig::default())).unwrap();
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.walks, b.walks);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn trace_header_names_a_real_profile() {
+    let path = scratch("header.pttrace");
+    record_replay::record("mcf", 10_000, 5, &path).unwrap();
+    let reader = trace::TraceReader::open(&path).unwrap();
+    assert!(by_name(&reader.header().profile).is_some());
+    assert_eq!(reader.header().op_count, 20_000);
+    std::fs::remove_file(&path).ok();
+}
