@@ -25,8 +25,8 @@ fn main() {
         ] {
             let mut machine = build_machine(profile, guard, 0x600d, 4);
             let _ = run(&mut machine, INSTRS); // warm-up
-            g.bench(&format!("{name}/{label}"), || {
-                run(&mut machine, INSTRS).cycles
+            g.bench_ops(&format!("{name}/{label}"), || {
+                run(&mut machine, INSTRS).mem_ops
             });
         }
     }

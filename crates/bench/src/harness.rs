@@ -95,4 +95,45 @@ impl Bench {
             hi = hi * 1e9,
         );
     }
+
+    /// Like [`Bench::bench`] for workload-shaped benchmarks: the closure
+    /// reports how many simulated operations one call performs (a
+    /// deterministic count, e.g. [`RunResult::mem_ops`]), and the harness
+    /// additionally prints median throughput in ops/sec.
+    ///
+    /// [`RunResult::mem_ops`]: ../../simx/runner/struct.RunResult.html
+    pub fn bench_ops(&mut self, name: &str, mut f: impl FnMut() -> u64) {
+        let mut iters: u64 = 1;
+        let (per_iter, mut ops_per_call) = loop {
+            let t = Instant::now();
+            let mut ops = 0u64;
+            for _ in 0..iters {
+                ops = black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= self.budget / 100 || iters >= 1 << 30 {
+                break (elapsed.as_secs_f64() / iters as f64, ops);
+            }
+            iters *= 2;
+        };
+        let per_sample =
+            ((self.budget.as_secs_f64() / per_iter.max(1e-12)) as u64).clamp(1, 1 << 32);
+
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                ops_per_call = black_box(f());
+            }
+            samples.push(t.elapsed().as_secs_f64() / per_sample as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        let median = samples[SAMPLES / 2];
+        let ops_per_sec = ops_per_call as f64 / median.max(1e-12);
+        println!(
+            "{group}/{name:<40} {median:>12.1} ns/iter  {ops_per_sec:>14.0} ops/sec  ({ops_per_call} ops/call, {per_sample} iters/sample)",
+            group = self.group,
+            median = median * 1e9,
+        );
+    }
 }

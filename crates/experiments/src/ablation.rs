@@ -40,12 +40,12 @@ pub struct AblationPoint {
 /// Workloads sampled for the performance column (high/mid/low MPKI).
 pub const SAMPLED: [&str; 3] = ["xalancbmk", "omnetpp", "povray"];
 
-fn measure(cfg: PtGuardConfig, scale: Scale) -> (f64, f64) {
+fn measure(cfg: PtGuardConfig, scale: Scale, sweep_seed: u64) -> (f64, f64) {
     let instrs = scale.instructions();
     let mut slowdowns = Vec::new();
     for (i, name) in SAMPLED.iter().enumerate() {
         let p = by_name(name).expect("profile");
-        let seed = 0xab1a + i as u64;
+        let seed = crate::salted(0xab1a + i as u64, sweep_seed);
         let base = simulate_workload(p, None, instrs, seed);
         let guarded = simulate_workload(p, Some(cfg), instrs, seed);
         slowdowns.push(1.0 - guarded.ipc() / base.ipc());
@@ -58,11 +58,18 @@ fn measure(cfg: PtGuardConfig, scale: Scale) -> (f64, f64) {
 /// Runs the ablation.
 #[must_use]
 pub fn run(scale: Scale) -> Vec<AblationPoint> {
+    run_seeded(scale, 0)
+}
+
+/// [`run`], with a sweep seed mixed into every measurement's RNG stream
+/// (seed 0 reproduces [`run`] exactly).
+#[must_use]
+pub fn run_seeded(scale: Scale, sweep_seed: u64) -> Vec<AblationPoint> {
     let mut out = Vec::new();
 
     // 1. Paper default: 96-bit MAC, correction k = 4.
     let cfg = PtGuardConfig::default();
-    let (avg, worst) = measure(cfg, scale);
+    let (avg, worst) = measure(cfg, scale, sweep_seed);
     out.push(AblationPoint {
         label: "96-bit MAC + correction (paper)",
         mac_bits: 96,
@@ -78,7 +85,7 @@ pub fn run(scale: Scale) -> Vec<AblationPoint> {
         correction: false,
         ..PtGuardConfig::default()
     };
-    let (avg, worst) = measure(cfg, scale);
+    let (avg, worst) = measure(cfg, scale, sweep_seed);
     out.push(AblationPoint {
         label: "96-bit MAC, detection only",
         mac_bits: 96,
@@ -98,7 +105,7 @@ pub fn run(scale: Scale) -> Vec<AblationPoint> {
         ..PtGuardConfig::default()
     }
     .with_mac_latency(7);
-    let (avg, worst) = measure(cfg, scale);
+    let (avg, worst) = measure(cfg, scale, sweep_seed);
     out.push(AblationPoint {
         label: "64-bit MAC, detection only (7cy)",
         mac_bits: 64,

@@ -1,95 +1,49 @@
-//! `exp` — regenerate any table or figure of the PT-Guard paper, and
-//! record/replay binary workload traces.
+//! `exp` — regenerate any table or figure of the PT-Guard paper through the
+//! parallel, cached, resumable orchestration engine, and record/replay
+//! binary workload traces.
 //!
 //! ```text
-//! exp <artefact> [--trial|--quick|--full]
+//! exp <artefact>|all [--trial|--quick|--full] [--jobs N] [--seed N]
+//!                    [--cache-dir DIR] [--no-cache] [--runs-dir DIR]
+//!                    [--format text|json]
+//! exp sweep <artefact>|all [--seeds N|a,b,c] [same flags]
 //! exp record <profile> [--out FILE] [--seed N] [--trial|--quick|--full]
 //! exp replay FILE [--protection none|ptguard|optimized|fullmem]
 //! exp trace-stats FILE
 //! exp --list
 //! ```
+//!
+//! Artefact runs execute as a job DAG across a work-stealing thread pool
+//! (`--jobs`, default = available cores). Results are memoized in a
+//! content-addressed cache (`--cache-dir`, default `.exp-cache`), so
+//! re-runs and interrupted runs resume instantly; each run also writes
+//! `runs/<id>/manifest.json` plus an `events.jsonl` job log. stdout carries
+//! only artefact output — byte-identical for any `--jobs` value —
+//! orchestration chatter goes to stderr.
 
 use std::env;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use experiments::{
-    ablation, coverage, diag, exploit, fig6, fig7, fig8, fig9, fullmem, multicore, priorwork,
-    record_replay, rth_sweep, security, storage, tables, Scale,
-};
+use experiments::orchestrate::{self, Plan, Section, ARTEFACTS};
+use experiments::{record_replay, Scale};
+use orchestrator::{run_dag, DiskCache, RunOptions};
 use ptguard::PtGuardConfig;
 use simx::runner::Protection;
 
-const ARTEFACTS: [&str; 17] = [
-    "table1",
-    "table2",
-    "table3",
-    "table4",
-    "security",
-    "storage",
-    "priorwork",
-    "rth",
-    "fig8",
-    "fig9",
-    "coverage",
-    "exploit",
-    "fig6",
-    "fig7",
-    "ablation",
-    "fullmem",
-    "multicore",
-];
-
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: exp <artefact> [--trial|--quick|--full]\n\
+        "usage: exp <artefact>|all [--trial|--quick|--full] [--jobs N] [--seed N]\n\
+         \x20          [--cache-dir DIR] [--no-cache] [--runs-dir DIR] [--format text|json]\n\
+         \x20      exp sweep <artefact>|all [--seeds N|a,b,c] [same flags]\n\
          \x20      exp record <profile> [--out FILE] [--seed N] [--trial|--quick|--full]\n\
          \x20      exp replay FILE [--protection none|ptguard|optimized|fullmem]\n\
          \x20      exp trace-stats FILE\n\
          \x20      exp --list\n\
-         artefacts: table1 table2 table3 table4 fig6 fig7 fig8 fig9\n\
-         \x20          security storage priorwork rth ablation diag fullmem multicore coverage exploit all"
+         artefacts: {}",
+        ARTEFACTS.join(" ")
     );
     ExitCode::FAILURE
-}
-
-fn run_one(name: &str, scale: Scale) -> Result<(), String> {
-    match name {
-        "table1" => print!("{}", tables::table1()),
-        "table2" => print!("{}", tables::table2()),
-        "table3" => print!("{}", tables::table3()),
-        "table4" => print!("{}", tables::table4(40)),
-        "fig6" => print!("{}", fig6::render(&fig6::run(scale))),
-        "fig7" => print!("{}", fig7::render(&fig7::run(scale))),
-        "fig8" => print!("{}", fig8::render(&fig8::run(scale))),
-        "fig9" => print!("{}", fig9::render(&fig9::run(scale))),
-        "security" => print!("{}", security::render()),
-        "storage" => print!("{}", storage::render()),
-        "priorwork" => {
-            let trials = match scale {
-                Scale::Trial => 300,
-                Scale::Quick => 2_000,
-                Scale::Full => 20_000,
-            };
-            print!("{}", priorwork::render(&priorwork::run(trials)));
-        }
-        "multicore" => print!("{}", multicore::render(&multicore::run(scale))),
-        "ablation" => print!("{}", ablation::render(&ablation::run(scale))),
-        "diag" => print!("{}", diag::run_default(scale)),
-        "fullmem" => print!("{}", fullmem::render(&fullmem::run(scale))),
-        "rth" => {
-            let acts = match scale {
-                Scale::Trial => 30_000,
-                Scale::Quick => 60_000,
-                Scale::Full => 200_000,
-            };
-            print!("{}", rth_sweep::render(&rth_sweep::run(acts)));
-        }
-        "coverage" => print!("{}", coverage::render(&coverage::run(scale))),
-        "exploit" => print!("{}", exploit::render(&exploit::run(scale))),
-        other => return Err(format!("unknown artefact: {other}")),
-    }
-    Ok(())
 }
 
 /// Parses the scale flags out of `args`, leaving everything else.
@@ -130,6 +84,191 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, Strin
     }
 }
 
+/// Pulls a boolean `--flag` out of `args`, if present.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    let parsed = if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        s.parse()
+    };
+    parsed.map_err(|_| format!("invalid number: {s}"))
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+}
+
+/// Orchestration flags shared by `exp <artefact>` and `exp sweep`.
+struct OrchFlags {
+    jobs: usize,
+    cache: Option<DiskCache>,
+    runs_dir: Option<PathBuf>,
+    seed: u64,
+    format: Format,
+}
+
+fn take_orch_flags(args: &mut Vec<String>) -> Result<OrchFlags, String> {
+    let jobs = match take_flag(args, "--jobs")? {
+        Some(s) => usize::try_from(parse_u64(&s)?).map_err(|_| "bad --jobs".to_string())?,
+        None => 0,
+    };
+    let cache_dir =
+        take_flag(args, "--cache-dir")?.map_or_else(|| PathBuf::from(".exp-cache"), PathBuf::from);
+    let cache = if take_switch(args, "--no-cache") {
+        None
+    } else {
+        Some(DiskCache::open(&cache_dir).map_err(|e| format!("cannot open cache dir: {e}"))?)
+    };
+    let runs_dir = match take_flag(args, "--runs-dir")? {
+        Some(s) => Some(PathBuf::from(s)),
+        None => Some(PathBuf::from("runs")),
+    };
+    let seed = match take_flag(args, "--seed")? {
+        Some(s) => parse_u64(&s)?,
+        None => 0,
+    };
+    let format = match take_flag(args, "--format")?.as_deref() {
+        None | Some("text") => Format::Text,
+        Some("json") => Format::Json,
+        Some(other) => return Err(format!("unknown format: {other}")),
+    };
+    Ok(OrchFlags {
+        jobs,
+        cache,
+        runs_dir,
+        seed,
+        format,
+    })
+}
+
+/// A unique-enough run id: epoch seconds + pid.
+fn run_id() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    format!("run-{secs}-{}", std::process::id())
+}
+
+/// Executes a plan and prints its sections in order. stdout gets artefact
+/// output only; the orchestration summary goes to stderr.
+fn execute(plan: Plan, flags: &OrchFlags, scale: Scale, label: String) -> Result<(), String> {
+    let run_dir = flags.runs_dir.as_ref().map(|d| d.join(run_id()));
+    let report = run_dag(
+        plan.specs,
+        RunOptions {
+            label,
+            jobs: flags.jobs,
+            cache: flags.cache.clone(),
+            run_dir: run_dir.clone(),
+        },
+    );
+    // Print every section that completed, in the fixed plan order, so
+    // stdout is byte-identical regardless of worker count or cache state.
+    let mut printed = 0usize;
+    for (i, section) in plan.sections.iter().enumerate() {
+        let Some(out) = &report.outputs[section.job] else {
+            break;
+        };
+        match flags.format {
+            Format::Text => {
+                if i > 0 {
+                    println!();
+                }
+                println!("===== {} =====", section.heading);
+                print!("{}", out.rendered);
+            }
+            Format::Json => println!("{}", render_json_line(section, scale, out)),
+        }
+        printed += 1;
+    }
+    eprintln!(
+        "orchestrator: {} jobs ({} executed, {} cache hits), {} ms{}",
+        report.jobs.len(),
+        report.executed,
+        report.cache_hits,
+        report.wall_ms,
+        run_dir
+            .as_ref()
+            .map(|d| format!(", run dir {}", d.display()))
+            .unwrap_or_default(),
+    );
+    match report.error {
+        Some(e) => {
+            if printed < plan.sections.len() {
+                eprintln!(
+                    "exp: {} of {} artefacts printed before the failure",
+                    printed,
+                    plan.sections.len()
+                );
+            }
+            Err(e)
+        }
+        None => Ok(()),
+    }
+}
+
+fn render_json_line(section: &Section, scale: Scale, out: &orchestrator::JobOutput) -> String {
+    orchestrate::render_json(section, scale, out)
+}
+
+/// Parses `--seeds`: either a count `N` (meaning seeds `1..=N`) or an
+/// explicit comma-separated list.
+fn parse_seeds(spec: Option<&str>) -> Result<Vec<u64>, String> {
+    let Some(spec) = spec else {
+        return Ok(vec![1, 2, 3]);
+    };
+    if spec.contains(',') {
+        return spec.split(',').map(parse_u64).collect();
+    }
+    let n = parse_u64(spec)?;
+    if n == 0 {
+        return Err("sweep needs at least one seed".to_string());
+    }
+    Ok((1..=n).collect())
+}
+
+fn artefact_list(name: &str) -> Vec<String> {
+    if name == "all" {
+        ARTEFACTS.iter().map(ToString::to_string).collect()
+    } else {
+        vec![name.to_string()]
+    }
+}
+
+fn cmd_artefacts(name: &str, mut args: Vec<String>, scale: Scale) -> Result<(), String> {
+    let flags = take_orch_flags(&mut args)?;
+    if let Some(stray) = args.first() {
+        return Err(format!("unexpected argument: {stray}"));
+    }
+    let names = artefact_list(name);
+    let plan = orchestrate::plan_artefacts(&names, scale, flags.seed)?;
+    let label = format!("exp {name} --{} (seed {})", scale.name(), flags.seed);
+    execute(plan, &flags, scale, label)
+}
+
+fn cmd_sweep(mut args: Vec<String>, scale: Scale) -> Result<(), String> {
+    let seeds = parse_seeds(take_flag(&mut args, "--seeds")?.as_deref())?;
+    let flags = take_orch_flags(&mut args)?;
+    let [name] = &args[..] else {
+        return Err("sweep needs exactly one artefact name (or `all`)".to_string());
+    };
+    let names = artefact_list(name);
+    let plan = orchestrate::plan_sweep(&names, scale, &seeds)?;
+    let label = format!("exp sweep {name} --{} (seeds {seeds:?})", scale.name());
+    execute(plan, &flags, scale, label)
+}
+
 fn cmd_record(mut args: Vec<String>, scale: Scale) -> Result<(), String> {
     let out = take_flag(&mut args, "--out")?;
     let seed = match take_flag(&mut args, "--seed")? {
@@ -148,15 +287,6 @@ fn cmd_record(mut args: Vec<String>, scale: Scale) -> Result<(), String> {
         record_replay::record(profile, scale.instructions(), seed, &path)?
     );
     Ok(())
-}
-
-fn parse_u64(s: &str) -> Result<u64, String> {
-    let parsed = if let Some(hex) = s.strip_prefix("0x") {
-        u64::from_str_radix(hex, 16)
-    } else {
-        s.parse()
-    };
-    parsed.map_err(|_| format!("invalid number: {s}"))
 }
 
 fn cmd_replay(mut args: Vec<String>) -> Result<(), String> {
@@ -198,29 +328,8 @@ fn main() -> ExitCode {
         "record" => cmd_record(args, scale),
         "replay" => cmd_replay(args),
         "trace-stats" => cmd_trace_stats(args),
-        artefact => {
-            if !args.is_empty() {
-                eprintln!("unexpected argument: {}", args[0]);
-                return usage();
-            }
-            let list: Vec<&str> = if artefact == "all" {
-                ARTEFACTS.to_vec()
-            } else {
-                vec![artefact]
-            };
-            let mut result = Ok(());
-            for (i, name) in list.iter().enumerate() {
-                if i > 0 {
-                    println!();
-                }
-                println!("===== {name} =====");
-                if let Err(e) = run_one(name, scale) {
-                    result = Err(e);
-                    break;
-                }
-            }
-            result
-        }
+        "sweep" => cmd_sweep(args, scale),
+        artefact => cmd_artefacts(artefact, args, scale),
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,

@@ -40,6 +40,13 @@ impl CoverageResult {
 /// GAP; `Full` here runs 2 M line accesses, `Trial` far fewer).
 #[must_use]
 pub fn run(scale: Scale) -> CoverageResult {
+    run_seeded(scale, 0)
+}
+
+/// [`run`], with a sweep seed mixed into the fault-injection RNG (seed 0
+/// reproduces [`run`] exactly).
+#[must_use]
+pub fn run_seeded(scale: Scale, sweep_seed: u64) -> CoverageResult {
     let accesses = match scale {
         Scale::Trial => 5_000u64,
         Scale::Quick => 100_000,
@@ -47,7 +54,7 @@ pub fn run(scale: Scale) -> CoverageResult {
     };
     let mut engine = PtGuardEngine::new(PtGuardConfig::default());
     let observable = engine.mac_unit().protected_mask() | pattern::MAC_FIELD_MASK;
-    let mut rng = SplitMix64::new(0xc0ffee);
+    let mut rng = SplitMix64::new(crate::salted(0xc0ffee, sweep_seed));
     let cfg = CensusConfig {
         lines_per_process: 2048,
         ..CensusConfig::default()

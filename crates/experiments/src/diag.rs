@@ -34,8 +34,20 @@ pub struct DiagReport {
 /// Runs one workload with the given configuration and snapshots everything.
 #[must_use]
 pub fn diagnose(name: &str, guard: Option<PtGuardConfig>, scale: Scale) -> DiagReport {
+    diagnose_seeded(name, guard, scale, 0)
+}
+
+/// [`diagnose`], with a sweep seed mixed into the machine's RNG stream
+/// (seed 0 reproduces [`diagnose`] exactly).
+#[must_use]
+pub fn diagnose_seeded(
+    name: &str,
+    guard: Option<PtGuardConfig>,
+    scale: Scale,
+    sweep_seed: u64,
+) -> DiagReport {
     let profile = by_name(name).unwrap_or_else(|| panic!("unknown workload {name}"));
-    let mut machine = build_machine(profile, guard, 0xd1a6, 4);
+    let mut machine = build_machine(profile, guard, crate::salted(0xd1a6, sweep_seed), 4);
     let _ = run(&mut machine, scale.instructions()); // warm-up
     let result = run(&mut machine, scale.instructions());
 
@@ -82,6 +94,13 @@ fn rate(hits: u64, misses: u64) -> String {
 /// baseline, PT-Guard, and Optimized PT-Guard.
 #[must_use]
 pub fn run_default(scale: Scale) -> String {
+    run_default_seeded(scale, 0)
+}
+
+/// [`run_default`], with a sweep seed threaded into every diagnostic run
+/// (seed 0 reproduces [`run_default`] exactly).
+#[must_use]
+pub fn run_default_seeded(scale: Scale, sweep_seed: u64) -> String {
     let mut out = String::from("Diagnostics (gem5-style stats dump)\n");
     for name in ["xalancbmk", "lbm", "povray"] {
         let mut t = Table::new(vec![
@@ -103,7 +122,7 @@ pub fn run_default(scale: Scale) -> String {
             ("ptguard", Some(PtGuardConfig::default())),
             ("optimized", Some(PtGuardConfig::optimized())),
         ] {
-            let d = diagnose(name, guard, scale);
+            let d = diagnose_seeded(name, guard, scale, sweep_seed);
             let (macs, skips, zeros) = d
                 .engine
                 .map(|(_, m, s, z, _)| (m.to_string(), s.to_string(), z.to_string()))

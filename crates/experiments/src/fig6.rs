@@ -6,7 +6,7 @@ use simx::simulate_workload;
 use workloads::ALL_WORKLOADS;
 
 use crate::report::{amean, gmean, pct, Table};
-use crate::Scale;
+use crate::{salted, Scale};
 
 /// One workload's row of Figure 6.
 #[derive(Debug, Clone)]
@@ -51,10 +51,17 @@ impl Fig6Result {
 /// Runs Figure 6 at the given scale with a specific PT-Guard configuration.
 #[must_use]
 pub fn run_with(scale: Scale, guard: PtGuardConfig) -> Fig6Result {
+    run_with_seed(scale, guard, 0)
+}
+
+/// [`run_with`], with a sweep seed mixed into every workload's RNG stream
+/// (seed 0 reproduces [`run_with`] exactly).
+#[must_use]
+pub fn run_with_seed(scale: Scale, guard: PtGuardConfig, sweep_seed: u64) -> Fig6Result {
     let instrs = scale.instructions();
     let mut rows = Vec::with_capacity(ALL_WORKLOADS.len());
     for (i, w) in ALL_WORKLOADS.iter().enumerate() {
-        let seed = 0x600d + i as u64;
+        let seed = salted(0x600d + i as u64, sweep_seed);
         let base = simulate_workload(*w, None, instrs, seed);
         let guarded = simulate_workload(*w, Some(guard), instrs, seed);
         rows.push(Fig6Row {

@@ -43,6 +43,13 @@ pub const LATENCIES: [u32; 4] = [5, 10, 15, 20];
 /// Runs the sweep.
 #[must_use]
 pub fn run(scale: Scale) -> Fig7Result {
+    run_seeded(scale, 0)
+}
+
+/// [`run`], with a sweep seed threaded into the underlying Figure 6 runs
+/// (seed 0 reproduces [`run`] exactly).
+#[must_use]
+pub fn run_seeded(scale: Scale, sweep_seed: u64) -> Fig7Result {
     let mut points = Vec::new();
     for &lat in &LATENCIES {
         for (design, optimized) in [("PT-Guard", false), ("Optimized PT-Guard", true)] {
@@ -52,7 +59,7 @@ pub fn run(scale: Scale) -> Fig7Result {
                 PtGuardConfig::default()
             };
             cfg.mac_latency_cycles = lat;
-            let r = fig6::run_with(scale, cfg);
+            let r = fig6::run_with_seed(scale, cfg, sweep_seed);
             let worst = 1.0 - r.worst().1;
             points.push(Fig7Point {
                 design,

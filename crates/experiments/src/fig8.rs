@@ -4,11 +4,19 @@
 use workloads::pte_census::{run_census, CensusConfig, CensusReport};
 
 use crate::report::Table;
-use crate::Scale;
+use crate::{salted, Scale};
 
 /// Runs the census at the given scale.
 #[must_use]
 pub fn run(scale: Scale) -> CensusReport {
+    run_seeded(scale, 0)
+}
+
+/// [`run`], with a sweep seed mixed into the census RNG (seed 0
+/// reproduces [`run`] exactly).
+#[must_use]
+pub fn run_seeded(scale: Scale, sweep_seed: u64) -> CensusReport {
+    let base = CensusConfig::default();
     let cfg = CensusConfig {
         processes: scale.census_processes(),
         lines_per_process: match scale {
@@ -16,7 +24,8 @@ pub fn run(scale: Scale) -> CensusReport {
             Scale::Quick => 600,
             Scale::Full => 4800, // ≈ the paper's 24 M PTEs over 623 processes
         },
-        ..CensusConfig::default()
+        seed: salted(base.seed, sweep_seed),
+        ..base
     };
     run_census(&cfg)
 }

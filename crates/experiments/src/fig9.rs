@@ -138,12 +138,20 @@ pub fn evaluate_cell(name: &str, p_flip: f64, lines: usize, seed: u64) -> Correc
 /// Runs the full grid.
 #[must_use]
 pub fn run(scale: Scale) -> Fig9Result {
+    run_seeded(scale, 0)
+}
+
+/// [`run`], with a sweep seed mixed into every cell's RNG stream (seed 0
+/// reproduces [`run`] exactly).
+#[must_use]
+pub fn run_seeded(scale: Scale, sweep_seed: u64) -> Fig9Result {
     let lines = scale.correction_lines();
     let mut cells = Vec::new();
     for (wi, w) in FIG9_WORKLOADS.iter().enumerate() {
         let mut row = Vec::new();
         for (pi, &p) in P_FLIPS.iter().enumerate() {
-            row.push(evaluate_cell(w, p, lines, 0xf19 + (wi * 7 + pi) as u64));
+            let seed = crate::salted(0xf19 + (wi * 7 + pi) as u64, sweep_seed);
+            row.push(evaluate_cell(w, p, lines, seed));
         }
         cells.push(row);
     }

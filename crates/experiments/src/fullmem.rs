@@ -35,13 +35,20 @@ pub const WORKLOADS: [&str; 6] = ["xalancbmk", "mcf", "lbm", "bc", "sssp", "povr
 /// Runs the comparison.
 #[must_use]
 pub fn run(scale: Scale) -> Vec<FullMemRow> {
+    run_seeded(scale, 0)
+}
+
+/// [`run`], with a sweep seed mixed into every workload's RNG stream
+/// (seed 0 reproduces [`run`] exactly).
+#[must_use]
+pub fn run_seeded(scale: Scale, sweep_seed: u64) -> Vec<FullMemRow> {
     let instrs = scale.instructions();
     WORKLOADS
         .iter()
         .enumerate()
         .map(|(i, name)| {
             let p = by_name(name).expect("profile");
-            let seed = 0xf11 + i as u64;
+            let seed = crate::salted(0xf11 + i as u64, sweep_seed);
             let base = simulate_workload_with(p, Protection::None, instrs, seed);
             let guard = simulate_workload_with(
                 p,

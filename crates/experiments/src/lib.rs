@@ -25,6 +25,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod fullmem;
 pub mod multicore;
+pub mod orchestrate;
 pub mod priorwork;
 pub mod record_replay;
 pub mod report;
@@ -32,6 +33,19 @@ pub mod rth_sweep;
 pub mod security;
 pub mod storage;
 pub mod tables;
+
+/// Mixes a sweep seed into a module's base RNG seed. Seed 0 leaves the
+/// base untouched, so default runs stay byte-identical to the historical
+/// single-seed outputs; any other seed decorrelates every internal RNG
+/// stream while keeping runs reproducible.
+#[must_use]
+pub fn salted(base: u64, seed: u64) -> u64 {
+    if seed == 0 {
+        base
+    } else {
+        base ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
 
 /// How much work an experiment run performs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +59,27 @@ pub enum Scale {
 }
 
 impl Scale {
+    /// The scale's canonical CLI name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Trial => "trial",
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
+
+    /// Parses a canonical CLI name back into a scale.
+    #[must_use]
+    pub fn from_name(s: &str) -> Option<Scale> {
+        match s {
+            "trial" => Some(Scale::Trial),
+            "quick" => Some(Scale::Quick),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+
     /// Measured instructions per workload for timing experiments.
     #[must_use]
     pub fn instructions(self) -> u64 {

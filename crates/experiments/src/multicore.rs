@@ -29,6 +29,13 @@ pub struct MultiCoreResult {
 /// Runs the study: 18 SAME + 16 MIX bundles at `Full`, a subset otherwise.
 #[must_use]
 pub fn run(scale: Scale) -> MultiCoreResult {
+    run_seeded(scale, 0)
+}
+
+/// [`run`], with a sweep seed mixed into the MIX-bundle draw (seed 0
+/// reproduces [`run`] exactly).
+#[must_use]
+pub fn run_seeded(scale: Scale, sweep_seed: u64) -> MultiCoreResult {
     let cfg = MultiCoreConfig {
         instructions_per_core: match scale {
             Scale::Trial => 30_000,
@@ -38,7 +45,7 @@ pub fn run(scale: Scale) -> MultiCoreResult {
         ..MultiCoreConfig::default()
     };
     let mut bundles: Vec<_> = same_bundles(cfg.cores);
-    bundles.extend(mix_bundles(cfg.cores, 0x3117));
+    bundles.extend(mix_bundles(cfg.cores, crate::salted(0x3117, sweep_seed)));
     if scale == Scale::Trial {
         bundles.truncate(4);
     }

@@ -1,0 +1,554 @@
+//! The bridge between the artefact modules and the orchestration engine:
+//! the canonical artefact registry, per-artefact job entry points returning
+//! structured [`JobOutput`]s, and DAG planners for plain runs and
+//! multi-seed sweeps.
+//!
+//! Every artefact run is modelled as a **pure job** keyed by
+//! `(artefact, scale, seed, config fingerprint, crate version)`, so the
+//! engine's content-addressed cache can serve byte-identical re-runs
+//! without recomputation and an interrupted run resumes with only the
+//! missing jobs. A sweep adds one aggregation job per artefact, depending
+//! on the per-seed jobs, that renders a mean ± stdev table over every
+//! numeric metric the artefact exposes.
+
+use orchestrator::hash::stable_key;
+use orchestrator::json::Value;
+use orchestrator::{JobOutput, JobSpec};
+
+use crate::report::Table;
+use crate::{
+    ablation, coverage, diag, exploit, fig6, fig7, fig8, fig9, fullmem, multicore, priorwork,
+    rth_sweep, security, storage, tables, Scale,
+};
+
+/// Every artefact `exp` can regenerate, in the order `exp all` prints them
+/// (the same order the usage banner advertises).
+pub const ARTEFACTS: [&str; 18] = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "security",
+    "storage",
+    "priorwork",
+    "rth",
+    "ablation",
+    "diag",
+    "fullmem",
+    "multicore",
+    "coverage",
+    "exploit",
+];
+
+/// `priorwork` trials per damage class at each scale.
+#[must_use]
+pub fn priorwork_trials(scale: Scale) -> usize {
+    match scale {
+        Scale::Trial => 300,
+        Scale::Quick => 2_000,
+        Scale::Full => 20_000,
+    }
+}
+
+/// `rth` attacker activations per aggressor side at each scale.
+#[must_use]
+pub fn rth_acts(scale: Scale) -> u64 {
+    match scale {
+        Scale::Trial => 30_000,
+        Scale::Quick => 60_000,
+        Scale::Full => 200_000,
+    }
+}
+
+/// A stable fingerprint of every configuration default that feeds the
+/// artefacts. Changing any default invalidates all cached results.
+#[must_use]
+pub fn config_fingerprint() -> String {
+    stable_key(&[
+        format!("{:?}", ptguard::PtGuardConfig::default()),
+        format!("{:?}", ptguard::PtGuardConfig::optimized()),
+        format!("{:?}", memsys::MemSysConfig::default()),
+        format!(
+            "scales:{}/{}/{}",
+            Scale::Trial.instructions(),
+            Scale::Quick.instructions(),
+            Scale::Full.instructions()
+        ),
+    ])
+}
+
+fn m(metrics: &mut Vec<(String, f64)>, name: impl Into<String>, v: f64) {
+    metrics.push((name.into(), v));
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn mu(metrics: &mut Vec<(String, f64)>, name: impl Into<String>, v: u64) {
+    metrics.push((name.into(), v as f64));
+}
+
+/// Runs one artefact and packages its rendered text, numeric metrics, and
+/// deterministic simulated-op count. Seed 0 reproduces the historical
+/// single-seed output byte for byte.
+///
+/// # Errors
+///
+/// Returns `Err` for an unknown artefact name.
+#[allow(clippy::too_many_lines)]
+pub fn run_artefact(name: &str, scale: Scale, seed: u64) -> Result<JobOutput, String> {
+    let instrs = scale.instructions();
+    let mut metrics = Vec::new();
+    let out = match name {
+        "table1" => JobOutput::rendered(tables::table1()),
+        "table2" => JobOutput::rendered(tables::table2()),
+        "table3" => JobOutput::rendered(tables::table3()),
+        "table4" => JobOutput::rendered(tables::table4(40)),
+        "fig6" => {
+            let r = fig6::run_with_seed(scale, ptguard::PtGuardConfig::default(), seed);
+            m(&mut metrics, "gmean_ipc", r.gmean_ipc);
+            m(&mut metrics, "amean_ipc", r.amean_ipc);
+            m(&mut metrics, "mean_slowdown", r.mean_slowdown());
+            m(&mut metrics, "worst_slowdown", 1.0 - r.worst().1);
+            JobOutput {
+                rendered: fig6::render(&r),
+                metrics,
+                sim_ops: 25 * 2 * instrs,
+            }
+        }
+        "fig7" => {
+            let r = fig7::run_seeded(scale, seed);
+            for p in &r.points {
+                let slug = if p.design == "PT-Guard" {
+                    "ptguard"
+                } else {
+                    "optimized"
+                };
+                m(
+                    &mut metrics,
+                    format!("{slug}@{}.avg_slowdown", p.mac_latency),
+                    p.avg_slowdown,
+                );
+                m(
+                    &mut metrics,
+                    format!("{slug}@{}.worst_slowdown", p.mac_latency),
+                    p.worst_slowdown,
+                );
+            }
+            JobOutput {
+                rendered: fig7::render(&r),
+                metrics,
+                sim_ops: 8 * 25 * 2 * instrs,
+            }
+        }
+        "fig8" => {
+            let r = fig8::run_seeded(scale, seed);
+            m(&mut metrics, "pct_zero", r.pct_zero);
+            m(&mut metrics, "pct_contiguous", r.pct_contiguous);
+            m(&mut metrics, "pct_noncontiguous", r.pct_noncontiguous);
+            m(&mut metrics, "flag_uniformity", r.flag_uniformity);
+            let ops = r.total_ptes;
+            JobOutput {
+                rendered: fig8::render(&r),
+                metrics,
+                sim_ops: ops,
+            }
+        }
+        "fig9" => {
+            let r = fig9::run_seeded(scale, seed);
+            for (pi, avg) in r.averages.iter().enumerate() {
+                let denom = (1.0 / fig9::P_FLIPS[pi]).round() as u64;
+                m(&mut metrics, format!("avg_rate[p=1/{denom}]"), *avg);
+            }
+            let ops = (fig9::FIG9_WORKLOADS.len() * fig9::P_FLIPS.len()) as u64
+                * scale.correction_lines() as u64;
+            JobOutput {
+                rendered: fig9::render(&r),
+                metrics,
+                sim_ops: ops,
+            }
+        }
+        "security" => JobOutput::rendered(security::render()),
+        "storage" => JobOutput::rendered(storage::render()),
+        "priorwork" => {
+            let trials = priorwork_trials(scale);
+            let rows = priorwork::run_seeded(trials, seed);
+            for row in &rows {
+                m(&mut metrics, format!("{}.secwalk", row.label), row.secwalk);
+                m(
+                    &mut metrics,
+                    format!("{}.monotonic", row.label),
+                    row.monotonic,
+                );
+                m(&mut metrics, format!("{}.ptguard", row.label), row.ptguard);
+            }
+            let ops = rows.len() as u64 * trials as u64 * 3;
+            JobOutput {
+                rendered: priorwork::render(&rows),
+                metrics,
+                sim_ops: ops,
+            }
+        }
+        "rth" => {
+            let acts = rth_acts(scale);
+            let points = rth_sweep::run(acts);
+            for p in &points {
+                let rth = p.rth.round() as u64;
+                mu(
+                    &mut metrics,
+                    format!("rth{rth}.unmitigated_flips"),
+                    p.unmitigated_flips,
+                );
+                mu(&mut metrics, format!("rth{rth}.trr_flips"), p.trr_flips);
+                mu(
+                    &mut metrics,
+                    format!("rth{rth}.graphene_flips"),
+                    p.graphene_flips,
+                );
+                mu(
+                    &mut metrics,
+                    format!("rth{rth}.ptguard_detected"),
+                    p.ptguard_detected,
+                );
+            }
+            let ops = points.len() as u64 * acts;
+            JobOutput {
+                rendered: rth_sweep::render(&points),
+                metrics,
+                sim_ops: ops,
+            }
+        }
+        "ablation" => {
+            let points = ablation::run_seeded(scale, seed);
+            for (i, p) in points.iter().enumerate() {
+                m(&mut metrics, format!("design{i}.n_eff"), p.n_eff);
+                m(
+                    &mut metrics,
+                    format!("design{i}.avg_slowdown"),
+                    p.avg_slowdown,
+                );
+                m(
+                    &mut metrics,
+                    format!("design{i}.worst_slowdown"),
+                    p.worst_slowdown,
+                );
+            }
+            JobOutput {
+                rendered: ablation::render(&points),
+                metrics,
+                sim_ops: 3 * 3 * 2 * instrs,
+            }
+        }
+        "diag" => {
+            JobOutput::rendered(diag::run_default_seeded(scale, seed)).ops(3 * 3 * 2 * instrs)
+        }
+        "fullmem" => {
+            let rows = fullmem::run_seeded(scale, seed);
+            for row in &rows {
+                m(&mut metrics, format!("{}.ptguard", row.name), row.ptguard);
+                m(
+                    &mut metrics,
+                    format!("{}.optimized", row.name),
+                    row.optimized,
+                );
+                m(&mut metrics, format!("{}.fullmem", row.name), row.fullmem);
+            }
+            let ops = rows.len() as u64 * 4 * instrs;
+            JobOutput {
+                rendered: fullmem::render(&rows),
+                metrics,
+                sim_ops: ops,
+            }
+        }
+        "multicore" => {
+            let r = multicore::run_seeded(scale, seed);
+            m(&mut metrics, "avg_slowdown", r.avg);
+            m(&mut metrics, "worst_slowdown", r.worst);
+            let per_core = match scale {
+                Scale::Trial => 30_000u64,
+                Scale::Quick => 100_000,
+                Scale::Full => 250_000,
+            };
+            let ops = r.bundles.len() as u64 * 4 * per_core;
+            JobOutput {
+                rendered: multicore::render(&r),
+                metrics,
+                sim_ops: ops,
+            }
+        }
+        "coverage" => {
+            let r = coverage::run_seeded(scale, seed);
+            m(&mut metrics, "coverage", r.coverage());
+            mu(&mut metrics, "erroneous", r.erroneous);
+            mu(&mut metrics, "detected", r.detected);
+            JobOutput {
+                rendered: coverage::render(&r),
+                metrics,
+                sim_ops: r.accesses,
+            }
+        }
+        "exploit" => {
+            let r = exploit::run(scale);
+            mu(
+                &mut metrics,
+                "unguarded_corrupted",
+                r.unguarded_corrupted as u64,
+            );
+            mu(
+                &mut metrics,
+                "unguarded_hijacked",
+                u64::from(r.unguarded_hijacked),
+            );
+            mu(&mut metrics, "guarded_flips", r.guarded_flips);
+            mu(&mut metrics, "guarded_faults", r.guarded_faults);
+            mu(&mut metrics, "guarded_corrected", r.guarded_corrected);
+            mu(&mut metrics, "guarded_hijacks", r.guarded_hijacks);
+            let spray = match scale {
+                Scale::Trial => 4096u64,
+                Scale::Quick => 8192,
+                Scale::Full => 16384,
+            };
+            JobOutput {
+                rendered: exploit::render(&r),
+                metrics,
+                sim_ops: spray + 40_000,
+            }
+        }
+        other => return Err(format!("unknown artefact: {other}")),
+    };
+    Ok(out)
+}
+
+/// One stdout section of a planned run: which job's output to print under
+/// which heading, and (for JSON output) the run coordinates.
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// Heading printed on stdout (`===== {heading} =====`).
+    pub heading: String,
+    /// The artefact name.
+    pub artefact: String,
+    /// The seed the job ran with; `None` for sweep aggregates.
+    pub seed: Option<u64>,
+    /// Index into the plan's job list.
+    pub job: usize,
+}
+
+/// A planned DAG plus the order its results print in.
+#[derive(Debug)]
+pub struct Plan {
+    /// The jobs, in topological order.
+    pub specs: Vec<JobSpec>,
+    /// stdout sections in print order.
+    pub sections: Vec<Section>,
+}
+
+fn key_material(name: &str, scale: Scale, seed: u64) -> Vec<String> {
+    vec![
+        format!("artefact:{name}"),
+        format!("scale:{}", scale.name()),
+        format!("seed:{seed}"),
+        format!("fingerprint:{}", config_fingerprint()),
+        format!("version:{}", env!("CARGO_PKG_VERSION")),
+    ]
+}
+
+fn artefact_spec(name: &str, scale: Scale, seed: u64) -> JobSpec {
+    let owned = name.to_string();
+    JobSpec::new(
+        format!("{name}@{}#{seed}", scale.name()),
+        key_material(name, scale, seed),
+        move |_deps| run_artefact(&owned, scale, seed),
+    )
+}
+
+fn validate(names: &[String]) -> Result<(), String> {
+    for n in names {
+        if !ARTEFACTS.contains(&n.as_str()) {
+            return Err(format!("unknown artefact: {n}"));
+        }
+    }
+    Ok(())
+}
+
+/// Plans a plain run: one independent job per artefact.
+///
+/// # Errors
+///
+/// Returns `Err` for an unknown artefact name.
+pub fn plan_artefacts(names: &[String], scale: Scale, seed: u64) -> Result<Plan, String> {
+    validate(names)?;
+    let mut specs = Vec::new();
+    let mut sections = Vec::new();
+    for name in names {
+        sections.push(Section {
+            heading: name.clone(),
+            artefact: name.clone(),
+            seed: Some(seed),
+            job: specs.len(),
+        });
+        specs.push(artefact_spec(name, scale, seed));
+    }
+    Ok(Plan { specs, sections })
+}
+
+/// Plans a multi-seed sweep: per-seed jobs per artefact plus one
+/// aggregation job per artefact depending on all of them.
+///
+/// # Errors
+///
+/// Returns `Err` for an unknown artefact name or an empty seed list.
+pub fn plan_sweep(names: &[String], scale: Scale, seeds: &[u64]) -> Result<Plan, String> {
+    validate(names)?;
+    if seeds.is_empty() {
+        return Err("sweep needs at least one seed".to_string());
+    }
+    let mut specs: Vec<JobSpec> = Vec::new();
+    let mut sections = Vec::new();
+    for name in names {
+        let deps: Vec<usize> = seeds
+            .iter()
+            .map(|&seed| {
+                specs.push(artefact_spec(name, scale, seed));
+                specs.len() - 1
+            })
+            .collect();
+        let mut material = key_material(name, scale, 0);
+        material.push(format!("sweep:{seeds:?}"));
+        let (agg_name, agg_scale, agg_seeds) = (name.clone(), scale, seeds.to_vec());
+        sections.push(Section {
+            heading: format!("sweep {name}"),
+            artefact: name.clone(),
+            seed: None,
+            job: specs.len(),
+        });
+        specs.push(
+            JobSpec::new(
+                format!("sweep:{name}@{}", scale.name()),
+                material,
+                move |dep_outputs| Ok(aggregate(&agg_name, agg_scale, &agg_seeds, dep_outputs)),
+            )
+            .after(deps),
+        );
+    }
+    Ok(Plan { specs, sections })
+}
+
+/// Sample mean and standard deviation.
+#[allow(clippy::cast_precision_loss)]
+fn mean_stdev(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    if xs.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+    (mean, var.sqrt())
+}
+
+/// Aggregates per-seed runs of one artefact into a mean ± stdev table over
+/// every metric the artefact exposes.
+fn aggregate(name: &str, scale: Scale, seeds: &[u64], runs: &[JobOutput]) -> JobOutput {
+    let mut metrics = Vec::new();
+    let mut t = Table::new(vec!["metric", "mean ± stdev"]);
+    for (metric, _) in &runs[0].metrics {
+        let xs: Vec<f64> = runs.iter().filter_map(|r| r.metric_value(metric)).collect();
+        let (mean, sd) = mean_stdev(&xs);
+        t.row(vec![metric.clone(), format!("{mean:.6} ± {sd:.6}")]);
+        metrics.push((format!("{metric}.mean"), mean));
+        metrics.push((format!("{metric}.stdev"), sd));
+    }
+    let body = if runs[0].metrics.is_empty() {
+        "(artefact exposes no numeric metrics; all runs are identical)\n".to_string()
+    } else {
+        t.render()
+    };
+    let rendered = format!(
+        "Sweep: {name} @ {} over {} seeds {seeds:?}\n{body}",
+        scale.name(),
+        seeds.len(),
+    );
+    let sim_ops = runs.iter().map(|r| r.sim_ops).sum();
+    JobOutput {
+        rendered,
+        metrics,
+        sim_ops,
+    }
+}
+
+/// Renders one section's result as a single machine-readable JSON line.
+#[must_use]
+pub fn render_json(section: &Section, scale: Scale, out: &JobOutput) -> String {
+    let v = Value::obj(vec![
+        ("artefact", Value::Str(section.artefact.clone())),
+        ("scale", Value::Str(scale.name().to_string())),
+        ("seed", section.seed.map_or(Value::Null, Value::U64)),
+        ("sweep", Value::Bool(section.seed.is_none())),
+        ("sim_ops", Value::U64(out.sim_ops)),
+        (
+            "metrics",
+            Value::Obj(
+                out.metrics
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Value::F64(*v)))
+                    .collect(),
+            ),
+        ),
+    ]);
+    v.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_every_module_once() {
+        let mut sorted = ARTEFACTS.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ARTEFACTS.len(), "duplicate artefact id");
+        assert!(ARTEFACTS.contains(&"diag"), "diag must be orchestrated");
+    }
+
+    #[test]
+    fn seed_zero_matches_legacy_render() {
+        let legacy = coverage::render(&coverage::run(Scale::Trial));
+        let job = run_artefact("coverage", Scale::Trial, 0).unwrap();
+        assert_eq!(job.rendered, legacy);
+        assert!(job.sim_ops > 0);
+    }
+
+    #[test]
+    fn seeds_decorrelate_stochastic_artefacts() {
+        let a = run_artefact("coverage", Scale::Trial, 1).unwrap();
+        let b = run_artefact("coverage", Scale::Trial, 2).unwrap();
+        assert_ne!(
+            a.metric_value("erroneous"),
+            b.metric_value("erroneous"),
+            "different seeds should draw different fault patterns"
+        );
+    }
+
+    #[test]
+    fn fingerprint_is_stable_within_a_build() {
+        assert_eq!(config_fingerprint(), config_fingerprint());
+        assert_eq!(config_fingerprint().len(), 16);
+    }
+
+    #[test]
+    fn sweep_plan_has_aggregate_after_per_seed_jobs() {
+        let plan = plan_sweep(&["priorwork".to_string()], Scale::Trial, &[1, 2, 3]).unwrap();
+        assert_eq!(plan.specs.len(), 4);
+        assert_eq!(plan.specs[3].deps, vec![0, 1, 2]);
+        assert_eq!(plan.sections.len(), 1);
+        assert_eq!(plan.sections[0].job, 3);
+    }
+
+    #[test]
+    fn unknown_artefact_is_rejected() {
+        assert!(plan_artefacts(&["nope".to_string()], Scale::Trial, 0).is_err());
+        assert!(run_artefact("nope", Scale::Trial, 0).is_err());
+    }
+}

@@ -36,7 +36,14 @@ pub struct DefenceRow {
 /// Runs the comparison with `trials` random PTEs per damage class.
 #[must_use]
 pub fn run(trials: usize) -> Vec<DefenceRow> {
-    let mut rng = SplitMix64::new(0x9e37);
+    run_seeded(trials, 0)
+}
+
+/// [`run`], with a sweep seed mixed into the trial RNG (seed 0 reproduces
+/// [`run`] exactly).
+#[must_use]
+pub fn run_seeded(trials: usize, sweep_seed: u64) -> Vec<DefenceRow> {
+    let mut rng = SplitMix64::new(crate::salted(0x9e37, sweep_seed));
     let secwalk = SecWalkEdc::new(40);
     let mac = PteMac::from_config(&PtGuardConfig::default());
     let policy = MonotonicPolicy::new(Frame(0x8_0000));

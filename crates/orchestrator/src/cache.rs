@@ -1,0 +1,91 @@
+//! The content-addressed on-disk result cache.
+//!
+//! One file per cache key (`<dir>/<key>.json`), containing a versioned
+//! envelope around the serialized [`JobOutput`] plus an FNV-1a checksum of
+//! the body. Every failure mode on the read path — missing file, short
+//! read, JSON syntax error, checksum mismatch, schema drift — degrades to
+//! a cache **miss**, never an error: the engine simply recomputes and
+//! overwrites the entry. Writes go through a temp file + rename so a
+//! killed run can leave at worst one torn temp file, never a torn entry.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::hash::hash_bytes;
+use crate::job::JobOutput;
+use crate::json::Value;
+
+/// Envelope version; bump to invalidate every existing entry.
+const VERSION: u64 = 1;
+
+/// A directory of memoized job outputs.
+#[derive(Debug, Clone)]
+pub struct DiskCache {
+    dir: PathBuf,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) a cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `create_dir_all` failure.
+    pub fn open(dir: &Path) -> io::Result<DiskCache> {
+        fs::create_dir_all(dir)?;
+        Ok(DiskCache {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The file backing `key`.
+    #[must_use]
+    pub fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+
+    /// Loads the output stored under `key`. Any read, parse, checksum, or
+    /// schema failure returns `None` (a miss).
+    #[must_use]
+    pub fn load(&self, key: &str) -> Option<JobOutput> {
+        let text = fs::read_to_string(self.entry_path(key)).ok()?;
+        let envelope = Value::parse(&text).ok()?;
+        if envelope.get("v")?.as_u64()? != VERSION {
+            return None;
+        }
+        if envelope.get("key")?.as_str()? != key {
+            return None;
+        }
+        let body = envelope.get("body")?;
+        if hash_bytes(body.render().as_bytes()) != envelope.get("crc")?.as_u64()? {
+            return None;
+        }
+        JobOutput::from_json(body)
+    }
+
+    /// Stores `out` under `key`, atomically (temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; callers may treat a failed store as
+    /// non-fatal (the result is still in memory).
+    pub fn store(&self, key: &str, out: &JobOutput) -> io::Result<()> {
+        let body = out.to_json();
+        let crc = hash_bytes(body.render().as_bytes());
+        let envelope = Value::obj(vec![
+            ("v", Value::U64(VERSION)),
+            ("key", Value::Str(key.to_string())),
+            ("crc", Value::U64(crc)),
+            ("body", body),
+        ]);
+        let tmp = self.dir.join(format!("{key}.tmp.{}", std::process::id()));
+        fs::write(&tmp, envelope.render())?;
+        fs::rename(&tmp, self.entry_path(key))
+    }
+
+    /// The cache directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}

@@ -1,0 +1,473 @@
+//! The DAG engine: schedules a topologically-ordered job list across the
+//! work-stealing pool, memoizes outputs in the disk cache, and streams
+//! events to the run's JSONL log.
+//!
+//! Execution model:
+//!
+//! * Every job's **final cache key** is the stable hash of its own key
+//!   material plus the final keys of its dependencies, so editing any
+//!   upstream input transitively invalidates downstream entries.
+//! * A job with a cache hit is *not* executed; its stored output is used,
+//!   byte-identical to the original run.
+//! * A failing (or panicking) job marks the run failed; its dependents are
+//!   skipped, but every independent job still runs to completion — and
+//!   keeps its cache entry — so a resumed run only re-executes what is
+//!   actually missing.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use crate::cache::DiskCache;
+use crate::events::{write_manifest, EventLog, JobOutcome};
+use crate::hash::stable_key;
+use crate::job::{JobOutput, JobSpec};
+use crate::json::Value;
+use crate::pool::ThreadPool;
+
+/// Options for one [`run_dag`] invocation.
+#[derive(Debug)]
+pub struct RunOptions {
+    /// Label recorded in the event log and manifest (e.g. the CLI line).
+    pub label: String,
+    /// Worker threads (`0` = all available cores).
+    pub jobs: usize,
+    /// The memoization cache; `None` disables caching.
+    pub cache: Option<DiskCache>,
+    /// Directory receiving `events.jsonl` + `manifest.json`; `None`
+    /// disables run logging.
+    pub run_dir: Option<PathBuf>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            label: String::from("run"),
+            jobs: 0,
+            cache: None,
+            run_dir: None,
+        }
+    }
+}
+
+/// Per-job accounting in the final report and manifest.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// The job's display id.
+    pub id: String,
+    /// The job's final (dependency-extended) cache key.
+    pub key: String,
+    /// How the job concluded.
+    pub outcome: JobOutcome,
+    /// Wall time spent executing (0 for cache hits and skips).
+    pub wall_ms: u64,
+    /// The job's deterministic simulated-op count.
+    pub sim_ops: u64,
+}
+
+/// The result of a [`run_dag`] call.
+#[derive(Debug)]
+pub struct RunReport {
+    /// One output per job, in submission order. `None` for failed or
+    /// skipped jobs.
+    pub outputs: Vec<Option<JobOutput>>,
+    /// Per-job accounting, in submission order.
+    pub jobs: Vec<JobReport>,
+    /// Jobs whose closure actually ran and succeeded.
+    pub executed: usize,
+    /// Jobs served from the cache.
+    pub cache_hits: usize,
+    /// First error encountered, if any.
+    pub error: Option<String>,
+    /// Total wall time of the run.
+    pub wall_ms: u64,
+    /// Highest per-job throughput observed (`sim_ops / wall`), in ops/sec.
+    pub peak_ops_per_sec: f64,
+    /// Where the manifest was written, when run logging was enabled.
+    pub run_dir: Option<PathBuf>,
+}
+
+impl RunReport {
+    /// All outputs, in order, when the run fully succeeded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any job failed — check [`RunReport::error`] first.
+    #[must_use]
+    pub fn unwrap_outputs(&self) -> Vec<&JobOutput> {
+        self.outputs
+            .iter()
+            .map(|o| o.as_ref().expect("job failed; check RunReport::error"))
+            .collect()
+    }
+}
+
+struct State {
+    outputs: Vec<Option<JobOutput>>,
+    reports: Vec<Option<JobReport>>,
+    /// Unmet dependency count per job.
+    pending: Vec<usize>,
+    /// Jobs whose dependencies are all met, not yet submitted.
+    ready: Vec<usize>,
+    /// Jobs not yet concluded.
+    remaining: usize,
+    error: Option<String>,
+}
+
+struct Ctx {
+    specs: Vec<JobSpec>,
+    keys: Vec<String>,
+    dependents: Vec<Vec<usize>>,
+    cache: Option<DiskCache>,
+    log: EventLog,
+    state: Mutex<State>,
+    progress: Condvar,
+}
+
+/// Executes the DAG. `specs` must be in topological order: every
+/// dependency index smaller than the dependent's own index.
+#[must_use]
+pub fn run_dag(specs: Vec<JobSpec>, opts: RunOptions) -> RunReport {
+    let n = specs.len();
+    let started = Instant::now();
+
+    // Validate topological order up front.
+    for (j, spec) in specs.iter().enumerate() {
+        if let Some(&bad) = spec.deps.iter().find(|&&d| d >= j) {
+            return RunReport {
+                outputs: (0..n).map(|_| None).collect(),
+                jobs: Vec::new(),
+                executed: 0,
+                cache_hits: 0,
+                error: Some(format!(
+                    "job {j} (`{}`) depends on {bad}, which does not precede it",
+                    spec.id
+                )),
+                wall_ms: 0,
+                peak_ops_per_sec: 0.0,
+                run_dir: None,
+            };
+        }
+    }
+
+    // Final content-addresses: own key material + dependency keys.
+    let mut keys: Vec<String> = Vec::with_capacity(n);
+    for spec in &specs {
+        let mut material = spec.key_material.clone();
+        for &d in &spec.deps {
+            material.push(keys[d].clone());
+        }
+        keys.push(stable_key(&material));
+    }
+
+    let mut dependents = vec![Vec::new(); n];
+    let mut pending = vec![0usize; n];
+    for (j, spec) in specs.iter().enumerate() {
+        pending[j] = spec.deps.len();
+        for &d in &spec.deps {
+            dependents[d].push(j);
+        }
+    }
+
+    // Run logging.
+    let (log, run_dir) = match &opts.run_dir {
+        Some(dir) => match std::fs::create_dir_all(dir)
+            .and_then(|()| EventLog::create(&dir.join("events.jsonl")))
+        {
+            Ok(log) => (log, Some(dir.clone())),
+            Err(e) => {
+                eprintln!("orchestrator: cannot open run dir {}: {e}", dir.display());
+                (EventLog::disabled(), None)
+            }
+        },
+        None => (EventLog::disabled(), None),
+    };
+
+    let pool = ThreadPool::new(opts.jobs);
+    log.emit(
+        "run_start",
+        vec![
+            ("run", Value::Str(opts.label.clone())),
+            ("jobs", Value::U64(n as u64)),
+            ("workers", Value::U64(pool.size() as u64)),
+            (
+                "cache_dir",
+                opts.cache
+                    .as_ref()
+                    .map_or(Value::Null, |c| Value::Str(c.dir().display().to_string())),
+            ),
+        ],
+    );
+
+    let ready: Vec<usize> = (0..n).filter(|&j| pending[j] == 0).collect();
+    let ctx = Arc::new(Ctx {
+        specs,
+        keys,
+        dependents,
+        cache: opts.cache,
+        log,
+        state: Mutex::new(State {
+            outputs: (0..n).map(|_| None).collect(),
+            reports: (0..n).map(|_| None).collect(),
+            pending,
+            ready,
+            remaining: n,
+            error: None,
+        }),
+        progress: Condvar::new(),
+    });
+
+    // Scheduling loop: drain the ready list into the pool, wait for
+    // progress, repeat until every job has concluded.
+    {
+        let mut guard = ctx.state.lock().expect("engine lock");
+        loop {
+            for j in std::mem::take(&mut guard.ready) {
+                let ctx = Arc::clone(&ctx);
+                pool.spawn(move || execute_job(&ctx, j));
+            }
+            if guard.remaining == 0 {
+                break;
+            }
+            guard = ctx.progress.wait(guard).expect("engine lock");
+        }
+    }
+    drop(pool); // joins the workers
+
+    let state = ctx.state.lock().expect("engine lock");
+    let jobs: Vec<JobReport> = state
+        .reports
+        .iter()
+        .map(|r| r.clone().expect("every job concluded"))
+        .collect();
+    let executed = jobs
+        .iter()
+        .filter(|r| r.outcome == JobOutcome::Executed)
+        .count();
+    let cache_hits = jobs
+        .iter()
+        .filter(|r| r.outcome == JobOutcome::CacheHit)
+        .count();
+    let wall_ms = u64::try_from(started.elapsed().as_millis()).unwrap_or(u64::MAX);
+    let peak_ops_per_sec = jobs
+        .iter()
+        .filter(|r| r.outcome == JobOutcome::Executed && r.wall_ms > 0 && r.sim_ops > 0)
+        .map(|r| ops_per_sec(r.sim_ops, r.wall_ms))
+        .fold(0.0f64, f64::max);
+
+    ctx.log.emit(
+        "run_finish",
+        vec![
+            ("executed", Value::U64(executed as u64)),
+            ("cache_hits", Value::U64(cache_hits as u64)),
+            ("wall_ms", Value::U64(wall_ms)),
+            ("peak_ops_per_sec", Value::F64(peak_ops_per_sec)),
+            (
+                "error",
+                state
+                    .error
+                    .as_ref()
+                    .map_or(Value::Null, |e| Value::Str(e.clone())),
+            ),
+        ],
+    );
+
+    if let Some(dir) = &run_dir {
+        let manifest = Value::obj(vec![
+            ("run", Value::Str(opts.label.clone())),
+            (
+                "orchestrator_version",
+                Value::Str(env!("CARGO_PKG_VERSION").to_string()),
+            ),
+            ("workers", Value::U64(pool_size_for_manifest(opts.jobs))),
+            ("jobs", Value::U64(n as u64)),
+            ("executed", Value::U64(executed as u64)),
+            ("cache_hits", Value::U64(cache_hits as u64)),
+            ("wall_ms", Value::U64(wall_ms)),
+            ("peak_ops_per_sec", Value::F64(peak_ops_per_sec)),
+            (
+                "cache_dir",
+                ctx.cache
+                    .as_ref()
+                    .map_or(Value::Null, |c| Value::Str(c.dir().display().to_string())),
+            ),
+            (
+                "error",
+                state
+                    .error
+                    .as_ref()
+                    .map_or(Value::Null, |e| Value::Str(e.clone())),
+            ),
+            (
+                "job_list",
+                Value::Arr(
+                    jobs.iter()
+                        .map(|r| {
+                            Value::obj(vec![
+                                ("id", Value::Str(r.id.clone())),
+                                ("key", Value::Str(r.key.clone())),
+                                ("outcome", Value::Str(r.outcome.as_str().to_string())),
+                                ("wall_ms", Value::U64(r.wall_ms)),
+                                ("sim_ops", Value::U64(r.sim_ops)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]);
+        if let Err(e) = write_manifest(&dir.join("manifest.json"), &manifest) {
+            eprintln!("orchestrator: cannot write manifest: {e}");
+        }
+    }
+
+    RunReport {
+        outputs: state.outputs.clone(),
+        jobs,
+        executed,
+        cache_hits,
+        error: state.error.clone(),
+        wall_ms,
+        peak_ops_per_sec,
+        run_dir,
+    }
+}
+
+fn pool_size_for_manifest(jobs: usize) -> u64 {
+    if jobs == 0 {
+        crate::pool::default_jobs() as u64
+    } else {
+        jobs as u64
+    }
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn ops_per_sec(sim_ops: u64, wall_ms: u64) -> f64 {
+    sim_ops as f64 / (wall_ms.max(1) as f64 / 1000.0)
+}
+
+/// Runs (or serves from cache) job `j` on a worker thread.
+fn execute_job(ctx: &Arc<Ctx>, j: usize) {
+    let spec = &ctx.specs[j];
+    let key = &ctx.keys[j];
+
+    // Gather dependency outputs; a missing one means an upstream failure.
+    let dep_outputs: Option<Vec<JobOutput>> = {
+        let state = ctx.state.lock().expect("engine lock");
+        spec.deps
+            .iter()
+            .map(|&d| state.outputs[d].clone())
+            .collect()
+    };
+    let Some(dep_outputs) = dep_outputs else {
+        ctx.log
+            .emit("job_skipped", vec![("job", Value::Str(spec.id.clone()))]);
+        conclude(ctx, j, None, JobOutcome::Skipped, 0, 0);
+        return;
+    };
+
+    // Memoization.
+    if let Some(cache) = &ctx.cache {
+        if let Some(out) = cache.load(key) {
+            ctx.log.emit(
+                "cache_hit",
+                vec![
+                    ("job", Value::Str(spec.id.clone())),
+                    ("key", Value::Str(key.clone())),
+                ],
+            );
+            let sim_ops = out.sim_ops;
+            conclude(ctx, j, Some(out), JobOutcome::CacheHit, 0, sim_ops);
+            return;
+        }
+    }
+
+    ctx.log.emit(
+        "job_start",
+        vec![
+            ("job", Value::Str(spec.id.clone())),
+            ("key", Value::Str(key.clone())),
+        ],
+    );
+    let t = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| (spec.run)(&dep_outputs))).unwrap_or_else(|p| {
+        let msg = p
+            .downcast_ref::<&str>()
+            .map(ToString::to_string)
+            .or_else(|| p.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "job panicked".to_string());
+        Err(format!("panic: {msg}"))
+    });
+    let wall_ms = u64::try_from(t.elapsed().as_millis()).unwrap_or(u64::MAX);
+
+    match result {
+        Ok(out) => {
+            if let Some(cache) = &ctx.cache {
+                if let Err(e) = cache.store(key, &out) {
+                    ctx.log.emit(
+                        "cache_store_failed",
+                        vec![
+                            ("job", Value::Str(spec.id.clone())),
+                            ("error", Value::Str(e.to_string())),
+                        ],
+                    );
+                }
+            }
+            ctx.log.emit(
+                "job_finish",
+                vec![
+                    ("job", Value::Str(spec.id.clone())),
+                    ("wall_ms", Value::U64(wall_ms)),
+                    ("sim_ops", Value::U64(out.sim_ops)),
+                    ("ops_per_sec", Value::F64(ops_per_sec(out.sim_ops, wall_ms))),
+                ],
+            );
+            let sim_ops = out.sim_ops;
+            conclude(ctx, j, Some(out), JobOutcome::Executed, wall_ms, sim_ops);
+        }
+        Err(e) => {
+            ctx.log.emit(
+                "job_failed",
+                vec![
+                    ("job", Value::Str(spec.id.clone())),
+                    ("error", Value::Str(e.clone())),
+                ],
+            );
+            let mut state = ctx.state.lock().expect("engine lock");
+            if state.error.is_none() {
+                state.error = Some(format!("{}: {e}", spec.id));
+            }
+            drop(state);
+            conclude(ctx, j, None, JobOutcome::Failed, wall_ms, 0);
+        }
+    }
+}
+
+/// Records job `j`'s conclusion and releases any newly-ready dependents.
+fn conclude(
+    ctx: &Arc<Ctx>,
+    j: usize,
+    output: Option<JobOutput>,
+    outcome: JobOutcome,
+    wall_ms: u64,
+    sim_ops: u64,
+) {
+    let mut state = ctx.state.lock().expect("engine lock");
+    state.outputs[j] = output;
+    state.reports[j] = Some(JobReport {
+        id: ctx.specs[j].id.clone(),
+        key: ctx.keys[j].clone(),
+        outcome,
+        wall_ms,
+        sim_ops,
+    });
+    for &dep in &ctx.dependents[j] {
+        state.pending[dep] -= 1;
+        if state.pending[dep] == 0 {
+            state.ready.push(dep);
+        }
+    }
+    state.remaining -= 1;
+    drop(state);
+    ctx.progress.notify_all();
+}

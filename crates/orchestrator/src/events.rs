@@ -1,0 +1,100 @@
+//! The run's observability surface: a JSON-lines event log (streamed,
+//! flushed per line so an interrupted run keeps its history) and the final
+//! `manifest.json`.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json::Value;
+
+/// How a job concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// The closure ran and succeeded.
+    Executed,
+    /// The output was served from the disk cache.
+    CacheHit,
+    /// The closure ran and failed (or panicked).
+    Failed,
+    /// A dependency failed, so the job never ran.
+    Skipped,
+}
+
+impl JobOutcome {
+    /// Stable string form (used in events and the manifest).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobOutcome::Executed => "executed",
+            JobOutcome::CacheHit => "cache_hit",
+            JobOutcome::Failed => "failed",
+            JobOutcome::Skipped => "skipped",
+        }
+    }
+}
+
+/// A JSON-lines event sink. Opened on a file, or as a no-op when the run
+/// is not logging (`EventLog::disabled`).
+#[derive(Debug)]
+pub struct EventLog {
+    sink: Mutex<Option<BufWriter<File>>>,
+    start: Instant,
+}
+
+impl EventLog {
+    /// Opens an event log at `path` (truncating).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the file-creation failure.
+    pub fn create(path: &Path) -> std::io::Result<EventLog> {
+        Ok(EventLog {
+            sink: Mutex::new(Some(BufWriter::new(File::create(path)?))),
+            start: Instant::now(),
+        })
+    }
+
+    /// A sink that drops every event.
+    #[must_use]
+    pub fn disabled() -> EventLog {
+        EventLog {
+            sink: Mutex::new(None),
+            start: Instant::now(),
+        }
+    }
+
+    /// Milliseconds since the log was opened (the run clock).
+    #[must_use]
+    pub fn elapsed_ms(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// Emits one event line: `{"ts_ms":…,"event":<kind>,…fields}`. Errors
+    /// writing the log are swallowed — observability must never fail the
+    /// run itself.
+    pub fn emit(&self, kind: &str, fields: Vec<(&str, Value)>) {
+        let mut pairs = vec![
+            ("ts_ms", Value::U64(self.elapsed_ms())),
+            ("event", Value::Str(kind.to_string())),
+        ];
+        pairs.extend(fields);
+        let line = Value::obj(pairs).render();
+        let mut guard = self.sink.lock().expect("event log lock");
+        if let Some(w) = guard.as_mut() {
+            let _ = writeln!(w, "{line}");
+            let _ = w.flush();
+        }
+    }
+}
+
+/// Writes `manifest.json` (pretty-rendered) at `path`.
+///
+/// # Errors
+///
+/// Propagates the write failure.
+pub fn write_manifest(path: &Path, manifest: &Value) -> std::io::Result<()> {
+    std::fs::write(path, manifest.render_pretty())
+}

@@ -1,0 +1,501 @@
+//! A minimal JSON value type with a compact encoder, a pretty encoder, and
+//! a strict parser — just enough for cache entries, manifests, and the
+//! event log, with byte-exact round-tripping of strings.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (serialized without a decimal point).
+    U64(u64),
+    /// Any other number. Non-finite values are serialized as `null`.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object. Insertion order is preserved, so rendering is
+    /// deterministic.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Builds an object from `(key, value)` pairs.
+    #[must_use]
+    pub fn obj(pairs: Vec<(&str, Value)>) -> Value {
+        Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Looks a key up in an object.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` (integers only).
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`. Integers convert; `null` maps to NaN (the
+    /// encoder writes non-finite floats as `null`).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(x) => Some(*x),
+            #[allow(clippy::cast_precision_loss)]
+            Value::U64(n) => Some(*n as f64),
+            Value::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders the value compactly (no whitespace).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders the value with two-space indentation.
+    #[must_use]
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_in) = match indent {
+            Some(w) => ("\n", " ".repeat(w * depth), " ".repeat(w * (depth + 1))),
+            None => ("", String::new(), String::new()),
+        };
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::U64(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::F64(x) => {
+                if x.is_finite() {
+                    let _ = write!(out, "{x}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => write_escaped(out, s),
+            Value::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    v.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Value::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document. Trailing garbage is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the byte offset of the first syntax error.
+    pub fn parse(s: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn err<T>(&self, what: &str) -> Result<T, String> {
+        Err(format!("{what} at byte {}", self.pos))
+    }
+
+    fn eat(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            self.err(&format!("expected `{lit}`"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.bytes.get(self.pos) {
+            None => self.err("unexpected end of input"),
+            Some(b'n') => self.eat("null").map(|()| Value::Null),
+            Some(b't') => self.eat("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.eat("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => self.err("unexpected character"),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.pos += 1; // [
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return self.err("expected `,` or `]`"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.pos += 1; // {
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            if self.bytes.get(self.pos) != Some(&b'"') {
+                return self.err("expected object key");
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.bytes.get(self.pos) != Some(&b':') {
+                return self.err("expected `:`");
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                _ => return self.err("expected `,` or `}`"),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        let mut integral = true;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' => {
+                    integral = false;
+                    self.pos += 1;
+                }
+                b'-' => {
+                    if self.pos != start {
+                        integral = false;
+                    }
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let tok = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid number at byte {start}"))?;
+        if integral && !tok.starts_with('-') {
+            if let Ok(n) = tok.parse::<u64>() {
+                return Ok(Value::U64(n));
+            }
+        }
+        tok.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| format!("invalid number `{tok}` at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return self.err("unterminated string");
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return self.err("unterminated escape");
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair.
+                                self.eat("\\u")?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return self.err("invalid low surrogate");
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            match char::from_u32(code) {
+                                Some(c) => out.push(c),
+                                None => return self.err("invalid unicode escape"),
+                            }
+                        }
+                        _ => return self.err("unknown escape"),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // bytes are valid UTF-8 by construction).
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = std::str::from_utf8(&self.bytes[self.pos..self.pos + len])
+                        .map_err(|_| format!("invalid UTF-8 at byte {}", self.pos))?;
+                    out.push_str(chunk);
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        if self.pos + 4 > self.bytes.len() {
+            return self.err("truncated \\u escape");
+        }
+        let tok = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| format!("invalid \\u escape at byte {}", self.pos))?;
+        self.pos += 4;
+        u32::from_str_radix(tok, 16).map_err(|_| format!("invalid \\u escape `{tok}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::U64(0),
+            Value::U64(u64::MAX),
+            Value::F64(-1.5),
+            Value::F64(0.1),
+            Value::Str(String::new()),
+            Value::Str("plain".into()),
+        ] {
+            assert_eq!(Value::parse(&v.render()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn roundtrip_tricky_strings() {
+        for s in [
+            "with \"quotes\" and \\backslash\\",
+            "newline\nand\ttab\r",
+            "unicode: ± µ — 100 %",
+            "control: \u{1} \u{1f}",
+        ] {
+            let v = Value::Str(s.to_string());
+            assert_eq!(Value::parse(&v.render()).unwrap(), v, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_nested() {
+        let v = Value::obj(vec![
+            ("a", Value::Arr(vec![Value::U64(1), Value::F64(2.5)])),
+            ("b", Value::obj(vec![("nested", Value::Str("x".into()))])),
+            ("c", Value::Null),
+        ]);
+        assert_eq!(Value::parse(&v.render()).unwrap(), v);
+        assert_eq!(Value::parse(&v.render_pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn floats_survive_roundtrip_exactly() {
+        for x in [0.1, 1.0 / 3.0, 1e-300, 123_456.789_012_345, f64::MAX] {
+            let rendered = Value::F64(x).render();
+            let back = Value::parse(&rendered).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} via {rendered}");
+        }
+    }
+
+    #[test]
+    fn nonfinite_becomes_null_then_nan() {
+        let rendered = Value::F64(f64::NAN).render();
+        assert_eq!(rendered, "null");
+        assert!(Value::parse(&rendered).unwrap().as_f64().unwrap().is_nan());
+    }
+
+    #[test]
+    fn surrogate_pair_escape() {
+        let v = Value::parse(r#""😀""#).unwrap();
+        assert_eq!(v.as_str().unwrap(), "😀");
+    }
+
+    #[test]
+    fn garbage_is_an_error_not_a_panic() {
+        for s in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1.2.3",
+            "{\"a\":1}x",
+            r#""\u12"#,
+            r#""\ud800x""#,
+        ] {
+            assert!(Value::parse(s).is_err(), "{s:?} should fail");
+        }
+    }
+
+    #[test]
+    fn whole_floats_reparse_as_integers() {
+        // `2.0` renders as `2`; consumers must read numbers via as_f64.
+        let v = Value::parse(&Value::F64(2.0).render()).unwrap();
+        assert_eq!(v, Value::U64(2));
+        assert_eq!(v.as_f64(), Some(2.0));
+    }
+}

@@ -1,0 +1,45 @@
+//! # Experiment orchestration engine
+//!
+//! A std-only, dependency-free job engine that models an experiment matrix
+//! (artefact × scale × seed) as a DAG of pure jobs and executes it across a
+//! work-stealing thread pool, memoizing each job's output in an on-disk
+//! content-addressed cache so re-runs and interrupted runs resume from
+//! completed jobs instead of recomputing.
+//!
+//! The pieces, bottom up:
+//!
+//! * [`json`] — a minimal JSON value type with encoder and parser, used by
+//!   the cache entries, the run manifest, and the event log.
+//! * [`hash`] — stable (process-independent) FNV-1a hashing for cache keys
+//!   and entry checksums.
+//! * [`cache`] — [`cache::DiskCache`], one file per cache key, checksummed;
+//!   corrupted or unreadable entries degrade to cache misses.
+//! * [`pool`] — [`pool::ThreadPool`], a work-stealing thread pool with one
+//!   deque per worker plus cross-worker stealing.
+//! * [`job`] — [`job::JobSpec`] (id, key material, dependencies, work
+//!   closure) and [`job::JobOutput`] (rendered text + named metrics + a
+//!   deterministic simulated-op count for throughput accounting).
+//! * [`events`] — the JSON-lines event log (`job_start` / `job_finish` /
+//!   `cache_hit` / …) and the run manifest writer.
+//! * [`engine`] — [`engine::run_dag`], which ties it all together.
+//!
+//! The engine guarantees that job *outputs* are independent of the worker
+//! count and of the cache state: a cached entry stores exactly the bytes
+//! the job rendered, so a warm re-run is byte-identical to the cold run.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod engine;
+pub mod events;
+pub mod hash;
+pub mod job;
+pub mod json;
+pub mod pool;
+
+pub use cache::DiskCache;
+pub use engine::{run_dag, RunOptions, RunReport};
+pub use events::JobOutcome;
+pub use job::{JobOutput, JobSpec};
+pub use pool::ThreadPool;

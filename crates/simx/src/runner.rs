@@ -42,6 +42,10 @@ pub struct RunResult {
     pub integrity_faults: u64,
     /// MAC computations performed on the read path (0 without an engine).
     pub mac_computations: u64,
+    /// Memory operations (loads + stores) the run issued. Deterministic
+    /// for a given workload/seed — the orchestrator's throughput events
+    /// divide this by wall time, never the other way around.
+    pub mem_ops: u64,
 }
 
 impl RunResult {
@@ -175,16 +179,19 @@ pub fn run<S: OpSource>(machine: &mut Machine<S>, instructions: u64) -> RunResul
         .engine()
         .map(|e| e.stats().read_mac_computations)
         .unwrap_or(0);
+    let mut mem_ops = 0u64;
     for _ in 0..instructions {
         cycles += 1;
         match machine.source.next_op() {
             Op::Compute => {}
             Op::Load(va) => {
+                mem_ops += 1;
                 let out = machine.sys.load(va);
                 debug_assert!(out.is_ok(), "unexpected fault: {out:?}");
                 cycles += out.cycles();
             }
             Op::Store(va) => {
+                mem_ops += 1;
                 let out = machine.sys.store(va);
                 debug_assert!(out.is_ok(), "unexpected fault: {out:?}");
                 cycles += out.cycles();
@@ -208,6 +215,7 @@ pub fn run<S: OpSource>(machine: &mut Machine<S>, instructions: u64) -> RunResul
         walks: stats.walks - stats_before.walks,
         integrity_faults: stats.integrity_faults - stats_before.integrity_faults,
         mac_computations,
+        mem_ops,
     }
 }
 

@@ -18,6 +18,9 @@
 //!   live-generated or replayed op streams.
 //! * [`experiments`] — one regenerator per paper table/figure, plus the
 //!   `exp record`/`replay`/`trace-stats` pipeline.
+//! * [`orchestrator`] — the parallel, cached, resumable job engine behind
+//!   `exp all` / `exp sweep` (work-stealing pool, content-addressed disk
+//!   cache, JSONL event logs and run manifests).
 //! * [`rng`] — the std-only deterministic RNG the models share.
 //!
 //! See the README for the architecture overview and EXPERIMENTS.md for
@@ -26,6 +29,7 @@
 pub use dram;
 pub use experiments;
 pub use memsys;
+pub use orchestrator;
 pub use pagetable;
 pub use ptguard;
 pub use qarma;
