@@ -25,6 +25,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod fullmem;
 pub mod multicore;
+pub mod oracle;
 pub mod orchestrate;
 pub mod priorwork;
 pub mod record_replay;

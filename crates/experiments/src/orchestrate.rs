@@ -17,13 +17,13 @@ use orchestrator::{JobOutput, JobSpec};
 
 use crate::report::Table;
 use crate::{
-    ablation, coverage, diag, exploit, fig6, fig7, fig8, fig9, fullmem, multicore, priorwork,
-    rth_sweep, security, storage, tables, Scale,
+    ablation, coverage, diag, exploit, fig6, fig7, fig8, fig9, fullmem, multicore, oracle,
+    priorwork, rth_sweep, security, storage, tables, Scale,
 };
 
 /// Every artefact `exp` can regenerate, in the order `exp all` prints them
 /// (the same order the usage banner advertises).
-pub const ARTEFACTS: [&str; 18] = [
+pub const ARTEFACTS: [&str; 19] = [
     "table1",
     "table2",
     "table3",
@@ -42,6 +42,7 @@ pub const ARTEFACTS: [&str; 18] = [
     "multicore",
     "coverage",
     "exploit",
+    "oracle",
 ];
 
 /// `priorwork` trials per damage class at each scale.
@@ -316,6 +317,45 @@ pub fn run_artefact(name: &str, scale: Scale, seed: u64) -> Result<JobOutput, St
                 sim_ops: spray + 40_000,
             }
         }
+        "oracle" => {
+            let r = oracle::run_with_seed(scale, seed);
+            // A divergence is a *simulator bug*: fail the job loudly, with
+            // the shrunk reproducer saved for offline replay.
+            if !r.clean() {
+                let dir = std::env::temp_dir().join("ptguard-oracle");
+                let mut paths = Vec::new();
+                for d in &r.divergences {
+                    if let Ok(p) = d.write_to(&dir) {
+                        paths.push(p.display().to_string());
+                    }
+                }
+                return Err(format!(
+                    "oracle found simulator divergences/violations \
+                     (reproducers: {paths:?}):\n{}",
+                    oracle::render(&r)
+                ));
+            }
+            mu(&mut metrics, "diff_runs", r.diff_runs);
+            mu(&mut metrics, "diff_ops", r.diff_ops);
+            mu(&mut metrics, "divergences", r.divergences.len() as u64);
+            mu(&mut metrics, "mac_single_flips", r.mac.single_flips);
+            mu(&mut metrics, "mac_pair_flips", r.mac.pair_flips);
+            mu(&mut metrics, "mac_alias_probes", r.mac.alias_probes);
+            mu(&mut metrics, "campaign_injected", r.campaign.injected);
+            mu(&mut metrics, "campaign_corrected", r.campaign.corrected_ok);
+            mu(&mut metrics, "campaign_detected", r.campaign.detected);
+            mu(
+                &mut metrics,
+                "campaign_max_guesses",
+                u64::from(r.campaign.max_guesses),
+            );
+            let work = r.diff_ops + r.mac.single_flips + r.mac.pair_flips + r.campaign.injected;
+            JobOutput {
+                rendered: oracle::render(&r),
+                metrics,
+                sim_ops: work,
+            }
+        }
         other => return Err(format!("unknown artefact: {other}")),
     };
     Ok(out)
@@ -510,6 +550,18 @@ mod tests {
         sorted.dedup();
         assert_eq!(sorted.len(), ARTEFACTS.len(), "duplicate artefact id");
         assert!(ARTEFACTS.contains(&"diag"), "diag must be orchestrated");
+        assert!(
+            ARTEFACTS.contains(&"oracle"),
+            "the simulator oracle must be orchestrated"
+        );
+    }
+
+    #[test]
+    fn oracle_artefact_runs_clean_at_trial_scale() {
+        let job = run_artefact("oracle", Scale::Trial, 0).unwrap();
+        assert_eq!(job.metric_value("divergences"), Some(0.0));
+        assert!(job.rendered.contains("Verdict: CLEAN"));
+        assert!(job.sim_ops > 0);
     }
 
     #[test]

@@ -31,24 +31,34 @@ impl Way {
 }
 
 /// Hit/miss statistics.
+///
+/// Accounting contract: only [`Cache::lookup`] records `hits`/`misses` —
+/// those two counters measure *demand* traffic exclusively. [`Cache::fill`]
+/// and [`Cache::update`] are maintenance operations (refills, writeback
+/// absorption) and never touch the hit/miss counters; `fill` instead counts
+/// in `fills`. This keeps [`CacheStats::miss_ratio`] a pure demand-side
+/// metric no matter how many refills land on stale copies.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CacheStats {
-    /// Lookups that hit.
+    /// Demand lookups that hit.
     pub hits: u64,
-    /// Lookups that missed.
+    /// Demand lookups that missed.
     pub misses: u64,
     /// Dirty lines written back on eviction.
     pub writebacks: u64,
+    /// Lines installed or refreshed via [`Cache::fill`] (maintenance
+    /// traffic; disjoint from `hits`/`misses`).
+    pub fills: u64,
 }
 
 impl CacheStats {
-    /// Total lookups.
+    /// Total demand lookups.
     #[must_use]
     pub fn accesses(&self) -> u64 {
         self.hits + self.misses
     }
 
-    /// Miss ratio in [0, 1].
+    /// Demand miss ratio in [0, 1].
     #[must_use]
     pub fn miss_ratio(&self) -> f64 {
         if self.accesses() == 0 {
@@ -73,6 +83,14 @@ pub struct Cache {
 
 impl Cache {
     /// Builds a cache from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate geometry: zero ways, a capacity below one
+    /// 64-byte line, or a non-power-of-two set count (see
+    /// [`CacheConfig::sets`]). `index()` relies on `sets` being a power of
+    /// two for its mask/shift arithmetic, so bad geometry must be rejected
+    /// here rather than silently mis-indexing later.
     #[must_use]
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = cfg.sets();
@@ -95,16 +113,20 @@ impl Cache {
     }
 
     /// Looks up `addr`; on a hit returns the line data and updates LRU.
-    /// `write` marks the line dirty (and updates its data via
-    /// [`Cache::update`] by the caller).
-    pub fn lookup(&mut self, addr: PhysAddr, write: bool) -> Option<Line> {
+    ///
+    /// Lookup never marks a line dirty: a line only becomes dirty when its
+    /// data actually changes, via [`Cache::update`] or [`Cache::fill`]. A
+    /// store that hits must therefore follow up with `update(addr, line,
+    /// true)` once the new data exists. (Marking dirty at lookup time wrote
+    /// unmodified lines back on fault/early-exit paths where the store
+    /// never completed, inflating `writebacks` and DRAM traffic.)
+    pub fn lookup(&mut self, addr: PhysAddr) -> Option<Line> {
         self.clock += 1;
         let (set, tag) = self.index(addr);
         let base = set * self.ways;
         for w in &mut self.storage[base..base + self.ways] {
             if w.valid && w.tag == tag {
                 w.lru = self.clock;
-                w.dirty |= write;
                 self.stats.hits += 1;
                 return Some(w.data);
             }
@@ -126,8 +148,15 @@ impl Cache {
 
     /// Installs `data` for `addr`, evicting the LRU way if needed.
     /// Returns the evicted dirty line `(addr, data)` if one was displaced.
+    ///
+    /// A fill is maintenance traffic, not a demand access: it advances the
+    /// LRU clock and counts in [`CacheStats::fills`] on both the
+    /// refill-over-stale path and the install path, but never records a hit
+    /// or a miss (those belong to [`Cache::lookup`] alone — see
+    /// [`CacheStats`]).
     pub fn fill(&mut self, addr: PhysAddr, data: Line, dirty: bool) -> Option<(PhysAddr, Line)> {
         self.clock += 1;
+        self.stats.fills += 1;
         let (set, tag) = self.index(addr);
         let base = set * self.ways;
         // Hit-update path (e.g. refill over a stale copy).
@@ -247,11 +276,12 @@ mod tests {
     fn miss_then_fill_then_hit() {
         let mut c = small();
         let a = PhysAddr::new(0x1000);
-        assert!(c.lookup(a, false).is_none());
+        assert!(c.lookup(a).is_none());
         assert!(c.fill(a, line(7), false).is_none());
-        assert_eq!(c.lookup(a, false), Some(line(7)));
+        assert_eq!(c.lookup(a), Some(line(7)));
         assert_eq!(c.stats().hits, 1);
         assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().fills, 1);
     }
 
     #[test]
@@ -263,7 +293,7 @@ mod tests {
         let d = PhysAddr::new(0x200);
         c.fill(a, line(1), true); // dirty
         c.fill(b, line(2), false);
-        c.lookup(a, false); // a is now MRU
+        c.lookup(a); // a is now MRU
         let evicted = c.fill(d, line(3), false);
         assert!(evicted.is_none(), "b was clean LRU: silent eviction");
         assert!(c.peek(b).is_none());
@@ -281,7 +311,7 @@ mod tests {
         let a = PhysAddr::new(0x40);
         c.fill(a, line(1), false);
         c.update(a, line(9), true);
-        assert_eq!(c.lookup(a, false), Some(line(9)));
+        assert_eq!(c.lookup(a), Some(line(9)));
         let drained = c.drain_dirty();
         assert_eq!(drained, vec![(a, line(9))]);
         assert!(c.drain_dirty().is_empty(), "drain clears dirty bits");
@@ -301,6 +331,63 @@ mod tests {
     fn sub_line_addresses_share_a_line() {
         let mut c = small();
         c.fill(PhysAddr::new(0x1000), line(5), false);
-        assert_eq!(c.lookup(PhysAddr::new(0x103f), false), Some(line(5)));
+        assert_eq!(c.lookup(PhysAddr::new(0x103f)), Some(line(5)));
+    }
+
+    #[test]
+    fn lookup_never_dirties_a_clean_line() {
+        // Regression: `lookup(addr, write=true)` used to pre-mark the line
+        // dirty before any data changed, so an aborted store still caused a
+        // writeback of unmodified data. With dirty confined to fill/update,
+        // a looked-up-but-never-updated line stays clean.
+        let mut c = small();
+        let a = PhysAddr::new(0x40);
+        c.fill(a, line(1), false);
+        assert_eq!(c.lookup(a), Some(line(1)));
+        assert!(c.drain_dirty().is_empty(), "lookup must not set dirty");
+        assert_eq!(c.stats().writebacks, 0);
+        // The store path (lookup + update) does dirty the line.
+        c.lookup(a);
+        c.update(a, line(2), true);
+        assert_eq!(c.drain_dirty(), vec![(a, line(2))]);
+    }
+
+    #[test]
+    fn fill_accounting_is_disjoint_from_demand_stats() {
+        // Refill-over-stale must not skew the demand miss ratio: fills
+        // count in `fills` only, never in hits/misses.
+        let mut c = small();
+        let a = PhysAddr::new(0x1000);
+        assert!(c.lookup(a).is_none()); // 1 demand miss
+        c.fill(a, line(1), false); // install
+        c.fill(a, line(2), false); // refill over stale copy
+        c.fill(a, line(3), false); // and again
+        assert_eq!(c.stats().hits, 0);
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().fills, 3);
+        assert!((c.stats().miss_ratio() - 1.0).abs() < f64::EPSILON);
+        // LRU clock still advanced on each fill: a later same-set fill
+        // sees `a` as MRU.
+        assert_eq!(c.lookup(a), Some(line(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_rejected() {
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 0,
+            latency_cycles: 1,
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one 64-byte line")]
+    fn zero_capacity_rejected() {
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 0,
+            ways: 1,
+            latency_cycles: 1,
+        });
     }
 }

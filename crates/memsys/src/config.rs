@@ -16,16 +16,30 @@ impl CacheConfig {
     ///
     /// # Panics
     ///
-    /// Panics if the geometry is not an exact power-of-two set count.
+    /// Panics on degenerate geometry — zero ways, a capacity below one
+    /// line, a capacity that does not divide evenly into the ways, or a
+    /// non-power-of-two set count — so bad configurations fail loudly at
+    /// construction instead of silently mis-masking in `Cache::index()`.
     #[must_use]
     pub fn sets(&self) -> usize {
+        assert!(self.ways > 0, "cache geometry needs at least one way");
         let lines = self.size_bytes / 64;
         assert!(
+            lines > 0,
+            "cache capacity must hold at least one 64-byte line (got {} bytes)",
+            self.size_bytes
+        );
+        assert!(
             lines.is_multiple_of(self.ways),
-            "capacity must divide evenly into ways"
+            "capacity ({} lines) must divide evenly into {} ways",
+            lines,
+            self.ways
         );
         let sets = lines / self.ways;
-        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "set count must be a power of two (got {sets})"
+        );
         sets
     }
 }

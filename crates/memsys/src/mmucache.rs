@@ -43,14 +43,21 @@ impl MmuCache {
     ///
     /// # Panics
     ///
-    /// Panics unless `entries / ways` is a power of two.
+    /// Panics on degenerate geometry: zero entries, zero ways, entries not
+    /// dividing evenly into ways, or a non-power-of-two set count (the
+    /// `index()` mask arithmetic requires a power of two).
     #[must_use]
     pub fn new(entries: usize, ways: usize, latency_cycles: u64) -> Self {
-        assert!(entries.is_multiple_of(ways));
+        assert!(ways > 0, "MMU cache needs at least one way");
+        assert!(entries > 0, "MMU cache needs at least one entry");
+        assert!(
+            entries.is_multiple_of(ways),
+            "MMU cache entries ({entries}) must divide evenly into {ways} ways"
+        );
         let sets = entries / ways;
         assert!(
             sets.is_power_of_two(),
-            "MMU cache sets must be a power of two"
+            "MMU cache sets must be a power of two (got {sets})"
         );
         Self {
             sets,
@@ -170,5 +177,17 @@ mod tests {
         m.insert(c, Pte::new(Frame(3), PteFlags::table()));
         assert!(m.lookup(b).is_none(), "b was LRU");
         assert!(m.lookup(a).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_rejected() {
+        let _ = MmuCache::new(1024, 0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_rejected() {
+        let _ = MmuCache::new(0, 4, 2);
     }
 }

@@ -288,18 +288,23 @@ impl MemorySystem {
         // The L1 is probed even for walk accesses (hardware walkers are
         // coherent with the data cache); walk fills go into L2/LLC only.
         cycles += self.l1d.latency_cycles;
-        if let Some(line) = self.l1d.lookup(addr, write && !is_pte) {
+        if let Some(line) = self.l1d.lookup(addr) {
+            if write && !is_pte {
+                // A demand store that hits: the line's data is about to
+                // change, so dirty it now (lookup itself never dirties).
+                self.l1d.update(addr, line, true);
+            }
             return (line, cycles, false, ReadVerdict::Forwarded);
         }
         cycles += self.l2.latency_cycles;
-        if let Some(line) = self.l2.lookup(addr, false) {
+        if let Some(line) = self.l2.lookup(addr) {
             if !is_pte {
                 self.fill_l1(addr, line, write);
             }
             return (line, cycles, false, ReadVerdict::Forwarded);
         }
         cycles += self.llc.latency_cycles;
-        if let Some(line) = self.llc.lookup(addr, false) {
+        if let Some(line) = self.llc.lookup(addr) {
             self.fill_l2(addr, line);
             if !is_pte {
                 self.fill_l1(addr, line, write);

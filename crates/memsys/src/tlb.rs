@@ -44,8 +44,14 @@ pub struct Tlb {
 
 impl Tlb {
     /// Creates a TLB with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero: a zero-capacity TLB would make every
+    /// `insert` hunt for a victim in an empty entry list.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "TLB capacity must be at least one entry");
         Self {
             entries: Vec::with_capacity(capacity),
             capacity,
@@ -166,5 +172,11 @@ mod tests {
         t.insert(1, pte(1));
         t.insert(1, pte(9));
         assert_eq!(t.peek_frame(1), Some(Frame(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = Tlb::new(0);
     }
 }

@@ -1,0 +1,298 @@
+//! Deliberately naive reference models of the `memsys` structures.
+//!
+//! Each model favours the *obvious* definition over speed: one
+//! recency-ordered `Vec` per set (front = least recently used, back = most
+//! recently used), division/modulo indexing instead of mask/shift
+//! arithmetic, and linear scans everywhere. The models mirror the fast
+//! implementations' observable contract exactly:
+//!
+//! * only `lookup` records hits/misses (demand traffic); `fill` counts in
+//!   `fills` and refreshes recency, `update` changes data/dirty without
+//!   touching recency or any counter;
+//! * a fill victim is an empty slot if one exists, else the LRU line;
+//! * lines become dirty only via `fill`/`update`, never via `lookup`.
+
+use pagetable::addr::PhysAddr;
+use pagetable::x86_64::Pte;
+use ptguard::Line;
+
+/// One resident line of the reference cache.
+#[derive(Debug, Clone, Copy)]
+struct RefLine {
+    line_no: u64,
+    dirty: bool,
+    data: Line,
+}
+
+/// Naive reference model of [`memsys::cache::Cache`].
+#[derive(Debug, Clone)]
+pub struct RefCache {
+    sets: Vec<Vec<RefLine>>,
+    ways: usize,
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+    fills: u64,
+}
+
+impl RefCache {
+    /// Builds a reference cache with the same geometry as the fast one.
+    #[must_use]
+    pub fn new(size_bytes: usize, ways: usize) -> Self {
+        assert!(ways > 0 && size_bytes >= 64);
+        let sets = size_bytes / 64 / ways;
+        assert!(sets.is_power_of_two());
+        Self {
+            sets: vec![Vec::new(); sets],
+            ways,
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+            fills: 0,
+        }
+    }
+
+    fn set_of(&self, addr: PhysAddr) -> (usize, u64) {
+        let line_no = addr.as_u64() / 64;
+        ((line_no % self.sets.len() as u64) as usize, line_no)
+    }
+
+    fn addr_of(line_no: u64) -> PhysAddr {
+        PhysAddr::new(line_no * 64)
+    }
+
+    /// Demand lookup: hit moves the line to most-recently-used.
+    pub fn lookup(&mut self, addr: PhysAddr) -> Option<Line> {
+        let (set, line_no) = self.set_of(addr);
+        let entries = &mut self.sets[set];
+        if let Some(pos) = entries.iter().position(|e| e.line_no == line_no) {
+            let e = entries.remove(pos);
+            entries.push(e);
+            self.hits += 1;
+            return Some(e.data);
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Peek without recency or statistics effects.
+    #[must_use]
+    pub fn peek(&self, addr: PhysAddr) -> Option<Line> {
+        let (set, line_no) = self.set_of(addr);
+        self.sets[set]
+            .iter()
+            .find(|e| e.line_no == line_no)
+            .map(|e| e.data)
+    }
+
+    /// Install/refresh a line; returns a displaced dirty line, if any.
+    pub fn fill(&mut self, addr: PhysAddr, data: Line, dirty: bool) -> Option<(PhysAddr, Line)> {
+        self.fills += 1;
+        let (set, line_no) = self.set_of(addr);
+        let entries = &mut self.sets[set];
+        if let Some(pos) = entries.iter().position(|e| e.line_no == line_no) {
+            let mut e = entries.remove(pos);
+            e.data = data;
+            e.dirty |= dirty;
+            entries.push(e);
+            return None;
+        }
+        let evicted = if entries.len() >= self.ways {
+            let victim = entries.remove(0); // front = LRU
+            victim
+                .dirty
+                .then(|| (Self::addr_of(victim.line_no), victim.data))
+        } else {
+            None
+        };
+        if evicted.is_some() {
+            self.writebacks += 1;
+        }
+        entries.push(RefLine {
+            line_no,
+            dirty,
+            data,
+        });
+        evicted
+    }
+
+    /// Update a resident line's data without touching recency.
+    pub fn update(&mut self, addr: PhysAddr, data: Line, dirty: bool) {
+        let (set, line_no) = self.set_of(addr);
+        if let Some(e) = self.sets[set].iter_mut().find(|e| e.line_no == line_no) {
+            e.data = data;
+            e.dirty |= dirty;
+        }
+    }
+
+    /// Drop a line without writeback; returns its data if it was dirty.
+    pub fn invalidate(&mut self, addr: PhysAddr) -> Option<(PhysAddr, Line)> {
+        let (set, line_no) = self.set_of(addr);
+        let entries = &mut self.sets[set];
+        let pos = entries.iter().position(|e| e.line_no == line_no)?;
+        let e = entries.remove(pos);
+        e.dirty.then(|| (Self::addr_of(e.line_no), e.data))
+    }
+
+    /// Flush every dirty line, clearing dirty bits and counting writebacks.
+    pub fn drain_dirty(&mut self) -> Vec<(PhysAddr, Line)> {
+        let mut out = Vec::new();
+        for set in &mut self.sets {
+            for e in set.iter_mut() {
+                if e.dirty {
+                    out.push((Self::addr_of(e.line_no), e.data));
+                    e.dirty = false;
+                }
+            }
+        }
+        self.writebacks += out.len() as u64;
+        out
+    }
+
+    /// `(hits, misses, writebacks, fills)`.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
+        (self.hits, self.misses, self.writebacks, self.fills)
+    }
+}
+
+/// Naive reference model of [`memsys::tlb::Tlb`]: one recency-ordered
+/// `Vec` over the whole (fully-associative) structure.
+#[derive(Debug, Clone)]
+pub struct RefTlb {
+    entries: Vec<(u64, Pte)>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl RefTlb {
+    /// Builds a reference TLB with `capacity` entries.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Self {
+            entries: Vec::new(),
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Lookup by virtual page number; a hit becomes most-recently-used.
+    pub fn lookup(&mut self, vpn: u64) -> Option<Pte> {
+        if let Some(pos) = self.entries.iter().position(|&(v, _)| v == vpn) {
+            let e = self.entries.remove(pos);
+            self.entries.push(e);
+            self.hits += 1;
+            return Some(e.1);
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Install a translation, evicting the LRU entry when full.
+    pub fn insert(&mut self, vpn: u64, pte: Pte) {
+        if let Some(pos) = self.entries.iter().position(|&(v, _)| v == vpn) {
+            self.entries.remove(pos);
+        } else if self.entries.len() >= self.capacity {
+            self.entries.remove(0); // front = LRU
+        }
+        self.entries.push((vpn, pte));
+    }
+
+    /// Drop one translation.
+    pub fn invalidate(&mut self, vpn: u64) {
+        self.entries.retain(|&(v, _)| v != vpn);
+    }
+
+    /// Drop everything.
+    pub fn flush(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Frame of a cached translation without recency/statistics effects.
+    #[must_use]
+    pub fn peek_frame(&self, vpn: u64) -> Option<pagetable::addr::Frame> {
+        self.entries
+            .iter()
+            .find(|&&(v, _)| v == vpn)
+            .map(|&(_, p)| p.frame())
+    }
+
+    /// `(hits, misses)`.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+/// Naive reference model of [`memsys::mmucache::MmuCache`]: 8-byte entries
+/// keyed by physical entry address, one recency-ordered `Vec` per set.
+#[derive(Debug, Clone)]
+pub struct RefMmuCache {
+    sets: Vec<Vec<(u64, Pte)>>,
+    ways: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl RefMmuCache {
+    /// Builds a reference MMU cache with the fast cache's geometry.
+    #[must_use]
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(ways > 0 && entries > 0 && entries.is_multiple_of(ways));
+        let sets = entries / ways;
+        assert!(sets.is_power_of_two());
+        Self {
+            sets: vec![Vec::new(); sets],
+            ways,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_of(&self, entry_addr: PhysAddr) -> (usize, u64) {
+        let key = entry_addr.as_u64() / 8;
+        ((key % self.sets.len() as u64) as usize, key)
+    }
+
+    /// Lookup by entry address; a hit becomes most-recently-used.
+    pub fn lookup(&mut self, entry_addr: PhysAddr) -> Option<Pte> {
+        let (set, key) = self.set_of(entry_addr);
+        let entries = &mut self.sets[set];
+        if let Some(pos) = entries.iter().position(|&(k, _)| k == key) {
+            let e = entries.remove(pos);
+            entries.push(e);
+            self.hits += 1;
+            return Some(e.1);
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Install an upper-level entry, evicting the set's LRU when full.
+    pub fn insert(&mut self, entry_addr: PhysAddr, pte: Pte) {
+        let (set, key) = self.set_of(entry_addr);
+        let entries = &mut self.sets[set];
+        if let Some(pos) = entries.iter().position(|&(k, _)| k == key) {
+            entries.remove(pos);
+        } else if entries.len() >= self.ways {
+            entries.remove(0); // front = LRU
+        }
+        entries.push((key, pte));
+    }
+
+    /// Drop everything.
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            set.clear();
+        }
+    }
+
+    /// `(hits, misses)`.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}

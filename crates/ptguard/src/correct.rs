@@ -466,6 +466,27 @@ mod tests {
     }
 
     #[test]
+    fn guess_budget_matches_section_vi_d_arithmetic() {
+        // Section VI-D: 1 soft-match + p·8 flip-and-check + 1 zero-reset +
+        // 18 vote/contiguity guesses. x86_64 protects 44 bits per entry
+        // (M = 40), ARMv8 protects 47.
+        assert_eq!(guess_budget(44), 372);
+        assert_eq!(guess_budget(44), G_MAX);
+        assert_eq!(guess_budget(47), 396);
+        // The budgets agree with the formats' actual protected masks.
+        let x86 = PteMac::from_config(&PtGuardConfig::default());
+        assert_eq!(x86.protected_mask().count_ones(), 44);
+        let armv8 = PteMac::with_format(
+            [0x0123_4567_89ab_cdef, 0xfedc_ba98_7654_3210],
+            9,
+            qarma::Sbox::Sigma1,
+            40,
+            crate::format::PteFormat::ArmV8,
+        );
+        assert_eq!(armv8.protected_mask().count_ones(), 47);
+    }
+
+    #[test]
     fn guess_budget_is_within_paper_bound() {
         let mac = setup();
         let addr = PhysAddr::new(0x7000);

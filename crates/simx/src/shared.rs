@@ -191,11 +191,16 @@ impl<S: OpSource> SharedSystem<S> {
     ) -> (Line, u64, ReadVerdict) {
         let core = &mut self.cores[ci];
         let mut cycles = core.l1.latency_cycles;
-        if let Some(line) = core.l1.lookup(addr, write && !is_pte) {
+        if let Some(line) = core.l1.lookup(addr) {
+            if write && !is_pte {
+                // Demand store hit: dirty the line now that its data is
+                // being modified (lookup itself never dirties).
+                core.l1.update(addr, line, true);
+            }
             return (line, cycles, ReadVerdict::Forwarded);
         }
         cycles += core.l2.latency_cycles;
-        if let Some(line) = core.l2.lookup(addr, false) {
+        if let Some(line) = core.l2.lookup(addr) {
             if !is_pte {
                 if let Some((wa, wl)) = core.l1.fill(addr, line, write) {
                     self.writeback(wa, wl);
@@ -204,7 +209,7 @@ impl<S: OpSource> SharedSystem<S> {
             return (line, cycles, ReadVerdict::Forwarded);
         }
         cycles += self.llc.latency_cycles;
-        if let Some(line) = self.llc.lookup(addr, false) {
+        if let Some(line) = self.llc.lookup(addr) {
             let core = &mut self.cores[ci];
             if let Some((wa, wl)) = core.l2.fill(addr, line, false) {
                 self.writeback(wa, wl);
