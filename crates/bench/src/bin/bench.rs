@@ -1,0 +1,364 @@
+//! `bench` — the QARMA/MAC hot-path benchmark driver.
+//!
+//! ```text
+//! bench qarma|mac|all [--out FILE] [--fast] [--jobs N] [--check FILE]
+//! ```
+//!
+//! Unlike the `cargo bench` targets (which only print), this binary
+//! captures every measurement and emits a machine-readable
+//! `BENCH_qarma.json`: ns/op for the QARMA-64/128 kernels, the PTE-line
+//! MAC (scalar and batch), verification, and the MAC oracle's pair-sweep
+//! wall time serial vs. parallel. Each current number is paired with the
+//! committed pre-rewrite baseline so the speedup of the flat-u64
+//! interleaved kernel is tracked in-repo.
+//!
+//! `--check FILE` re-measures the single-thread MAC compute and fails
+//! (exit 1) if it regressed more than 2× over the ns/op recorded in
+//! `FILE` — the CI `bench-smoke` contract.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use orchestrator::json::Value;
+use orchestrator::pool::ThreadPool;
+use pagetable::addr::PhysAddr;
+use ptguard::mac::PteMac;
+use ptguard::PtGuardConfig;
+use ptguard_bench::harness::{black_box, effective_budget, measure, Measurement};
+use ptguard_bench::sample_pte_line;
+use qarma::pac::PacKey;
+use qarma::{Qarma128, Qarma64, Sbox};
+
+/// ns/op of the pre-rewrite kernel (per-call `Vec` allocations, float
+/// latency), measured on this suite at the commit before the flat-u64
+/// rewrite. The denominators of every `speedup` entry.
+const BASELINE_SOURCE: &str = "pre-rewrite Vec-based kernel @ commit 3e27963";
+const BASELINE_NS: [(&str, f64); 8] = [
+    ("qarma64_r5_encrypt", 987.0),
+    ("qarma128_r9_encrypt", 1734.7),
+    ("qarma128_r9_decrypt", 1776.9),
+    ("mac_compute", 7466.5),
+    ("mac_verify_exact", 8389.0),
+    ("mac_verify_soft_k4", 7942.3),
+    ("pac_sign", 1159.0),
+    ("pac_auth", 1105.6),
+];
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench qarma|mac|all [--out FILE] [--fast] [--jobs N] [--check FILE]\n\
+         \x20 --out FILE    write BENCH_qarma.json-style report (default BENCH_qarma.json)\n\
+         \x20 --fast        ~10x shorter samples (smoke mode; also via PTGUARD_BENCH_FAST)\n\
+         \x20 --jobs N      workers for the parallel pair-sweep timing (default: all cores)\n\
+         \x20 --check FILE  regression gate: fail if MAC compute ns/op > 2x the value in FILE"
+    );
+    ExitCode::FAILURE
+}
+
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, String> {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        if i + 1 >= args.len() {
+            return Err(format!("{flag} needs a value"));
+        }
+        let v = args.remove(i + 1);
+        args.remove(i);
+        Ok(Some(v))
+    } else {
+        Ok(None)
+    }
+}
+
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == flag) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+/// One named measurement row destined for the JSON report.
+struct Row {
+    name: &'static str,
+    m: Measurement,
+}
+
+fn report(rows: &mut Vec<Row>, name: &'static str, m: Measurement) {
+    println!(
+        "{name:<32} {:>10.1} ns/op  [{:.1} .. {:.1}]",
+        m.median_ns, m.lo_ns, m.hi_ns
+    );
+    rows.push(Row { name, m });
+}
+
+fn bench_qarma(rows: &mut Vec<Row>) {
+    let budget = effective_budget();
+    let q64 = Qarma64::new([0x84be85ce9804e94b, 0xec2802d4e0a488e4], 5, Sbox::Sigma1);
+    report(
+        rows,
+        "qarma64_r5_encrypt",
+        measure(budget, || {
+            q64.encrypt(black_box(0xfb623599da6e8127), black_box(0x477d469dec0b8762))
+        }),
+    );
+
+    let q128 = Qarma128::new([1, 2], 9, Sbox::Sigma1);
+    report(
+        rows,
+        "qarma128_r9_encrypt",
+        measure(budget, || {
+            q128.encrypt(black_box(0x0123_4567_89ab_cdef), black_box(42))
+        }),
+    );
+    report(
+        rows,
+        "qarma128_r9_decrypt",
+        measure(budget, || {
+            q128.decrypt(black_box(0x0123_4567_89ab_cdef), black_box(42))
+        }),
+    );
+
+    // Batch throughput: 8 blocks through the pairwise-interleaved path,
+    // reported per block so it is directly comparable to the scalar row.
+    let pairs: Vec<(u128, u128)> = (0..8u128).map(|i| (i * 0x1234_5677 + 1, i)).collect();
+    let mut out = vec![0u128; pairs.len()];
+    let n = pairs.len() as f64;
+    let mut m = measure(budget, || {
+        q128.encrypt_many(black_box(&pairs), &mut out);
+        out[7]
+    });
+    m.median_ns /= n;
+    m.lo_ns /= n;
+    m.hi_ns /= n;
+    report(rows, "qarma128_r9_encrypt_many_per_block", m);
+}
+
+fn bench_mac(rows: &mut Vec<Row>) {
+    let budget = effective_budget();
+    let mac = PteMac::from_config(&PtGuardConfig::default());
+    let line = sample_pte_line();
+    let addr = PhysAddr::new(0x4000);
+    report(
+        rows,
+        "mac_compute",
+        measure(budget, || mac.compute(black_box(&line), addr)),
+    );
+
+    let items: Vec<_> = (0..8u64)
+        .map(|i| (sample_pte_line(), PhysAddr::new(0x4000 + (i << 6))))
+        .collect();
+    let n = items.len() as f64;
+    let mut m = measure(budget, || mac.compute_batch(black_box(&items)));
+    m.median_ns /= n;
+    m.lo_ns /= n;
+    m.hi_ns /= n;
+    report(rows, "mac_compute_batch_per_line", m);
+
+    let stored = mac.compute(&line, addr);
+    report(
+        rows,
+        "mac_verify_exact",
+        measure(budget, || mac.verify(black_box(&line), addr, stored)),
+    );
+    report(
+        rows,
+        "mac_verify_soft_k4",
+        measure(budget, || {
+            mac.soft_verify(black_box(&line), addr, stored, 4)
+        }),
+    );
+
+    let key = PacKey::new([0x84be85ce9804e94b, 0xec2802d4e0a488e4]);
+    let signed = key.sign(0x7f12_3456_7890, 0x42);
+    report(
+        rows,
+        "pac_sign",
+        measure(budget, || {
+            key.sign(black_box(0x7f12_3456_7890), black_box(0x42))
+        }),
+    );
+    report(
+        rows,
+        "pac_auth",
+        measure(budget, || key.auth(black_box(signed), black_box(0x42))),
+    );
+}
+
+/// Times the MAC oracle's pair sweep serial and on a `jobs`-wide pool.
+/// Determinism means the two runs do identical work, so the ratio is a
+/// pure scaling measurement.
+fn bench_sweep(jobs: usize, fast: bool) -> Value {
+    let cfg = PtGuardConfig::default();
+    let (lines, budget) = if fast { (2, 2_000) } else { (4, 20_000) };
+    let seed = 0xbe0c_5eed;
+
+    let t = Instant::now();
+    let serial = ::oracle::macoracle::sweep(&cfg, seed, lines, budget);
+    let serial_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let pool = ThreadPool::new(jobs);
+    let t = Instant::now();
+    let parallel = ::oracle::macoracle::sweep_with_pool(&cfg, seed, lines, budget, Some(&pool));
+    let parallel_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(serial, parallel, "parallel sweep diverged from serial");
+    println!(
+        "pair_sweep ({lines} lines, {budget} pairs/line): serial {serial_ms:.1} ms, \
+         {} workers {parallel_ms:.1} ms ({:.2}x)",
+        pool.size(),
+        serial_ms / parallel_ms.max(1e-9),
+    );
+    Value::obj(vec![
+        ("lines", Value::U64(lines as u64)),
+        ("pair_budget_per_line", Value::U64(budget as u64)),
+        ("serial_ms", Value::F64(serial_ms)),
+        ("parallel_ms", Value::F64(parallel_ms)),
+        ("jobs", Value::U64(pool.size() as u64)),
+        ("speedup", Value::F64(serial_ms / parallel_ms.max(1e-9))),
+    ])
+}
+
+fn render_report(rows: &[Row], sweep: Option<Value>, fast: bool) -> Value {
+    let results = Value::Obj(
+        rows.iter()
+            .map(|r| {
+                (
+                    r.name.to_string(),
+                    Value::obj(vec![
+                        ("ns_per_op", Value::F64(r.m.median_ns)),
+                        ("lo_ns", Value::F64(r.m.lo_ns)),
+                        ("hi_ns", Value::F64(r.m.hi_ns)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
+    let baseline = Value::Obj(
+        std::iter::once((
+            "source".to_string(),
+            Value::Str(BASELINE_SOURCE.to_string()),
+        ))
+        .chain(
+            BASELINE_NS
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), Value::F64(*v))),
+        )
+        .collect(),
+    );
+    let speedup = Value::Obj(
+        rows.iter()
+            .filter_map(|r| {
+                let (_, base) = BASELINE_NS.iter().find(|(k, _)| *k == r.name)?;
+                Some((
+                    r.name.to_string(),
+                    Value::F64(base / r.m.median_ns.max(1e-9)),
+                ))
+            })
+            .collect(),
+    );
+    let mut pairs = vec![
+        ("schema", Value::Str("ptguard-bench-qarma/v1".to_string())),
+        ("fast", Value::Bool(fast)),
+        ("results", results),
+        ("baseline_pre_rewrite", baseline),
+        ("speedup_vs_baseline", speedup),
+    ];
+    if let Some(s) = sweep {
+        pairs.push(("pair_sweep", s));
+    }
+    Value::obj(pairs)
+}
+
+/// The `--check` gate: re-measure single-thread MAC compute and compare
+/// against the ns/op committed in `path`.
+fn check(path: &PathBuf) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    let committed = Value::parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
+    let committed_ns = committed
+        .get("results")
+        .and_then(|r| r.get("mac_compute"))
+        .and_then(|m| m.get("ns_per_op"))
+        .and_then(Value::as_f64)
+        .ok_or_else(|| "committed report lacks results.mac_compute.ns_per_op".to_string())?;
+
+    let mac = PteMac::from_config(&PtGuardConfig::default());
+    let line = sample_pte_line();
+    let addr = PhysAddr::new(0x4000);
+    let fresh = measure(effective_budget(), || mac.compute(black_box(&line), addr));
+    println!(
+        "check: mac_compute fresh {:.1} ns/op vs committed {committed_ns:.1} ns/op (gate 2x)",
+        fresh.median_ns
+    );
+    if fresh.median_ns > 2.0 * committed_ns {
+        return Err(format!(
+            "MAC compute regressed: {:.1} ns/op > 2x committed {committed_ns:.1} ns/op",
+            fresh.median_ns
+        ));
+    }
+    Ok(())
+}
+
+fn run(mut args: Vec<String>) -> Result<(), String> {
+    let out = take_flag(&mut args, "--out")?
+        .map_or_else(|| PathBuf::from("BENCH_qarma.json"), PathBuf::from);
+    let fast = take_switch(&mut args, "--fast");
+    if fast {
+        std::env::set_var("PTGUARD_BENCH_FAST", "1");
+    }
+    let fast = fast || std::env::var_os("PTGUARD_BENCH_FAST").is_some();
+    let jobs = match take_flag(&mut args, "--jobs")? {
+        Some(s) => s.parse().map_err(|_| format!("bad --jobs: {s}"))?,
+        None => 0,
+    };
+    let check_path = take_flag(&mut args, "--check")?.map(PathBuf::from);
+
+    if let Some(path) = check_path {
+        if !args.is_empty() {
+            return Err(format!("unexpected argument: {}", args[0]));
+        }
+        return check(&path);
+    }
+
+    let what = match args.len() {
+        0 => "all".to_string(),
+        1 => args.remove(0),
+        _ => return Err(format!("unexpected argument: {}", args[1])),
+    };
+    let mut rows = Vec::new();
+    let mut sweep = None;
+    match what.as_str() {
+        "qarma" => bench_qarma(&mut rows),
+        "mac" => {
+            bench_mac(&mut rows);
+            sweep = Some(bench_sweep(jobs, fast));
+        }
+        "all" => {
+            bench_qarma(&mut rows);
+            bench_mac(&mut rows);
+            sweep = Some(bench_sweep(jobs, fast));
+        }
+        other => return Err(format!("unknown target: {other}")),
+    }
+
+    let report = render_report(&rows, sweep, fast);
+    std::fs::write(&out, report.render_pretty())
+        .map_err(|e| format!("write {}: {e}", out.display()))?;
+    println!("wrote {}", out.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        return usage();
+    }
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

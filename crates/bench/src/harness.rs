@@ -30,6 +30,68 @@ pub const SAMPLE_BUDGET: Duration = Duration::from_millis(25);
 /// Samples per benchmark; the median is reported.
 pub const SAMPLES: usize = 7;
 
+/// One calibrated measurement: the median, fastest, and slowest sample in
+/// ns/iter, plus the calibrated iteration count per sample.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Median ns per iteration over [`SAMPLES`] samples.
+    pub median_ns: f64,
+    /// Fastest sample, ns per iteration.
+    pub lo_ns: f64,
+    /// Slowest sample, ns per iteration.
+    pub hi_ns: f64,
+    /// Iterations per timed sample after calibration.
+    pub iters_per_sample: u64,
+}
+
+/// Calibrates `f` to the budget and times it: the reusable core of
+/// [`Bench::bench`], exposed so the `bench` binary can capture numbers
+/// instead of only printing them.
+pub fn measure<R>(budget: Duration, mut f: impl FnMut() -> R) -> Measurement {
+    // Calibration: double the iteration count until a batch exceeds 1% of
+    // the budget, then scale up to fill it.
+    let mut iters: u64 = 1;
+    let per_iter = loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = t.elapsed();
+        if elapsed >= budget / 100 || iters >= 1 << 30 {
+            break elapsed.as_secs_f64() / iters as f64;
+        }
+        iters *= 2;
+    };
+    let per_sample = ((budget.as_secs_f64() / per_iter.max(1e-12)) as u64).clamp(1, 1 << 32);
+
+    let mut samples = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        for _ in 0..per_sample {
+            black_box(f());
+        }
+        samples.push(t.elapsed().as_secs_f64() / per_sample as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    Measurement {
+        median_ns: samples[SAMPLES / 2] * 1e9,
+        lo_ns: samples[0] * 1e9,
+        hi_ns: samples[SAMPLES - 1] * 1e9,
+        iters_per_sample: per_sample,
+    }
+}
+
+/// The per-sample budget currently in effect (`PTGUARD_BENCH_FAST` shrinks
+/// it ~10×).
+#[must_use]
+pub fn effective_budget() -> Duration {
+    if std::env::var_os("PTGUARD_BENCH_FAST").is_some() {
+        SAMPLE_BUDGET / 10
+    } else {
+        SAMPLE_BUDGET
+    }
+}
+
 /// A named group of benchmarks, mirroring Criterion's `benchmark_group`.
 pub struct Bench {
     group: String,
@@ -58,41 +120,15 @@ impl Bench {
     ///
     /// The closure's return value is passed through [`black_box`], so
     /// benchmarks need not black-box their own results.
-    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
-        // Calibration: double the iteration count until a batch exceeds 1%
-        // of the budget, then scale up to fill it.
-        let mut iters: u64 = 1;
-        let per_iter = loop {
-            let t = Instant::now();
-            for _ in 0..iters {
-                black_box(f());
-            }
-            let elapsed = t.elapsed();
-            if elapsed >= self.budget / 100 || iters >= 1 << 30 {
-                break elapsed.as_secs_f64() / iters as f64;
-            }
-            iters *= 2;
-        };
-        let per_sample =
-            ((self.budget.as_secs_f64() / per_iter.max(1e-12)) as u64).clamp(1, 1 << 32);
-
-        let mut samples = Vec::with_capacity(SAMPLES);
-        for _ in 0..SAMPLES {
-            let t = Instant::now();
-            for _ in 0..per_sample {
-                black_box(f());
-            }
-            samples.push(t.elapsed().as_secs_f64() / per_sample as f64);
-        }
-        samples.sort_by(f64::total_cmp);
-        let median = samples[SAMPLES / 2];
-        let (lo, hi) = (samples[0], samples[SAMPLES - 1]);
+    pub fn bench<R>(&mut self, name: &str, f: impl FnMut() -> R) {
+        let m = measure(self.budget, f);
         println!(
             "{group}/{name:<40} {median:>12.1} ns/iter  [{lo:.1} .. {hi:.1}]  ({per_sample} iters/sample)",
             group = self.group,
-            median = median * 1e9,
-            lo = lo * 1e9,
-            hi = hi * 1e9,
+            median = m.median_ns,
+            lo = m.lo_ns,
+            hi = m.hi_ns,
+            per_sample = m.iters_per_sample,
         );
     }
 

@@ -252,7 +252,7 @@ fn cmd_artefacts(name: &str, mut args: Vec<String>, scale: Scale) -> Result<(), 
         return Err(format!("unexpected argument: {stray}"));
     }
     let names = artefact_list(name);
-    let plan = orchestrate::plan_artefacts(&names, scale, flags.seed)?;
+    let plan = orchestrate::plan_artefacts(&names, scale, flags.seed, flags.jobs)?;
     let label = format!("exp {name} --{} (seed {})", scale.name(), flags.seed);
     execute(plan, &flags, scale, label)
 }
@@ -264,7 +264,7 @@ fn cmd_sweep(mut args: Vec<String>, scale: Scale) -> Result<(), String> {
         return Err("sweep needs exactly one artefact name (or `all`)".to_string());
     };
     let names = artefact_list(name);
-    let plan = orchestrate::plan_sweep(&names, scale, &seeds)?;
+    let plan = orchestrate::plan_sweep(&names, scale, &seeds, flags.jobs)?;
     let label = format!("exp sweep {name} --{} (seeds {seeds:?})", scale.name());
     execute(plan, &flags, scale, label)
 }

@@ -17,8 +17,9 @@
 
 use ::oracle::campaign::{self, CampaignConfig, CampaignResult};
 use ::oracle::diff::{diff_cache, diff_mmu, diff_tlb, diff_walker, Divergence};
-use ::oracle::macoracle::{sweep, MacSweepReport};
+use ::oracle::macoracle::{sweep_with_pool, MacSweepReport};
 use memsys::config::CacheConfig;
+use orchestrator::pool::ThreadPool;
 
 use crate::{salted, Scale};
 
@@ -114,10 +115,25 @@ fn diff_cache_cfg() -> CacheConfig {
 }
 
 /// Runs the oracle at `scale` with the sweep `seed` (0 = the historical
-/// single-seed output).
+/// single-seed output), serially.
 #[must_use]
 pub fn run_with_seed(scale: Scale, seed: u64) -> OracleResult {
+    run_with_seed_jobs(scale, seed, 1)
+}
+
+/// Runs the oracle at `scale` with the sweep `seed`, fanning the MAC pair
+/// sweep and the fault campaign across `jobs` workers (`0` = every core).
+/// The worker count never leaks into results: per-unit seeds are derived
+/// by index and worker output is merged in index order, so any `jobs`
+/// value renders byte-identically.
+#[must_use]
+pub fn run_with_seed_jobs(scale: Scale, seed: u64, jobs: usize) -> OracleResult {
     let k = knobs(scale, seed);
+    let pool = if jobs == 1 {
+        None
+    } else {
+        Some(ThreadPool::new(jobs))
+    };
     let mut divergences = Vec::new();
     let mut diff_runs = 0u64;
     let mut diff_ops = 0u64;
@@ -132,13 +148,14 @@ pub fn run_with_seed(scale: Scale, seed: u64) -> OracleResult {
         divergences.extend(diff_walker(s, k.walk_mappings, k.walk_probes));
     }
 
-    let mac = sweep(
+    let mac = sweep_with_pool(
         &ptguard::PtGuardConfig::default(),
         salted(0x006d_6163, seed),
         k.mac_lines,
         k.mac_pair_budget,
+        pool.as_ref(),
     );
-    let campaign = campaign::run(&k.campaign);
+    let campaign = campaign::run_with_pool(&k.campaign, pool.as_ref());
 
     OracleResult {
         diff_runs,
@@ -226,5 +243,18 @@ mod tests {
     fn seeds_change_the_campaign_stream() {
         let a = run_with_seed(Scale::Trial, 1);
         assert!(a.clean(), "{}", render(&a));
+    }
+
+    #[test]
+    fn parallel_oracle_renders_byte_identically_to_serial() {
+        let serial = run_with_seed(Scale::Trial, 0);
+        for jobs in [2, 8] {
+            let par = run_with_seed_jobs(Scale::Trial, 0, jobs);
+            assert_eq!(
+                render(&serial),
+                render(&par),
+                "jobs={jobs} changed the oracle output"
+            );
+        }
     }
 }

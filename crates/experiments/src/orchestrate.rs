@@ -91,15 +91,33 @@ fn mu(metrics: &mut Vec<(String, f64)>, name: impl Into<String>, v: u64) {
     metrics.push((name.into(), v as f64));
 }
 
-/// Runs one artefact and packages its rendered text, numeric metrics, and
-/// deterministic simulated-op count. Seed 0 reproduces the historical
-/// single-seed output byte for byte.
+/// Runs one artefact serially and packages its rendered text, numeric
+/// metrics, and deterministic simulated-op count. Seed 0 reproduces the
+/// historical single-seed output byte for byte.
+///
+/// # Errors
+///
+/// Returns `Err` for an unknown artefact name.
+pub fn run_artefact(name: &str, scale: Scale, seed: u64) -> Result<JobOutput, String> {
+    run_artefact_jobs(name, scale, seed, 1)
+}
+
+/// [`run_artefact`] with an inner worker count for artefacts that fan out
+/// internally (currently only `oracle`, whose MAC pair sweep and fault
+/// campaign shard across a dedicated pool). `jobs` never enters the cache
+/// key: every worker count produces byte-identical output, so a cached
+/// serial result is a valid answer for a parallel request and vice versa.
 ///
 /// # Errors
 ///
 /// Returns `Err` for an unknown artefact name.
 #[allow(clippy::too_many_lines)]
-pub fn run_artefact(name: &str, scale: Scale, seed: u64) -> Result<JobOutput, String> {
+pub fn run_artefact_jobs(
+    name: &str,
+    scale: Scale,
+    seed: u64,
+    jobs: usize,
+) -> Result<JobOutput, String> {
     let instrs = scale.instructions();
     let mut metrics = Vec::new();
     let out = match name {
@@ -318,7 +336,7 @@ pub fn run_artefact(name: &str, scale: Scale, seed: u64) -> Result<JobOutput, St
             }
         }
         "oracle" => {
-            let r = oracle::run_with_seed(scale, seed);
+            let r = oracle::run_with_seed_jobs(scale, seed, jobs);
             // A divergence is a *simulator bug*: fail the job loudly, with
             // the shrunk reproducer saved for offline replay.
             if !r.clean() {
@@ -394,12 +412,14 @@ fn key_material(name: &str, scale: Scale, seed: u64) -> Vec<String> {
     ]
 }
 
-fn artefact_spec(name: &str, scale: Scale, seed: u64) -> JobSpec {
+fn artefact_spec(name: &str, scale: Scale, seed: u64, jobs: usize) -> JobSpec {
     let owned = name.to_string();
+    // `jobs` deliberately stays out of the key material: worker count never
+    // changes artefact bytes, so cached results are shareable across it.
     JobSpec::new(
         format!("{name}@{}#{seed}", scale.name()),
         key_material(name, scale, seed),
-        move |_deps| run_artefact(&owned, scale, seed),
+        move |_deps| run_artefact_jobs(&owned, scale, seed, jobs),
     )
 }
 
@@ -412,12 +432,19 @@ fn validate(names: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Plans a plain run: one independent job per artefact.
+/// Plans a plain run: one independent job per artefact. `jobs` is the
+/// inner worker count handed to artefacts that fan out internally
+/// (`0` = every core); it does not affect the cache key or output bytes.
 ///
 /// # Errors
 ///
 /// Returns `Err` for an unknown artefact name.
-pub fn plan_artefacts(names: &[String], scale: Scale, seed: u64) -> Result<Plan, String> {
+pub fn plan_artefacts(
+    names: &[String],
+    scale: Scale,
+    seed: u64,
+    jobs: usize,
+) -> Result<Plan, String> {
     validate(names)?;
     let mut specs = Vec::new();
     let mut sections = Vec::new();
@@ -428,7 +455,7 @@ pub fn plan_artefacts(names: &[String], scale: Scale, seed: u64) -> Result<Plan,
             seed: Some(seed),
             job: specs.len(),
         });
-        specs.push(artefact_spec(name, scale, seed));
+        specs.push(artefact_spec(name, scale, seed, jobs));
     }
     Ok(Plan { specs, sections })
 }
@@ -439,7 +466,12 @@ pub fn plan_artefacts(names: &[String], scale: Scale, seed: u64) -> Result<Plan,
 /// # Errors
 ///
 /// Returns `Err` for an unknown artefact name or an empty seed list.
-pub fn plan_sweep(names: &[String], scale: Scale, seeds: &[u64]) -> Result<Plan, String> {
+pub fn plan_sweep(
+    names: &[String],
+    scale: Scale,
+    seeds: &[u64],
+    jobs: usize,
+) -> Result<Plan, String> {
     validate(names)?;
     if seeds.is_empty() {
         return Err("sweep needs at least one seed".to_string());
@@ -450,7 +482,7 @@ pub fn plan_sweep(names: &[String], scale: Scale, seeds: &[u64]) -> Result<Plan,
         let deps: Vec<usize> = seeds
             .iter()
             .map(|&seed| {
-                specs.push(artefact_spec(name, scale, seed));
+                specs.push(artefact_spec(name, scale, seed, jobs));
                 specs.len() - 1
             })
             .collect();
@@ -591,7 +623,7 @@ mod tests {
 
     #[test]
     fn sweep_plan_has_aggregate_after_per_seed_jobs() {
-        let plan = plan_sweep(&["priorwork".to_string()], Scale::Trial, &[1, 2, 3]).unwrap();
+        let plan = plan_sweep(&["priorwork".to_string()], Scale::Trial, &[1, 2, 3], 1).unwrap();
         assert_eq!(plan.specs.len(), 4);
         assert_eq!(plan.specs[3].deps, vec![0, 1, 2]);
         assert_eq!(plan.sections.len(), 1);
@@ -600,7 +632,7 @@ mod tests {
 
     #[test]
     fn unknown_artefact_is_rejected() {
-        assert!(plan_artefacts(&["nope".to_string()], Scale::Trial, 0).is_err());
+        assert!(plan_artefacts(&["nope".to_string()], Scale::Trial, 0, 1).is_err());
         assert!(run_artefact("nope", Scale::Trial, 0).is_err());
     }
 }

@@ -49,7 +49,7 @@ fn stdout_of(report: &RunReport) -> String {
 #[test]
 fn stdout_is_byte_identical_across_worker_counts() {
     let serial = run_dag(
-        plan_artefacts(&subset(), Scale::Trial, 0).unwrap().specs,
+        plan_artefacts(&subset(), Scale::Trial, 0, 1).unwrap().specs,
         RunOptions {
             jobs: 1,
             ..RunOptions::default()
@@ -57,7 +57,7 @@ fn stdout_is_byte_identical_across_worker_counts() {
     );
     assert!(serial.error.is_none());
     let parallel = run_dag(
-        plan_artefacts(&subset(), Scale::Trial, 0).unwrap().specs,
+        plan_artefacts(&subset(), Scale::Trial, 0, 1).unwrap().specs,
         RunOptions {
             jobs: 4,
             ..RunOptions::default()
@@ -79,14 +79,14 @@ fn warm_cache_rerun_executes_nothing_and_matches() {
     };
 
     let cold = run_dag(
-        plan_artefacts(&subset(), Scale::Trial, 0).unwrap().specs,
+        plan_artefacts(&subset(), Scale::Trial, 0, 1).unwrap().specs,
         opts(2),
     );
     assert!(cold.error.is_none());
     assert_eq!(cold.executed, 3);
 
     let warm = run_dag(
-        plan_artefacts(&subset(), Scale::Trial, 0).unwrap().specs,
+        plan_artefacts(&subset(), Scale::Trial, 0, 1).unwrap().specs,
         opts(4),
     );
     assert!(warm.error.is_none());
@@ -100,7 +100,7 @@ fn sweep_aggregate_is_deterministic_and_jobs_independent() {
     let names = vec!["priorwork".to_string(), "coverage".to_string()];
     let seeds = [1u64, 2, 3];
     let serial = run_dag(
-        plan_sweep(&names, Scale::Trial, &seeds).unwrap().specs,
+        plan_sweep(&names, Scale::Trial, &seeds, 1).unwrap().specs,
         RunOptions {
             jobs: 1,
             ..RunOptions::default()
@@ -108,7 +108,7 @@ fn sweep_aggregate_is_deterministic_and_jobs_independent() {
     );
     assert!(serial.error.is_none());
     let parallel = run_dag(
-        plan_sweep(&names, Scale::Trial, &seeds).unwrap().specs,
+        plan_sweep(&names, Scale::Trial, &seeds, 1).unwrap().specs,
         RunOptions {
             jobs: 4,
             ..RunOptions::default()
@@ -121,7 +121,7 @@ fn sweep_aggregate_is_deterministic_and_jobs_independent() {
 
     // The aggregate rows genuinely reflect seed spread: the stochastic
     // monotonic-pointer rate must have non-zero stdev across seeds.
-    let plan = plan_sweep(&names, Scale::Trial, &seeds).unwrap();
+    let plan = plan_sweep(&names, Scale::Trial, &seeds, 1).unwrap();
     let agg_idx = plan.sections[0].job;
     let agg = serial.outputs[agg_idx].as_ref().unwrap();
     let sd = agg

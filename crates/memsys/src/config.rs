@@ -112,10 +112,44 @@ impl MemSysConfig {
         }
     }
 
-    /// Converts nanoseconds to core cycles.
+    /// Converts nanoseconds to core cycles through the fixed-point clock
+    /// (single rounding point; see [`clock`]).
     #[must_use]
     pub fn ns_to_cycles(&self, ns: f64) -> u64 {
-        (ns * self.core_ghz).round() as u64
+        clock::ps_to_cycles(clock::ns_to_ps(ns), clock::ghz_to_khz(self.core_ghz))
+    }
+}
+
+/// Integer fixed-point clock conversion.
+///
+/// DRAM timing parameters are quoted in (fractional) nanoseconds while the
+/// core runs in cycles. Converting each latency contribution separately with
+/// `f64::round` accumulates up to half a cycle of drift *per contribution*
+/// and makes totals depend on how the work happened to be split. Instead,
+/// latencies are accumulated in integer picoseconds (`u128`, immune to
+/// overflow for any simulated duration) and converted to cycles at a single
+/// rounding point.
+pub mod clock {
+    /// Converts a core clock in GHz (profile input) to integer kHz once.
+    #[must_use]
+    pub fn ghz_to_khz(ghz: f64) -> u64 {
+        (ghz * 1e6).round() as u64
+    }
+
+    /// Converts a (fractional) nanosecond figure to integer picoseconds.
+    /// DRAM timing parameters have at most 3 decimal digits, so this is
+    /// exact for every profile value.
+    #[must_use]
+    pub fn ns_to_ps(ns: f64) -> u128 {
+        (ns * 1e3).round() as u128
+    }
+
+    /// Converts accumulated picoseconds to core cycles, rounding to nearest
+    /// (the single rounding point).
+    #[must_use]
+    pub fn ps_to_cycles(ps: u128, khz: u64) -> u64 {
+        let cycles = (ps * u128::from(khz) + 500_000_000) / 1_000_000_000;
+        u64::try_from(cycles).expect("cycle count overflows u64")
     }
 }
 

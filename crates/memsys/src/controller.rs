@@ -8,6 +8,7 @@ use ptguard::engine::ReadVerdict;
 use ptguard::line::Line;
 use ptguard::PtGuardEngine;
 
+use crate::config::clock;
 use crate::fullmac::FullMemoryMac;
 
 /// Controller statistics.
@@ -50,7 +51,9 @@ pub struct MemoryController {
     device: DramDevice,
     engine: Option<PtGuardEngine>,
     full_mac: Option<FullMemoryMac>,
-    core_ghz: f64,
+    /// Core clock in integer kHz — the float GHz profile figure is rounded
+    /// exactly once, at construction (see [`clock`]).
+    core_khz: u64,
     stats: ControllerStats,
 }
 
@@ -62,7 +65,7 @@ impl MemoryController {
             device,
             engine,
             full_mac: None,
-            core_ghz,
+            core_khz: clock::ghz_to_khz(core_ghz),
             stats: ControllerStats::default(),
         }
     }
@@ -78,7 +81,7 @@ impl MemoryController {
             device,
             engine: None,
             full_mac: Some(fm),
-            core_ghz,
+            core_khz: clock::ghz_to_khz(core_ghz),
             stats: ControllerStats::default(),
         }
     }
@@ -90,21 +93,24 @@ impl MemoryController {
     }
 
     /// Serves a line read. `is_pte` is the request-bus walk tag.
+    ///
+    /// DRAM time is accumulated in integer picoseconds and converted to
+    /// cycles once; MAC work is native to the cycle domain and added after
+    /// that conversion. `stats.mac_cycles_added` is accumulated at a single
+    /// point from the same `mac_cycles` the returned [`DramRead`] carries,
+    /// so the stat equals the sum of per-read `mac_cycles` in every mode.
     pub fn read_line(&mut self, addr: PhysAddr, is_pte: bool) -> DramRead {
         self.stats.reads += 1;
         if is_pte {
             self.stats.pte_reads += 1;
         }
-        let dram_ns = self.device.access(addr, false);
+        let mut dram_ps = clock::ns_to_ps(self.device.access(addr, false));
         let raw = Line::from_bytes(&self.device.read_line(addr));
-        let mut latency = (dram_ns * self.core_ghz).round() as u64;
         let mut mac_cycles = 0u64;
-        let (line, verdict) = match &mut self.engine {
+        let (mut line, mut verdict) = match &mut self.engine {
             Some(engine) => {
                 let out = engine.process_read(raw, addr, is_pte);
-                latency += u64::from(out.added_latency_cycles);
                 mac_cycles += u64::from(out.added_latency_cycles);
-                self.stats.mac_cycles_added += u64::from(out.added_latency_cycles);
                 (out.line, out.verdict)
             }
             None => (raw, ReadVerdict::Forwarded),
@@ -116,13 +122,12 @@ impl MemoryController {
                 let slot = fm.slot_addr(addr);
                 let hit = fm.cache_access(slot);
                 if !hit {
-                    let extra_ns = self.device.access(slot, false);
-                    latency += (extra_ns * self.core_ghz).round() as u64;
+                    dram_ps += clock::ns_to_ps(self.device.access(slot, false));
                 }
-                // MAC computation latency, same 10 cycles as PT-Guard's.
-                latency += 10;
+                // MAC computation latency, same 10 cycles as PT-Guard's,
+                // charged on hits and misses alike — the cache saves only
+                // the table fetch, never the check itself.
                 mac_cycles += 10;
-                self.stats.mac_cycles_added += 10;
                 let stored = self.device.read_u64(slot);
                 let computed = fm.line_mac(&raw, addr);
                 let ok = if stored == 0 {
@@ -134,22 +139,18 @@ impl MemoryController {
                 };
                 fm.note_read(hit, ok);
                 if !ok {
-                    self.stats.check_failures += 1;
-                    return DramRead {
-                        line: raw,
-                        latency_cycles: latency,
-                        mac_cycles,
-                        verdict: ReadVerdict::CheckFailed,
-                    };
+                    line = raw;
+                    verdict = ReadVerdict::CheckFailed;
                 }
             }
         }
         if verdict == ReadVerdict::CheckFailed {
             self.stats.check_failures += 1;
         }
+        self.stats.mac_cycles_added += mac_cycles;
         DramRead {
             line,
-            latency_cycles: latency,
+            latency_cycles: clock::ps_to_cycles(dram_ps, self.core_khz) + mac_cycles,
             mac_cycles,
             verdict,
         }
@@ -296,6 +297,54 @@ mod tests {
             mac_total as f64 > 1.5 * plain_total as f64,
             "expected ~2x latency from MAC-table fetches: {mac_total} vs {plain_total}"
         );
+    }
+
+    #[test]
+    fn mac_cycle_stat_reconciles_with_per_read_cycles() {
+        // `stats.mac_cycles_added` must equal the sum of per-read
+        // `mac_cycles` under PT-Guard and under full-memory MAC — including
+        // failing reads, and with MAC-cache hits not double-counted.
+        let mut guarded = controller(true);
+        let mut total = 0u64;
+        for i in 0..32u64 {
+            let addr = PhysAddr::new(0x1_0000 + i * 64);
+            guarded.write_line(addr, pte_line());
+            total += guarded.read_line(addr, true).mac_cycles;
+            total += guarded.read_line(addr, false).mac_cycles;
+        }
+        // A tampered read still charges its MAC work.
+        let addr = PhysAddr::new(0x1_0000);
+        let mut raw = Line::from_bytes(&guarded.device().read_line(addr));
+        raw.set_word(0, raw.word(0) ^ (1 << 14));
+        raw.set_word(1, raw.word(1) ^ (1 << 17));
+        raw.set_word(3, raw.word(3) ^ (1 << 20));
+        let bytes = raw.to_bytes();
+        guarded.device_mut().write_line(addr, &bytes);
+        let r = guarded.read_line(addr, true);
+        assert_eq!(r.verdict, ReadVerdict::CheckFailed);
+        total += r.mac_cycles;
+        assert_eq!(guarded.stats().mac_cycles_added, total);
+
+        let device = DramDevice::ddr4_4gb(RowhammerConfig::immune());
+        let mut fm = MemoryController::with_full_memory_mac(device, 3.0);
+        let mut total = 0u64;
+        for i in 0..32u64 {
+            let addr = PhysAddr::new(0x5_0000 + i * 64);
+            fm.write_line(addr, pte_line());
+            // Second read is a MAC-cache hit: still 10 cycles of MAC
+            // computation, no second accumulation path.
+            total += fm.read_line(addr, false).mac_cycles;
+            total += fm.read_line(addr, false).mac_cycles;
+        }
+        // Tamper so the full-MAC check fails; the failing read must also
+        // land in the stat exactly once.
+        let addr = PhysAddr::new(0x5_0000);
+        let word = fm.device().read_u64(addr);
+        fm.device_mut().write_u64(addr, word ^ (1 << 7));
+        let r = fm.read_line(addr, false);
+        assert_eq!(r.verdict, ReadVerdict::CheckFailed);
+        total += r.mac_cycles;
+        assert_eq!(fm.stats().mac_cycles_added, total);
     }
 
     #[test]

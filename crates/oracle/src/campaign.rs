@@ -21,6 +21,7 @@ use dram::{DramDevice, RowhammerConfig};
 use memsys::config::MemSysConfig;
 use memsys::controller::MemoryController;
 use memsys::system::{AccessOutcome, MemorySystem, OsPort};
+use orchestrator::pool::ThreadPool;
 use pagetable::addr::{Frame, PhysAddr, VirtAddr};
 use pagetable::memory::PhysMem;
 use pagetable::space::AddressSpace;
@@ -55,7 +56,7 @@ pub fn step_index(step: CorrectionStep) -> usize {
 }
 
 /// Aggregate campaign outcome.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CampaignResult {
     /// Benign loads performed.
     pub benign_loads: u64,
@@ -96,6 +97,28 @@ impl CampaignResult {
     fn violation(&mut self, msg: String) {
         if self.violations.len() < 32 {
             self.violations.push(msg);
+        }
+    }
+
+    /// Sums `other` into `self`. Per-chunk results are merged **in trial
+    /// order**, so a parallel campaign is byte-identical to the serial one
+    /// (violation messages carry absolute trial indices and keep their
+    /// serial order; the 32-entry cap applies to the merged list).
+    fn merge(&mut self, other: &CampaignResult) {
+        self.benign_loads += other.benign_loads;
+        self.false_positives += other.false_positives;
+        self.injected += other.injected;
+        self.corrected_ok += other.corrected_ok;
+        self.detected += other.detected;
+        self.page_faults += other.page_faults;
+        self.silent_corruptions += other.silent_corruptions;
+        for (a, b) in self.step_counts.iter_mut().zip(&other.step_counts) {
+            *a += b;
+        }
+        self.uncorrectable += other.uncorrectable;
+        self.max_guesses = self.max_guesses.max(other.max_guesses);
+        for v in &other.violations {
+            self.violation(v.clone());
         }
     }
 }
@@ -282,18 +305,44 @@ fn plan_flips(class: FaultClass, probe_word: usize, rng: &mut SplitMix64, mask: 
     }
 }
 
-/// Runs the campaign.
+/// Targeted rounds per worker chunk (each chunk builds a fresh [`Rig`]).
+const TARGETED_CHUNK_ROUNDS: usize = 2;
+
+/// Stochastic trials per worker chunk.
+const STOCHASTIC_CHUNK: usize = 16;
+
+/// Derives the seed of one trial from the campaign salt. Every trial owns
+/// an independent RNG stream derived *by index*, so trials can run on any
+/// worker in any order and still draw identical randomness.
+fn trial_seed(salt: u64, phase: u64, idx: u64) -> u64 {
+    SplitMix64::new(salt ^ (phase << 56) ^ idx).next_u64()
+}
+
+/// Runs the campaign serially. See [`run_with_pool`].
 #[must_use]
 pub fn run(cfg: &CampaignConfig) -> CampaignResult {
-    let mut rng = SplitMix64::new(cfg.seed ^ 0x6361_6d70_6169_676e);
-    let mut rig = build_rig();
+    run_with_pool(cfg, None)
+}
+
+/// Runs the campaign, optionally fanning the targeted and stochastic
+/// phases out over `pool`. Trials are grouped into fixed-size chunks (each
+/// with its own freshly built [`Rig`] — trials are rig-independent because
+/// every injection starts from [`Rig::reset`]); chunk results are merged in
+/// trial order, so the result is **byte-identical for any worker count**.
+#[must_use]
+pub fn run_with_pool(cfg: &CampaignConfig, pool: Option<&ThreadPool>) -> CampaignResult {
+    let salt = cfg.seed ^ 0x6361_6d70_6169_676e;
     let mut result = CampaignResult::default();
+
+    // Phase 1: benign traffic — zero false positives (Section VI-B).
+    // Serial on its own rig: the phase asserts a property of *sustained*
+    // traffic through one memory system, so it does not chunk.
+    let mut rig = build_rig();
     let protected_mask = {
         let engine = rig.sys.controller.engine().expect("guarded rig");
         engine.mac_unit().protected_mask()
     };
-
-    // Phase 1: benign traffic — zero false positives (Section VI-B).
+    let mut rng = SplitMix64::new(trial_seed(salt, 1, 0));
     for _ in 0..cfg.benign_loads {
         let page = rng.gen_range_u64(0, rig.pages);
         let va = VirtAddr::new(rig.base + page * 4096);
@@ -311,95 +360,195 @@ pub fn run(cfg: &CampaignConfig) -> CampaignResult {
             benign_stats.integrity_faults
         ));
     }
+    let mut total_faults = benign_stats.integrity_faults;
+    drop(rig);
 
     // Phase 2: targeted classes, each aimed at one correction strategy.
-    for round in 0..cfg.trials_per_class {
-        for &class in &CLASSES {
-            let use_partial = class == FaultClass::ZeroEntry;
-            let probe_word = if use_partial {
-                rig.partial.word
-            } else {
-                rig.full.word
-            };
-            let flips = plan_flips(class, probe_word, &mut rng, protected_mask);
-            let expect_step = match class {
-                FaultClass::MacSoft => Some(CorrectionStep::SoftMatch),
-                FaultClass::OneBit => Some(CorrectionStep::FlipAndCheck),
-                FaultClass::ZeroEntry => Some(CorrectionStep::ZeroReset),
-                FaultClass::FlagMinority => Some(CorrectionStep::MajorityAndContiguity),
-                FaultClass::MacWrecked => None,
-            };
-            let (outcome, tlb_frame) = inject_and_load(&mut rig, use_partial, &flips);
-            result.injected += 1;
-
-            let probe = if use_partial { &rig.partial } else { &rig.full };
-            match (expect_step, &outcome) {
-                (Some(_), AccessOutcome::Ok { .. }) => {
-                    result.corrected_ok += 1;
-                    if tlb_frame != Some(probe.frame) {
-                        result.silent_corruptions += 1;
-                        result.violation(format!(
-                            "{class:?} round {round}: corrected load translated to \
-                             {tlb_frame:?}, expected {:?}",
-                            probe.frame
-                        ));
-                    }
-                }
-                (None, AccessOutcome::PteCheckFailed { level: 0, .. }) => {
-                    result.detected += 1;
-                }
-                (_, other) => {
-                    result.violation(format!(
-                        "{class:?} round {round} (flips {flips:?}): unexpected outcome {other:?}"
-                    ));
-                }
-            }
-
-            // Unit-level probe of the corrector on the exact injected line:
-            // records the step distribution and the guess spend.
-            let mut bytes = probe.pristine;
-            flip_bits_exact(&mut bytes, &flips);
-            let engine = rig.sys.controller.engine().expect("guarded rig");
-            let k = engine.config().soft_match_k;
-            let zr = engine.config().zero_reset_bits;
-            let corrector = Corrector::new(engine.mac_unit(), k, zr);
-            match corrector.correct(&Line::from_bytes(&bytes), probe.line_addr) {
-                CorrectionOutcome::Corrected(c) => {
-                    result.step_counts[step_index(c.step)] += 1;
-                    result.max_guesses = result.max_guesses.max(c.guesses);
-                    match expect_step {
-                        Some(step) if step == c.step => {}
-                        Some(step) => result.violation(format!(
-                            "{class:?} round {round}: corrected via {:?}, expected {step:?}",
-                            c.step
-                        )),
-                        None => result.violation(format!(
-                            "{class:?} round {round}: corrected a fault crafted to be \
-                             uncorrectable"
-                        )),
-                    }
-                }
-                CorrectionOutcome::Uncorrectable { guesses } => {
-                    result.uncorrectable += 1;
-                    result.max_guesses = result.max_guesses.max(guesses);
-                    if expect_step.is_some() {
-                        result.violation(format!(
-                            "{class:?} round {round} (flips {flips:?}): uncorrectable"
-                        ));
-                    }
-                }
-            }
-        }
+    let rounds = cfg.trials_per_class;
+    let n_chunks = rounds.div_ceil(TARGETED_CHUNK_ROUNDS);
+    let targeted = move |c: usize| {
+        let lo = c * TARGETED_CHUNK_ROUNDS;
+        let hi = rounds.min(lo + TARGETED_CHUNK_ROUNDS);
+        run_targeted_rounds(salt, lo..hi, protected_mask)
+    };
+    for (part, faults) in run_chunks(pool, n_chunks, targeted) {
+        result.merge(&part);
+        total_faults += faults;
     }
 
     // Phase 3: stochastic uniform flips at the paper's Rowhammer rates
     // (Table: 1/128 LPDDR4, 1/512 DDR4), full 64-byte line exposure.
-    for trial in 0..cfg.stochastic_trials {
+    let trials = cfg.stochastic_trials;
+    let n_chunks = trials.div_ceil(STOCHASTIC_CHUNK);
+    let stochastic = move |c: usize| {
+        let lo = c * STOCHASTIC_CHUNK;
+        let hi = trials.min(lo + STOCHASTIC_CHUNK);
+        run_stochastic_trials(salt, lo..hi)
+    };
+    for (part, faults) in run_chunks(pool, n_chunks, stochastic) {
+        result.merge(&part);
+        total_faults += faults;
+    }
+
+    if result.max_guesses > G_MAX {
+        result.violation(format!(
+            "correction spent {} guesses, budget is {}",
+            result.max_guesses,
+            guess_budget(protected_mask.count_ones())
+        ));
+    }
+    // Every detected fault must have been accounted as an integrity fault
+    // by exactly one rig.
+    if total_faults != result.false_positives + result.detected {
+        result.violation(format!(
+            "integrity-fault accounting skewed: {} raised, {} detected",
+            total_faults, result.detected
+        ));
+    }
+    result
+}
+
+/// Runs `n` chunk closures — on `pool` when one is supplied (and useful),
+/// serially otherwise — returning the per-chunk results in chunk order.
+fn run_chunks<F>(pool: Option<&ThreadPool>, n: usize, f: F) -> Vec<(CampaignResult, u64)>
+where
+    F: Fn(usize) -> (CampaignResult, u64) + Send + Sync + 'static,
+{
+    match pool {
+        Some(pool) if pool.size() > 1 && n > 1 => pool.map_indexed(n, f),
+        _ => (0..n).map(f).collect(),
+    }
+}
+
+/// Runs targeted rounds `rounds` on a fresh rig. Returns the partial
+/// result plus the rig's integrity-fault count (for the campaign-wide
+/// accounting check).
+fn run_targeted_rounds(
+    salt: u64,
+    rounds: std::ops::Range<usize>,
+    protected_mask: u64,
+) -> (CampaignResult, u64) {
+    let mut rig = build_rig();
+    let base_faults = rig.sys.stats().integrity_faults;
+    let mut result = CampaignResult::default();
+    for round in rounds {
+        for (ci, &class) in CLASSES.iter().enumerate() {
+            let idx = (round * CLASSES.len() + ci) as u64;
+            let mut rng = SplitMix64::new(trial_seed(salt, 2, idx));
+            run_targeted_trial(
+                &mut rig,
+                round,
+                class,
+                &mut rng,
+                protected_mask,
+                &mut result,
+            );
+        }
+    }
+    let faults = rig.sys.stats().integrity_faults - base_faults;
+    (result, faults)
+}
+
+/// One targeted trial: plan the class's flips, inject, load, and probe the
+/// corrector at unit level.
+fn run_targeted_trial(
+    rig: &mut Rig,
+    round: usize,
+    class: FaultClass,
+    rng: &mut SplitMix64,
+    protected_mask: u64,
+    result: &mut CampaignResult,
+) {
+    let use_partial = class == FaultClass::ZeroEntry;
+    let probe_word = if use_partial {
+        rig.partial.word
+    } else {
+        rig.full.word
+    };
+    let flips = plan_flips(class, probe_word, rng, protected_mask);
+    let expect_step = match class {
+        FaultClass::MacSoft => Some(CorrectionStep::SoftMatch),
+        FaultClass::OneBit => Some(CorrectionStep::FlipAndCheck),
+        FaultClass::ZeroEntry => Some(CorrectionStep::ZeroReset),
+        FaultClass::FlagMinority => Some(CorrectionStep::MajorityAndContiguity),
+        FaultClass::MacWrecked => None,
+    };
+    let (outcome, tlb_frame) = inject_and_load(rig, use_partial, &flips);
+    result.injected += 1;
+
+    let probe = if use_partial { &rig.partial } else { &rig.full };
+    match (expect_step, &outcome) {
+        (Some(_), AccessOutcome::Ok { .. }) => {
+            result.corrected_ok += 1;
+            if tlb_frame != Some(probe.frame) {
+                result.silent_corruptions += 1;
+                result.violation(format!(
+                    "{class:?} round {round}: corrected load translated to \
+                     {tlb_frame:?}, expected {:?}",
+                    probe.frame
+                ));
+            }
+        }
+        (None, AccessOutcome::PteCheckFailed { level: 0, .. }) => {
+            result.detected += 1;
+        }
+        (_, other) => {
+            result.violation(format!(
+                "{class:?} round {round} (flips {flips:?}): unexpected outcome {other:?}"
+            ));
+        }
+    }
+
+    // Unit-level probe of the corrector on the exact injected line:
+    // records the step distribution and the guess spend.
+    let mut bytes = probe.pristine;
+    flip_bits_exact(&mut bytes, &flips);
+    let engine = rig.sys.controller.engine().expect("guarded rig");
+    let k = engine.config().soft_match_k;
+    let zr = engine.config().zero_reset_bits;
+    let corrector = Corrector::new(engine.mac_unit(), k, zr);
+    match corrector.correct(&Line::from_bytes(&bytes), probe.line_addr) {
+        CorrectionOutcome::Corrected(c) => {
+            result.step_counts[step_index(c.step)] += 1;
+            result.max_guesses = result.max_guesses.max(c.guesses);
+            match expect_step {
+                Some(step) if step == c.step => {}
+                Some(step) => result.violation(format!(
+                    "{class:?} round {round}: corrected via {:?}, expected {step:?}",
+                    c.step
+                )),
+                None => result.violation(format!(
+                    "{class:?} round {round}: corrected a fault crafted to be \
+                     uncorrectable"
+                )),
+            }
+        }
+        CorrectionOutcome::Uncorrectable { guesses } => {
+            result.uncorrectable += 1;
+            result.max_guesses = result.max_guesses.max(guesses);
+            if expect_step.is_some() {
+                result.violation(format!(
+                    "{class:?} round {round} (flips {flips:?}): uncorrectable"
+                ));
+            }
+        }
+    }
+}
+
+/// Runs stochastic trials `trials` (absolute indices, which pick the flip
+/// rate) on a fresh rig. Returns the partial result plus the rig's
+/// integrity-fault count.
+fn run_stochastic_trials(salt: u64, trials: std::ops::Range<usize>) -> (CampaignResult, u64) {
+    let mut rig = build_rig();
+    let base_faults = rig.sys.stats().integrity_faults;
+    let mut result = CampaignResult::default();
+    for trial in trials {
         let p_flip = if trial % 2 == 0 {
             1.0 / 128.0
         } else {
             1.0 / 512.0
         };
+        let mut rng = SplitMix64::new(trial_seed(salt, 3, trial as u64));
         let mut bytes = rig.full.pristine;
         let flipped = dram::faults::flip_bits_uniform(&mut bytes, p_flip, &mut rng);
         rig.reset();
@@ -426,23 +575,8 @@ pub fn run(cfg: &CampaignConfig) -> CampaignResult {
             AccessOutcome::PageFault { .. } => result.page_faults += 1,
         }
     }
-
-    let end = rig.sys.stats();
-    if result.max_guesses > G_MAX {
-        result.violation(format!(
-            "correction spent {} guesses, budget is {}",
-            result.max_guesses,
-            guess_budget(protected_mask.count_ones())
-        ));
-    }
-    // Every detected fault must have been accounted as an integrity fault.
-    if end.integrity_faults != result.false_positives + result.detected {
-        result.violation(format!(
-            "integrity-fault accounting skewed: {} raised, {} detected",
-            end.integrity_faults, result.detected
-        ));
-    }
-    result
+    let faults = rig.sys.stats().integrity_faults - base_faults;
+    (result, faults)
 }
 
 /// Resets the rig, applies `flips` to the chosen probe's pristine line in
@@ -500,10 +634,18 @@ mod tests {
     fn campaign_is_deterministic_for_a_seed() {
         let a = run(&quick());
         let b = run(&quick());
-        assert_eq!(a.step_counts, b.step_counts);
-        assert_eq!(a.corrected_ok, b.corrected_ok);
-        assert_eq!(a.detected, b.detected);
-        assert_eq!(a.page_faults, b.page_faults);
-        assert_eq!(a.max_guesses, b.max_guesses);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_campaign_is_byte_identical_to_serial() {
+        // quick() spans 2 targeted chunks and 2 stochastic chunks, so this
+        // exercises real chunk merging, not a degenerate single-chunk run.
+        let serial = run(&quick());
+        for jobs in [2usize, 4] {
+            let pool = ThreadPool::new(jobs);
+            let par = run_with_pool(&quick(), Some(&pool));
+            assert_eq!(par, serial, "jobs {jobs}");
+        }
     }
 }

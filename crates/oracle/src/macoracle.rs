@@ -10,6 +10,9 @@
 //! chunk-swap aliasing that formula admits — the deviation documented in
 //! `ptguard::mac` and DESIGN.md.
 
+use std::sync::Arc;
+
+use orchestrator::pool::ThreadPool;
 use pagetable::addr::PhysAddr;
 use ptguard::line::Line;
 use ptguard::pattern::{embed_mac_for, extract_mac_for};
@@ -143,7 +146,7 @@ impl RefMac {
 }
 
 /// Aggregate result of one seeded MAC-oracle sweep.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MacSweepReport {
     /// Random lines cross-checked `RefMac` vs `PteMac`.
     pub cross_checked: u64,
@@ -183,6 +186,22 @@ impl MacSweepReport {
             && self.alias_collides_paper == self.alias_probes
             && self.alias_accepted_tweak == 0
     }
+
+    /// Sums `other` into `self`. Per-line reports are merged **in line
+    /// order**, so a parallel sweep is byte-identical to the serial one.
+    pub fn merge(&mut self, other: &MacSweepReport) {
+        self.cross_checked += other.cross_checked;
+        self.mismatches += other.mismatches;
+        self.roundtrips += other.roundtrips;
+        self.roundtrip_failures += other.roundtrip_failures;
+        self.single_flips += other.single_flips;
+        self.single_undetected += other.single_undetected;
+        self.pair_flips += other.pair_flips;
+        self.pair_undetected += other.pair_undetected;
+        self.alias_probes += other.alias_probes;
+        self.alias_collides_paper += other.alias_collides_paper;
+        self.alias_accepted_tweak += other.alias_accepted_tweak;
+    }
 }
 
 /// Positions of the protected bits of a full line: `(word, bit)` pairs.
@@ -198,20 +217,80 @@ fn protected_positions(mask: u64) -> Vec<(usize, u32)> {
     out
 }
 
+/// Shared read-only state of one sweep: the two MAC implementations plus
+/// the protected-bit positions, cloned once and shared across workers.
+struct SweepCtx {
+    oracle: RefMac,
+    fast: PteMac,
+    positions: Vec<(usize, u32)>,
+}
+
 /// Runs the seeded MAC sweep for `cfg`: cross-checks, round-trips, the
 /// exhaustive single-flip sweep, `pair_budget` flip pairs per line
 /// (exhaustive when the budget covers all pairs), and the chunk-swap alias
-/// probes.
+/// probes. Serial entry point; see [`sweep_with_pool`].
 #[must_use]
 pub fn sweep(cfg: &PtGuardConfig, seed: u64, lines: usize, pair_budget: usize) -> MacSweepReport {
+    sweep_with_pool(cfg, seed, lines, pair_budget, None)
+}
+
+/// [`sweep`], optionally fanned out over `pool`. Each line draws its seed
+/// from the master stream up front and runs independently; per-line reports
+/// are merged in line order, so the result is **byte-identical for any
+/// worker count** (including `None`).
+#[must_use]
+pub fn sweep_with_pool(
+    cfg: &PtGuardConfig,
+    seed: u64,
+    lines: usize,
+    pair_budget: usize,
+    pool: Option<&ThreadPool>,
+) -> MacSweepReport {
     let oracle = RefMac::from_config(cfg);
-    let fast = PteMac::from_config(cfg);
-    let mut rng = SplitMix64::new(seed ^ 0x6d61_635f_7377);
-    let mut report = MacSweepReport::default();
     let positions = protected_positions(oracle.protected_mask());
+    let ctx = SweepCtx {
+        oracle,
+        fast: PteMac::from_config(cfg),
+        positions,
+    };
+    let mut master = SplitMix64::new(seed ^ 0x6d61_635f_7377);
+    let line_seeds: Vec<u64> = (0..lines).map(|_| master.next_u64()).collect();
+
+    let mut report = MacSweepReport::default();
+    match pool {
+        Some(pool) if pool.size() > 1 && lines > 1 => {
+            let ctx = Arc::new(ctx);
+            let seeds = Arc::new(line_seeds);
+            let per_line = {
+                let ctx = Arc::clone(&ctx);
+                pool.map_indexed(lines, move |i| sweep_line(&ctx, seeds[i], pair_budget))
+            };
+            for r in &per_line {
+                report.merge(r);
+            }
+        }
+        _ => {
+            for &s in &line_seeds {
+                report.merge(&sweep_line(&ctx, s, pair_budget));
+            }
+        }
+    }
+    report
+}
+
+/// Sweeps one line (drawn from `line_seed`): the cross-check, round-trip,
+/// single/pair flip, and alias probes of the module docs.
+fn sweep_line(ctx: &SweepCtx, line_seed: u64, pair_budget: usize) -> MacSweepReport {
+    let SweepCtx {
+        oracle,
+        fast,
+        positions,
+    } = ctx;
+    let mut rng = SplitMix64::new(line_seed);
+    let mut report = MacSweepReport::default();
     let total_pairs = positions.len() * (positions.len() - 1) / 2;
 
-    for _ in 0..lines {
+    {
         let mut words = [0u64; 8];
         for w in &mut words {
             *w = rng.next_u64();
@@ -226,13 +305,13 @@ pub fn sweep(cfg: &PtGuardConfig, seed: u64, lines: usize, pair_budget: usize) -
         report.cross_checked += 1;
         if ref_mac != fast_mac {
             report.mismatches += 1;
-            continue; // downstream assertions would double-count this
+            return report; // downstream assertions would double-count this
         }
 
         // embed → extract → verify round-trip through `pattern`.
         report.roundtrips += 1;
-        let embedded = embed_mac_for(&line, ref_mac, cfg.format);
-        let stored = extract_mac_for(&embedded, cfg.format);
+        let embedded = embed_mac_for(&line, ref_mac, oracle.format());
+        let stored = extract_mac_for(&embedded, oracle.format());
         let reverify = oracle.compute(&embedded.to_bytes(), addr.as_u64());
         if stored != ref_mac || reverify != ref_mac {
             report.roundtrip_failures += 1;
@@ -254,7 +333,7 @@ pub fn sweep(cfg: &PtGuardConfig, seed: u64, lines: usize, pair_budget: usize) -
             let flipped = masked_chunks[chunk_i] ^ (1u128 << in_chunk_shift);
             ref_mac ^ ((chunk_encs[chunk_i] ^ enc(flipped, chunk_i)) & REF_MAC_MASK)
         };
-        for &(word, bit) in &positions {
+        for &(word, bit) in positions {
             report.single_flips += 1;
             if flip_one(word, bit) == ref_mac {
                 report.single_undetected += 1;
@@ -388,5 +467,20 @@ mod tests {
         assert_eq!(report.pair_flips, 352 * 351 / 2);
         assert_eq!(report.pair_undetected, 0);
         assert!(report.clean());
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_serial_for_several_seeds() {
+        // The PR 2 determinism contract: worker count must never leak into
+        // results. Three seeds, serial vs 2-worker vs 5-worker pools.
+        let cfg = PtGuardConfig::default();
+        for seed in [3u64, 0xdead_beef, 0x5eed_5eed] {
+            let serial = sweep(&cfg, seed, 6, 300);
+            for jobs in [2usize, 5] {
+                let pool = ThreadPool::new(jobs);
+                let par = sweep_with_pool(&cfg, seed, 6, 300, Some(&pool));
+                assert_eq!(par, serial, "seed {seed:#x} jobs {jobs}");
+            }
+        }
     }
 }

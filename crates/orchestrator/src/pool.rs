@@ -93,6 +93,52 @@ impl ThreadPool {
         self.workers.len()
     }
 
+    /// Runs `f(0..n)` on the pool and returns the results **in index
+    /// order**, blocking until all complete. The ordering guarantee is what
+    /// lets parallel sweeps merge worker output byte-identically to a serial
+    /// run: results land in their slot regardless of completion order.
+    ///
+    /// Must not be called from a task already running on this pool (the
+    /// caller blocks on a condvar, not by servicing the queue).
+    ///
+    /// # Panics
+    ///
+    /// If a task panics, the panic is resumed on the caller.
+    pub fn map_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(usize) -> R + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let slots: Arc<Mutex<Vec<Option<std::thread::Result<R>>>>> =
+            Arc::new(Mutex::new((0..n).map(|_| None).collect()));
+        let done = Arc::new((Mutex::new(0usize), Condvar::new()));
+        for i in 0..n {
+            let (f, slots, done) = (Arc::clone(&f), Arc::clone(&slots), Arc::clone(&done));
+            self.spawn(move || {
+                let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i)));
+                slots.lock().expect("pool lock")[i] = Some(r);
+                let (count, cv) = &*done;
+                *count.lock().expect("pool lock") += 1;
+                cv.notify_all();
+            });
+        }
+        let (count, cv) = &*done;
+        let mut finished = count.lock().expect("pool lock");
+        while *finished < n {
+            finished = cv.wait(finished).expect("pool lock");
+        }
+        drop(finished);
+        let mut slots = slots.lock().expect("pool lock");
+        slots
+            .iter_mut()
+            .map(|s| match s.take().expect("slot filled") {
+                Ok(r) => r,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    }
+
     /// Submits a task.
     pub fn spawn(&self, task: impl FnOnce() + Send + 'static) {
         let idx = self.shared.next.fetch_add(1, Ordering::Relaxed) % self.workers.len();
@@ -185,6 +231,29 @@ mod tests {
             "stealing should keep several workers busy (peak {})",
             peak.load(Ordering::SeqCst)
         );
+    }
+
+    #[test]
+    fn map_indexed_returns_results_in_index_order() {
+        let pool = ThreadPool::new(4);
+        let out = pool.map_indexed(64, |i| {
+            // Stagger completion so index order ≠ completion order.
+            std::thread::sleep(Duration::from_micros((64 - i as u64) * 10));
+            i * i
+        });
+        assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_indexed_propagates_panics() {
+        let pool = ThreadPool::new(2);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.map_indexed(8, |i| {
+                assert!(i != 5, "boom");
+                i
+            })
+        }));
+        assert!(r.is_err());
     }
 
     #[test]

@@ -46,6 +46,12 @@ pub const MAX_ROUNDS_64: usize = C64.len();
 /// Maximum supported `r` for QARMA-128 (bounded by the constant table).
 pub const MAX_ROUNDS_128: usize = C128.len();
 
+/// Maximum `r` across both variants. Sizes the fixed flat arrays of the
+/// allocation-free core: round-key tables and the on-stack tweak schedule.
+pub const MAX_ROUNDS: usize = MAX_ROUNDS_128;
+
+const _: () = assert!(MAX_ROUNDS >= MAX_ROUNDS_64 && MAX_ROUNDS >= MAX_ROUNDS_128);
+
 #[cfg(test)]
 mod tests {
     use super::*;

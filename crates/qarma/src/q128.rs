@@ -5,7 +5,6 @@
 //! each enciphered under their 16-byte-granular address as tweak and the
 //! results folded.
 
-use crate::cells::{pack128, unpack128};
 use crate::consts::{ALPHA128, C128, MAX_ROUNDS_128};
 use crate::engine::{ortho128, Core};
 use crate::sbox::Sbox;
@@ -26,8 +25,6 @@ use crate::sbox::Sbox;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Qarma128 {
-    w0: u128,
-    k0: u128,
     core: Core,
 }
 
@@ -46,46 +43,60 @@ impl Qarma128 {
             (1..=MAX_ROUNDS_128).contains(&rounds),
             "QARMA-128 supports 1..={MAX_ROUNDS_128} rounds, got {rounds}"
         );
-        let core = Core {
-            cell_bits: 8,
-            // circ(0, ρ1, ρ4, ρ5): involutory over 8-bit cells.
-            mix_exps: [0, 1, 4, 5],
+        // The packed-lane state of the core *is* the native 128-bit word
+        // (cell 0 = most-significant byte), so keys and constants pass
+        // straight through.
+        let core = Core::new(
+            8,
             rounds,
             sbox,
-            round_consts: C128[..rounds].iter().map(|&c| unpack128(c)).collect(),
-            alpha: unpack128(ALPHA128),
-        };
-        Self {
-            w0: key[0],
-            k0: key[1],
-            core,
-        }
+            &C128[..rounds],
+            ALPHA128,
+            key[0],
+            ortho128(key[0]),
+            key[1],
+        );
+        Self { core }
     }
 
-    /// Encrypts `plaintext` under `tweak`.
+    /// Encrypts `plaintext` under `tweak`. Allocation-free.
     #[must_use]
     pub fn encrypt(&self, plaintext: u128, tweak: u128) -> u128 {
-        let w0 = unpack128(self.w0);
-        let w1 = unpack128(ortho128(self.w0));
-        let k0 = unpack128(self.k0);
-        pack128(
-            &self
-                .core
-                .encrypt(&unpack128(plaintext), &unpack128(tweak), &w0, &w1, &k0),
-        )
+        self.core.encrypt(plaintext, tweak)
     }
 
-    /// Decrypts `ciphertext` under `tweak`.
+    /// Decrypts `ciphertext` under `tweak`. Allocation-free.
     #[must_use]
     pub fn decrypt(&self, ciphertext: u128, tweak: u128) -> u128 {
-        let w0 = unpack128(self.w0);
-        let w1 = unpack128(ortho128(self.w0));
-        let k0 = unpack128(self.k0);
-        pack128(
-            &self
-                .core
-                .decrypt(&unpack128(ciphertext), &unpack128(tweak), &w0, &w1, &k0),
-        )
+        self.core.decrypt(ciphertext, tweak)
+    }
+
+    /// Encrypts a batch of `(plaintext, tweak)` pairs into `out`, one output
+    /// word per pair. Allocation-free: `PteMac::compute`, the controller's
+    /// verify paths, and the oracle sweeps all batch their chunk encryptions
+    /// through here so the whole fold stays in the flat kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pairs.len() != out.len()`.
+    pub fn encrypt_many(&self, pairs: &[(u128, u128)], out: &mut [u128]) {
+        assert_eq!(pairs.len(), out.len(), "encrypt_many: length mismatch");
+        // Two blocks at a time: the interleaved kernel overlaps the two
+        // dependency chains, which is where most of the batch speedup lives.
+        let mut chunks = out.chunks_exact_mut(2);
+        let mut in_chunks = pairs.chunks_exact(2);
+        for (slots, ps) in chunks.by_ref().zip(in_chunks.by_ref()) {
+            let [q0, q1] = self.core.encrypt2([ps[0].0, ps[1].0], [ps[0].1, ps[1].1]);
+            slots[0] = q0;
+            slots[1] = q1;
+        }
+        for (slot, &(p, t)) in chunks
+            .into_remainder()
+            .iter_mut()
+            .zip(in_chunks.remainder())
+        {
+            *slot = self.encrypt(p, t);
+        }
     }
 
     /// Number of forward/backward rounds `r`.
@@ -162,6 +173,24 @@ mod tests {
         assert_eq!(c9.encrypt(PT, TW), 0x430df35e6d4ec8e8d0fde043b2806757);
         let c11 = Qarma128::new([W0, K0], 11, Sbox::Sigma1);
         assert_eq!(c11.encrypt(PT, TW), 0xb69aa3055cc446338673f7d0c7b088a9);
+    }
+
+    #[test]
+    fn encrypt_many_matches_scalar_for_all_sboxes_and_rounds() {
+        use crate::consts::MAX_ROUNDS_128;
+        for sbox in [Sbox::Sigma0, Sbox::Sigma1, Sbox::Sigma2] {
+            for rounds in 1..=MAX_ROUNDS_128 {
+                let c = Qarma128::new([W0, K0], rounds, sbox);
+                let pairs: Vec<(u128, u128)> = (0..9)
+                    .map(|i| (PT.wrapping_mul(i + 1), TW.rotate_left(i as u32)))
+                    .collect();
+                let mut batch = vec![0u128; pairs.len()];
+                c.encrypt_many(&pairs, &mut batch);
+                for (&(p, t), &got) in pairs.iter().zip(&batch) {
+                    assert_eq!(got, c.encrypt(p, t), "r={rounds} sbox={sbox:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -46,6 +46,29 @@ impl Sbox {
         inv
     }
 
+    /// Returns the full byte-level forward table: [`Sbox::apply_byte`] for
+    /// every possible cell value. Precomputed once per cipher instance so
+    /// the round loop is a single lookup per cell.
+    #[must_use]
+    pub fn byte_table(self) -> [u8; 256] {
+        let mut out = [0u8; 256];
+        for (b, slot) in out.iter_mut().enumerate() {
+            *slot = self.apply_byte(b as u8);
+        }
+        out
+    }
+
+    /// Returns the full byte-level inverse table (both nibbles inverted).
+    #[must_use]
+    pub fn inverse_byte_table(self) -> [u8; 256] {
+        let inv = self.inverse_table();
+        let mut out = [0u8; 256];
+        for (b, slot) in out.iter_mut().enumerate() {
+            *slot = (inv[b >> 4] << 4) | inv[b & 0xf];
+        }
+        out
+    }
+
     /// Applies the S-box to a 4-bit nibble.
     ///
     /// # Panics
