@@ -1,25 +1,31 @@
-//! `bench` — the QARMA/MAC hot-path benchmark driver.
+//! `bench` — the QARMA/MAC hot-path and memory-pipeline benchmark driver.
 //!
 //! ```text
-//! bench qarma|mac|all [--out FILE] [--fast] [--jobs N] [--check FILE]
+//! bench qarma|mac|memsys|all [--out FILE] [--fast] [--jobs N] [--check FILE]
 //! ```
 //!
 //! Unlike the `cargo bench` targets (which only print), this binary
-//! captures every measurement and emits a machine-readable
-//! `BENCH_qarma.json`: ns/op for the QARMA-64/128 kernels, the PTE-line
-//! MAC (scalar and batch), verification, and the MAC oracle's pair-sweep
-//! wall time serial vs. parallel. Each current number is paired with the
-//! committed pre-rewrite baseline so the speedup of the flat-u64
-//! interleaved kernel is tracked in-repo.
+//! captures every measurement and emits a machine-readable report:
 //!
-//! `--check FILE` re-measures the single-thread MAC compute and fails
-//! (exit 1) if it regressed more than 2× over the ns/op recorded in
-//! `FILE` — the CI `bench-smoke` contract.
+//! * `qarma`/`mac` → `BENCH_qarma.json` — ns/op for the QARMA-64/128
+//!   kernels, the PTE-line MAC (scalar and batch), verification, and the
+//!   MAC oracle's pair-sweep wall time serial vs. parallel, each paired
+//!   with the committed pre-rewrite baseline.
+//! * `memsys` → `BENCH_memsys.json` — host ns per simulated memory op and
+//!   simulated IPC for the blocking driver vs. the event pipeline at
+//!   `mlp ∈ {1, 2, 4}`, on two MAC-heavy profiles; the committed report
+//!   records how much batched MAC verification cuts host time.
+//!
+//! `--check FILE` re-measures a representative number and fails (exit 1)
+//! if it regressed more than 2× over the value recorded in `FILE` — the CI
+//! `bench-smoke`/`pipeline-smoke` contract. The gate dispatches on the
+//! report's `schema` field.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use memsys::MemSysConfig;
 use orchestrator::json::Value;
 use orchestrator::pool::ThreadPool;
 use pagetable::addr::PhysAddr;
@@ -29,6 +35,9 @@ use ptguard_bench::harness::{black_box, effective_budget, measure, Measurement};
 use ptguard_bench::sample_pte_line;
 use qarma::pac::PacKey;
 use qarma::{Qarma128, Qarma64, Sbox};
+use simx::runner::{build_machine_from_source_cfg, run_blocking, Protection};
+use workloads::profiles::by_name;
+use workloads::tracegen::TraceGenerator;
 
 /// ns/op of the pre-rewrite kernel (per-call `Vec` allocations, float
 /// latency), measured on this suite at the commit before the flat-u64
@@ -47,11 +56,13 @@ const BASELINE_NS: [(&str, f64); 8] = [
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bench qarma|mac|all [--out FILE] [--fast] [--jobs N] [--check FILE]\n\
-         \x20 --out FILE    write BENCH_qarma.json-style report (default BENCH_qarma.json)\n\
+        "usage: bench qarma|mac|memsys|all [--out FILE] [--fast] [--jobs N] [--check FILE]\n\
+         \x20 --out FILE    write the JSON report (default BENCH_qarma.json;\n\
+         \x20               BENCH_memsys.json for the memsys target)\n\
          \x20 --fast        ~10x shorter samples (smoke mode; also via PTGUARD_BENCH_FAST)\n\
          \x20 --jobs N      workers for the parallel pair-sweep timing (default: all cores)\n\
-         \x20 --check FILE  regression gate: fail if MAC compute ns/op > 2x the value in FILE"
+         \x20 --check FILE  regression gate: fail if the report's anchor number regressed\n\
+         \x20               more than 2x (dispatches on the file's schema field)"
     );
     ExitCode::FAILURE
 }
@@ -270,12 +281,233 @@ fn render_report(rows: &[Row], sweep: Option<Value>, fast: bool) -> Value {
     Value::obj(pairs)
 }
 
-/// The `--check` gate: re-measure single-thread MAC compute and compare
-/// against the ns/op committed in `path`.
+/// MAC-heavy profiles for the pipeline benchmark: the pointer-chaser with
+/// the densest page-walk traffic and the paper's worst slowdown case.
+const MEMSYS_PROFILES: [&str; 2] = ["sssp", "xalancbmk"];
+
+/// How one `bench memsys` mode drives the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Legacy blocking driver (`run_blocking`).
+    Blocking,
+    /// Windowed driver with the batched drain-time MAC kernel.
+    Pipelined,
+    /// Windowed driver with scalar per-chunk MAC verification — the
+    /// unbatched control (`MemoryController::set_unbatched_mac`).
+    ScalarMac,
+}
+
+/// One measured pipeline configuration on one profile.
+struct MemsysPoint {
+    mode: &'static str,
+    ns_per_sim_op: f64,
+    sim_ipc: f64,
+    sim_cycles: u64,
+    mac_computations: u64,
+    dram_reads: u64,
+}
+
+/// Measures every driver mode on one profile: best-of-`reps` host ns per
+/// simulated memory op, plus the (deterministic) simulated metrics.
+///
+/// Reps are *interleaved* across modes — each sweep times every mode once,
+/// back to back — so slow host drift (frequency scaling, background load)
+/// biases all modes equally instead of whichever happened to run last;
+/// best-of-sweeps then compares like with like.
+fn memsys_profile(
+    name: &str,
+    modes: &[(&'static str, usize, Mode)],
+    instrs: u64,
+    reps: usize,
+) -> Vec<MemsysPoint> {
+    let p = by_name(name).expect("profile");
+    let go = |m: &mut _, blocking: bool| {
+        if blocking {
+            run_blocking(m, instrs)
+        } else {
+            simx::runner::run(m, instrs)
+        }
+    };
+    let mut machines: Vec<_> = modes
+        .iter()
+        .map(|&(_, mlp, mode)| {
+            let mem_cfg = MemSysConfig {
+                mlp,
+                ..MemSysConfig::default()
+            };
+            let mut machine = build_machine_from_source_cfg(
+                TraceGenerator::new(p, 0xbe2c),
+                p,
+                Protection::PtGuard(PtGuardConfig::default()),
+                4,
+                mem_cfg,
+            );
+            machine
+                .sys
+                .controller
+                .set_unbatched_mac(mode == Mode::ScalarMac);
+            let _ = go(&mut machine, mode == Mode::Blocking); // warm-up: caches, TLB, page tables
+            machine
+        })
+        .collect();
+    let mut best = vec![f64::INFINITY; modes.len()];
+    let mut last: Vec<Option<_>> = vec![None; modes.len()];
+    for rep in 0..reps {
+        // Rotate the starting mode each sweep so no mode systematically
+        // inherits a particular position's thermal/steal-time bias.
+        for k in 0..modes.len() {
+            let i = (rep + k) % modes.len();
+            let blocking = modes[i].2 == Mode::Blocking;
+            let t = Instant::now();
+            let r = go(&mut machines[i], blocking);
+            let ns = t.elapsed().as_nanos() as f64;
+            best[i] = best[i].min(ns / r.mem_ops.max(1) as f64);
+            last[i] = Some(r);
+        }
+    }
+    modes
+        .iter()
+        .zip(&machines)
+        .zip(best)
+        .zip(last)
+        .map(|(((&(mode, _, _), machine), ns_per_sim_op), r)| {
+            let r = r.expect("at least one rep");
+            MemsysPoint {
+                mode,
+                ns_per_sim_op,
+                sim_ipc: r.ipc(),
+                sim_cycles: r.cycles,
+                mac_computations: r.mac_computations,
+                dram_reads: machine.sys.controller.stats().reads,
+            }
+        })
+        .collect()
+}
+
+/// The memsys target: blocking vs. pipelined drivers across the window
+/// sweep, rendered as the `ptguard-bench-memsys/v1` report.
+fn bench_memsys(fast: bool) -> Value {
+    let (instrs, reps) = if fast { (20_000, 2) } else { (60_000, 25) };
+    let modes: [(&'static str, usize, Mode); 5] = [
+        ("blocking", 1, Mode::Blocking),
+        ("mlp1", 1, Mode::Pipelined),
+        ("mlp2", 2, Mode::Pipelined),
+        ("mlp4", 4, Mode::Pipelined),
+        // Same window as mlp4, but the drain verifies with one scalar
+        // cipher call per chunk — the unbatched-verification control.
+        ("mlp4-scalar", 4, Mode::ScalarMac),
+    ];
+    let mut profiles = Vec::new();
+    let mut batch_effect = Vec::new();
+    for name in MEMSYS_PROFILES {
+        let points = memsys_profile(name, &modes, instrs, reps);
+        for p in &points {
+            println!(
+                "{name:<12} {:<9} {:>8.1} host-ns/sim-op  IPC {:.3}  ({} MACs, {} DRAM reads)",
+                p.mode, p.ns_per_sim_op, p.sim_ipc, p.mac_computations, p.dram_reads
+            );
+        }
+        let ns_of = |mode: &str| {
+            points
+                .iter()
+                .find(|p| p.mode == mode)
+                .expect("mode measured")
+                .ns_per_sim_op
+        };
+        batch_effect.push((
+            name.to_string(),
+            Value::F64(ns_of("mlp4-scalar") / ns_of("mlp4").max(1e-9)),
+        ));
+        profiles.push((
+            name.to_string(),
+            Value::Obj(
+                points
+                    .into_iter()
+                    .map(|p| {
+                        (
+                            p.mode.to_string(),
+                            Value::obj(vec![
+                                ("ns_per_sim_op", Value::F64(p.ns_per_sim_op)),
+                                ("sim_ipc", Value::F64(p.sim_ipc)),
+                                ("sim_cycles", Value::U64(p.sim_cycles)),
+                                ("mac_computations", Value::U64(p.mac_computations)),
+                                ("dram_reads", Value::U64(p.dram_reads)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    Value::obj(vec![
+        ("schema", Value::Str("ptguard-bench-memsys/v1".to_string())),
+        ("fast", Value::Bool(fast)),
+        ("instructions", Value::U64(instrs)),
+        ("reps", Value::U64(reps as u64)),
+        ("profiles", Value::Obj(profiles)),
+        (
+            "host_ns_per_op_scalar_over_batched",
+            Value::Obj(batch_effect),
+        ),
+    ])
+}
+
+/// The memsys arm of the `--check` gate: the committed report must show
+/// the batched pipeline beating the serial one on at least one profile,
+/// and a fresh quick measurement must not have regressed more than 2×.
+fn check_memsys(committed: &Value) -> Result<(), String> {
+    let ns_of = |profile: &str, mode: &str| {
+        committed
+            .get("profiles")
+            .and_then(|p| p.get(profile))
+            .and_then(|p| p.get(mode))
+            .and_then(|m| m.get("ns_per_sim_op"))
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("committed report lacks profiles.{profile}.{mode}"))
+    };
+    let mut batched_wins = false;
+    for p in MEMSYS_PROFILES {
+        let (scalar, batched) = (ns_of(p, "mlp4-scalar")?, ns_of(p, "mlp4")?);
+        println!(
+            "check: {p} committed mlp4-scalar {scalar:.1} vs mlp4 {batched:.1} host-ns/sim-op"
+        );
+        if batched < scalar {
+            batched_wins = true;
+        }
+    }
+    if !batched_wins {
+        return Err("committed BENCH_memsys shows no batched-MAC win on any profile".to_string());
+    }
+    let committed_ns = ns_of(MEMSYS_PROFILES[0], "mlp1")?;
+    let fresh = memsys_profile(
+        MEMSYS_PROFILES[0],
+        &[("mlp1", 1, Mode::Pipelined)],
+        20_000,
+        2,
+    )
+    .remove(0);
+    println!(
+        "check: {} mlp1 fresh {:.1} host-ns/sim-op vs committed {committed_ns:.1} (gate 2x)",
+        MEMSYS_PROFILES[0], fresh.ns_per_sim_op
+    );
+    if fresh.ns_per_sim_op > 2.0 * committed_ns {
+        return Err(format!(
+            "pipeline regressed: {:.1} host-ns/sim-op > 2x committed {committed_ns:.1}",
+            fresh.ns_per_sim_op
+        ));
+    }
+    Ok(())
+}
+
+/// The `--check` gate: dispatch on the committed report's schema and
+/// re-measure its anchor number against the 2× budget.
 fn check(path: &PathBuf) -> Result<(), String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
     let committed = Value::parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
+    if committed.get("schema").and_then(Value::as_str) == Some("ptguard-bench-memsys/v1") {
+        return check_memsys(&committed);
+    }
     let committed_ns = committed
         .get("results")
         .and_then(|r| r.get("mac_compute"))
@@ -301,8 +533,7 @@ fn check(path: &PathBuf) -> Result<(), String> {
 }
 
 fn run(mut args: Vec<String>) -> Result<(), String> {
-    let out = take_flag(&mut args, "--out")?
-        .map_or_else(|| PathBuf::from("BENCH_qarma.json"), PathBuf::from);
+    let out_flag = take_flag(&mut args, "--out")?.map(PathBuf::from);
     let fast = take_switch(&mut args, "--fast");
     if fast {
         std::env::set_var("PTGUARD_BENCH_FAST", "1");
@@ -326,23 +557,35 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
         1 => args.remove(0),
         _ => return Err(format!("unexpected argument: {}", args[1])),
     };
+    // The memsys pipeline report lives in its own file: the QARMA numbers
+    // and the pipeline numbers regenerate on different cadences.
+    let default_out = if what == "memsys" {
+        "BENCH_memsys.json"
+    } else {
+        "BENCH_qarma.json"
+    };
+    let out = out_flag.unwrap_or_else(|| PathBuf::from(default_out));
     let mut rows = Vec::new();
-    let mut sweep = None;
-    match what.as_str() {
-        "qarma" => bench_qarma(&mut rows),
+    let report = match what.as_str() {
+        "qarma" => {
+            bench_qarma(&mut rows);
+            render_report(&rows, None, fast)
+        }
         "mac" => {
             bench_mac(&mut rows);
-            sweep = Some(bench_sweep(jobs, fast));
+            let sweep = Some(bench_sweep(jobs, fast));
+            render_report(&rows, sweep, fast)
         }
         "all" => {
             bench_qarma(&mut rows);
             bench_mac(&mut rows);
-            sweep = Some(bench_sweep(jobs, fast));
+            let sweep = Some(bench_sweep(jobs, fast));
+            render_report(&rows, sweep, fast)
         }
+        "memsys" => bench_memsys(fast),
         other => return Err(format!("unknown target: {other}")),
-    }
+    };
 
-    let report = render_report(&rows, sweep, fast);
     std::fs::write(&out, report.render_pretty())
         .map_err(|e| format!("write {}: {e}", out.display()))?;
     println!("wrote {}", out.display());

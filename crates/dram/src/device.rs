@@ -42,6 +42,23 @@ pub struct DramStats {
     pub refresh_windows: u64,
     /// Total bit flips injected by disturbance.
     pub total_flips: u64,
+    /// Row hits per bank (sized to the geometry at construction).
+    pub per_bank_row_hits: Vec<u64>,
+    /// Row misses per bank (sized to the geometry at construction).
+    pub per_bank_row_misses: Vec<u64>,
+}
+
+/// Timing of one scheduled access: how long the request waited for its bank
+/// plus the bank-state-dependent service latency. The blocking path sees
+/// `wait_ns == 0.0` exactly (the bank is always free when each access is the
+/// only one outstanding), so `wait_ns + latency_ns` reproduces the legacy
+/// [`DramDevice::access`] return value bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceTiming {
+    /// Time spent queued behind earlier work on the same bank, in ns.
+    pub wait_ns: f64,
+    /// Bank service latency (row hit / conflict / closed), in ns.
+    pub latency_ns: f64,
 }
 
 /// A DRAM device with open-row bank state and Rowhammer disturbance.
@@ -58,6 +75,8 @@ pub struct DramDevice {
     store: HashMap<u64, Box<[u8; STORE_PAGE]>>,
     capacity: u64,
     open_row: Vec<Option<u32>>,
+    /// Per-bank time at which the bank finishes its last scheduled access.
+    busy_until_ns: Vec<f64>,
     pressure: HashMap<RowId, f64>,
     weak_cells: HashMap<RowId, Vec<WeakCell>>,
     flips: Vec<FlipRecord>,
@@ -77,10 +96,15 @@ impl DramDevice {
             store: HashMap::new(),
             capacity: geometry.capacity(),
             open_row: vec![None; geometry.banks as usize],
+            busy_until_ns: vec![0.0; geometry.banks as usize],
             pressure: HashMap::new(),
             weak_cells: HashMap::new(),
             flips: Vec::new(),
-            stats: DramStats::default(),
+            stats: DramStats {
+                per_bank_row_hits: vec![0; geometry.banks as usize],
+                per_bank_row_misses: vec![0; geometry.banks as usize],
+                ..DramStats::default()
+            },
             now_ns: 0.0,
             window_start_ns: 0.0,
             ref_slice: 0,
@@ -142,29 +166,67 @@ impl DramDevice {
 
     /// A timed access: models bank state (row hit/miss), applies disturbance
     /// from any activation, advances time, and returns the latency in ns.
-    pub fn access(&mut self, addr: PhysAddr, _write: bool) -> f64 {
+    pub fn access(&mut self, addr: PhysAddr, write: bool) -> f64 {
+        let t = self.service_at(addr, write, self.now_ns);
+        t.wait_ns + t.latency_ns
+    }
+
+    /// A timed access scheduled at or after `earliest_ns`: the request waits
+    /// for its bank to go idle (per-bank busy-until state), then services
+    /// with the usual row-hit/conflict/closed latency, disturbing neighbours
+    /// on any activation and advancing the device clock by the service
+    /// latency.
+    ///
+    /// The controller's banked queues drain through here so requests to
+    /// different banks overlap (each bank's busy-until chains independently
+    /// from the drain epoch) while same-bank requests serialise. A request
+    /// issued at `earliest_ns == busy_until_ns[bank]` (the blocking case)
+    /// waits exactly `0.0` ns — computed by comparison, never subtraction —
+    /// which keeps the blocking path bit-identical to the pre-pipeline
+    /// device.
+    pub fn service_at(&mut self, addr: PhysAddr, _write: bool, earliest_ns: f64) -> ServiceTiming {
         let row = self.geometry.row_of(addr);
         let bank = row.bank as usize;
-        let latency = match self.open_row[bank] {
+        let busy = self.busy_until_ns[bank];
+        let begin = if busy <= earliest_ns {
+            earliest_ns
+        } else {
+            busy
+        };
+        let wait_ns = begin - earliest_ns;
+        let latency_ns = match self.open_row[bank] {
             Some(open) if open == row.row => {
                 self.stats.row_hits += 1;
+                self.stats.per_bank_row_hits[bank] += 1;
                 self.timing.row_hit_ns()
             }
             Some(_) => {
                 self.stats.row_misses += 1;
+                self.stats.per_bank_row_misses[bank] += 1;
                 self.open_row[bank] = Some(row.row);
                 self.activate(row);
                 self.timing.row_conflict_ns()
             }
             None => {
                 self.stats.row_misses += 1;
+                self.stats.per_bank_row_misses[bank] += 1;
                 self.open_row[bank] = Some(row.row);
                 self.activate(row);
                 self.timing.row_closed_ns()
             }
         };
-        self.advance_time(latency);
-        latency
+        self.busy_until_ns[bank] = begin + latency_ns;
+        self.advance_time(latency_ns);
+        ServiceTiming {
+            wait_ns,
+            latency_ns,
+        }
+    }
+
+    /// The currently open row of `bank`, if any (scheduler's FR-FCFS view).
+    #[must_use]
+    pub fn open_row(&self, bank: usize) -> Option<u32> {
+        self.open_row[bank]
     }
 
     /// Hammers `row`: `times` back-to-back activations, each costing `tRC`

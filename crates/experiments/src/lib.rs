@@ -24,6 +24,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod fullmem;
+pub mod mlp;
 pub mod multicore;
 pub mod oracle;
 pub mod orchestrate;

@@ -17,13 +17,13 @@ use orchestrator::{JobOutput, JobSpec};
 
 use crate::report::Table;
 use crate::{
-    ablation, coverage, diag, exploit, fig6, fig7, fig8, fig9, fullmem, multicore, oracle,
+    ablation, coverage, diag, exploit, fig6, fig7, fig8, fig9, fullmem, mlp, multicore, oracle,
     priorwork, rth_sweep, security, storage, tables, Scale,
 };
 
 /// Every artefact `exp` can regenerate, in the order `exp all` prints them
 /// (the same order the usage banner advertises).
-pub const ARTEFACTS: [&str; 19] = [
+pub const ARTEFACTS: [&str; 20] = [
     "table1",
     "table2",
     "table3",
@@ -43,6 +43,7 @@ pub const ARTEFACTS: [&str; 19] = [
     "coverage",
     "exploit",
     "oracle",
+    "mlp",
 ];
 
 /// `priorwork` trials per damage class at each scale.
@@ -372,6 +373,42 @@ pub fn run_artefact_jobs(
                 rendered: oracle::render(&r),
                 metrics,
                 sim_ops: work,
+            }
+        }
+        "mlp" => {
+            let rows = mlp::run_seeded(scale, seed);
+            for row in &rows {
+                m(
+                    &mut metrics,
+                    format!("{}@{}.speedup", row.name, row.mlp),
+                    row.speedup,
+                );
+                m(
+                    &mut metrics,
+                    format!("{}@{}.ipc", row.name, row.mlp),
+                    row.ipc,
+                );
+                mu(
+                    &mut metrics,
+                    format!("{}@{}.queue_hwm", row.name, row.mlp),
+                    row.queue_hwm,
+                );
+                mu(
+                    &mut metrics,
+                    format!("{}@{}.mshr_hwm", row.name, row.mlp),
+                    row.mshr_hwm,
+                );
+                m(
+                    &mut metrics,
+                    format!("{}@{}.row_hit_rate", row.name, row.mlp),
+                    row.row_hit_rate,
+                );
+            }
+            let ops = (mlp::WORKLOADS.len() * mlp::WINDOWS.len()) as u64 * 2 * instrs;
+            JobOutput {
+                rendered: mlp::render(&rows),
+                metrics,
+                sim_ops: ops,
             }
         }
         other => return Err(format!("unknown artefact: {other}")),

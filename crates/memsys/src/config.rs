@@ -65,6 +65,12 @@ pub struct MemSysConfig {
     pub mmu_cache_latency_cycles: u64,
     /// Core clock in GHz (Table III: 3 GHz), used to convert DRAM ns.
     pub core_ghz: f64,
+    /// Memory-level parallelism: the bounded window of in-flight memory
+    /// operations the pipelined drivers issue against the event pipeline.
+    /// `1` (the default) degenerates to the blocking model bit-for-bit;
+    /// larger windows overlap misses across banks and let the controller
+    /// batch MAC verification over each drain.
+    pub mlp: usize,
 }
 
 impl Default for MemSysConfig {
@@ -93,6 +99,7 @@ impl Default for MemSysConfig {
             mmu_cache_ways: 4,
             mmu_cache_latency_cycles: 2,
             core_ghz: 3.0,
+            mlp: 1,
         }
     }
 }

@@ -1,5 +1,21 @@
 //! The memory controller: DRAM scheduling plus the PT-Guard engine hook
 //! (Figure 5 of the paper).
+//!
+//! Two datapaths share one implementation:
+//!
+//! * the **blocking** path ([`MemoryController::read_line`]) services one
+//!   request to completion, exactly as before the pipeline refactor;
+//! * the **banked-queue** path ([`MemoryController::enqueue_read`] /
+//!   [`MemoryController::drain_reads`]) accepts a window of outstanding
+//!   reads, schedules each bank's queue FR-FCFS against the device's
+//!   per-bank busy-until timing, and verifies all ready PTE MACs through
+//!   one [`ptguard::mac::PteMac::compute_batch`] call per drain.
+//!
+//! A drain of a single request is *bit-identical* to one `read_line` call:
+//! the bank wait is exactly `0.0`, a batch of one computes the same MAC,
+//! and both paths funnel through the same `finish_read` tail.
+
+use std::collections::VecDeque;
 
 use dram::DramDevice;
 use pagetable::addr::PhysAddr;
@@ -10,6 +26,10 @@ use ptguard::PtGuardEngine;
 
 use crate::config::clock;
 use crate::fullmac::FullMemoryMac;
+
+/// Number of buckets in [`ControllerStats::mac_batch_hist`]: batch sizes
+/// 1, 2, 3-4, 5-8, 9-16, and >16.
+pub const MAC_BATCH_BUCKETS: usize = 6;
 
 /// Controller statistics.
 #[derive(Debug, Clone, Copy, Default)]
@@ -24,6 +44,43 @@ pub struct ControllerStats {
     pub check_failures: u64,
     /// Extra cycles added by MAC work on the read path.
     pub mac_cycles_added: u64,
+    /// High-water mark of reads outstanding across all bank queues.
+    pub queue_occupancy_hwm: u64,
+    /// Histogram of MAC verification batch sizes per drain step
+    /// (buckets: 1, 2, 3-4, 5-8, 9-16, >16). Drains whose every read takes
+    /// a shortcut (CTB / identifier skip / MAC-zero) record nothing.
+    pub mac_batch_hist: [u64; MAC_BATCH_BUCKETS],
+}
+
+/// A read waiting in a bank queue.
+#[derive(Debug, Clone, Copy)]
+struct QueuedRead {
+    id: u64,
+    addr: PhysAddr,
+    is_pte: bool,
+}
+
+/// A queued read after its DRAM service, before MAC verification.
+#[derive(Debug, Clone, Copy)]
+struct ServicedRead {
+    id: u64,
+    addr: PhysAddr,
+    is_pte: bool,
+    dram_ps: u128,
+    raw: Line,
+}
+
+/// Scratch buffers reused across [`MemoryController::drain_reads`] calls so
+/// a steady-state drain performs no heap allocation (the MAC batch itself
+/// runs on stack buffers for any realistic window — see
+/// [`ptguard::mac::PteMac::compute_batch_into`]).
+#[derive(Debug, Default)]
+struct DrainScratch {
+    serviced: Vec<ServicedRead>,
+    macs: Vec<Option<u128>>,
+    needing: Vec<usize>,
+    items: Vec<(Line, PhysAddr)>,
+    computed: Vec<u128>,
 }
 
 /// Result of a DRAM line read.
@@ -55,18 +112,37 @@ pub struct MemoryController {
     /// exactly once, at construction (see [`clock`]).
     core_khz: u64,
     stats: ControllerStats,
+    /// Per-bank FIFO request queues for the pipelined read path.
+    queues: Vec<VecDeque<QueuedRead>>,
+    /// Reads currently queued across all banks.
+    queued: usize,
+    /// Monotonic request id; doubles as the FCFS age tiebreaker.
+    next_req_id: u64,
+    /// Reusable drain buffers (see [`DrainScratch`]).
+    scratch: DrainScratch,
+    /// Benchmark control: when set, drained reads are verified with one
+    /// scalar cipher call per chunk instead of the batched SWAR kernel.
+    /// MAC values — and therefore every simulated outcome — are identical;
+    /// only host time differs. See [`Self::set_unbatched_mac`].
+    unbatched_mac: bool,
 }
 
 impl MemoryController {
     /// Creates a controller over `device`; `engine` enables PT-Guard.
     #[must_use]
     pub fn new(device: DramDevice, engine: Option<PtGuardEngine>, core_ghz: f64) -> Self {
+        let banks = device.geometry().banks as usize;
         Self {
             device,
             engine,
             full_mac: None,
             core_khz: clock::ghz_to_khz(core_ghz),
             stats: ControllerStats::default(),
+            queues: vec![VecDeque::new(); banks],
+            queued: 0,
+            next_req_id: 0,
+            scratch: DrainScratch::default(),
+            unbatched_mac: false,
         }
     }
 
@@ -77,12 +153,18 @@ impl MemoryController {
     #[must_use]
     pub fn with_full_memory_mac(device: DramDevice, core_ghz: f64) -> Self {
         let fm = FullMemoryMac::new(device.size());
+        let banks = device.geometry().banks as usize;
         Self {
             device,
             engine: None,
             full_mac: Some(fm),
             core_khz: clock::ghz_to_khz(core_ghz),
             stats: ControllerStats::default(),
+            queues: vec![VecDeque::new(); banks],
+            queued: 0,
+            next_req_id: 0,
+            scratch: DrainScratch::default(),
+            unbatched_mac: false,
         }
     }
 
@@ -100,16 +182,32 @@ impl MemoryController {
     /// point from the same `mac_cycles` the returned [`DramRead`] carries,
     /// so the stat equals the sum of per-read `mac_cycles` in every mode.
     pub fn read_line(&mut self, addr: PhysAddr, is_pte: bool) -> DramRead {
+        let dram_ps = clock::ns_to_ps(self.device.access(addr, false));
+        let raw = Line::from_bytes(&self.device.read_line(addr));
+        self.finish_read(addr, is_pte, dram_ps, raw, None)
+    }
+
+    /// The shared tail of a line read: PT-Guard / full-memory-MAC
+    /// verification and stat accounting for a line whose DRAM service
+    /// (`dram_ps`) and raw contents (`raw`) are already known. Both the
+    /// blocking path and the drain path end here; `precomputed_mac` carries
+    /// the batched MAC when the drain already computed it.
+    fn finish_read(
+        &mut self,
+        addr: PhysAddr,
+        is_pte: bool,
+        mut dram_ps: u128,
+        raw: Line,
+        precomputed_mac: Option<u128>,
+    ) -> DramRead {
         self.stats.reads += 1;
         if is_pte {
             self.stats.pte_reads += 1;
         }
-        let mut dram_ps = clock::ns_to_ps(self.device.access(addr, false));
-        let raw = Line::from_bytes(&self.device.read_line(addr));
         let mut mac_cycles = 0u64;
         let (mut line, mut verdict) = match &mut self.engine {
             Some(engine) => {
-                let out = engine.process_read(raw, addr, is_pte);
+                let out = engine.process_read_with(raw, addr, is_pte, precomputed_mac);
                 mac_cycles += u64::from(out.added_latency_cycles);
                 (out.line, out.verdict)
             }
@@ -156,6 +254,131 @@ impl MemoryController {
         }
     }
 
+    /// Queues a line read on its bank's request queue and returns its
+    /// request id. The read is serviced — and its result returned — by the
+    /// next [`Self::drain_reads`] call.
+    pub fn enqueue_read(&mut self, addr: PhysAddr, is_pte: bool) -> u64 {
+        let id = self.next_req_id;
+        self.next_req_id += 1;
+        let bank = self.device.geometry().row_of(addr).bank as usize;
+        self.queues[bank].push_back(QueuedRead { id, addr, is_pte });
+        self.queued += 1;
+        self.stats.queue_occupancy_hwm = self.stats.queue_occupancy_hwm.max(self.queued as u64);
+        id
+    }
+
+    /// Whether any read is waiting in a bank queue.
+    #[must_use]
+    pub fn has_queued_reads(&self) -> bool {
+        self.queued > 0
+    }
+
+    /// Services every queued read and appends `(request id, result)` pairs
+    /// to `out` in deterministic completion order. The caller's buffer (and
+    /// the controller's internal scratch) keep their capacity across calls,
+    /// so a steady-state drain allocates nothing.
+    ///
+    /// Scheduling: all banks drain concurrently from a common epoch `t0`
+    /// (the device clock at drain entry). Within a bank, requests are picked
+    /// FR-FCFS — the oldest request hitting the currently open row first,
+    /// else the oldest request — and chain through the bank's busy-until
+    /// time, so same-bank requests serialise while different banks overlap.
+    /// Completion order is `(service finish in integer ps, request id)`:
+    /// pure integer comparison, so it is identical across hosts and
+    /// `--jobs` values.
+    ///
+    /// MAC verification is batched: every serviced read that will reach full
+    /// verification (per [`PtGuardEngine::read_needs_mac`]) contributes its
+    /// four chunk encryptions to one
+    /// [`ptguard::mac::PteMac::compute_batch_into`] call, and the result is
+    /// fed back through the normal per-read verify path.
+    pub fn drain_reads(&mut self, out: &mut Vec<(u64, DramRead)>) {
+        let t0 = self.device.now_ns();
+        let mut s = std::mem::take(&mut self.scratch);
+        s.serviced.clear();
+        for bank in 0..self.queues.len() {
+            while !self.queues[bank].is_empty() {
+                // FR-FCFS: oldest row-hit request, else oldest. Re-evaluated
+                // after every service because each activation moves the open
+                // row. Queue order is insertion order and ids are monotonic,
+                // so the first row match is the oldest one.
+                let open = self.device.open_row(bank);
+                let pick = open
+                    .and_then(|row| {
+                        self.queues[bank]
+                            .iter()
+                            .position(|q| self.device.geometry().row_of(q.addr).row == row)
+                    })
+                    .unwrap_or(0);
+                let q = self.queues[bank].remove(pick).expect("non-empty queue");
+                let t = self.device.service_at(q.addr, false, t0);
+                let dram_ps = clock::ns_to_ps(t.wait_ns) + clock::ns_to_ps(t.latency_ns);
+                // The raw line must be read *immediately* after this
+                // request's own service: the activation may have flipped
+                // bits (Rowhammer), and the blocking path reads right after
+                // its access — later requests' disturbance must not leak
+                // backwards into this one.
+                let raw = Line::from_bytes(&self.device.read_line(q.addr));
+                s.serviced.push(ServicedRead {
+                    id: q.id,
+                    addr: q.addr,
+                    is_pte: q.is_pte,
+                    dram_ps,
+                    raw,
+                });
+            }
+        }
+        self.queued = 0;
+        s.serviced.sort_by_key(|r| (r.dram_ps, r.id));
+
+        // One MAC batch over every read that will reach full verification.
+        s.macs.clear();
+        s.macs.resize(s.serviced.len(), None);
+        if let Some(engine) = &self.engine {
+            s.needing.clear();
+            s.items.clear();
+            for (i, r) in s.serviced.iter().enumerate() {
+                if engine.read_needs_mac(&r.raw, r.addr, r.is_pte) {
+                    s.needing.push(i);
+                    s.items.push((r.raw, r.addr));
+                }
+            }
+            if !s.needing.is_empty() {
+                s.computed.clear();
+                if self.unbatched_mac {
+                    // Unbatched-verification control: one scalar cipher call
+                    // per chunk, same MAC values (see `set_unbatched_mac`).
+                    let mac = engine.mac_unit();
+                    s.computed
+                        .extend(s.items.iter().map(|(l, a)| mac.compute_unbatched(l, *a)));
+                } else {
+                    engine
+                        .mac_unit()
+                        .compute_batch_into(&s.items, &mut s.computed);
+                }
+                for (&i, &mac) in s.needing.iter().zip(&s.computed) {
+                    s.macs[i] = Some(mac);
+                }
+                let bucket = match s.needing.len() {
+                    1 => 0,
+                    2 => 1,
+                    3..=4 => 2,
+                    5..=8 => 3,
+                    9..=16 => 4,
+                    _ => 5,
+                };
+                self.stats.mac_batch_hist[bucket] += 1;
+            }
+        }
+
+        out.reserve(s.serviced.len());
+        for (r, mac) in s.serviced.iter().zip(&s.macs) {
+            let read = self.finish_read(r.addr, r.is_pte, r.dram_ps, r.raw, *mac);
+            out.push((r.id, read));
+        }
+        self.scratch = s;
+    }
+
     /// Serves a line write (cache writeback or OS store drain).
     pub fn write_line(&mut self, addr: PhysAddr, line: Line) {
         self.stats.writes += 1;
@@ -188,6 +411,19 @@ impl MemoryController {
     /// Mutable DRAM device access (fault injection, hammering).
     pub fn device_mut(&mut self) -> &mut DramDevice {
         &mut self.device
+    }
+
+    /// Switches drain-time MAC verification between the batched SWAR kernel
+    /// (default) and the scalar per-chunk reference path
+    /// ([`ptguard::mac::PteMac::compute_unbatched`]).
+    ///
+    /// The two paths produce bit-identical MACs, so simulated cycle counts,
+    /// verdicts, and stats are unaffected — the knob exists so `bench
+    /// memsys` can isolate the *host-time* cost of unbatched verification
+    /// at an otherwise identical pipeline configuration. No-op for a
+    /// controller without a PT-Guard engine.
+    pub fn set_unbatched_mac(&mut self, on: bool) {
+        self.unbatched_mac = on;
     }
 
     /// The PT-Guard engine, if mounted.

@@ -72,6 +72,72 @@ pub struct SystemStats {
     pub walk_llc_misses: u64,
     /// PT-Guard integrity exceptions delivered.
     pub integrity_faults: u64,
+    /// High-water mark of MSHR entries (distinct outstanding miss lines).
+    pub mshr_hwm: u64,
+}
+
+/// Result of classifying one walk-level PTE (shared by the blocking walk
+/// and the pipelined op state machine).
+enum WalkStep {
+    /// Non-present or out-of-bounds entry at `level`.
+    Fault {
+        /// Walk level of the missing entry.
+        level: usize,
+    },
+    /// The walk terminated with this leaf (TLB already updated).
+    Leaf(Pte),
+    /// Descend into the next table.
+    Descend(Frame),
+}
+
+/// State of one in-flight pipelined memory operation.
+#[derive(Debug, Clone, Copy)]
+enum OpState {
+    /// Walking: about to access the entry of `table` at `level`.
+    Walk {
+        /// Current page-table frame.
+        table: Frame,
+        /// Walk level (3 = PML4 … 0 = PT).
+        level: usize,
+    },
+    /// Suspended on a DRAM read of a walk entry.
+    AwaitWalk {
+        /// Walk level of the suspended access.
+        level: usize,
+        /// The entry's physical address.
+        entry_addr: PhysAddr,
+    },
+    /// Translated: about to access the data line through `leaf`.
+    Data {
+        /// The leaf PTE.
+        leaf: Pte,
+    },
+    /// Suspended on a DRAM read of the data line at `pa`.
+    AwaitData {
+        /// The data line's physical address.
+        pa: PhysAddr,
+    },
+}
+
+/// One in-flight pipelined memory operation.
+#[derive(Debug, Clone, Copy)]
+struct PendingOp {
+    id: u64,
+    va: VirtAddr,
+    write: bool,
+    cycles: u64,
+    state: OpState,
+}
+
+/// One outstanding miss line: the controller request plus every op waiting
+/// on it. `waiters[0]` is the primary (it installs the fill); later waiters
+/// merged into the same line and only collect the latency.
+#[derive(Debug)]
+struct MshrEntry {
+    req_id: u64,
+    line_addr: u64,
+    is_pte: bool,
+    waiters: Vec<u64>,
 }
 
 /// The single-core memory system of Table III.
@@ -88,6 +154,15 @@ pub struct MemorySystem {
     root: Frame,
     max_phys_bits: u32,
     stats: SystemStats,
+    /// Outstanding-miss file of the pipelined path.
+    mshr: Vec<MshrEntry>,
+    /// Ops suspended on an MSHR entry.
+    pending: Vec<PendingOp>,
+    /// Ops that finished since the last [`MemorySystem::pipe_take_completed`].
+    completed: Vec<(u64, AccessOutcome)>,
+    /// Reusable buffer for the controller drain in [`MemorySystem::pipe_step`].
+    drain_buf: Vec<(u64, crate::controller::DramRead)>,
+    next_op_id: u64,
 }
 
 impl MemorySystem {
@@ -108,8 +183,19 @@ impl MemorySystem {
             root: Frame(0),
             max_phys_bits: 40,
             stats: SystemStats::default(),
+            mshr: Vec::new(),
+            pending: Vec::new(),
+            completed: Vec::new(),
+            drain_buf: Vec::new(),
+            next_op_id: 0,
             cfg,
         }
+    }
+
+    /// The system's configuration.
+    #[must_use]
+    pub fn config(&self) -> &MemSysConfig {
+        &self.cfg
     }
 
     /// Points the walker at a page-table root (CR3) for a machine with
@@ -201,7 +287,6 @@ impl MemorySystem {
     /// Hardware page walk with MMU-cache acceleration. Adds latency into
     /// `cycles`; returns the leaf PTE or a fault outcome.
     fn walk(&mut self, va: VirtAddr, cycles: &mut u64) -> Result<Pte, AccessOutcome> {
-        let max_frame = 1u64 << (self.max_phys_bits - 12);
         let mut table = self.root;
         for level in (0..4usize).rev() {
             let entry_addr =
@@ -242,35 +327,46 @@ impl MemorySystem {
                 }
                 Pte::from_raw(line.word(entry_addr.line_offset() / 8))
             };
-            if !pte.present() {
-                return Err(AccessOutcome::PageFault {
-                    cycles: *cycles,
-                    level,
-                });
+            match self.classify_pte(va, level, pte) {
+                WalkStep::Fault { level } => {
+                    return Err(AccessOutcome::PageFault {
+                        cycles: *cycles,
+                        level,
+                    })
+                }
+                WalkStep::Leaf(leaf) => return Ok(leaf),
+                WalkStep::Descend(next) => table = next,
             }
-            if pte.frame().0 >= max_frame {
-                // The OS-visible bounds check of Section IV-E.
-                return Err(AccessOutcome::PageFault {
-                    cycles: *cycles,
-                    level,
-                });
-            }
-            if level == 0 {
-                self.tlb.insert(va.vpn(), pte);
-                return Ok(pte);
-            }
-            if level == 1 && pte.huge_page() {
-                // 2 MB leaf: splinter into a 4 KB-granular TLB entry so the
-                // downstream address math stays uniform.
-                let mut splinter = pte;
-                splinter.set_frame(Frame((pte.frame().0 & !0x1ff) | va.pt_index() as u64));
-                let splinter = Pte::from_raw(splinter.raw() & !pagetable::x86_64::bits::HUGE_PAGE);
-                self.tlb.insert(va.vpn(), splinter);
-                return Ok(splinter);
-            }
-            table = pte.frame();
         }
         unreachable!("level 0 returns");
+    }
+
+    /// Classifies one walk-level PTE: fault, leaf (TLB inserted, huge pages
+    /// splintered to 4 KB granularity), or descend. Shared verbatim by the
+    /// blocking walk and the pipelined resume path.
+    fn classify_pte(&mut self, va: VirtAddr, level: usize, pte: Pte) -> WalkStep {
+        let max_frame = 1u64 << (self.max_phys_bits - 12);
+        if !pte.present() {
+            return WalkStep::Fault { level };
+        }
+        if pte.frame().0 >= max_frame {
+            // The OS-visible bounds check of Section IV-E.
+            return WalkStep::Fault { level };
+        }
+        if level == 0 {
+            self.tlb.insert(va.vpn(), pte);
+            return WalkStep::Leaf(pte);
+        }
+        if level == 1 && pte.huge_page() {
+            // 2 MB leaf: splinter into a 4 KB-granular TLB entry so the
+            // downstream address math stays uniform.
+            let mut splinter = pte;
+            splinter.set_frame(Frame((pte.frame().0 & !0x1ff) | va.pt_index() as u64));
+            let splinter = Pte::from_raw(splinter.raw() & !pagetable::x86_64::bits::HUGE_PAGE);
+            self.tlb.insert(va.vpn(), splinter);
+            return WalkStep::Leaf(splinter);
+        }
+        WalkStep::Descend(pte.frame())
     }
 
     /// Core line-access path: L1 → L2 → LLC → controller.
@@ -284,6 +380,31 @@ impl MemorySystem {
         write: bool,
         is_pte: bool,
     ) -> (Line, u64, bool, ReadVerdict) {
+        match self.probe_caches(addr, write, is_pte) {
+            Ok((line, cycles)) => (line, cycles, false, ReadVerdict::Forwarded),
+            Err(mut cycles) => {
+                let read = self.controller.read_line(addr, is_pte);
+                cycles += read.latency_cycles;
+                if read.verdict == ReadVerdict::CheckFailed {
+                    // The line is not installed anywhere (Section IV-F).
+                    return (read.line, cycles, true, read.verdict);
+                }
+                self.install_fill(addr, read.line, write, is_pte);
+                (read.line, cycles, true, read.verdict)
+            }
+        }
+    }
+
+    /// Probes L1 → L2 → LLC. On a hit, performs the usual upward fills /
+    /// store-dirtying and returns the line plus probe cycles; on a full
+    /// miss, returns the accumulated probe cycles — the caller either reads
+    /// DRAM inline (blocking path) or suspends on the pipeline.
+    fn probe_caches(
+        &mut self,
+        addr: PhysAddr,
+        write: bool,
+        is_pte: bool,
+    ) -> Result<(Line, u64), u64> {
         let mut cycles = 0u64;
         // The L1 is probed even for walk accesses (hardware walkers are
         // coherent with the data cache); walk fills go into L2/LLC only.
@@ -294,49 +415,51 @@ impl MemorySystem {
                 // change, so dirty it now (lookup itself never dirties).
                 self.l1d.update(addr, line, true);
             }
-            return (line, cycles, false, ReadVerdict::Forwarded);
+            return Ok((line, cycles));
         }
         cycles += self.l2.latency_cycles;
         if let Some(line) = self.l2.lookup(addr) {
             if !is_pte {
-                self.fill_l1(addr, line, write);
+                self.fill_level(0, addr, line, write);
             }
-            return (line, cycles, false, ReadVerdict::Forwarded);
+            return Ok((line, cycles));
         }
         cycles += self.llc.latency_cycles;
         if let Some(line) = self.llc.lookup(addr) {
-            self.fill_l2(addr, line);
+            self.fill_level(1, addr, line, false);
             if !is_pte {
-                self.fill_l1(addr, line, write);
+                self.fill_level(0, addr, line, write);
             }
-            return (line, cycles, false, ReadVerdict::Forwarded);
+            return Ok((line, cycles));
         }
-        let read = self.controller.read_line(addr, is_pte);
-        cycles += read.latency_cycles;
-        if read.verdict == ReadVerdict::CheckFailed {
-            // The line is not installed anywhere (Section IV-F).
-            return (read.line, cycles, true, read.verdict);
-        }
-        if let Some((wa, wl)) = self.llc.fill(addr, read.line, false) {
+        Err(cycles)
+    }
+
+    /// Installs a DRAM fill into LLC → L2 (→ L1 for demand accesses),
+    /// evicting through [`Self::writeback`] / the controller as usual.
+    /// Shared by the blocking miss path and the pipelined resume path.
+    fn install_fill(&mut self, addr: PhysAddr, line: Line, write: bool, is_pte: bool) {
+        if let Some((wa, wl)) = self.llc.fill(addr, line, false) {
             self.controller.write_line(wa, wl);
         }
-        self.fill_l2(addr, read.line);
+        self.fill_level(1, addr, line, false);
         if !is_pte {
-            self.fill_l1(addr, read.line, write);
+            self.fill_level(0, addr, line, write);
         }
-        (read.line, cycles, true, read.verdict)
     }
 
-    fn fill_l1(&mut self, addr: PhysAddr, line: Line, dirty: bool) {
-        if let Some((wa, wl)) = self.l1d.fill(addr, line, dirty) {
+    /// Fills `addr` into cache level `level` (0 = L1D, 1 = L2), writing any
+    /// evicted dirty line back through [`Self::writeback`] — the one
+    /// level-indexed fill/eviction helper both access paths share.
+    fn fill_level(&mut self, level: usize, addr: PhysAddr, line: Line, dirty: bool) {
+        let evicted = match level {
+            0 => self.l1d.fill(addr, line, dirty),
+            1 => self.l2.fill(addr, line, dirty),
+            _ => unreachable!("only L1D and L2 fill through fill_level"),
+        };
+        if let Some((wa, wl)) = evicted {
             // Writebacks percolate down; model them as reaching DRAM via
             // the controller (off the critical path).
-            self.writeback(wa, wl);
-        }
-    }
-
-    fn fill_l2(&mut self, addr: PhysAddr, line: Line) {
-        if let Some((wa, wl)) = self.l2.fill(addr, line, false) {
             self.writeback(wa, wl);
         }
     }
@@ -352,7 +475,18 @@ impl MemorySystem {
 
     /// Writes every dirty line back to DRAM (through PT-Guard) and clears
     /// dirtiness — the state a quiesced system reaches naturally.
+    ///
+    /// In-flight pipelined ops are drained first: a flush with a non-empty
+    /// MSHR file must complete — not drop — the pending misses, or their
+    /// fills (and any dirty lines they produce) would be lost.
     pub fn flush_caches(&mut self) {
+        while self.controller.has_queued_reads() {
+            self.pipe_step();
+        }
+        debug_assert!(
+            self.pending.is_empty(),
+            "every pending op waits on a queued read"
+        );
         for (a, l) in self.l1d.drain_dirty() {
             self.writeback(a, l);
         }
@@ -409,7 +543,267 @@ impl MemorySystem {
         } else if self.llc.peek(addr).is_some() {
             self.llc.update(addr, line, true);
         } else {
-            self.fill_l1(addr, line, true);
+            self.fill_level(0, addr, line, true);
+        }
+    }
+
+    /// Issues a demand access into the pipelined path and returns its op id.
+    /// The op runs as far as the caches allow; a full miss suspends it on
+    /// the MSHR file until a [`Self::pipe_step`] drains the controller. The
+    /// result is collected via [`Self::pipe_take_completed`].
+    pub fn pipe_issue(&mut self, va: VirtAddr, write: bool) -> u64 {
+        if write {
+            self.stats.stores += 1;
+        } else {
+            self.stats.loads += 1;
+        }
+        let id = self.next_op_id;
+        self.next_op_id += 1;
+        let mut op = PendingOp {
+            id,
+            va,
+            write,
+            cycles: self.cfg.tlb_latency_cycles,
+            state: OpState::Walk {
+                table: self.root,
+                level: 3,
+            },
+        };
+        if let Some(leaf) = self.tlb.lookup(va.vpn()) {
+            op.state = OpState::Data { leaf };
+        } else {
+            self.stats.walks += 1;
+        }
+        self.drive(op);
+        id
+    }
+
+    /// Services every queued DRAM read and resumes the ops waiting on them
+    /// (in deterministic completion order); resumed ops run until they
+    /// complete or suspend on a new miss.
+    pub fn pipe_step(&mut self) {
+        let mut drained = std::mem::take(&mut self.drain_buf);
+        drained.clear();
+        self.controller.drain_reads(&mut drained);
+        for (req_id, read) in &drained {
+            let Some(pos) = self.mshr.iter().position(|e| e.req_id == *req_id) else {
+                continue;
+            };
+            let entry = self.mshr.remove(pos);
+            for (i, op_id) in entry.waiters.iter().enumerate() {
+                let pos = self
+                    .pending
+                    .iter()
+                    .position(|p| p.id == *op_id)
+                    .expect("MSHR waiter must be pending");
+                let op = self.pending.remove(pos);
+                self.resume(op, read, i == 0);
+            }
+        }
+        self.drain_buf = drained;
+    }
+
+    /// Ops issued but not yet completed.
+    #[must_use]
+    pub fn pipe_pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Takes the `(op id, outcome)` pairs completed so far.
+    pub fn pipe_take_completed(&mut self) -> Vec<(u64, AccessOutcome)> {
+        std::mem::take(&mut self.completed)
+    }
+
+    /// Appends the `(op id, outcome)` pairs completed so far to `out`,
+    /// leaving the internal buffer empty but with its capacity intact —
+    /// the allocation-free variant of [`Self::pipe_take_completed`] the
+    /// windowed drivers use every op.
+    pub fn pipe_drain_completed(&mut self, out: &mut Vec<(u64, AccessOutcome)>) {
+        out.append(&mut self.completed);
+    }
+
+    /// Runs `op` until it completes or suspends on a miss.
+    fn drive(&mut self, mut op: PendingOp) {
+        loop {
+            match op.state {
+                OpState::Walk { table, level } => {
+                    let entry_addr = PhysAddr::new(
+                        table.base().as_u64() + (op.va.level_index(level) as u64) * 8,
+                    );
+                    let mmu_hit = if level > 0 {
+                        self.mmu.lookup(entry_addr)
+                    } else {
+                        None
+                    };
+                    let pte = if let Some(hit) = mmu_hit {
+                        op.cycles += self.mmu.latency_cycles;
+                        hit
+                    } else {
+                        match self.probe_caches(entry_addr, false, true) {
+                            Ok((line, c)) => {
+                                op.cycles += c;
+                                let pte = Pte::from_raw(line.word(entry_addr.line_offset() / 8));
+                                if level > 0 {
+                                    self.mmu.insert(entry_addr, pte);
+                                }
+                                pte
+                            }
+                            Err(c) => {
+                                op.cycles += c;
+                                op.state = OpState::AwaitWalk { level, entry_addr };
+                                self.suspend(op, entry_addr, true);
+                                return;
+                            }
+                        }
+                    };
+                    match self.classify_pte(op.va, level, pte) {
+                        WalkStep::Fault { level } => {
+                            self.completed.push((
+                                op.id,
+                                AccessOutcome::PageFault {
+                                    cycles: op.cycles,
+                                    level,
+                                },
+                            ));
+                            return;
+                        }
+                        WalkStep::Leaf(leaf) => op.state = OpState::Data { leaf },
+                        WalkStep::Descend(next) => {
+                            op.state = OpState::Walk {
+                                table: next,
+                                level: level - 1,
+                            }
+                        }
+                    }
+                }
+                OpState::Data { leaf } => {
+                    let pa = leaf.target(op.va.page_offset());
+                    match self.probe_caches(pa, op.write, false) {
+                        Ok((_, c)) => {
+                            op.cycles += c;
+                            self.completed.push((
+                                op.id,
+                                AccessOutcome::Ok {
+                                    cycles: op.cycles,
+                                    llc_miss: false,
+                                },
+                            ));
+                            return;
+                        }
+                        Err(c) => {
+                            op.cycles += c;
+                            op.state = OpState::AwaitData { pa };
+                            self.suspend(op, pa, false);
+                            return;
+                        }
+                    }
+                }
+                OpState::AwaitWalk { .. } | OpState::AwaitData { .. } => {
+                    unreachable!("suspended ops resume through pipe_step")
+                }
+            }
+        }
+    }
+
+    /// Parks `op` on the MSHR entry for `addr`'s line, creating the entry —
+    /// and queueing the DRAM read — if this is the line's first miss.
+    fn suspend(&mut self, op: PendingOp, addr: PhysAddr, is_pte: bool) {
+        let line_addr = addr.line_addr().as_u64();
+        if let Some(entry) = self
+            .mshr
+            .iter_mut()
+            .find(|e| e.line_addr == line_addr && e.is_pte == is_pte)
+        {
+            entry.waiters.push(op.id);
+        } else {
+            let req_id = self.controller.enqueue_read(addr, is_pte);
+            self.mshr.push(MshrEntry {
+                req_id,
+                line_addr,
+                is_pte,
+                waiters: vec![op.id],
+            });
+            self.stats.mshr_hwm = self.stats.mshr_hwm.max(self.mshr.len() as u64);
+        }
+        self.pending.push(op);
+    }
+
+    /// Resumes a suspended op with its DRAM read. The primary waiter
+    /// installs the fill; merged waiters only collect the latency (and, for
+    /// stores, dirty the installed line).
+    fn resume(&mut self, mut op: PendingOp, read: &crate::controller::DramRead, primary: bool) {
+        op.cycles += read.latency_cycles;
+        match op.state {
+            OpState::AwaitWalk { level, entry_addr } => {
+                self.stats.walk_llc_misses += 1;
+                if read.verdict == ReadVerdict::CheckFailed {
+                    self.stats.integrity_faults += 1;
+                    self.completed.push((
+                        op.id,
+                        AccessOutcome::PteCheckFailed {
+                            cycles: op.cycles,
+                            level,
+                        },
+                    ));
+                    return;
+                }
+                if primary {
+                    self.install_fill(entry_addr, read.line, false, true);
+                }
+                let pte = Pte::from_raw(read.line.word(entry_addr.line_offset() / 8));
+                if level > 0 {
+                    self.mmu.insert(entry_addr, pte);
+                }
+                match self.classify_pte(op.va, level, pte) {
+                    WalkStep::Fault { level } => {
+                        self.completed.push((
+                            op.id,
+                            AccessOutcome::PageFault {
+                                cycles: op.cycles,
+                                level,
+                            },
+                        ));
+                    }
+                    WalkStep::Leaf(leaf) => {
+                        op.state = OpState::Data { leaf };
+                        self.drive(op);
+                    }
+                    WalkStep::Descend(next) => {
+                        op.state = OpState::Walk {
+                            table: next,
+                            level: level - 1,
+                        };
+                        self.drive(op);
+                    }
+                }
+            }
+            OpState::AwaitData { pa } => {
+                self.stats.llc_misses += 1;
+                // The demand path consumes the line whatever the verdict
+                // (matching the blocking path, which ignores it for data),
+                // but a failed check is never installed (Section IV-F).
+                if read.verdict != ReadVerdict::CheckFailed {
+                    if primary {
+                        self.install_fill(pa, read.line, op.write, false);
+                    } else if op.write {
+                        // Merged store: the primary installed the line
+                        // (possibly clean); dirty it like a store hit.
+                        if let Some(line) = self.l1d.peek(pa) {
+                            self.l1d.update(pa, line, true);
+                        }
+                    }
+                }
+                self.completed.push((
+                    op.id,
+                    AccessOutcome::Ok {
+                        cycles: op.cycles,
+                        llc_miss: true,
+                    },
+                ));
+            }
+            OpState::Walk { .. } | OpState::Data { .. } => {
+                unreachable!("only suspended ops resume")
+            }
         }
     }
 }
@@ -678,6 +1072,105 @@ mod tests {
                 return start;
             }
         }
+    }
+
+    /// Forces the next accesses to miss all the way to DRAM: dirty state
+    /// drains, translations drop, and every page-table line is evicted.
+    fn cold_start(sys: &mut MemorySystem, space: &AddressSpace) {
+        sys.flush_caches();
+        sys.invalidate_translation_state();
+        for a in space.pte_line_addrs() {
+            sys.invalidate_line(a);
+        }
+    }
+
+    #[test]
+    fn pipelined_access_matches_blocking_cycles() {
+        // One cold access through each path, from identical machine state,
+        // must cost identical cycles — the pipeline is a refactor of the
+        // same event sequence, not a new timing model.
+        let mut blocking = system(true);
+        let (space_b, base) = setup(&mut blocking, 8);
+        let mut piped = system(true);
+        let (space_p, _) = setup(&mut piped, 8);
+        for i in 0..8 {
+            let va = VirtAddr::new(base + i * 4096);
+            cold_start(&mut blocking, &space_b);
+            cold_start(&mut piped, &space_p);
+            let out_b = blocking.load(va);
+            let id = piped.pipe_issue(va, false);
+            while piped.pipe_pending() > 0 {
+                piped.pipe_step();
+            }
+            let done = piped.pipe_take_completed();
+            assert_eq!(done.len(), 1);
+            assert_eq!(done[0].0, id);
+            assert!(done[0].1.is_ok());
+            assert_eq!(
+                out_b.cycles(),
+                done[0].1.cycles(),
+                "page {i}: blocking vs pipelined latency"
+            );
+        }
+    }
+
+    #[test]
+    fn flush_drains_inflight_misses_instead_of_dropping_them() {
+        let mut sys = system(true);
+        let (space, base) = setup(&mut sys, 16);
+        cold_start(&mut sys, &space);
+        // Issue a window of stores that all miss to DRAM; their dirty fills
+        // exist only in the pipeline until the misses complete.
+        let ids: Vec<u64> = (0..4)
+            .map(|i| sys.pipe_issue(VirtAddr::new(base + i * 4096), true))
+            .collect();
+        assert!(sys.pipe_pending() > 0, "cold stores must suspend on misses");
+        assert!(sys.controller.has_queued_reads());
+        sys.flush_caches();
+        assert_eq!(sys.pipe_pending(), 0, "flush must drain the MSHR file");
+        let done = sys.pipe_take_completed();
+        assert_eq!(done.len(), ids.len(), "no in-flight op may be dropped");
+        for (id, out) in &done {
+            assert!(ids.contains(id));
+            assert!(out.is_ok(), "drained op {id} faulted: {out:?}");
+        }
+        assert!(sys.stats().mshr_hwm >= 1);
+        assert!(sys.controller.stats().queue_occupancy_hwm >= 1);
+    }
+
+    #[test]
+    fn mshr_merges_misses_to_the_same_line() {
+        let mut sys = system(true);
+        let (space, base) = setup(&mut sys, 4);
+        // Warm the TLB so the data accesses need no walk, then go cold on
+        // the caches only: both issues miss on the same data line.
+        for i in 0..4 {
+            let _ = sys.load(VirtAddr::new(base + i * 4096));
+        }
+        sys.flush_caches();
+        let pa = {
+            let port = OsPort::new(&mut sys);
+            space.translate(&port, VirtAddr::new(base)).unwrap()
+        };
+        sys.invalidate_line(pa);
+        let reads_before = sys.controller.stats().reads;
+        let a = sys.pipe_issue(VirtAddr::new(base), false);
+        let b = sys.pipe_issue(VirtAddr::new(base + 8), false);
+        assert_eq!(sys.pipe_pending(), 2, "both ops wait on the same miss");
+        while sys.pipe_pending() > 0 {
+            sys.pipe_step();
+        }
+        let done = sys.pipe_take_completed();
+        assert_eq!(done.len(), 2);
+        for (id, out) in &done {
+            assert!(*id == a || *id == b);
+            assert!(out.is_ok());
+        }
+        assert_eq!(
+            sys.controller.stats().reads - reads_before,
+            1,
+            "the secondary miss must merge into the primary's MSHR entry"
+        );
     }
 
     #[test]

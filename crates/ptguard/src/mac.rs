@@ -153,15 +153,81 @@ impl PteMac {
         (q[0] ^ q[1] ^ q[2] ^ q[3]) & MAC_MASK
     }
 
+    /// Computes the MAC with one *scalar* cipher call per chunk — no
+    /// cross-chunk interleaving.
+    ///
+    /// This is the straight-line reference implementation of the Section
+    /// IV-F construction: it is what a controller without the batched SWAR
+    /// verify kernel would run, one QARMA invocation per 16-byte chunk. It
+    /// returns bit-identical MACs to [`Self::compute`] (the tests pin this),
+    /// so it serves two roles: an independent oracle for the batched
+    /// kernels, and the unbatched-verification control in `bench memsys`
+    /// (the `mlp4-scalar` mode), which isolates how much host time the
+    /// batched drain actually saves.
+    #[must_use]
+    pub fn compute_unbatched(&self, line: &Line, addr: PhysAddr) -> u128 {
+        let masked = line.masked(self.protected_mask);
+        let base = addr.line_addr().as_u64();
+        let mut x = 0u128;
+        for (i, &chunk) in masked.chunks().iter().enumerate() {
+            x ^= self.cipher.encrypt(chunk, u128::from(base + 16 * i as u64));
+        }
+        x & MAC_MASK
+    }
+
     /// Computes MACs for a batch of `(line, addr)` pairs, `out[i]` holding
-    /// the MAC of `items[i]`. One allocation for the result; every chunk
-    /// encryption stays in the flat kernel.
+    /// the MAC of `items[i]`. Convenience wrapper over
+    /// [`Self::compute_batch_into`].
     #[must_use]
     pub fn compute_batch(&self, items: &[(Line, PhysAddr)]) -> Vec<u128> {
-        items
-            .iter()
-            .map(|(line, addr)| self.compute(line, *addr))
-            .collect()
+        let mut out = Vec::with_capacity(items.len());
+        self.compute_batch_into(items, &mut out);
+        out
+    }
+
+    /// Appends the MACs of `items` to `out` (without clearing it).
+    ///
+    /// All `4 × items.len()` chunk encryptions are flattened into a single
+    /// [`Qarma128::encrypt_many`] call, amortising the kernel's entry cost
+    /// across the batch. Batches of up to 8 lines (32 chunk encryptions —
+    /// well above any realistic MLP window's drain) run entirely on stack
+    /// buffers, so the controller's drain step allocates nothing here.
+    pub fn compute_batch_into(&self, items: &[(Line, PhysAddr)], out: &mut Vec<u128>) {
+        const STACK_LINES: usize = 8;
+        if items.len() <= STACK_LINES {
+            let mut pairs = [(0u128, 0u128); STACK_LINES * 4];
+            let mut q = [0u128; STACK_LINES * 4];
+            let n = self.fill_chunk_pairs(items, &mut pairs);
+            self.cipher.encrypt_many(&pairs[..n], &mut q[..n]);
+            Self::fold_macs(&q[..n], out);
+        } else {
+            let mut pairs = vec![(0u128, 0u128); items.len() * 4];
+            let mut q = vec![0u128; items.len() * 4];
+            let n = self.fill_chunk_pairs(items, &mut pairs);
+            self.cipher.encrypt_many(&pairs[..n], &mut q[..n]);
+            Self::fold_macs(&q[..n], out);
+        }
+    }
+
+    /// Writes each item's four masked `(chunk, tweak)` pairs into `buf` and
+    /// returns the pair count (`4 × items.len()`).
+    fn fill_chunk_pairs(&self, items: &[(Line, PhysAddr)], buf: &mut [(u128, u128)]) -> usize {
+        for ((line, addr), slot) in items.iter().zip(buf.chunks_exact_mut(4)) {
+            let masked = line.masked(self.protected_mask);
+            let base = addr.line_addr().as_u64();
+            for (i, (pair, &chunk)) in slot.iter_mut().zip(masked.chunks().iter()).enumerate() {
+                *pair = (chunk, u128::from(base + 16 * i as u64));
+            }
+        }
+        items.len() * 4
+    }
+
+    /// XOR-folds each consecutive quadruple of ciphertexts into a MAC.
+    fn fold_macs(q: &[u128], out: &mut Vec<u128>) {
+        out.extend(
+            q.chunks_exact(4)
+                .map(|c| (c[0] ^ c[1] ^ c[2] ^ c[3]) & MAC_MASK),
+        );
     }
 
     /// Exact verification: computed MAC equals `stored`.
@@ -325,7 +391,9 @@ mod tests {
     #[test]
     fn compute_batch_matches_scalar_for_all_sboxes_and_rounds() {
         use qarma::Sbox;
-        let items: Vec<(Line, PhysAddr)> = (0..6)
+        // 11 items crosses the 8-line stack-buffer boundary, covering both
+        // the stack and the heap paths of `compute_batch_into`.
+        let items: Vec<(Line, PhysAddr)> = (0..11)
             .map(|i| {
                 let mut l = sample_line();
                 l.set_word(i % 8, l.word(i % 8) ^ (0x1000 << i));
@@ -338,6 +406,32 @@ mod tests {
                 let batch = e.compute_batch(&items);
                 for ((line, addr), &mac) in items.iter().zip(&batch) {
                     assert_eq!(mac, e.compute(line, *addr), "r={rounds} sbox={sbox:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compute_unbatched_is_an_independent_oracle_for_the_kernels() {
+        use qarma::Sbox;
+        // The scalar per-chunk path must agree with both batched kernels —
+        // `compute` (one line through `encrypt_many`) and `compute_batch`
+        // (many lines flattened) — across sboxes and round counts.
+        let items: Vec<(Line, PhysAddr)> = (0..5)
+            .map(|i| {
+                let mut l = sample_line();
+                l.set_word(i % 8, l.word(i % 8) ^ (0xabc << i));
+                (l, PhysAddr::new(0x40 * (i as u64 + 3)))
+            })
+            .collect();
+        for sbox in [Sbox::Sigma0, Sbox::Sigma1, Sbox::Sigma2] {
+            for rounds in [1usize, 5, 9] {
+                let e = PteMac::new([3, 17], rounds, sbox, 46);
+                let batch = e.compute_batch(&items);
+                for ((line, addr), &mac) in items.iter().zip(&batch) {
+                    let reference = e.compute_unbatched(line, *addr);
+                    assert_eq!(reference, e.compute(line, *addr), "r={rounds} {sbox:?}");
+                    assert_eq!(reference, mac, "r={rounds} {sbox:?}");
                 }
             }
         }

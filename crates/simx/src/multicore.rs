@@ -12,7 +12,9 @@
 //! an *overlap factor* hides a fraction of every memory stall (O3), and a
 //! *contention factor* scales DRAM latency with core count.
 
-use memsys::system::OsPort;
+use std::collections::VecDeque;
+
+use memsys::system::{AccessOutcome, OsPort};
 use memsys::{MemSysConfig, MemoryController, MemorySystem};
 use pagetable::addr::VirtAddr;
 use pagetable::space::AddressSpace;
@@ -39,6 +41,10 @@ pub struct MultiCoreConfig {
     pub instructions_per_core: u64,
     /// DRAM capacity in GB (paper: 16).
     pub dram_gb: u64,
+    /// Per-core memory-level parallelism window (see
+    /// [`MemSysConfig::mlp`]); `1` reproduces the blocking O3 model
+    /// bit-for-bit.
+    pub mlp: usize,
 }
 
 impl Default for MultiCoreConfig {
@@ -49,6 +55,7 @@ impl Default for MultiCoreConfig {
             contention: 2.5,
             instructions_per_core: 100_000,
             dram_gb: 16,
+            mlp: 1,
         }
     }
 }
@@ -77,6 +84,7 @@ pub fn run_core_from_source<S: OpSource>(
     // contended DRAM channel.
     let mut mem_cfg = MemSysConfig::default();
     mem_cfg.llc.size_bytes = 1 << 20;
+    mem_cfg.mlp = cfg.mlp;
     let mut timing = DramTiming::default();
     timing.t_rcd_ns *= cfg.contention;
     timing.t_rp_ns *= cfg.contention;
@@ -105,27 +113,76 @@ pub fn run_core_from_source<S: OpSource>(
     sys.flush_caches();
 
     // O3 core: one cycle per instruction plus the *unhidden* fraction of
-    // the memory latency. The first pass warms caches and TLB (unmeasured,
-    // like the paper's 25 Bn-instruction fast-forward); the second pass is
-    // the measured region.
+    // the memory latency, with up to `mlp` memory ops in flight. The first
+    // pass warms caches and TLB (unmeasured, like the paper's 25
+    // Bn-instruction fast-forward); the second pass is the measured region.
+    // Each pass drains its window and the measured pass resets both clocks,
+    // so warm-up completion times cannot leak into the measurement.
+    let window = cfg.mlp.max(1);
     let mut cycles_fp = 0.0f64;
+    let mut finish_prev = 0.0f64;
+    let mut inflight: VecDeque<(u64, f64)> = VecDeque::new();
+    // Small linear-scanned buffer, capacity reused per op (see the
+    // single-core driver for rationale).
+    let mut outcomes: Vec<(u64, AccessOutcome)> = Vec::new();
+
+    fn retire(
+        sys: &mut MemorySystem,
+        inflight: &mut VecDeque<(u64, f64)>,
+        outcomes: &mut Vec<(u64, AccessOutcome)>,
+        cycles_fp: &mut f64,
+        finish_prev: &mut f64,
+        o3_overlap: f64,
+    ) {
+        let (id, t_issue) = inflight.pop_front().expect("retire needs an op in flight");
+        let out = loop {
+            sys.pipe_drain_completed(outcomes);
+            if let Some(pos) = outcomes.iter().position(|(cid, _)| *cid == id) {
+                break outcomes.swap_remove(pos).1;
+            }
+            sys.pipe_step();
+        };
+        // At mlp = 1 this reproduces the blocking `+=` chain exactly:
+        // `finish_prev <= t_issue` always holds, so the max is the sum.
+        let finish = (t_issue + out.cycles() as f64 * (1.0 - o3_overlap)).max(*finish_prev);
+        *finish_prev = finish;
+        *cycles_fp = cycles_fp.max(finish);
+    }
+
     for phase in 0..2 {
         if phase == 1 {
             cycles_fp = 0.0;
+            finish_prev = 0.0;
         }
         for _ in 0..cfg.instructions_per_core {
             cycles_fp += 1.0;
-            match source.next_op() {
-                Op::Compute => {}
-                Op::Load(va) => {
-                    let out = sys.load(va);
-                    cycles_fp += out.cycles() as f64 * (1.0 - cfg.o3_overlap);
-                }
-                Op::Store(va) => {
-                    let out = sys.store(va);
-                    cycles_fp += out.cycles() as f64 * (1.0 - cfg.o3_overlap);
-                }
+            let (va, write) = match source.next_op() {
+                Op::Compute => continue,
+                Op::Load(va) => (va, false),
+                Op::Store(va) => (va, true),
+            };
+            let id = sys.pipe_issue(va, write);
+            inflight.push_back((id, cycles_fp));
+            while inflight.len() >= window {
+                retire(
+                    &mut sys,
+                    &mut inflight,
+                    &mut outcomes,
+                    &mut cycles_fp,
+                    &mut finish_prev,
+                    cfg.o3_overlap,
+                );
             }
+        }
+        while !inflight.is_empty() {
+            retire(
+                &mut sys,
+                &mut inflight,
+                &mut outcomes,
+                &mut cycles_fp,
+                &mut finish_prev,
+                cfg.o3_overlap,
+            );
         }
     }
     cycles_fp.round() as u64

@@ -1,7 +1,17 @@
 //! Single-core simulation driver.
+//!
+//! Two drivers share one machine model: [`run_blocking`] executes each
+//! memory operation to completion (the pre-pipeline model, kept as the
+//! byte-identity reference), while [`run`] issues a bounded window of
+//! in-flight operations ([`MemSysConfig::mlp`]) against the pipelined
+//! memory system. With `mlp = 1` the windowed driver retires each op before
+//! the next instruction issues and reproduces the blocking driver's cycle
+//! count and cache state bit for bit.
+
+use std::collections::VecDeque;
 
 use dram::{DramDevice, DramGeometry, DramTiming, RowhammerConfig};
-use memsys::system::OsPort;
+use memsys::system::{AccessOutcome, OsPort};
 use memsys::{MemSysConfig, MemoryController, MemorySystem};
 use pagetable::addr::VirtAddr;
 use pagetable::space::AddressSpace;
@@ -128,9 +138,32 @@ pub fn build_machine_from_source<S: OpSource>(
     protection: Protection,
     dram_gb: u64,
 ) -> Machine<S> {
+    build_machine_from_source_cfg(
+        source,
+        profile,
+        protection,
+        dram_gb,
+        MemSysConfig::default(),
+    )
+}
+
+/// [`build_machine_from_source`] with an explicit memory-system
+/// configuration (e.g. an `mlp` window larger than 1).
+///
+/// # Panics
+///
+/// Panics if the workload footprint exceeds the DRAM capacity.
+#[must_use]
+pub fn build_machine_from_source_cfg<S: OpSource>(
+    source: S,
+    profile: WorkloadProfile,
+    protection: Protection,
+    dram_gb: u64,
+    mem_cfg: MemSysConfig,
+) -> Machine<S> {
     let geometry = DramGeometry::with_capacity(dram_gb << 30);
     let device = DramDevice::new(geometry, DramTiming::default(), RowhammerConfig::immune());
-    let core_ghz = MemSysConfig::default().core_ghz;
+    let core_ghz = mem_cfg.core_ghz;
     let controller = match protection {
         Protection::None => MemoryController::new(device, None, core_ghz),
         Protection::PtGuard(cfg) => {
@@ -138,7 +171,7 @@ pub fn build_machine_from_source<S: OpSource>(
         }
         Protection::FullMemoryMac => MemoryController::with_full_memory_mac(device, core_ghz),
     };
-    let mut sys = MemorySystem::new(MemSysConfig::default(), controller);
+    let mut sys = MemorySystem::new(mem_cfg, controller);
 
     let base = TraceGenerator::HEAP_BASE;
     let pages = profile.hot_pages + profile.stream_pages;
@@ -165,12 +198,106 @@ pub fn build_machine_from_source<S: OpSource>(
     Machine { sys, space, source }
 }
 
-/// Runs `instructions` instructions on a built machine.
+/// Runs `instructions` instructions on a built machine through the
+/// pipelined memory system.
 ///
-/// The core is in-order and blocking (gem5 `TimingSimpleCPU`-like, matching
-/// the paper's pessimistic single-core setup): every instruction costs one
-/// cycle plus its full memory latency.
+/// The core is in-order (gem5 `TimingSimpleCPU`-like, matching the paper's
+/// pessimistic single-core setup): every instruction costs one cycle, and
+/// each memory operation is issued into the pipeline with up to
+/// [`MemSysConfig::mlp`] operations in flight. When the window is full the
+/// front end stalls until the oldest op retires; ops retire in order, so
+/// the core clock advances to `max(issue + latency)` over the window. With
+/// `mlp = 1` every op retires before the next instruction issues — the
+/// exact blocking model (see [`run_blocking`]), bit for bit.
 pub fn run<S: OpSource>(machine: &mut Machine<S>, instructions: u64) -> RunResult {
+    let window = machine.sys.config().mlp.max(1);
+    let stats_before = machine.sys.stats();
+    let mac_before = machine
+        .sys
+        .controller
+        .engine()
+        .map(|e| e.stats().read_mac_computations)
+        .unwrap_or(0);
+    let mut mem_ops = 0u64;
+    // `core` is the front-end clock (instruction issue); `finish_prev` the
+    // in-order retire horizon. Retiring folds each op's completion into
+    // both, so with a window of 1 `core` accumulates exactly
+    // `1 + out.cycles()` per memory instruction — the blocking sum.
+    let mut core = 0u64;
+    let mut finish_prev = 0u64;
+    let mut inflight: VecDeque<(u64, u64)> = VecDeque::new();
+    // Completed-but-not-retired outcomes. The window is small (a handful of
+    // ops), so a linear-scanned Vec beats a HashMap on the per-op hot path —
+    // and its capacity, like the drain buffers below it, is reused for the
+    // whole run.
+    let mut outcomes: Vec<(u64, AccessOutcome)> = Vec::new();
+
+    fn retire<S: OpSource>(
+        machine: &mut Machine<S>,
+        inflight: &mut VecDeque<(u64, u64)>,
+        outcomes: &mut Vec<(u64, AccessOutcome)>,
+        core: &mut u64,
+        finish_prev: &mut u64,
+    ) {
+        let (id, t_issue) = inflight.pop_front().expect("retire needs an op in flight");
+        let out = loop {
+            machine.sys.pipe_drain_completed(outcomes);
+            if let Some(pos) = outcomes.iter().position(|(cid, _)| *cid == id) {
+                break outcomes.swap_remove(pos).1;
+            }
+            machine.sys.pipe_step();
+        };
+        debug_assert!(out.is_ok(), "unexpected fault: {out:?}");
+        let finish = (*finish_prev).max(t_issue + out.cycles());
+        *finish_prev = finish;
+        *core = (*core).max(finish);
+    }
+
+    for _ in 0..instructions {
+        core += 1;
+        let (va, write) = match machine.source.next_op() {
+            Op::Compute => continue,
+            Op::Load(va) => (va, false),
+            Op::Store(va) => (va, true),
+        };
+        mem_ops += 1;
+        let id = machine.sys.pipe_issue(va, write);
+        inflight.push_back((id, core));
+        while inflight.len() >= window {
+            retire(
+                machine,
+                &mut inflight,
+                &mut outcomes,
+                &mut core,
+                &mut finish_prev,
+            );
+        }
+    }
+    while !inflight.is_empty() {
+        retire(
+            machine,
+            &mut inflight,
+            &mut outcomes,
+            &mut core,
+            &mut finish_prev,
+        );
+    }
+    let cycles = core.max(finish_prev);
+    finalize_result(
+        machine,
+        instructions,
+        cycles,
+        mem_ops,
+        stats_before,
+        mac_before,
+    )
+}
+
+/// Runs `instructions` on a built machine with the legacy fully-blocking
+/// core: every memory operation completes inline before the next
+/// instruction. Kept as the differential reference for the `mlp = 1`
+/// byte-identity tests.
+pub fn run_blocking<S: OpSource>(machine: &mut Machine<S>, instructions: u64) -> RunResult {
     let mut cycles = 0u64;
     let stats_before = machine.sys.stats();
     let mac_before = machine
@@ -198,6 +325,25 @@ pub fn run<S: OpSource>(machine: &mut Machine<S>, instructions: u64) -> RunResul
             }
         }
     }
+    finalize_result(
+        machine,
+        instructions,
+        cycles,
+        mem_ops,
+        stats_before,
+        mac_before,
+    )
+}
+
+/// Shared [`RunResult`] assembly from the stat deltas of a run.
+fn finalize_result<S: OpSource>(
+    machine: &Machine<S>,
+    instructions: u64,
+    cycles: u64,
+    mem_ops: u64,
+    stats_before: memsys::system::SystemStats,
+    mac_before: u64,
+) -> RunResult {
     let stats = machine.sys.stats();
     let llc_misses = (stats.llc_misses + stats.walk_llc_misses)
         - (stats_before.llc_misses + stats_before.walk_llc_misses);
@@ -231,6 +377,31 @@ pub fn simulate_workload(
 ) -> RunResult {
     let mut machine = build_machine(profile, guard, seed, 4);
     let _ = run(&mut machine, instructions); // warm-up, discarded
+    run(&mut machine, instructions)
+}
+
+/// [`simulate_workload`] with an explicit memory-system configuration
+/// (e.g. an `mlp` window larger than 1). Same warm-up/measure discipline.
+#[must_use]
+pub fn simulate_workload_cfg(
+    profile: WorkloadProfile,
+    guard: Option<PtGuardConfig>,
+    instructions: u64,
+    seed: u64,
+    mem_cfg: MemSysConfig,
+) -> RunResult {
+    let protection = match guard {
+        Some(cfg) => Protection::PtGuard(cfg),
+        None => Protection::None,
+    };
+    let mut machine = build_machine_from_source_cfg(
+        TraceGenerator::new(profile, seed),
+        profile,
+        protection,
+        4,
+        mem_cfg,
+    );
+    let _ = run(&mut machine, instructions);
     run(&mut machine, instructions)
 }
 

@@ -1,0 +1,88 @@
+//! Pipeline equivalence pins: the windowed driver (`simx::run`) at
+//! `mlp = 1` must be *byte-identical* to the legacy blocking driver
+//! (`simx::run_blocking`) — same cycles, same miss counts, same MAC work —
+//! for every Figure 6 profile. The pipeline is a refactor of the same
+//! event sequence, not a new timing model; any divergence here is a bug.
+//!
+//! A second pin checks the overlapped mode (`mlp > 1`) is deterministic:
+//! two identical runs agree exactly, and overlap can only help.
+
+use memsys::MemSysConfig;
+use simx::runner::{build_machine_from_source_cfg, run, run_blocking, Protection, RunResult};
+use workloads::tracegen::TraceGenerator;
+use workloads::{WorkloadProfile, ALL_WORKLOADS};
+
+const INSTRS: u64 = 40_000;
+
+fn run_one(profile: WorkloadProfile, seed: u64, mlp: usize, blocking: bool) -> RunResult {
+    let mem_cfg = MemSysConfig {
+        mlp,
+        ..MemSysConfig::default()
+    };
+    let mut machine = build_machine_from_source_cfg(
+        TraceGenerator::new(profile, seed),
+        profile,
+        Protection::PtGuard(ptguard::PtGuardConfig::default()),
+        4,
+        mem_cfg,
+    );
+    if blocking {
+        let _ = run_blocking(&mut machine, INSTRS);
+        run_blocking(&mut machine, INSTRS)
+    } else {
+        let _ = run(&mut machine, INSTRS);
+        run(&mut machine, INSTRS)
+    }
+}
+
+#[test]
+fn windowed_driver_at_mlp1_is_byte_identical_to_blocking() {
+    let mut drift = String::new();
+    for (i, w) in ALL_WORKLOADS.iter().enumerate() {
+        let seed = 0x91e + i as u64;
+        let b = run_one(*w, seed, 1, true);
+        let p = run_one(*w, seed, 1, false);
+        if (
+            b.cycles,
+            b.walks,
+            b.mac_computations,
+            b.mem_ops,
+            b.integrity_faults,
+        ) != (
+            p.cycles,
+            p.walks,
+            p.mac_computations,
+            p.mem_ops,
+            p.integrity_faults,
+        ) || b.mpki.to_bits() != p.mpki.to_bits()
+        {
+            drift.push_str(&format!(
+                "{:>10}: blocking {b:?} vs pipelined {p:?}\n",
+                w.name
+            ));
+        }
+    }
+    assert!(drift.is_empty(), "mlp=1 drift:\n{drift}");
+}
+
+#[test]
+fn overlapped_mode_is_deterministic_and_never_slower() {
+    // Overlap determinism matters as much as speed: the mlp artefact and
+    // BENCH_memsys are committed, so two hosts must agree exactly.
+    for name in ["sssp", "xalancbmk", "lbm"] {
+        let w = *ALL_WORKLOADS.iter().find(|w| w.name == name).unwrap();
+        let base = run_one(w, 7, 1, false);
+        for mlp in [2usize, 4] {
+            let a = run_one(w, 7, mlp, false);
+            let b = run_one(w, 7, mlp, false);
+            assert_eq!(a.cycles, b.cycles, "{name} mlp={mlp} nondeterministic");
+            assert_eq!(a.walks, b.walks, "{name} mlp={mlp} nondeterministic");
+            assert!(
+                a.cycles <= base.cycles,
+                "{name}: overlap (mlp={mlp}, {} cycles) cannot exceed blocking ({})",
+                a.cycles,
+                base.cycles
+            );
+        }
+    }
+}
