@@ -1,7 +1,7 @@
 //! `bench` — the QARMA/MAC hot-path and memory-pipeline benchmark driver.
 //!
 //! ```text
-//! bench qarma|mac|memsys|all [--out FILE] [--fast] [--jobs N] [--check FILE]
+//! bench qarma|mac|memsys|serve|all [--out FILE] [--fast] [--jobs N] [--check FILE]
 //! ```
 //!
 //! Unlike the `cargo bench` targets (which only print), this binary
@@ -15,6 +15,11 @@
 //!   simulated IPC for the blocking driver vs. the event pipeline at
 //!   `mlp ∈ {1, 2, 4}`, on two MAC-heavy profiles; the committed report
 //!   records how much batched MAC verification cuts host time.
+//! * `serve` → `BENCH_serve.json` — full latency *distribution* (p50/p99/
+//!   p999 from the same [`serve::hist::Log2Hist`] the load generator
+//!   reports with) of the coalescing core's drain at batch sizes 1/2/4/8,
+//!   per batch and per line — the measured basis for the queueing model's
+//!   cost constants.
 //!
 //! `--check FILE` re-measures a representative number and fails (exit 1)
 //! if it regressed more than 2× over the value recorded in `FILE` — the CI
@@ -56,9 +61,9 @@ const BASELINE_NS: [(&str, f64); 8] = [
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bench qarma|mac|memsys|all [--out FILE] [--fast] [--jobs N] [--check FILE]\n\
+        "usage: bench qarma|mac|memsys|serve|all [--out FILE] [--fast] [--jobs N] [--check FILE]\n\
          \x20 --out FILE    write the JSON report (default BENCH_qarma.json;\n\
-         \x20               BENCH_memsys.json for the memsys target)\n\
+         \x20               BENCH_memsys.json / BENCH_serve.json for those targets)\n\
          \x20 --fast        ~10x shorter samples (smoke mode; also via PTGUARD_BENCH_FAST)\n\
          \x20 --jobs N      workers for the parallel pair-sweep timing (default: all cores)\n\
          \x20 --check FILE  regression gate: fail if the report's anchor number regressed\n\
@@ -279,6 +284,132 @@ fn render_report(rows: &[Row], sweep: Option<Value>, fast: bool) -> Value {
         pairs.push(("pair_sweep", s));
     }
     Value::obj(pairs)
+}
+
+/// Batch sizes the serve target measures the coalescer drain at.
+const SERVE_BATCH_SIZES: [usize; 4] = [1, 2, 4, 8];
+
+/// Builds a verify-heavy job batch (1 embed : N−1 verifies, the serve
+/// steady-state mix) of the given size over protected sample lines.
+fn serve_jobs(engine: &serve::core::Engine, size: usize) -> Vec<serve::core::Job> {
+    use serve::core::{Job, JobKind};
+    let fmt = engine.mac().format();
+    (0..size as u64)
+        .map(|i| {
+            let addr = PhysAddr::new(0x9_0000 + (i << 6));
+            let raw = sample_pte_line();
+            if i == 0 {
+                Job {
+                    kind: JobKind::Embed,
+                    id: i,
+                    addr,
+                    line: raw,
+                }
+            } else {
+                let protected =
+                    ptguard::pattern::embed_mac_for(&raw, engine.mac().compute(&raw, addr), fmt);
+                Job {
+                    kind: JobKind::Verify,
+                    id: i,
+                    addr,
+                    line: protected,
+                }
+            }
+        })
+        .collect()
+}
+
+/// Times one drain of `size` jobs through the coalescer, `iters` times,
+/// into a latency histogram.
+fn serve_drain_hist(
+    engine: &serve::core::Engine,
+    size: usize,
+    iters: usize,
+) -> serve::hist::Log2Hist {
+    let jobs = serve_jobs(engine, size);
+    let mut coalescer = serve::core::Coalescer::new();
+    let mut hist = serve::hist::Log2Hist::new();
+    let mut sink = 0u64;
+    // Warm-up: grow the coalescer's scratch buffers off the clock.
+    coalescer.respond(engine, &jobs, |_, _| {});
+    for _ in 0..iters {
+        let t = Instant::now();
+        coalescer.respond(engine, &jobs, |i, _| sink ^= i as u64);
+        hist.record((t.elapsed().as_nanos() as u64).max(1));
+    }
+    black_box(sink);
+    hist
+}
+
+/// The serve target: the coalescer drain's latency distribution per batch
+/// size, reported through the same histogram the load generator uses.
+fn bench_serve(fast: bool) -> Value {
+    let engine = serve::core::Engine::new(&PtGuardConfig::default());
+    let iters = if fast { 2_000 } else { 20_000 };
+    let mut sizes = Vec::new();
+    for &size in &SERVE_BATCH_SIZES {
+        let hist = serve_drain_hist(&engine, size, iters);
+        let per_line = hist.percentile(50.0) / size as f64;
+        println!(
+            "serve_drain_batch{size}  p50 {:>8.1} ns  p99 {:>8.1} ns  p999 {:>8.1} ns  ({per_line:.1} ns/line)",
+            hist.percentile(50.0),
+            hist.percentile(99.0),
+            hist.percentile(99.9),
+        );
+        sizes.push((
+            format!("batch{size}"),
+            Value::obj(vec![
+                ("p50_ns", Value::F64(hist.percentile(50.0))),
+                ("p99_ns", Value::F64(hist.percentile(99.0))),
+                ("p999_ns", Value::F64(hist.percentile(99.9))),
+                ("mean_ns", Value::F64(hist.mean())),
+                ("p50_ns_per_line", Value::F64(per_line)),
+                ("samples", Value::U64(hist.count())),
+            ]),
+        ));
+    }
+    Value::obj(vec![
+        ("schema", Value::Str("ptguard-bench-serve/v1".to_string())),
+        ("fast", Value::Bool(fast)),
+        ("iters", Value::U64(iters as u64)),
+        ("results", Value::Obj(sizes)),
+    ])
+}
+
+/// The serve arm of the `--check` gate: the committed report must show the
+/// drain scaling linearly in batch size (the SWAR kernel already
+/// interleaves chunks within a line, so cross-line batching must not go
+/// *superlinear* — the coalescing win is amortised queueing overhead, which
+/// lives in the server loop, not here), and a fresh quick measurement of
+/// the batch-8 drain must be within 2×.
+fn check_serve(committed: &Value) -> Result<(), String> {
+    let p50 = |size: &str, field: &str| {
+        committed
+            .get("results")
+            .and_then(|r| r.get(size))
+            .and_then(|s| s.get(field))
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("committed report lacks results.{size}.{field}"))
+    };
+    let (b1, b8) = (p50("batch1", "p50_ns")?, p50("batch8", "p50_ns")?);
+    println!("check: committed drain p50 — batch1 {b1:.1} ns vs batch8 {b8:.1} ns");
+    if b8 >= 12.0 * b1 {
+        return Err(format!(
+            "committed BENCH_serve shows superlinear batch scaling: {b8:.1} ns >= 12x {b1:.1} ns"
+        ));
+    }
+    let committed_ns = p50("batch8", "p50_ns")?;
+    let engine = serve::core::Engine::new(&PtGuardConfig::default());
+    let fresh = serve_drain_hist(&engine, 8, 2_000).percentile(50.0);
+    println!(
+        "check: serve batch-8 drain fresh {fresh:.1} ns vs committed {committed_ns:.1} (gate 2x)"
+    );
+    if fresh > 2.0 * committed_ns {
+        return Err(format!(
+            "serve drain regressed: {fresh:.1} ns > 2x committed {committed_ns:.1} ns"
+        ));
+    }
+    Ok(())
 }
 
 /// MAC-heavy profiles for the pipeline benchmark: the pointer-chaser with
@@ -508,6 +639,9 @@ fn check(path: &PathBuf) -> Result<(), String> {
     if committed.get("schema").and_then(Value::as_str) == Some("ptguard-bench-memsys/v1") {
         return check_memsys(&committed);
     }
+    if committed.get("schema").and_then(Value::as_str) == Some("ptguard-bench-serve/v1") {
+        return check_serve(&committed);
+    }
     let committed_ns = committed
         .get("results")
         .and_then(|r| r.get("mac_compute"))
@@ -559,10 +693,10 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
     };
     // The memsys pipeline report lives in its own file: the QARMA numbers
     // and the pipeline numbers regenerate on different cadences.
-    let default_out = if what == "memsys" {
-        "BENCH_memsys.json"
-    } else {
-        "BENCH_qarma.json"
+    let default_out = match what.as_str() {
+        "memsys" => "BENCH_memsys.json",
+        "serve" => "BENCH_serve.json",
+        _ => "BENCH_qarma.json",
     };
     let out = out_flag.unwrap_or_else(|| PathBuf::from(default_out));
     let mut rows = Vec::new();
@@ -583,6 +717,7 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
             render_report(&rows, sweep, fast)
         }
         "memsys" => bench_memsys(fast),
+        "serve" => bench_serve(fast),
         other => return Err(format!("unknown target: {other}")),
     };
 

@@ -33,6 +33,7 @@ pub mod record_replay;
 pub mod report;
 pub mod rth_sweep;
 pub mod security;
+pub mod serve;
 pub mod storage;
 pub mod tables;
 

@@ -18,12 +18,12 @@ use orchestrator::{JobOutput, JobSpec};
 use crate::report::Table;
 use crate::{
     ablation, coverage, diag, exploit, fig6, fig7, fig8, fig9, fullmem, mlp, multicore, oracle,
-    priorwork, rth_sweep, security, storage, tables, Scale,
+    priorwork, rth_sweep, security, serve, storage, tables, Scale,
 };
 
 /// Every artefact `exp` can regenerate, in the order `exp all` prints them
 /// (the same order the usage banner advertises).
-pub const ARTEFACTS: [&str; 20] = [
+pub const ARTEFACTS: [&str; 21] = [
     "table1",
     "table2",
     "table3",
@@ -44,6 +44,7 @@ pub const ARTEFACTS: [&str; 20] = [
     "exploit",
     "oracle",
     "mlp",
+    "serve",
 ];
 
 /// `priorwork` trials per damage class at each scale.
@@ -411,6 +412,54 @@ pub fn run_artefact_jobs(
                 sim_ops: ops,
             }
         }
+        "serve" => {
+            let r = serve::run_seeded_jobs(scale, seed, jobs);
+            for s in &r.rates {
+                let rate = s.target_rps;
+                m(
+                    &mut metrics,
+                    format!("rate{rate}.p50_ns"),
+                    s.hist.percentile(50.0),
+                );
+                m(
+                    &mut metrics,
+                    format!("rate{rate}.p99_ns"),
+                    s.hist.percentile(99.0),
+                );
+                m(
+                    &mut metrics,
+                    format!("rate{rate}.p999_ns"),
+                    s.hist.percentile(99.9),
+                );
+                m(
+                    &mut metrics,
+                    format!("rate{rate}.achieved_rps"),
+                    s.achieved_rps,
+                );
+                m(
+                    &mut metrics,
+                    format!("rate{rate}.mean_batch"),
+                    s.mean_batch(),
+                );
+                mu(
+                    &mut metrics,
+                    format!("rate{rate}.corrected"),
+                    s.outcome.corrected,
+                );
+            }
+            m(&mut metrics, "census.pct_zero", r.census.pct_zero());
+            m(
+                &mut metrics,
+                "census.pct_contiguous",
+                r.census.pct_contiguous(),
+            );
+            let ops = r.census.total_ptes() + r.rates.iter().map(|s| s.requests).sum::<u64>();
+            JobOutput {
+                rendered: serve::render(&r),
+                metrics,
+                sim_ops: ops,
+            }
+        }
         other => return Err(format!("unknown artefact: {other}")),
     };
     Ok(out)
@@ -623,6 +672,20 @@ mod tests {
             ARTEFACTS.contains(&"oracle"),
             "the simulator oracle must be orchestrated"
         );
+        assert!(
+            ARTEFACTS.contains(&"serve"),
+            "the serve-pipeline model must be orchestrated"
+        );
+    }
+
+    #[test]
+    fn serve_artefact_is_worker_count_invariant() {
+        let a = run_artefact_jobs("serve", Scale::Trial, 0, 1).unwrap();
+        let b = run_artefact_jobs("serve", Scale::Trial, 0, 4).unwrap();
+        assert_eq!(a.rendered, b.rendered);
+        assert_eq!(a.metrics, b.metrics);
+        assert!(a.metric_value("rate1200000.mean_batch").unwrap() > 1.0);
+        assert!(a.sim_ops > 0);
     }
 
     #[test]

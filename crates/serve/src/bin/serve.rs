@@ -1,0 +1,73 @@
+//! `serve` — run the MAC verification service.
+//!
+//! ```text
+//! serve [--addr HOST:PORT] [--workers N] [--port-file FILE]
+//! ```
+//!
+//! Binds `--addr` (default `127.0.0.1:0`, an ephemeral port), prints the
+//! bound address on stdout (and into `--port-file` if given, for scripted
+//! startup), then serves until a client sends the in-band shutdown frame.
+//! Exits 0 after a graceful drain, printing the final service counters.
+
+use std::process::ExitCode;
+
+use serve::server::{Server, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!("usage: serve [--addr HOST:PORT] [--workers N] [--port-file FILE]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut addr = String::from("127.0.0.1:0");
+    let mut cfg = ServerConfig::default();
+    let mut port_file: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().unwrap_or_else(|| usage()),
+            "--workers" => {
+                cfg.workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--port-file" => port_file = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+
+    let server = match Server::start(addr.as_str(), &cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let bound = server.local_addr();
+    println!("listening on {bound}");
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, bound.to_string()) {
+            eprintln!("serve: write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let stats = server.join();
+    println!(
+        "served {} requests in {} batches (mean batch {:.2}): {} embeds, {} verifies, {} corrects, {} mismatches",
+        stats.requests,
+        stats.batches,
+        stats.mean_batch_size(),
+        stats.embeds,
+        stats.verifies,
+        stats.corrects,
+        stats.mismatches,
+    );
+    ExitCode::SUCCESS
+}

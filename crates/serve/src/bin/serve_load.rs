@@ -1,0 +1,132 @@
+//! `serve-load` — open-loop load generator for a running serve instance.
+//!
+//! ```text
+//! serve-load ADDR [--rates A,B,C] [--requests N] [--seed S]
+//!            [--corpus N] [--shutdown] [--out FILE]
+//! ```
+//!
+//! Replays a census-derived corpus at each target rate (requests/second)
+//! on a fresh connection, records coordinated-omission-free latencies,
+//! and prints a `ptguard-serve-load/v1` JSON report (p50/p99/p999 and
+//! achieved-versus-target throughput per rate). `--shutdown` sends the
+//! in-band shutdown frame afterwards and waits for the ack — the server
+//! process then exits on its own.
+
+use std::process::ExitCode;
+
+use orchestrator::ThreadPool;
+use serve::client::Client;
+use serve::core::Engine;
+use serve::corpus::census_corpus;
+use serve::load::{load_report_json, run_load, LoadConfig};
+use serve::proto::{Request, Response};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve-load ADDR [--rates A,B,C] [--requests N] [--seed S] \
+         [--corpus N] [--shutdown] [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut cfg = LoadConfig::default();
+    let mut corpus_n = 4_096usize;
+    let mut shutdown = false;
+    let mut out: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--rates" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                cfg.rates = spec
+                    .split(',')
+                    .map(|s| s.trim().parse().unwrap_or_else(|_| usage()))
+                    .collect();
+            }
+            "--requests" => {
+                cfg.requests = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                cfg.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--corpus" => {
+                corpus_n = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--shutdown" => shutdown = true,
+            "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
+            "--help" | "-h" => usage(),
+            other if addr.is_none() && !other.starts_with('-') => addr = Some(other.to_string()),
+            other => {
+                eprintln!("unknown argument: {other}");
+                usage();
+            }
+        }
+    }
+    let Some(addr) = addr else { usage() };
+
+    // Build the replay corpus locally (the same embed path the server
+    // runs, so verify responses are checkable).
+    let engine = Engine::new(&ptguard::PtGuardConfig::default());
+    let pool = ThreadPool::new(0);
+    let corpus = census_corpus(
+        &workloads::pte_census::CensusConfig::default(),
+        corpus_n,
+        &engine,
+        &pool,
+    );
+
+    let reports = match run_load(addr.as_str(), &cfg, &corpus) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve-load: {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if shutdown {
+        match Client::connect(addr.as_str()).and_then(|mut c| {
+            c.call(&Request::Shutdown)
+                .map_err(|e| std::io::Error::other(e.to_string()))
+        }) {
+            Ok(Response::ShutdownAck { served, batches }) => {
+                eprintln!("server drained: {served} served in {batches} batches");
+            }
+            Ok(other) => {
+                eprintln!("serve-load: unexpected shutdown reply: {other:?}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("serve-load: shutdown: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let json = load_report_json(&reports).render_pretty();
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, &json) {
+            eprintln!("serve-load: write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("{json}");
+
+    let errors: u64 = reports.iter().map(|r| r.errors).sum();
+    if errors > 0 {
+        eprintln!("serve-load: {errors} errors");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

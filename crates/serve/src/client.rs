@@ -1,0 +1,135 @@
+//! A small blocking client for the serve wire protocol, used by the load
+//! generator, the CI smoke test, and the integration tests.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::proto::{read_response, send_request, Request, Response, WireError, MAX_BODY};
+
+/// A connected client with buffered framing in both directions.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    scratch: Vec<u8>,
+    rbuf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to a serve instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: BufWriter::new(stream),
+            scratch: Vec::with_capacity(MAX_BODY),
+            rbuf: Vec::with_capacity(MAX_BODY),
+        })
+    }
+
+    /// Queues a request into the write buffer (call [`Client::flush`] to
+    /// put it on the wire).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn send(&mut self, req: &Request) -> io::Result<()> {
+        send_request(&mut self.writer, req, &mut self.scratch)
+    }
+
+    /// Flushes buffered requests to the socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.writer.flush()
+    }
+
+    /// Blocks for the next response; `None` on clean end-of-stream.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] from framing or decoding.
+    pub fn recv(&mut self) -> Result<Option<Response>, WireError> {
+        read_response(&mut self.reader, &mut self.rbuf)
+    }
+
+    /// Sends one request and waits for one response.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Io`] with `UnexpectedEof` if the server closed the
+    /// connection instead of responding; any other [`WireError`] from
+    /// framing or decoding.
+    pub fn call(&mut self, req: &Request) -> Result<Response, WireError> {
+        self.send(req)?;
+        self.flush()?;
+        self.recv()?.ok_or_else(|| {
+            WireError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before response",
+            ))
+        })
+    }
+
+    /// Splits into independently-owned send and receive halves for
+    /// pipelined (open-loop) traffic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `try_clone` failures.
+    pub fn split(self) -> io::Result<(Sender, Receiver)> {
+        Ok((
+            Sender {
+                writer: self.writer,
+                scratch: self.scratch,
+            },
+            Receiver {
+                reader: self.reader,
+                rbuf: self.rbuf,
+            },
+        ))
+    }
+}
+
+/// The write half of a split [`Client`].
+pub struct Sender {
+    writer: BufWriter<TcpStream>,
+    scratch: Vec<u8>,
+}
+
+impl Sender {
+    /// Sends one request and flushes it immediately (open-loop traffic
+    /// must hit the wire at its scheduled time, not sit in a buffer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport errors.
+    pub fn send_now(&mut self, req: &Request) -> io::Result<()> {
+        send_request(&mut self.writer, req, &mut self.scratch)?;
+        self.writer.flush()
+    }
+}
+
+/// The read half of a split [`Client`].
+pub struct Receiver {
+    reader: BufReader<TcpStream>,
+    rbuf: Vec<u8>,
+}
+
+impl Receiver {
+    /// Blocks for the next response; `None` on clean end-of-stream.
+    ///
+    /// # Errors
+    ///
+    /// Any [`WireError`] from framing or decoding.
+    pub fn recv(&mut self) -> Result<Option<Response>, WireError> {
+        read_response(&mut self.reader, &mut self.rbuf)
+    }
+}

@@ -1,0 +1,556 @@
+//! The request-coalescing batch core.
+//!
+//! Every connection's reader thread feeds decoded requests into one shared
+//! [`BatchCore`]; a small pool of worker threads drains it. The crucial
+//! property is *coalescing*: a worker pops up to [`MAX_BATCH`] queued jobs
+//! per lock acquisition and computes all their MACs with a single
+//! [`PteMac::compute_batch_into`] call, so concurrent load from independent
+//! connections is amortised through the flattened QARMA kernel exactly like
+//! the memory controller's drain step (PR 5). [`MAX_BATCH`] equals the MAC
+//! engine's stack-buffer capacity, so the hot path never heap-allocates:
+//! the batch, item, and MAC buffers are all reused across iterations.
+//!
+//! The core is transport-agnostic — jobs carry an opaque token `C` that the
+//! caller uses to route each [`Response`] back to its connection. The same
+//! [`Coalescer`] drives the deterministic queueing model in [`crate::sim`]
+//! and the allocation-free pin in `tests/alloc.rs`.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use pagetable::addr::PhysAddr;
+use ptguard::correct::CorrectionStep;
+use ptguard::pattern::{embed_mac_for, extract_mac_for};
+use ptguard::{CorrectionOutcome, Corrector, Line, PtGuardConfig, PteMac};
+
+use crate::proto::{Response, ST_CORRECTED, ST_INTACT};
+
+/// Jobs a worker pops per lock acquisition. Matches the MAC engine's
+/// stack-buffer capacity (`STACK_LINES`), so a full batch — 32 chunk
+/// encryptions — runs without touching the heap.
+pub const MAX_BATCH: usize = 8;
+
+/// The step byte reported for an intact line (no correction attempted).
+pub const STEP_NONE: u8 = 0xff;
+
+/// Encodes a [`CorrectionStep`] as its wire byte.
+#[must_use]
+pub fn step_code(step: CorrectionStep) -> u8 {
+    match step {
+        CorrectionStep::SoftMatch => 0,
+        CorrectionStep::FlipAndCheck => 1,
+        CorrectionStep::ZeroReset => 2,
+        CorrectionStep::MajorityAndContiguity => 3,
+    }
+}
+
+/// The MAC operation a job performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// Compute the MAC and embed it into the line.
+    Embed,
+    /// Compare the embedded MAC against the computed one.
+    Verify,
+    /// Verify; on mismatch run the best-effort corrector.
+    Correct,
+}
+
+/// One decoded MAC request, detached from its transport.
+#[derive(Debug, Clone, Copy)]
+pub struct Job {
+    /// The operation.
+    pub kind: JobKind,
+    /// Client correlation id, echoed in the response.
+    pub id: u64,
+    /// Physical address the MAC binds to.
+    pub addr: PhysAddr,
+    /// The line operated on.
+    pub line: Line,
+}
+
+/// The MAC engine plus the correction parameters a server instance runs.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    mac: PteMac,
+    k: u32,
+    zero_reset_bits: u32,
+}
+
+impl Engine {
+    /// Builds the engine from a PT-Guard configuration.
+    #[must_use]
+    pub fn new(cfg: &PtGuardConfig) -> Self {
+        Self {
+            mac: PteMac::from_config(cfg),
+            k: cfg.soft_match_k,
+            zero_reset_bits: cfg.zero_reset_bits,
+        }
+    }
+
+    /// The underlying MAC engine.
+    #[must_use]
+    pub fn mac(&self) -> &PteMac {
+        &self.mac
+    }
+}
+
+/// Per-batch outcome counters, folded into [`CoreStats`] under the lock.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct BatchOutcome {
+    /// Embed jobs in the batch.
+    pub embeds: u64,
+    /// Verify jobs in the batch.
+    pub verifies: u64,
+    /// Correct jobs in the batch.
+    pub corrects: u64,
+    /// Verify/correct jobs whose exact MAC check failed.
+    pub mismatches: u64,
+    /// Correct jobs the guess schedule recovered.
+    pub corrected: u64,
+    /// Correct jobs that exhausted the guess budget.
+    pub uncorrectable: u64,
+}
+
+/// Reusable scratch buffers that turn a slice of jobs into responses via
+/// one batched MAC call. After warm-up, [`Coalescer::respond`] performs no
+/// heap allocation for embed/verify jobs and for intact correct jobs (the
+/// corrector itself, which only runs on a genuine MAC mismatch, is the one
+/// allocating path).
+#[derive(Debug, Default)]
+pub struct Coalescer {
+    items: Vec<(Line, PhysAddr)>,
+    macs: Vec<u128>,
+}
+
+impl Coalescer {
+    /// A coalescer with empty (lazily grown, then reused) buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes all of `jobs`' MACs in one batched call and emits one
+    /// [`Response`] per job, in job order, through `deliver(index,
+    /// response)`.
+    pub fn respond(
+        &mut self,
+        engine: &Engine,
+        jobs: &[Job],
+        mut deliver: impl FnMut(usize, Response),
+    ) -> BatchOutcome {
+        // The MAC region is outside the protected mask, so the raw request
+        // line feeds the batch directly for every job kind.
+        self.items.clear();
+        self.items.extend(jobs.iter().map(|j| (j.line, j.addr)));
+        self.macs.clear();
+        engine.mac.compute_batch_into(&self.items, &mut self.macs);
+
+        let fmt = engine.mac.format();
+        let mut out = BatchOutcome::default();
+        for (i, (job, &mac)) in jobs.iter().zip(self.macs.iter()).enumerate() {
+            let resp = match job.kind {
+                JobKind::Embed => {
+                    out.embeds += 1;
+                    Response::Embedded {
+                        id: job.id,
+                        line: embed_mac_for(&job.line, mac, fmt),
+                    }
+                }
+                JobKind::Verify => {
+                    out.verifies += 1;
+                    let ok = extract_mac_for(&job.line, fmt) == mac;
+                    if !ok {
+                        out.mismatches += 1;
+                    }
+                    Response::Verified { id: job.id, ok }
+                }
+                JobKind::Correct => {
+                    out.corrects += 1;
+                    if extract_mac_for(&job.line, fmt) == mac {
+                        Response::Corrected {
+                            id: job.id,
+                            status: ST_INTACT,
+                            guesses: 0,
+                            step: STEP_NONE,
+                            line: job.line,
+                        }
+                    } else {
+                        out.mismatches += 1;
+                        let corrector =
+                            Corrector::new(&engine.mac, engine.k, engine.zero_reset_bits);
+                        match corrector.correct(&job.line, job.addr) {
+                            CorrectionOutcome::Corrected(r) => {
+                                out.corrected += 1;
+                                Response::Corrected {
+                                    id: job.id,
+                                    status: ST_CORRECTED,
+                                    guesses: r.guesses,
+                                    step: step_code(r.step),
+                                    line: r.line,
+                                }
+                            }
+                            CorrectionOutcome::Uncorrectable { guesses } => {
+                                out.uncorrectable += 1;
+                                Response::Uncorrectable {
+                                    id: job.id,
+                                    guesses,
+                                }
+                            }
+                        }
+                    }
+                }
+            };
+            deliver(i, resp);
+        }
+        out
+    }
+}
+
+/// Lifetime service counters, snapshotted at shutdown.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Requests served.
+    pub requests: u64,
+    /// MAC batches drained.
+    pub batches: u64,
+    /// Embed jobs served.
+    pub embeds: u64,
+    /// Verify jobs served.
+    pub verifies: u64,
+    /// Correct jobs served.
+    pub corrects: u64,
+    /// Exact-MAC mismatches observed (verify failures + correction
+    /// attempts).
+    pub mismatches: u64,
+    /// Successful corrections.
+    pub corrected: u64,
+    /// Correction failures.
+    pub uncorrectable: u64,
+    /// `batch_hist[s - 1]` counts drained batches of size `s`.
+    pub batch_hist: [u64; MAX_BATCH],
+}
+
+impl CoreStats {
+    /// Mean jobs per drained batch — the coalescing factor. `> 1` means
+    /// concurrent requests genuinely shared MAC kernel calls.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+
+    fn absorb(&mut self, n: usize, outcome: &BatchOutcome) {
+        self.requests += n as u64;
+        self.batches += 1;
+        self.batch_hist[n - 1] += 1;
+        self.embeds += outcome.embeds;
+        self.verifies += outcome.verifies;
+        self.corrects += outcome.corrects;
+        self.mismatches += outcome.mismatches;
+        self.corrected += outcome.corrected;
+        self.uncorrectable += outcome.uncorrectable;
+    }
+}
+
+struct CoreInner<C> {
+    queue: VecDeque<(Job, C)>,
+    in_flight: usize,
+    draining: bool,
+    stats: CoreStats,
+}
+
+/// The shared batching queue: submitters push jobs, workers drain them in
+/// coalesced batches, and a drain barrier implements graceful shutdown.
+pub struct BatchCore<C> {
+    engine: Engine,
+    inner: Mutex<CoreInner<C>>,
+    work_cv: Condvar,
+    drain_cv: Condvar,
+}
+
+impl<C> BatchCore<C> {
+    /// Builds a core for `cfg`.
+    #[must_use]
+    pub fn new(cfg: &PtGuardConfig) -> Self {
+        Self::with_engine(Engine::new(cfg))
+    }
+
+    /// Builds a core around an existing engine.
+    #[must_use]
+    pub fn with_engine(engine: Engine) -> Self {
+        Self {
+            engine,
+            inner: Mutex::new(CoreInner {
+                queue: VecDeque::new(),
+                in_flight: 0,
+                draining: false,
+                stats: CoreStats::default(),
+            }),
+            work_cv: Condvar::new(),
+            drain_cv: Condvar::new(),
+        }
+    }
+
+    /// The engine this core computes with.
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Enqueues a job. Returns `false` (job not accepted) once a drain has
+    /// begun — the caller should close its connection.
+    pub fn submit(&self, job: Job, token: C) -> bool {
+        let mut inner = self.inner.lock().expect("core lock");
+        if inner.draining {
+            return false;
+        }
+        inner.queue.push_back((job, token));
+        drop(inner);
+        self.work_cv.notify_one();
+        true
+    }
+
+    /// Runs a worker until the core drains: pop up to [`MAX_BATCH`] jobs
+    /// per lock acquisition, answer them through one coalesced MAC call,
+    /// deliver each response with its job's token.
+    pub fn worker_loop(&self, mut deliver: impl FnMut(C, Response)) {
+        let mut coalescer = Coalescer::new();
+        let mut jobs: Vec<Job> = Vec::with_capacity(MAX_BATCH);
+        let mut tokens: Vec<C> = Vec::with_capacity(MAX_BATCH);
+        loop {
+            {
+                let mut inner = self.inner.lock().expect("core lock");
+                while inner.queue.is_empty() && !inner.draining {
+                    inner = self.work_cv.wait(inner).expect("core lock");
+                }
+                if inner.queue.is_empty() {
+                    return; // draining and fully drained: worker exits
+                }
+                let n = inner.queue.len().min(MAX_BATCH);
+                jobs.clear();
+                tokens.clear();
+                for _ in 0..n {
+                    let (job, token) = inner.queue.pop_front().expect("n <= len");
+                    jobs.push(job);
+                    tokens.push(token);
+                }
+                inner.in_flight += n;
+            }
+
+            let mut token_iter = tokens.drain(..);
+            let outcome = coalescer.respond(&self.engine, &jobs, |_, resp| {
+                let token = token_iter.next().expect("one token per job");
+                deliver(token, resp);
+            });
+            drop(token_iter);
+
+            let mut inner = self.inner.lock().expect("core lock");
+            inner.in_flight -= jobs.len();
+            inner.stats.absorb(jobs.len(), &outcome);
+            if inner.draining && inner.queue.is_empty() && inner.in_flight == 0 {
+                self.drain_cv.notify_all();
+            }
+        }
+    }
+
+    /// Begins a graceful drain: rejects new submissions, wakes idle
+    /// workers, blocks until every queued and in-flight job has been
+    /// delivered, and returns the final stats. Idempotent — every caller
+    /// observes the same fully-drained counters.
+    pub fn begin_drain(&self) -> CoreStats {
+        let mut inner = self.inner.lock().expect("core lock");
+        inner.draining = true;
+        self.work_cv.notify_all();
+        while !(inner.queue.is_empty() && inner.in_flight == 0) {
+            inner = self.drain_cv.wait(inner).expect("core lock");
+        }
+        inner.stats.clone()
+    }
+
+    /// A point-in-time copy of the service counters.
+    #[must_use]
+    pub fn stats_snapshot(&self) -> CoreStats {
+        self.inner.lock().expect("core lock").stats.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::ST_UNCORRECTABLE;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    fn engine() -> Engine {
+        Engine::new(&PtGuardConfig::default())
+    }
+
+    fn pte_line(i: u64) -> Line {
+        let mut line = Line::ZERO;
+        for w in 0..6 {
+            line.set_word(w, ((0x2_0000 + i * 8 + w as u64) << 12) | 0x27);
+        }
+        line
+    }
+
+    #[test]
+    fn coalescer_matches_direct_mac_calls() {
+        let e = engine();
+        let mut c = Coalescer::new();
+        let addr = PhysAddr::new(0x8000);
+        let raw = pte_line(3);
+        let mac = e.mac().compute(&raw, addr);
+        let protected = embed_mac_for(&raw, mac, e.mac().format());
+        let jobs = [
+            Job {
+                kind: JobKind::Embed,
+                id: 1,
+                addr,
+                line: raw,
+            },
+            Job {
+                kind: JobKind::Verify,
+                id: 2,
+                addr,
+                line: protected,
+            },
+            Job {
+                kind: JobKind::Verify,
+                id: 3,
+                addr: PhysAddr::new(0x8040), // wrong address: must mismatch
+                line: protected,
+            },
+            Job {
+                kind: JobKind::Correct,
+                id: 4,
+                addr,
+                line: protected,
+            },
+        ];
+        let mut responses = Vec::new();
+        let outcome = c.respond(&e, &jobs, |i, r| responses.push((i, r)));
+        assert_eq!(outcome.embeds, 1);
+        assert_eq!(outcome.verifies, 2);
+        assert_eq!(outcome.corrects, 1);
+        assert_eq!(outcome.mismatches, 1);
+        assert_eq!(responses.len(), 4);
+        assert_eq!(
+            responses[0].1,
+            Response::Embedded {
+                id: 1,
+                line: protected
+            }
+        );
+        assert_eq!(responses[1].1, Response::Verified { id: 2, ok: true });
+        assert_eq!(responses[2].1, Response::Verified { id: 3, ok: false });
+        assert_eq!(
+            responses[3].1,
+            Response::Corrected {
+                id: 4,
+                status: ST_INTACT,
+                guesses: 0,
+                step: STEP_NONE,
+                line: protected
+            }
+        );
+    }
+
+    #[test]
+    fn coalescer_corrects_a_single_bit_flip() {
+        let e = engine();
+        let mut c = Coalescer::new();
+        let addr = PhysAddr::new(0x4000);
+        let raw = pte_line(7);
+        let protected = embed_mac_for(&raw, e.mac().compute(&raw, addr), e.mac().format());
+        let mut faulty = protected;
+        faulty.set_word(2, faulty.word(2) ^ (1 << 14));
+        let jobs = [Job {
+            kind: JobKind::Correct,
+            id: 9,
+            addr,
+            line: faulty,
+        }];
+        let mut got = Vec::new();
+        let outcome = c.respond(&e, &jobs, |_, r| got.push(r));
+        assert_eq!(outcome.mismatches, 1);
+        assert_eq!(outcome.corrected, 1);
+        match got[0] {
+            Response::Corrected {
+                id,
+                status,
+                step,
+                line,
+                guesses,
+            } => {
+                assert_eq!(id, 9);
+                assert_eq!(status, ST_CORRECTED);
+                assert_eq!(step, step_code(CorrectionStep::FlipAndCheck));
+                assert_eq!(line, protected);
+                assert!(guesses > 1);
+            }
+            ref other => panic!("{other:?}"),
+        }
+        let _ = ST_UNCORRECTABLE; // status space covered by proto tests
+    }
+
+    #[test]
+    fn worker_drains_prequeued_jobs_in_full_batches() {
+        let core = Arc::new(BatchCore::<u64>::new(&PtGuardConfig::default()));
+        let addr = PhysAddr::new(0x10_000);
+        // Queue 2 * MAX_BATCH embeds before any worker exists: the worker
+        // must drain them as two full batches.
+        for i in 0..(2 * MAX_BATCH) as u64 {
+            assert!(core.submit(
+                Job {
+                    kind: JobKind::Embed,
+                    id: i,
+                    addr,
+                    line: pte_line(i),
+                },
+                i,
+            ));
+        }
+        let got = Arc::new(StdMutex::new(Vec::new()));
+        let worker = {
+            let core = Arc::clone(&core);
+            let got = Arc::clone(&got);
+            std::thread::spawn(move || {
+                core.worker_loop(|token, resp| got.lock().unwrap().push((token, resp)));
+            })
+        };
+        let stats = core.begin_drain();
+        worker.join().unwrap();
+        assert_eq!(stats.requests, 16);
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.batch_hist[MAX_BATCH - 1], 2);
+        assert_eq!(stats.mean_batch_size(), 8.0);
+        let got = got.lock().unwrap();
+        assert_eq!(got.len(), 16);
+        // Token routing: each response echoes its job's id and token.
+        for (token, resp) in got.iter() {
+            match resp {
+                Response::Embedded { id, .. } => assert_eq!(id, token),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn submissions_after_drain_are_rejected() {
+        let core = BatchCore::<()>::new(&PtGuardConfig::default());
+        let stats = core.begin_drain(); // empty core: returns immediately
+        assert_eq!(stats, CoreStats::default());
+        assert!(!core.submit(
+            Job {
+                kind: JobKind::Verify,
+                id: 0,
+                addr: PhysAddr::new(0),
+                line: Line::ZERO,
+            },
+            (),
+        ));
+    }
+}

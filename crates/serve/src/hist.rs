@@ -1,0 +1,251 @@
+//! A log2-bucketed latency histogram with merge and interpolated
+//! percentiles.
+//!
+//! Bucket `b ≥ 1` covers values in `[2^(b-1), 2^b)`; bucket 0 holds exact
+//! zeros. Recording is one shift and one increment, so the load generator
+//! can record per-request latencies on its receive path without a sort or
+//! an allocation, and shards/threads can each keep a private histogram and
+//! [`Log2Hist::merge`] at the end. Percentiles interpolate linearly inside
+//! the containing bucket (values are assumed uniform within a bucket) and
+//! are clamped to the observed `[min, max]`, so `p0`/`p100` are exact.
+
+/// Number of buckets: one per possible `floor(log2(v)) + 1`, plus zero.
+pub const BUCKETS: usize = 65;
+
+/// A mergeable log2 histogram of `u64` samples (latencies in ns, batch
+/// sizes, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Log2Hist {
+    counts: [u64; BUCKETS],
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Log2Hist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Hist {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            counts: [0; BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index of `v`: 0 for 0, else `floor(log2(v)) + 1`.
+    #[must_use]
+    pub fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[Self::bucket_of(v)] += 1;
+        self.total += 1;
+        self.sum += u128::from(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the samples (exact, from the running sum).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Folds another histogram into this one. Merging shard-local
+    /// histograms is exactly equivalent to recording every sample into one.
+    pub fn merge(&mut self, other: &Log2Hist) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The `p`-th percentile (`0 ≤ p ≤ 100`), linearly interpolated inside
+    /// the containing bucket and clamped to the observed range. Returns 0
+    /// for an empty histogram.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = (p / 100.0).clamp(0.0, 1.0) * self.total as f64;
+        let mut cum = 0u64;
+        for (b, &n) in self.counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let next = cum + n;
+            if rank <= next as f64 {
+                // Bucket b covers [lo, hi); interpolate by rank position.
+                let lo = if b == 0 { 0u64 } else { 1u64 << (b - 1) };
+                let hi = if b == 0 {
+                    1u64
+                } else if b >= 64 {
+                    u64::MAX
+                } else {
+                    1u64 << b
+                };
+                let frac = (rank - cum as f64) / n as f64;
+                let v = lo as f64 + frac * (hi - lo) as f64;
+                return v.clamp(self.min() as f64, self.max as f64);
+            }
+            cum = next;
+        }
+        self.max as f64
+    }
+
+    /// The raw bucket counts (index = [`Log2Hist::bucket_of`]).
+    #[must_use]
+    pub fn counts(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Log2Hist::bucket_of(0), 0);
+        assert_eq!(Log2Hist::bucket_of(1), 1);
+        assert_eq!(Log2Hist::bucket_of(2), 2);
+        assert_eq!(Log2Hist::bucket_of(3), 2);
+        assert_eq!(Log2Hist::bucket_of(4), 3);
+        assert_eq!(Log2Hist::bucket_of(1023), 10);
+        assert_eq!(Log2Hist::bucket_of(1024), 11);
+        assert_eq!(Log2Hist::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Log2Hist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(50.0), 0.0);
+    }
+
+    #[test]
+    fn mean_min_max_are_exact() {
+        let mut h = Log2Hist::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.min(), 10);
+        assert_eq!(h.max(), 40);
+        assert_eq!(h.mean(), 25.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_log2_resolution() {
+        // 10_000 uniform samples in [1, 10_000]: every percentile estimate
+        // must land within its bucket (factor-2 resolution) of the exact
+        // answer, and interpolation should do much better than the bucket
+        // edge for a uniform fill.
+        let mut h = Log2Hist::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (p, exact) in [(50.0, 5000.0), (90.0, 9000.0), (99.0, 9900.0)] {
+            let got = h.percentile(p);
+            let ratio = got / exact;
+            assert!(
+                (0.7..=1.45).contains(&ratio),
+                "p{p}: got {got}, exact {exact}"
+            );
+        }
+        // Extremes clamp to the observed range exactly.
+        assert_eq!(h.percentile(0.0), 1.0);
+        assert_eq!(h.percentile(100.0), 10_000.0);
+    }
+
+    #[test]
+    fn percentiles_are_monotonic() {
+        let mut h = Log2Hist::new();
+        let mut x = 1u64;
+        for _ in 0..5_000 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            h.record(x >> 40);
+        }
+        let mut last = 0.0;
+        for p in 0..=100 {
+            let v = h.percentile(f64::from(p));
+            assert!(v >= last, "p{p}: {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_into_one() {
+        let (mut a, mut b, mut all) = (Log2Hist::new(), Log2Hist::new(), Log2Hist::new());
+        for v in 0..1_000u64 {
+            let sample = v * v % 7_919;
+            if v % 2 == 0 {
+                a.record(sample);
+            } else {
+                b.record(sample);
+            }
+            all.record(sample);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut h = Log2Hist::new();
+        h.record(42);
+        let snapshot = h.clone();
+        h.merge(&Log2Hist::new());
+        assert_eq!(h, snapshot);
+        let mut e = Log2Hist::new();
+        e.merge(&snapshot);
+        assert_eq!(e, snapshot);
+    }
+}

@@ -1,0 +1,36 @@
+//! # ptguard-serve: the MAC engine as a long-running service
+//!
+//! PT-Guard's production shape (ROADMAP item 3): the controller-resident
+//! MAC engine exposed as a std-only TCP service so sustained, concurrent
+//! traffic exercises the batched verify path the way a loaded memory
+//! controller would.
+//!
+//! * [`proto`] — the length-prefixed, CRC-checked binary wire protocol
+//!   (embed / verify / correct / shutdown); malformed frames poison only
+//!   their own connection.
+//! * [`core`] — the request-coalescing batch core: concurrent requests
+//!   from independent connections drain in batches of up to
+//!   [`core::MAX_BATCH`] through one [`ptguard::PteMac::compute_batch_into`]
+//!   call, on stack buffers, allocation-free in steady state.
+//! * [`server`] — accept loop, per-connection reader/writer threads, and
+//!   graceful in-band shutdown (drain, ack, close).
+//! * [`client`] — a small blocking client with a split mode for pipelined
+//!   open-loop traffic.
+//! * [`hist`] — the shared log2 latency histogram (also used by `bench`).
+//! * [`corpus`] — census-derived request corpora with pre-embedded MACs.
+//! * [`load`] — the open-loop load generator: seeded Poisson arrivals,
+//!   coordinated-omission-free latency, p50/p99/p999 per target rate.
+//! * [`sim`] — a deterministic discrete-event model of the same pipeline
+//!   (virtual clock, real MACs) backing the cacheable `exp serve`
+//!   artefact.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod core;
+pub mod corpus;
+pub mod hist;
+pub mod load;
+pub mod proto;
+pub mod server;
+pub mod sim;

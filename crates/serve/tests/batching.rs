@@ -1,0 +1,90 @@
+//! The acceptance pin for coalescing: under concurrent load from several
+//! pipelining connections, the server's mean MAC batch size must exceed 1
+//! — concurrent requests genuinely share batched kernel calls.
+
+use orchestrator::ThreadPool;
+use serve::client::Client;
+use serve::core::{Engine, MAX_BATCH};
+use serve::corpus::census_corpus;
+use serve::load::request_for;
+use serve::proto::{Request, Response};
+use serve::server::{Server, ServerConfig};
+use workloads::pte_census::CensusConfig;
+
+#[test]
+fn concurrent_connections_coalesce_into_multi_request_batches() {
+    const CONNS: usize = 8;
+    const PER_CONN: usize = 600;
+    // A single worker guarantees a backlog forms: 8 connections flood the
+    // queue faster than one worker's serial MAC drain empties it.
+    let server = Server::start(
+        "127.0.0.1:0",
+        &ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let corpus = census_corpus(
+        &CensusConfig {
+            processes: 4,
+            lines_per_process: 16,
+            ..CensusConfig::default()
+        },
+        64,
+        &Engine::new(&ptguard::PtGuardConfig::default()),
+        &ThreadPool::new(2),
+    );
+
+    let handles: Vec<_> = (0..CONNS)
+        .map(|c| {
+            let corpus = corpus.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                // Pipeline everything, then drain responses.
+                for i in 0..PER_CONN {
+                    client
+                        .send(&request_for(c * PER_CONN + i, &corpus, 8))
+                        .unwrap();
+                }
+                client.flush().unwrap();
+                let mut ok = 0usize;
+                for _ in 0..PER_CONN {
+                    match client.recv().expect("recv").expect("response") {
+                        Response::Verified { ok: true, .. } | Response::Embedded { .. } => ok += 1,
+                        other => panic!("unexpected: {other:?}"),
+                    }
+                }
+                ok
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().expect("client thread"), PER_CONN);
+    }
+
+    let mut shutter = Client::connect(addr).expect("connect");
+    match shutter.call(&Request::Shutdown).expect("shutdown") {
+        Response::ShutdownAck { served, .. } => {
+            assert_eq!(served, (CONNS * PER_CONN) as u64);
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+
+    let stats = server.join();
+    assert_eq!(stats.requests, (CONNS * PER_CONN) as u64);
+    let mean = stats.mean_batch_size();
+    assert!(
+        mean > 1.5,
+        "coalescing failed: mean batch size {mean:.3} (hist {:?})",
+        stats.batch_hist
+    );
+    // Full batches must actually occur under this much backlog.
+    assert!(
+        stats.batch_hist[MAX_BATCH - 1] > 0,
+        "no full batch of {MAX_BATCH} was ever drained: {:?}",
+        stats.batch_hist
+    );
+}

@@ -1,0 +1,105 @@
+//! Deterministic replay: the same corpus seed against a single-worker
+//! server yields a byte-identical response stream across fresh server
+//! instances.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use orchestrator::ThreadPool;
+use serve::core::Engine;
+use serve::corpus::{census_corpus, CorpusEntry};
+use serve::load::request_for;
+use serve::proto::{read_frame, send_request, Request, Response};
+use serve::server::{Server, ServerConfig};
+use trace::format::crc32;
+
+const K: usize = 150;
+
+fn corpus() -> Vec<CorpusEntry> {
+    census_corpus(
+        &CensusConfig {
+            processes: 3,
+            lines_per_process: 25,
+            ..CensusConfig::default()
+        },
+        75,
+        &Engine::new(&ptguard::PtGuardConfig::default()),
+        &ThreadPool::new(2),
+    )
+}
+
+use workloads::pte_census::CensusConfig;
+
+/// Runs K pipelined requests (plus one corrupted verify to exercise the
+/// mismatch path) against a fresh single-worker server and captures the
+/// raw byte stream of the K data responses. The trailing shutdown ack is
+/// validated separately: its `batches` counter depends on how requests
+/// happened to coalesce, which is load-timing, not payload.
+fn capture_run(corpus: &[CorpusEntry]) -> Vec<u8> {
+    let server = Server::start(
+        "127.0.0.1:0",
+        &ServerConfig {
+            workers: 1, // single worker => responses in submission order
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_nodelay(true).unwrap();
+    let mut scratch = Vec::new();
+    for i in 0..K {
+        let mut req = request_for(i, corpus, 8);
+        if i == 42 {
+            // One deterministic fault: flip a protected bit so the stream
+            // includes a mismatch response.
+            if let Request::Verify { ref mut line, .. } = req {
+                line.set_word(1, line.word(1) ^ 1);
+            }
+        }
+        send_request(&mut stream, &req, &mut scratch).unwrap();
+    }
+    send_request(&mut stream, &Request::Shutdown, &mut scratch).unwrap();
+    stream.flush().unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read responses");
+
+    // Split the stream: K data frames (compared byte-for-byte across
+    // runs) followed by exactly one shutdown ack, then EOF.
+    let mut cursor = &raw[..];
+    let mut body = Vec::new();
+    let mut bytes = Vec::new();
+    for _ in 0..K {
+        assert!(read_frame(&mut cursor, &mut body).expect("data frame"));
+        bytes.extend_from_slice(&(u32::try_from(body.len()).unwrap()).to_le_bytes());
+        bytes.extend_from_slice(&body);
+        bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+    }
+    assert!(read_frame(&mut cursor, &mut body).expect("ack frame"));
+    match Response::decode(&body).expect("ack decodes") {
+        Response::ShutdownAck { served, batches } => {
+            assert_eq!(served, K as u64);
+            assert!(batches > 0);
+        }
+        other => panic!("last frame is not the ack: {other:?}"),
+    }
+    assert!(!read_frame(&mut cursor, &mut body).expect("clean EOF"));
+
+    let stats = server.join();
+    assert_eq!(stats.requests, K as u64);
+    bytes
+}
+
+#[test]
+fn response_stream_is_byte_identical_across_fresh_servers() {
+    let corpus = corpus();
+    let first = capture_run(&corpus);
+    assert!(!first.is_empty());
+    for round in 1..3 {
+        let again = capture_run(&corpus);
+        assert_eq!(first, again, "round {round} diverged");
+    }
+}

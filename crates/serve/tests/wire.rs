@@ -1,0 +1,147 @@
+//! Wire-protocol robustness against a live server: truncated frames,
+//! corrupt CRCs, oversized lengths, unknown opcodes, and mid-frame
+//! disconnects must each kill only their own connection — a concurrently
+//! connected healthy client keeps getting served.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use pagetable::addr::PhysAddr;
+use ptguard::pattern::embed_mac_for;
+use ptguard::{Line, PtGuardConfig, PteMac};
+use serve::client::Client;
+use serve::proto::{Request, Response, MAX_BODY};
+use serve::server::{Server, ServerConfig};
+use trace::format::crc32;
+
+fn start() -> Server {
+    let cfg = ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    };
+    Server::start("127.0.0.1:0", &cfg).expect("bind")
+}
+
+/// A (raw line, protected line, address) triple that verifies.
+fn sample() -> (Line, Line, u64) {
+    let mac = PteMac::from_config(&PtGuardConfig::default());
+    let addr = PhysAddr::new(0x9_0000);
+    let mut raw = Line::ZERO;
+    for w in 0..4 {
+        raw.set_word(w, ((0x5_0000 + w as u64) << 12) | 0x27);
+    }
+    let protected = embed_mac_for(&raw, mac.compute(&raw, addr), mac.format());
+    (raw, protected, addr.as_u64())
+}
+
+fn verify_request(id: u64) -> Request {
+    let (_, protected, addr) = sample();
+    Request::Verify {
+        id,
+        addr,
+        line: protected,
+    }
+}
+
+/// Asserts the healthy client still gets correct responses.
+fn assert_alive(client: &mut Client, id: u64) {
+    match client.call(&verify_request(id)).expect("healthy call") {
+        Response::Verified { id: rid, ok } => {
+            assert_eq!(rid, id);
+            assert!(ok, "pre-protected line must verify");
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+}
+
+/// Writes `bytes` to a fresh raw connection and asserts the server closes
+/// it (EOF or reset) without ever sending a response frame.
+fn assert_rejected(addr: std::net::SocketAddr, bytes: &[u8]) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.write_all(bytes).expect("write");
+    let mut buf = [0u8; 64];
+    match s.read(&mut buf) {
+        Ok(0) | Err(_) => {} // closed: correct
+        Ok(n) => panic!("server answered a malformed frame with {n} bytes"),
+    }
+}
+
+fn frame(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(u32::try_from(body.len()).unwrap()).to_le_bytes());
+    out.extend_from_slice(body);
+    out.extend_from_slice(&crc32(body).to_le_bytes());
+    out
+}
+
+#[test]
+fn malformed_frames_poison_only_their_own_connection() {
+    let server = start();
+    let addr = server.local_addr();
+    let mut healthy = Client::connect(addr).expect("healthy connect");
+    assert_alive(&mut healthy, 0);
+
+    // 1. Corrupt CRC.
+    let mut scratch = Vec::new();
+    verify_request(1).encode(&mut scratch);
+    let mut bad_crc = frame(&scratch);
+    let last = bad_crc.len() - 1;
+    bad_crc[last] ^= 0x01;
+    assert_rejected(addr, &bad_crc);
+    assert_alive(&mut healthy, 2);
+
+    // 2. Oversized length prefix (no body ever sent).
+    assert_rejected(addr, &(MAX_BODY as u32 + 1).to_le_bytes());
+    assert_alive(&mut healthy, 3);
+
+    // 3. Unknown opcode (framing valid, body invalid).
+    assert_rejected(addr, &frame(&[0x5a, 1, 2, 3]));
+    assert_alive(&mut healthy, 4);
+
+    // 4. Wrong payload size for a known opcode.
+    assert_rejected(addr, &frame(&[0x02, 9, 9]));
+    assert_alive(&mut healthy, 5);
+
+    // 5. Truncated body: length promises 81 bytes, connection half-closes
+    //    after 10 (mid-frame disconnect).
+    {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        s.write_all(&81u32.to_le_bytes()).unwrap();
+        s.write_all(&[0u8; 10]).unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut buf = [0u8; 64];
+        match s.read(&mut buf) {
+            Ok(0) | Err(_) => {}
+            Ok(n) => panic!("server answered a truncated frame with {n} bytes"),
+        }
+    }
+    assert_alive(&mut healthy, 6);
+
+    // The healthy connection survives a burst of pipelined traffic too.
+    for id in 10..20 {
+        healthy.send(&verify_request(id)).unwrap();
+    }
+    healthy.flush().unwrap();
+    for _ in 10..20 {
+        match healthy.recv().expect("pipelined recv") {
+            Some(Response::Verified { ok, .. }) => assert!(ok),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn clean_disconnect_at_frame_boundary_is_not_an_error() {
+    let server = start();
+    let addr = server.local_addr();
+    // Open, send one valid request, read its response, close cleanly.
+    let mut c = Client::connect(addr).expect("connect");
+    assert_alive(&mut c, 1);
+    drop(c);
+    // The server keeps accepting.
+    let mut c2 = Client::connect(addr).expect("reconnect");
+    assert_alive(&mut c2, 2);
+}

@@ -12,7 +12,15 @@
 //! This module generates per-process page-table contents with those
 //! marginals and realistic per-process spread, reproducing Figure 8's shape
 //! and feeding the Figure 9 correction study.
+//!
+//! Generation *streams*: [`stream_process`] drives a per-line callback and
+//! each process draws from an independent RNG stream, so a census of
+//! millions of address spaces runs in O(shard) memory and shards trivially
+//! across the orchestrator pool ([`run_census_streamed`]). The classified
+//! counts ([`CensusTally`]) are plain sums, so shard merges are
+//! order-independent and the result is byte-identical for any job count.
 
+use orchestrator::ThreadPool;
 use rng::SplitMix64;
 
 /// Default non-zero PTE flag template: present, writable, user, accessed,
@@ -88,9 +96,24 @@ pub struct CensusReport {
     pub total_ptes: u64,
 }
 
-/// Generates one process's page tables.
+/// Generates one process's page tables, materialized in memory.
+///
+/// Equivalent to collecting [`stream_process`]'s lines; prefer streaming
+/// for large censuses.
 #[must_use]
 pub fn generate_process(cfg: &CensusConfig, pid: usize) -> ProcessPageTables {
+    let mut lines = Vec::with_capacity(cfg.lines_per_process);
+    stream_process(cfg, pid, |line| lines.push(*line));
+    ProcessPageTables { pid, lines }
+}
+
+/// Generates one process's page tables, invoking `sink` once per cacheline
+/// in order — O(1) memory regardless of process size.
+///
+/// Each process draws from an independent RNG stream keyed by
+/// `cfg.seed ^ (pid << 24)`, so any subset of processes can be generated
+/// on any shard with identical results.
+pub fn stream_process(cfg: &CensusConfig, pid: usize, mut sink: impl FnMut(&[u64; 8])) {
     let mut rng = SplitMix64::new(cfg.seed ^ ((pid as u64) << 24));
     // Per-process knobs: zero fraction and run-extension probability.
     let zero_frac = (cfg.mean_zero_frac + cfg.zero_spread * rng.normal()).clamp(0.20, 0.97);
@@ -103,7 +126,6 @@ pub fn generate_process(cfg: &CensusConfig, pid: usize) -> ProcessPageTables {
     let e_len = (1.0 / (1.0 - run_extend)).min(16.0);
     let q = (zero_frac * e_len) / (1.0 - zero_frac + zero_frac * e_len);
 
-    let mut lines = Vec::with_capacity(cfg.lines_per_process);
     let mut run_left = 0u64; // entries remaining in the current PFN run
     let mut next_pfn = 0u64;
     for _ in 0..cfg.lines_per_process {
@@ -134,9 +156,8 @@ pub fn generate_process(cfg: &CensusConfig, pid: usize) -> ProcessPageTables {
                 line[idx] ^= 1 << 63; // NX deviates
             }
         }
-        lines.push(line);
+        sink(&line);
     }
-    ProcessPageTables { pid, lines }
 }
 
 /// Classifies each entry of a PTE cacheline (paper rule: contiguous means
@@ -239,6 +260,123 @@ pub fn run_census(cfg: &CensusConfig) -> CensusReport {
     }
 }
 
+/// Mergeable census counts: everything [`run_census`] aggregates except
+/// the per-process breakdown, in O(1) memory. All fields are plain sums,
+/// so merging shard tallies in any order gives identical results.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CensusTally {
+    /// All-zero PTEs.
+    pub zero: u64,
+    /// PTEs with a ±1-contiguous non-zero neighbour.
+    pub contiguous: u64,
+    /// Non-zero PTEs without one.
+    pub noncontiguous: u64,
+    /// Lines with at least one non-zero entry.
+    pub nonzero_lines: u64,
+    /// Non-zero lines whose entries agree on every flag bit.
+    pub uniform_lines: u64,
+}
+
+impl CensusTally {
+    /// Classifies one cacheline into the tally.
+    pub fn observe(&mut self, line: &[u64; 8]) {
+        for class in classify_line(line) {
+            match class {
+                PteClass::Zero => self.zero += 1,
+                PteClass::Contiguous => self.contiguous += 1,
+                PteClass::NonContiguous => self.noncontiguous += 1,
+            }
+        }
+        if line.iter().any(|&w| w != 0) {
+            self.nonzero_lines += 1;
+            if flags_uniform(line) {
+                self.uniform_lines += 1;
+            }
+        }
+    }
+
+    /// Folds another tally into this one.
+    pub fn merge(&mut self, other: &CensusTally) {
+        self.zero += other.zero;
+        self.contiguous += other.contiguous;
+        self.noncontiguous += other.noncontiguous;
+        self.nonzero_lines += other.nonzero_lines;
+        self.uniform_lines += other.uniform_lines;
+    }
+
+    /// Total PTEs classified.
+    #[must_use]
+    pub fn total_ptes(&self) -> u64 {
+        self.zero + self.contiguous + self.noncontiguous
+    }
+
+    /// Percentage of zero PTEs.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn pct_zero(&self) -> f64 {
+        100.0 * self.zero as f64 / self.total_ptes().max(1) as f64
+    }
+
+    /// Percentage of contiguous PTEs.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn pct_contiguous(&self) -> f64 {
+        100.0 * self.contiguous as f64 / self.total_ptes().max(1) as f64
+    }
+
+    /// Percentage of non-contiguous PTEs.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn pct_noncontiguous(&self) -> f64 {
+        100.0 * self.noncontiguous as f64 / self.total_ptes().max(1) as f64
+    }
+
+    /// Fraction of non-zero lines with uniform flags.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn flag_uniformity(&self) -> f64 {
+        self.uniform_lines as f64 / self.nonzero_lines.max(1) as f64
+    }
+}
+
+/// Streams and tallies processes `lo..hi` — one shard's worth of census,
+/// in O(1) memory.
+#[must_use]
+pub fn tally_processes(cfg: &CensusConfig, lo: usize, hi: usize) -> CensusTally {
+    let mut tally = CensusTally::default();
+    for pid in lo..hi {
+        stream_process(cfg, pid, |line| tally.observe(line));
+    }
+    tally
+}
+
+/// Number of shards [`run_census_streamed`] splits a census into. Fixed
+/// (rather than derived from the worker count) so the shard boundaries —
+/// and therefore the result — never depend on parallelism.
+pub const CENSUS_SHARDS: usize = 64;
+
+/// Runs an arbitrarily large census across `pool` in O(shard) memory.
+///
+/// The process range is cut into [`CENSUS_SHARDS`] fixed shards streamed
+/// in parallel; tallies are sums, so the merged result is identical to a
+/// sequential run for any pool size.
+#[must_use]
+pub fn run_census_streamed(cfg: &CensusConfig, pool: &ThreadPool) -> CensusTally {
+    let shards = CENSUS_SHARDS.min(cfg.processes.max(1));
+    let per = cfg.processes.div_ceil(shards);
+    let cfg = *cfg;
+    let tallies = pool.map_indexed(shards, move |s| {
+        let lo = s * per;
+        let hi = ((s + 1) * per).min(cfg.processes);
+        tally_processes(&cfg, lo, hi.max(lo))
+    });
+    let mut total = CensusTally::default();
+    for t in &tallies {
+        total.merge(t);
+    }
+    total
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -324,6 +462,50 @@ mod tests {
         assert_eq!(a.lines, b.lines);
         let c = generate_process(&cfg, 43);
         assert_ne!(a.lines, c.lines);
+    }
+
+    #[test]
+    fn streaming_equals_materialized_generation() {
+        let cfg = CensusConfig::default();
+        for pid in [0usize, 9, 311] {
+            let materialized = generate_process(&cfg, pid);
+            let mut streamed = Vec::new();
+            stream_process(&cfg, pid, |line| streamed.push(*line));
+            assert_eq!(streamed, materialized.lines, "pid {pid}");
+        }
+    }
+
+    #[test]
+    fn tally_matches_full_census_aggregates() {
+        let cfg = CensusConfig {
+            processes: 60,
+            lines_per_process: 120,
+            ..CensusConfig::default()
+        };
+        let report = run_census(&cfg);
+        let tally = tally_processes(&cfg, 0, cfg.processes);
+        assert_eq!(tally.total_ptes(), report.total_ptes);
+        assert_eq!(tally.pct_zero(), report.pct_zero);
+        assert_eq!(tally.pct_contiguous(), report.pct_contiguous);
+        assert_eq!(tally.flag_uniformity(), report.flag_uniformity);
+    }
+
+    #[test]
+    fn streamed_census_is_parallelism_invariant() {
+        let cfg = CensusConfig {
+            processes: 97, // not a multiple of the shard count
+            lines_per_process: 40,
+            ..CensusConfig::default()
+        };
+        let sequential = tally_processes(&cfg, 0, cfg.processes);
+        for jobs in [1usize, 3, 8] {
+            let pool = ThreadPool::new(jobs);
+            assert_eq!(
+                run_census_streamed(&cfg, &pool),
+                sequential,
+                "jobs = {jobs}"
+            );
+        }
     }
 
     #[test]
