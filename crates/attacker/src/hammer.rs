@@ -1,0 +1,247 @@
+//! Activation-delivery playbooks.
+//!
+//! Each hammerer drives aggressor-row activations at the groomed
+//! [`Placement`] through a [`HammerSession`], which feeds every observed
+//! activation — explicit or emergent — to the mitigation under test. The
+//! playbooks differ in *how* activations reach DRAM:
+//!
+//! * [`LoadLoop`] — classic double-sided hammering with explicit accesses.
+//! * [`Blacksmith`] — a frequency-scheduled many-sided pattern whose
+//!   round-robin phase rotation thrashes small tracker tables (TRRespass /
+//!   Blacksmith).
+//! * [`HalfDouble`] — drives distance-2 rows below the disturbance
+//!   threshold and lets the *mitigation's own* distance-1 victim refreshes
+//!   carry the pressure the final row-hop.
+//! * [`PtHammer`] — no attacker data access at all: every aggressor
+//!   activation emerges from a TLB-missing page-table walk reading the
+//!   aggressor leaf PTEs at DRAM. The session's provenance ledger proves
+//!   it: `explicit == 0`, all pressure arrives as `walk` activations.
+
+use memsys::system::AccessOutcome;
+use rowhammer::{HammerSession, Mitigation};
+
+use crate::alloc::Placement;
+use crate::rig::Victim;
+
+/// A hammer session over the full victim machine with a boxed mitigation.
+pub type Session = HammerSession<Box<dyn Mitigation>, Victim>;
+
+/// What the hammering phase observed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HammerOutcome {
+    /// PT-Guard raised an integrity exception *during* the attack (a walk
+    /// the hammerer itself issued hit a tampered line).
+    pub detected: bool,
+}
+
+/// An activation-delivery playbook.
+pub trait Hammerer: Sync {
+    /// Playbook name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Whether aggressor pressure is delivered purely implicitly (no
+    /// explicit attacker accesses to the aggressor rows).
+    fn implicit(&self) -> bool {
+        false
+    }
+
+    /// Runs the attack: `acts_per_side` is the per-aggressor activation
+    /// budget of a basic double-sided pattern; playbooks scale it to keep
+    /// the campaign's cells comparable.
+    fn hammer(&self, s: &mut Session, p: &Placement, acts_per_side: u64) -> HammerOutcome;
+}
+
+/// Explicit double-sided hammering: the Seaborn-era baseline.
+#[derive(Debug)]
+pub struct LoadLoop;
+
+impl Hammerer for LoadLoop {
+    fn name(&self) -> &'static str {
+        "load-loop"
+    }
+
+    fn hammer(&self, s: &mut Session, p: &Placement, acts_per_side: u64) -> HammerOutcome {
+        for _ in 0..acts_per_side {
+            s.activate(p.aggressor_rows[0]);
+            s.activate(p.aggressor_rows[1]);
+        }
+        HammerOutcome::default()
+    }
+}
+
+/// Frequency-scheduled many-sided pattern: eight equal-rate aggressors at
+/// distances ±1/±3/±5/±7 with a rotating phase, so a small TRR table keeps
+/// evicting entries before any accumulates to its refresh trigger.
+#[derive(Debug)]
+pub struct Blacksmith;
+
+impl Hammerer for Blacksmith {
+    fn name(&self) -> &'static str {
+        "blacksmith"
+    }
+
+    fn hammer(&self, s: &mut Session, p: &Placement, acts_per_side: u64) -> HammerOutcome {
+        let bank = p.bank;
+        let r = i64::from(p.target_row);
+        let rows: Vec<_> = [-7i64, -5, -3, -1, 1, 3, 5, 7]
+            .iter()
+            .map(|d| dram::geometry::RowId {
+                bank,
+                row: (r + d) as u32,
+            })
+            .collect();
+        for round in 0..acts_per_side {
+            let phase = (round as usize) % rows.len();
+            for k in 0..rows.len() {
+                s.activate(rows[(phase + k) % rows.len()]);
+            }
+        }
+        HammerOutcome::default()
+    }
+}
+
+/// Half-Double: hammer distance-2 rows hard enough that their *direct*
+/// distance-2 coupling stays below the disturbance threshold, plus a
+/// sparse distance-1 "dose". Victim-refreshing mitigations turn the dose
+/// into a torrent: every refresh of the distance-1 rows is itself an
+/// activation one hop from the victim.
+#[derive(Debug)]
+pub struct HalfDouble;
+
+/// Distance-2 rounds per unit of `acts_per_side` budget.
+const HALF_DOUBLE_SCALE: u64 = 15;
+/// One explicit distance-1 dose every this many distance-2 rounds.
+const DOSE_PERIOD: u64 = 1024;
+
+impl Hammerer for HalfDouble {
+    fn name(&self) -> &'static str {
+        "half-double"
+    }
+
+    fn hammer(&self, s: &mut Session, p: &Placement, acts_per_side: u64) -> HammerOutcome {
+        let bank = p.bank;
+        let r = p.target_row;
+        let far = [
+            dram::geometry::RowId { bank, row: r - 2 },
+            dram::geometry::RowId { bank, row: r + 2 },
+        ];
+        for round in 0..acts_per_side * HALF_DOUBLE_SCALE {
+            s.activate(far[0]);
+            s.activate(far[1]);
+            if round % DOSE_PERIOD == 0 {
+                s.activate(p.aggressor_rows[0]);
+                s.activate(p.aggressor_rows[1]);
+            }
+        }
+        HammerOutcome::default()
+    }
+}
+
+/// PThammer: implicit hammering purely through page-table walks.
+///
+/// Each round flushes the TLB and MMU caches and evicts the two aggressor
+/// leaf-PTE lines from the data caches, then touches one VA through each
+/// aggressor PT. The walk's leaf read misses every cache and reaches DRAM,
+/// where the two PTs sit in the same bank one row either side of the
+/// victim — so the alternating walks row-conflict and every single
+/// aggressor activation is controller-issued, never attacker-issued.
+#[derive(Debug)]
+pub struct PtHammer;
+
+impl Hammerer for PtHammer {
+    fn name(&self) -> &'static str {
+        "pthammer"
+    }
+
+    fn implicit(&self) -> bool {
+        true
+    }
+
+    fn hammer(&self, s: &mut Session, p: &Placement, acts_per_side: u64) -> HammerOutcome {
+        for _ in 0..acts_per_side {
+            let v = s.host_mut();
+            v.sys.invalidate_translation_state();
+            v.sys.invalidate_line(p.aggressor_leaf_lines[0]);
+            v.sys.invalidate_line(p.aggressor_leaf_lines[1]);
+            let lo = v.sys.load(p.aggressor_vas[0]);
+            let hi = v.sys.load(p.aggressor_vas[1]);
+            s.absorb();
+            if matches!(lo, AccessOutcome::PteCheckFailed { .. })
+                || matches!(hi, AccessOutcome::PteCheckFailed { .. })
+            {
+                return HammerOutcome { detected: true };
+            }
+        }
+        HammerOutcome::default()
+    }
+}
+
+/// The campaign's hammerer playbooks, in report order.
+pub static HAMMERERS: [&dyn Hammerer; 4] = [&LoadLoop, &Blacksmith, &HalfDouble, &PtHammer];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::{massage, PfnAware};
+    use crate::rig::Victim;
+    use dram::RowhammerConfig;
+    use rng::SplitMix64;
+    use rowhammer::NoMitigation;
+
+    fn rigged(rh: RowhammerConfig) -> (Session, Placement) {
+        let mut v = Victim::build(rh, true);
+        let mut rng = SplitMix64::new(42);
+        let p = massage(&mut v, &PfnAware, 5, 11, 64, &mut rng);
+        v.sys.flush_caches();
+        v.sys.invalidate_translation_state();
+        for a in v.space.pte_line_addrs() {
+            v.sys.invalidate_line(a);
+        }
+        let s = HammerSession::new(v, Box::new(NoMitigation) as Box<dyn Mitigation>);
+        (s, p)
+    }
+
+    #[test]
+    fn pthammer_issues_zero_explicit_accesses() {
+        let (mut s, p) = rigged(RowhammerConfig::immune());
+        let out = PtHammer.hammer(&mut s, &p, 50);
+        assert!(!out.detected);
+        let prov = s.provenance();
+        assert_eq!(
+            s.attacker_acts(),
+            0,
+            "PThammer must never touch DRAM itself"
+        );
+        assert_eq!(prov.explicit, 0);
+        assert!(
+            prov.walk >= 100,
+            "each round must walk both aggressor PTs at DRAM (walk = {})",
+            prov.walk
+        );
+    }
+
+    #[test]
+    fn pthammer_walks_row_conflict_in_the_aggressor_bank() {
+        let (mut s, p) = rigged(RowhammerConfig::immune());
+        let before = s.device().stats().activations;
+        PtHammer.hammer(&mut s, &p, 50);
+        let acts = s.device().stats().activations - before;
+        // Two same-bank, different-row walks per round: every round must
+        // contribute at least two genuine (conflict) activations.
+        assert!(acts >= 100, "activations = {acts}");
+    }
+
+    #[test]
+    fn load_loop_flips_the_victim_row_when_unmitigated() {
+        let (mut s, p) = rigged(RowhammerConfig {
+            threshold: 700.0,
+            weak_cells_per_row: 64.0,
+            ..RowhammerConfig::default()
+        });
+        LoadLoop.hammer(&mut s, &p, 2000);
+        assert!(
+            s.flips_at_distance(p.actual_row, 0) > 0,
+            "4000 double-sided activations must flip a 700-threshold row"
+        );
+    }
+}

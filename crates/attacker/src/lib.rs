@@ -1,0 +1,40 @@
+//! # Adversarial campaign engine
+//!
+//! End-to-end Rowhammer campaigns against PT-Guard: the attacker side of
+//! the paper's threat model (Section II), driven through the *full* memory
+//! system rather than against a bare DRAM device.
+//!
+//! A campaign composes four independently pluggable pieces:
+//!
+//! * [`rig::Victim`] — the system under attack: DRAM + memory controller
+//!   (optionally PT-Guard-protected) + caches/TLB/walker + an OS-managed
+//!   address space.
+//! * [`alloc::Allocator`] — memory-massaging playbooks that steer where the
+//!   victim's page-table page lands relative to attacker-controlled rows
+//!   (hugepage spray, THP collapse, PFN-aware placement, bank-conflict
+//!   timing), modelled as deterministic placement-error distributions over
+//!   the buddy-style frame allocator's LIFO reuse.
+//! * [`hammer::Hammerer`] — activation-delivery playbooks: explicit load
+//!   loops, Blacksmith-style frequency schedules, Half-Double's
+//!   distance-2 + mitigation-refresh pattern, and PThammer's fully
+//!   *implicit* hammering where every aggressor activation emerges from a
+//!   TLB-missing page-table walk rather than an attacker load.
+//! * [`rowhammer::Mitigation`] × PT-Guard on/off — the defence under test.
+//!
+//! [`campaign`] drives allocate → massage → hammer → exploit-or-detected
+//! across the full cross product and reports per-playbook success,
+//! detection, correction-guess budgets and time-to-first-flip. Every cell
+//! is seeded, so the whole campaign is byte-identical for any `--jobs`
+//! sharding.
+
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod campaign;
+pub mod hammer;
+pub mod rig;
+
+pub use alloc::{Allocator, Placement, ALLOCATORS};
+pub use campaign::{run_with_pool, CampaignConfig, CampaignResult, CellResult};
+pub use hammer::{Hammerer, HAMMERERS};
+pub use rig::Victim;

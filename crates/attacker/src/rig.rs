@@ -1,0 +1,83 @@
+//! The system under attack.
+
+use dram::{DramDevice, RowhammerConfig};
+use memsys::config::MemSysConfig;
+use memsys::controller::MemoryController;
+use memsys::system::{MemorySystem, OsPort};
+use pagetable::space::AddressSpace;
+use ptguard::{PtGuardConfig, PtGuardEngine};
+use rowhammer::DramHost;
+
+/// Physical address bits of the victim machine (4 GB of DRAM).
+pub const MAX_PHYS_BITS: u32 = 32;
+
+/// A complete victim machine: memory system (caches, TLB, walker, memory
+/// controller, DRAM) plus the OS-managed address space whose page tables
+/// the campaign attacks.
+#[derive(Debug)]
+pub struct Victim {
+    /// The cycle-level memory system.
+    pub sys: MemorySystem,
+    /// The victim address space (root already installed as CR3).
+    pub space: AddressSpace,
+}
+
+impl Victim {
+    /// Builds a victim over 4 GB DDR4 with the given Rowhammer physics,
+    /// with or without the PT-Guard engine at the memory controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the root table cannot be allocated (cannot happen at 4 GB).
+    #[must_use]
+    pub fn build(rh: RowhammerConfig, guarded: bool) -> Self {
+        let device = DramDevice::ddr4_4gb(rh);
+        let engine = guarded.then(|| PtGuardEngine::new(PtGuardConfig::default()));
+        let controller = MemoryController::new(device, engine, 3.0);
+        let mut sys = MemorySystem::new(MemSysConfig::default(), controller);
+        let space = {
+            let mut port = OsPort::new(&mut sys);
+            AddressSpace::new(&mut port, MAX_PHYS_BITS).expect("root table fits")
+        };
+        sys.set_root(space.root(), MAX_PHYS_BITS);
+        Self { sys, space }
+    }
+}
+
+impl DramHost for Victim {
+    fn dram(&self) -> &DramDevice {
+        self.sys.controller.device()
+    }
+
+    fn dram_mut(&mut self) -> &mut DramDevice {
+        self.sys.controller.device_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pagetable::addr::VirtAddr;
+    use pagetable::x86_64::PteFlags;
+
+    #[test]
+    fn victim_boots_and_translates() {
+        let mut v = Victim::build(RowhammerConfig::immune(), true);
+        let va = VirtAddr::new(0x40_0000_0000);
+        let Victim { sys, space } = &mut v;
+        let mut port = OsPort::new(sys);
+        let frame = space.alloc_frame(&mut port).unwrap();
+        space
+            .map(&mut port, va, frame, PteFlags::user_data())
+            .unwrap();
+        assert!(v.sys.load(va).is_ok());
+        assert_eq!(v.sys.tlb().peek_frame(va.vpn()), Some(frame));
+    }
+
+    #[test]
+    fn victim_is_a_dram_host() {
+        let mut v = Victim::build(RowhammerConfig::immune(), false);
+        v.dram_mut().set_activation_tap(true);
+        assert_eq!(v.dram().stats().total_flips, 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Campaign-engine benches: cost of one massaged placement and of each
+//! activation-delivery playbook at small budgets, so regressions in the
+//! attacker crate's hot loops (walk-driven hammering above all) show up
+//! without running the full `exp attack` grid.
+
+use attacker::alloc::{massage, PfnAware};
+use attacker::hammer::{Hammerer, LoadLoop, PtHammer};
+use attacker::rig::Victim;
+use dram::RowhammerConfig;
+use ptguard_bench::harness::Bench;
+use rng::SplitMix64;
+use rowhammer::{HammerSession, Mitigation, NoMitigation};
+
+fn rig() -> (attacker::hammer::Session, attacker::alloc::Placement) {
+    let mut v = Victim::build(RowhammerConfig::immune(), true);
+    let mut rng = SplitMix64::new(9);
+    let p = massage(&mut v, &PfnAware, 2, 13, 64, &mut rng);
+    v.sys.flush_caches();
+    v.sys.invalidate_translation_state();
+    for a in v.space.pte_line_addrs() {
+        v.sys.invalidate_line(a);
+    }
+    let s = HammerSession::new(v, Box::new(NoMitigation) as Box<dyn Mitigation>);
+    (s, p)
+}
+
+fn main() {
+    let mut g = Bench::group("attacker");
+
+    g.bench("massage_pfn_aware", || {
+        let mut v = Victim::build(RowhammerConfig::immune(), true);
+        let mut rng = SplitMix64::new(1);
+        massage(&mut v, &PfnAware, 1, 7, 64, &mut rng).frames_burned
+    });
+
+    let (mut s, p) = rig();
+    g.bench("load_loop_200_acts_per_side", || {
+        LoadLoop.hammer(&mut s, &p, 200).detected
+    });
+
+    let (mut s, p) = rig();
+    g.bench("pthammer_50_walk_rounds", || {
+        PtHammer.hammer(&mut s, &p, 50).detected
+    });
+}

@@ -12,6 +12,23 @@ const STORE_PAGE: usize = 4096;
 use crate::rowhammer::{weak_cells_for_row, RowhammerConfig, WeakCell};
 use crate::timing::DramTiming;
 
+/// How an activation was triggered — the provenance axis the attacker
+/// subsystem reasons over. PThammer's whole point is that `Walk`
+/// activations are indistinguishable from `Demand` ones to software-only
+/// trackers, and Half-Double's is that `Refresh` activations disturb
+/// neighbours just like any other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ActivationKind {
+    /// Explicit attacker access ([`DramDevice::hammer`]).
+    Explicit,
+    /// Demand access to a data line (cache miss reaching DRAM).
+    Demand,
+    /// Implicit access by a page-table walk (a PTE line read).
+    Walk,
+    /// Mitigation- or refresh-logic-issued refresh ([`DramDevice::refresh_row`]).
+    Refresh,
+}
+
 /// A recorded bit flip.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FlipRecord {
@@ -85,6 +102,13 @@ pub struct DramDevice {
     window_start_ns: f64,
     /// Index of the next distributed-refresh slice (0..8192).
     ref_slice: u64,
+    /// Whether activations are recorded into `tap` (off by default).
+    tap_enabled: bool,
+    /// Recorded activations since the last drain (only when tapped).
+    tap: Vec<(RowId, ActivationKind)>,
+    /// Provenance attributed to the next demand accesses (`service_at`):
+    /// `Walk` while the controller is servicing a PTE line, else `Demand`.
+    demand_kind: ActivationKind,
 }
 
 impl DramDevice {
@@ -108,6 +132,9 @@ impl DramDevice {
             now_ns: 0.0,
             window_start_ns: 0.0,
             ref_slice: 0,
+            tap_enabled: false,
+            tap: Vec::new(),
+            demand_kind: ActivationKind::Demand,
             geometry,
             timing,
             rh,
@@ -148,6 +175,34 @@ impl DramDevice {
     #[must_use]
     pub fn flips(&self) -> &[FlipRecord] {
         &self.flips
+    }
+
+    /// Enables or disables the activation tap. Off by default; while off,
+    /// activations leave no trace beyond the aggregate stats, so untapped
+    /// callers see bit-identical behaviour and cost. Disabling clears any
+    /// undrained entries.
+    pub fn set_activation_tap(&mut self, enabled: bool) {
+        self.tap_enabled = enabled;
+        if !enabled {
+            self.tap.clear();
+        }
+    }
+
+    /// Drains recorded activations (in occurrence order) into `out`.
+    pub fn drain_activations(&mut self, out: &mut Vec<(RowId, ActivationKind)>) {
+        out.append(&mut self.tap);
+    }
+
+    /// Marks whether upcoming demand accesses ([`DramDevice::service_at`])
+    /// are page-table-walk reads (`Walk`) or ordinary data traffic
+    /// (`Demand`). The memory controller sets this per request; it only
+    /// affects tap attribution, never timing or disturbance.
+    pub fn tap_pte_hint(&mut self, is_pte: bool) {
+        self.demand_kind = if is_pte {
+            ActivationKind::Walk
+        } else {
+            ActivationKind::Demand
+        };
     }
 
     /// Current disturbance pressure on `row`.
@@ -204,14 +259,14 @@ impl DramDevice {
                 self.stats.row_misses += 1;
                 self.stats.per_bank_row_misses[bank] += 1;
                 self.open_row[bank] = Some(row.row);
-                self.activate(row);
+                self.activate(row, self.demand_kind);
                 self.timing.row_conflict_ns()
             }
             None => {
                 self.stats.row_misses += 1;
                 self.stats.per_bank_row_misses[bank] += 1;
                 self.open_row[bank] = Some(row.row);
-                self.activate(row);
+                self.activate(row, self.demand_kind);
                 self.timing.row_closed_ns()
             }
         };
@@ -233,7 +288,7 @@ impl DramDevice {
     /// (interleaving a precharge so every activation disturbs).
     pub fn hammer(&mut self, row: RowId, times: u64) {
         for _ in 0..times {
-            self.activate(row);
+            self.activate(row, ActivationKind::Explicit);
             self.advance_time(self.timing.t_rc_ns);
         }
         self.open_row[row.bank as usize] = Some(row.row);
@@ -250,7 +305,7 @@ impl DramDevice {
                 c.flipped = false;
             }
         }
-        self.activate(row);
+        self.activate(row, ActivationKind::Refresh);
     }
 
     /// Advances the device clock, issuing distributed auto-refresh.
@@ -291,10 +346,14 @@ impl DramDevice {
         }
     }
 
-    /// One activation of `row`: counts it and propagates disturbance to
-    /// distance-1 and distance-2 neighbours.
-    fn activate(&mut self, row: RowId) {
+    /// One activation of `row`: counts it, records it into the tap when
+    /// enabled, and propagates disturbance to distance-1 and distance-2
+    /// neighbours.
+    fn activate(&mut self, row: RowId, kind: ActivationKind) {
         self.stats.activations += 1;
+        if self.tap_enabled {
+            self.tap.push((row, kind));
+        }
         if !self.rh.enabled {
             return;
         }
@@ -567,6 +626,38 @@ mod tests {
             d.stats().total_flips > first,
             "rewritten cells must be flippable again"
         );
+    }
+
+    #[test]
+    fn activation_tap_records_kinds_in_order() {
+        let mut d = DramDevice::ddr4_4gb(RowhammerConfig::immune());
+        let mut tap = Vec::new();
+        // Untapped: nothing recorded.
+        d.hammer(RowId { bank: 0, row: 10 }, 2);
+        d.drain_activations(&mut tap);
+        assert!(tap.is_empty());
+        d.set_activation_tap(true);
+        d.hammer(RowId { bank: 0, row: 10 }, 1);
+        d.tap_pte_hint(true);
+        d.access(PhysAddr::new(0x10_0000), false);
+        d.tap_pte_hint(false);
+        d.access(PhysAddr::new(0x20_0000), false);
+        d.refresh_row(RowId { bank: 0, row: 11 });
+        d.drain_activations(&mut tap);
+        let kinds: Vec<ActivationKind> = tap.iter().map(|&(_, k)| k).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ActivationKind::Explicit,
+                ActivationKind::Walk,
+                ActivationKind::Demand,
+                ActivationKind::Refresh,
+            ]
+        );
+        // Draining empties the tap.
+        tap.clear();
+        d.drain_activations(&mut tap);
+        assert!(tap.is_empty());
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod geometry;
 pub mod rowhammer;
 pub mod timing;
 
-pub use device::{DramDevice, ServiceTiming};
+pub use device::{ActivationKind, DramDevice, ServiceTiming};
 pub use geometry::{DramGeometry, RowId};
 pub use rowhammer::RowhammerConfig;
 pub use timing::DramTiming;

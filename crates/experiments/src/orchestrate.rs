@@ -17,13 +17,13 @@ use orchestrator::{JobOutput, JobSpec};
 
 use crate::report::Table;
 use crate::{
-    ablation, coverage, diag, exploit, fig6, fig7, fig8, fig9, fullmem, mlp, multicore, oracle,
-    priorwork, rth_sweep, security, serve, storage, tables, Scale,
+    ablation, attack, coverage, diag, exploit, fig6, fig7, fig8, fig9, fullmem, mlp, multicore,
+    oracle, priorwork, rth_sweep, security, serve, storage, tables, Scale,
 };
 
 /// Every artefact `exp` can regenerate, in the order `exp all` prints them
 /// (the same order the usage banner advertises).
-pub const ARTEFACTS: [&str; 21] = [
+pub const ARTEFACTS: [&str; 22] = [
     "table1",
     "table2",
     "table3",
@@ -45,6 +45,7 @@ pub const ARTEFACTS: [&str; 21] = [
     "oracle",
     "mlp",
     "serve",
+    "attack",
 ];
 
 /// `priorwork` trials per damage class at each scale.
@@ -460,6 +461,64 @@ pub fn run_artefact_jobs(
                 sim_ops: ops,
             }
         }
+        "attack" => {
+            let r = attack::run_seeded_jobs(scale, seed, jobs);
+            for c in r.cells.iter().filter(|c| c.mitigation == "none") {
+                let guard = if c.guarded { "on" } else { "off" };
+                let key = format!("{}.{}.{guard}", c.allocator, c.hammerer);
+                mu(
+                    &mut metrics,
+                    format!("{key}.successes"),
+                    u64::from(c.successes),
+                );
+                mu(
+                    &mut metrics,
+                    format!("{key}.detected"),
+                    u64::from(c.detected),
+                );
+            }
+            for h in attacker::HAMMERERS {
+                let mut prov = rowhammer::ActivationProvenance::default();
+                let mut acts = 0u64;
+                let mut delay_ps = 0u128;
+                for c in r.cells.iter().filter(|c| c.hammerer == h.name()) {
+                    prov.explicit += c.provenance.explicit;
+                    prov.demand += c.provenance.demand;
+                    prov.walk += c.provenance.walk;
+                    prov.refresh += c.provenance.refresh;
+                    acts += c.attacker_acts;
+                    delay_ps += c.delay_ps;
+                }
+                let key = h.name();
+                mu(&mut metrics, format!("{key}.prov_explicit"), prov.explicit);
+                mu(&mut metrics, format!("{key}.prov_demand"), prov.demand);
+                mu(&mut metrics, format!("{key}.prov_walk"), prov.walk);
+                mu(&mut metrics, format!("{key}.prov_refresh"), prov.refresh);
+                mu(&mut metrics, format!("{key}.attacker_acts"), acts);
+                mu(
+                    &mut metrics,
+                    format!("{key}.delay_ps"),
+                    u64::try_from(delay_ps).unwrap_or(u64::MAX),
+                );
+            }
+            mu(&mut metrics, "max_guesses", u64::from(r.max_guesses()));
+            mu(
+                &mut metrics,
+                "throttle.delay_ps",
+                u64::try_from(r.throttling.delay_ps).unwrap_or(u64::MAX),
+            );
+            mu(
+                &mut metrics,
+                "throttle.successes",
+                u64::from(r.throttling.successes),
+            );
+            let ops = r.total_activations();
+            JobOutput {
+                rendered: attack::render(&r),
+                metrics,
+                sim_ops: ops,
+            }
+        }
         other => return Err(format!("unknown artefact: {other}")),
     };
     Ok(out)
@@ -676,6 +735,24 @@ mod tests {
             ARTEFACTS.contains(&"serve"),
             "the serve-pipeline model must be orchestrated"
         );
+        assert!(
+            ARTEFACTS.contains(&"attack"),
+            "the adversarial campaign must be orchestrated"
+        );
+    }
+
+    #[test]
+    fn attack_artefact_surfaces_provenance_and_guess_budget() {
+        let job = run_artefact_jobs("attack", Scale::Trial, 0, 2).unwrap();
+        assert_eq!(
+            job.metric_value("pthammer.prov_explicit"),
+            Some(0.0),
+            "PThammer cells must hammer purely through walks"
+        );
+        assert!(job.metric_value("pthammer.prov_walk").unwrap() > 0.0);
+        assert!(job.metric_value("max_guesses").unwrap() <= 372.0);
+        assert!(job.metric_value("throttle.delay_ps").unwrap() > 0.0);
+        assert!(job.sim_ops > 0);
     }
 
     #[test]

@@ -182,6 +182,7 @@ impl MemoryController {
     /// point from the same `mac_cycles` the returned [`DramRead`] carries,
     /// so the stat equals the sum of per-read `mac_cycles` in every mode.
     pub fn read_line(&mut self, addr: PhysAddr, is_pte: bool) -> DramRead {
+        self.device.tap_pte_hint(is_pte);
         let dram_ps = clock::ns_to_ps(self.device.access(addr, false));
         let raw = Line::from_bytes(&self.device.read_line(addr));
         self.finish_read(addr, is_pte, dram_ps, raw, None)
@@ -220,6 +221,7 @@ impl MemoryController {
                 let slot = fm.slot_addr(addr);
                 let hit = fm.cache_access(slot);
                 if !hit {
+                    self.device.tap_pte_hint(false);
                     dram_ps += clock::ns_to_ps(self.device.access(slot, false));
                 }
                 // MAC computation latency, same 10 cycles as PT-Guard's,
@@ -311,6 +313,7 @@ impl MemoryController {
                     })
                     .unwrap_or(0);
                 let q = self.queues[bank].remove(pick).expect("non-empty queue");
+                self.device.tap_pte_hint(q.is_pte);
                 let t = self.device.service_at(q.addr, false, t0);
                 let dram_ps = clock::ns_to_ps(t.wait_ns) + clock::ns_to_ps(t.latency_ns);
                 // The raw line must be read *immediately* after this
@@ -386,6 +389,7 @@ impl MemoryController {
             Some(engine) => engine.process_write(line, addr).line,
             None => line,
         };
+        self.device.tap_pte_hint(false);
         let _ = self.device.access(addr, true);
         self.device.write_line(addr, &stored.to_bytes());
         // Whole-memory integrity: keep the MAC table in sync (off the

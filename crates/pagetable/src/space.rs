@@ -174,6 +174,14 @@ impl AddressSpace {
         self.allocator.alloc().ok_or(MapError::OutOfMemory)
     }
 
+    /// Returns a previously allocated frame to the allocator's free list.
+    /// Freed frames are reused (LIFO) before the bump watermark advances —
+    /// the reuse behaviour memory-massaging attacks exploit to steer where
+    /// the next page-table page lands.
+    pub fn free_frame(&mut self, frame: Frame) {
+        self.allocator.free(frame);
+    }
+
     /// Maps the 4 KB page containing `va` to `frame` with `flags`.
     ///
     /// Intermediate table pages are allocated (and zeroed) on demand.

@@ -96,6 +96,10 @@ pub struct EngineStats {
     pub verified: u64,
     /// Successful corrections.
     pub corrected: u64,
+    /// Largest guess count any single correction spent (≤ the G_max guess
+    /// budget of Section VI-D; campaign reports assert ≤ 372 for the
+    /// 44-bit x86_64 format).
+    pub max_correction_guesses: u32,
     /// Page-table-walk integrity failures raised.
     pub check_failures: u64,
     /// Colliding lines tracked.
@@ -358,6 +362,7 @@ impl PtGuardEngine {
                 && (stored ^ self.mac.mac_zero()).count_ones() <= self.cfg.soft_match_k
             {
                 self.stats.corrected += 1;
+                self.stats.max_correction_guesses = self.stats.max_correction_guesses.max(1);
                 return ReadOutcome {
                     line: Line::ZERO,
                     verdict: ReadVerdict::Corrected {
@@ -372,6 +377,8 @@ impl PtGuardEngine {
                 Corrector::new(&self.mac, self.cfg.soft_match_k, self.cfg.zero_reset_bits);
             if let CorrectionOutcome::Corrected(c) = corrector.correct(&line, addr) {
                 self.stats.corrected += 1;
+                self.stats.max_correction_guesses =
+                    self.stats.max_correction_guesses.max(c.guesses);
                 let stripped = if self.cfg.optimized {
                     pattern::strip_mac_and_identifier_for(&c.line, fmt)
                 } else {

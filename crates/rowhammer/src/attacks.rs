@@ -3,7 +3,7 @@
 use dram::geometry::RowId;
 
 use crate::mitigations::Mitigation;
-use crate::session::HammerSession;
+use crate::session::{DramHost, HammerSession};
 
 /// The attack patterns the gallery evaluates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -64,8 +64,8 @@ pub struct AttackReport {
 }
 
 /// Hammers a single aggressor row.
-pub fn single_sided<M: Mitigation>(
-    s: &mut HammerSession<M>,
+pub fn single_sided<M: Mitigation, H: DramHost>(
+    s: &mut HammerSession<M, H>,
     aggressor: RowId,
     acts: u64,
 ) -> AttackReport {
@@ -77,8 +77,8 @@ pub fn single_sided<M: Mitigation>(
 }
 
 /// Hammers the two rows sandwiching `victim`, alternating.
-pub fn double_sided<M: Mitigation>(
-    s: &mut HammerSession<M>,
+pub fn double_sided<M: Mitigation, H: DramHost>(
+    s: &mut HammerSession<M, H>,
     victim: RowId,
     acts_per_side: u64,
 ) -> AttackReport {
@@ -105,8 +105,8 @@ pub fn double_sided<M: Mitigation>(
 
 /// N-sided pattern: `n` aggressors at stride 2 starting at `first`, cycled
 /// round-robin to thrash limited trackers.
-pub fn many_sided<M: Mitigation>(
-    s: &mut HammerSession<M>,
+pub fn many_sided<M: Mitigation, H: DramHost>(
+    s: &mut HammerSession<M, H>,
     first: RowId,
     n: u32,
     rounds: u64,
@@ -127,8 +127,8 @@ pub fn many_sided<M: Mitigation>(
 /// Blacksmith-like non-uniform schedule: each aggressor has its own period
 /// and phase, so samplers locked to refresh intervals miss the dominant
 /// aggressors.
-pub fn blacksmith<M: Mitigation>(
-    s: &mut HammerSession<M>,
+pub fn blacksmith<M: Mitigation, H: DramHost>(
+    s: &mut HammerSession<M, H>,
     first: RowId,
     n: u32,
     slots: u64,
@@ -158,8 +158,8 @@ pub fn blacksmith<M: Mitigation>(
 /// disturbs `a±2` — flipping bits two rows away from the aggressor. A light
 /// dose of direct `a±1` activations (as in the original attack) accelerates
 /// the trigger.
-pub fn half_double<M: Mitigation>(
-    s: &mut HammerSession<M>,
+pub fn half_double<M: Mitigation, H: DramHost>(
+    s: &mut HammerSession<M, H>,
     aggressor: RowId,
     rounds: u64,
 ) -> AttackReport {
@@ -181,8 +181,8 @@ pub fn half_double<M: Mitigation>(
     report(s, AttackKind::HalfDouble, aggressor, before)
 }
 
-fn report<M: Mitigation>(
-    s: &HammerSession<M>,
+fn report<M: Mitigation, H: DramHost>(
+    s: &HammerSession<M, H>,
     kind: AttackKind,
     primary: RowId,
     acts_before: u64,

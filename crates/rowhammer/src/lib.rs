@@ -33,4 +33,4 @@ pub mod session;
 
 pub use attacks::AttackKind;
 pub use mitigations::{Blockhammer, Graphene, Mitigation, NoMitigation, Para, SoftTrr, Trr};
-pub use session::HammerSession;
+pub use session::{ActivationProvenance, DramHost, HammerSession};

@@ -15,6 +15,7 @@ use std::collections::HashMap;
 
 use dram::geometry::RowId;
 use dram::DramDevice;
+use memsys::config::clock;
 
 /// A Rowhammer mitigation observing the activation stream.
 pub trait Mitigation {
@@ -27,9 +28,32 @@ pub trait Mitigation {
     /// Victim refreshes issued so far.
     fn refreshes_issued(&self) -> u64;
 
-    /// Total artificial delay injected (throttling mitigations), in ns.
-    fn delay_injected_ns(&self) -> f64 {
-        0.0
+    /// Total artificial delay injected (throttling mitigations), in integer
+    /// picoseconds — the same fixed-point domain as
+    /// [`memsys::config::clock`], so campaign reports that aggregate it
+    /// stay byte-reproducible (no float accumulation order dependence).
+    fn delay_injected_ps(&self) -> u128 {
+        0
+    }
+}
+
+/// Boxed mitigations delegate, so heterogeneous defence matrices (the
+/// attacker crate's campaign grid) can store `Box<dyn Mitigation>` cells.
+impl<M: Mitigation + ?Sized> Mitigation for Box<M> {
+    fn on_activate(&mut self, row: RowId, device: &mut DramDevice) {
+        (**self).on_activate(row, device);
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn refreshes_issued(&self) -> u64 {
+        (**self).refreshes_issued()
+    }
+
+    fn delay_injected_ps(&self) -> u128 {
+        (**self).delay_injected_ps()
     }
 }
 
@@ -258,9 +282,12 @@ impl Mitigation for Graphene {
 pub struct Blockhammer {
     blacklist_threshold: u64,
     throttle_delay_ns: f64,
+    /// The per-activation delay in integer picoseconds, rounded once at
+    /// construction — the single rounding point of the accounting.
+    throttle_delay_ps: u128,
     counters: HashMap<RowId, u64>,
     refreshes: u64,
-    delay_ns: f64,
+    delay_ps: u128,
 }
 
 impl Blockhammer {
@@ -271,9 +298,10 @@ impl Blockhammer {
         Self {
             blacklist_threshold,
             throttle_delay_ns,
+            throttle_delay_ps: clock::ns_to_ps(throttle_delay_ns),
             counters: HashMap::new(),
             refreshes: 0,
-            delay_ns: 0.0,
+            delay_ps: 0,
         }
     }
 }
@@ -284,7 +312,7 @@ impl Mitigation for Blockhammer {
         *c += 1;
         if *c > self.blacklist_threshold {
             device.advance_time(self.throttle_delay_ns);
-            self.delay_ns += self.throttle_delay_ns;
+            self.delay_ps += self.throttle_delay_ps;
         }
     }
 
@@ -296,8 +324,8 @@ impl Mitigation for Blockhammer {
         self.refreshes
     }
 
-    fn delay_injected_ns(&self) -> f64 {
-        self.delay_ns
+    fn delay_injected_ps(&self) -> u128 {
+        self.delay_ps
     }
 }
 
@@ -499,10 +527,12 @@ mod tests {
         for _ in 0..50 {
             b.on_activate(cold, &mut d);
         }
-        assert_eq!(b.delay_injected_ns(), 0.0);
+        assert_eq!(b.delay_injected_ps(), 0);
         for _ in 0..200 {
             b.on_activate(hot, &mut d);
         }
-        assert!(b.delay_injected_ns() > 0.0);
+        // 100 throttled activations of exactly 1 µs each: the integer
+        // accounting is exact, not approximate.
+        assert_eq!(b.delay_injected_ps(), 100 * clock::ns_to_ps(1000.0));
     }
 }
