@@ -178,11 +178,20 @@ pub struct Placement {
 /// `jitter` offsets the target row within the sprayable region so
 /// different trials exercise different weak-cell populations.
 ///
+/// Against a CATT-partitioned victim ([`Victim::build_isolated`]) the same
+/// grooming runs to completion, but the OS ignores every groomed hole: page
+/// tables come from the isolated pool, so the aggressor rows the hammerers
+/// drive (`target ± 1`) hold only attacker data and the victim PT lands in
+/// the pool, behind the guard band — the attack is disarmed at allocation
+/// time. `actual_row` and `aggressor_leaf_lines` report where the PT pages
+/// really went in either case.
+///
 /// # Panics
 ///
-/// Panics if physical memory is exhausted (cannot happen at 4 GB) or a
-/// page-table page lands somewhere other than the groomed frame — that
-/// would mean the allocator model and the massage disagree.
+/// Panics if physical memory is exhausted (cannot happen at 4 GB) or — for
+/// non-isolated victims — a page-table page lands somewhere other than the
+/// groomed frame, which would mean the allocator model and the massage
+/// disagree.
 #[must_use]
 pub fn massage(
     v: &mut Victim,
@@ -196,6 +205,7 @@ pub fn massage(
     let frame_of = |row: u32| Frame(geometry.row_base(RowId { bank, row }).as_u64() >> 12);
 
     let Victim { sys, space } = v;
+    let isolated = space.table_pool().is_some();
     let mut port = OsPort::new(sys);
 
     let benign_va = VirtAddr::new(VA_BASE);
@@ -260,12 +270,16 @@ pub fn massage(
     space
         .map(&mut port, va_lo, aggressor_data[0], PteFlags::user_data())
         .expect("aggressor-low map");
-    assert_eq!(*space.table_frames().last().unwrap(), fa_lo);
+    let pt_lo = *space.table_frames().last().unwrap();
     burn_to(space, &mut port, &mut burned, Frame(fa_hi.0 - 1));
     space
         .map(&mut port, va_hi, aggressor_data[1], PteFlags::user_data())
         .expect("aggressor-high map");
-    assert_eq!(*space.table_frames().last().unwrap(), fa_hi);
+    let pt_hi = *space.table_frames().last().unwrap();
+    if !isolated {
+        assert_eq!(pt_lo, fa_lo, "aggressor-low PT must pop the groomed frame");
+        assert_eq!(pt_hi, fa_hi, "aggressor-high PT must pop the groomed frame");
+    }
 
     // Burn through every hole candidate, then punch the hole where the
     // strategy's aim actually points. With aiming error e ≠ 0 the first
@@ -298,7 +312,14 @@ pub fn massage(
             .expect("victim map");
     }
     let victim_pt = *space.table_frames().last().unwrap();
-    assert_eq!(victim_pt, hole, "victim PT must pop the groomed hole");
+    if let Some((pool_first, pool_limit)) = space.table_pool() {
+        assert!(
+            (pool_first..pool_limit).contains(&victim_pt.0),
+            "isolated victim PT must come from the pool"
+        );
+    } else {
+        assert_eq!(victim_pt, hole, "victim PT must pop the groomed hole");
+    }
 
     Placement {
         bank,
@@ -316,7 +337,7 @@ pub fn massage(
                 row: target_row + 1,
             },
         ],
-        aggressor_leaf_lines: [fa_lo.base(), fa_hi.base()],
+        aggressor_leaf_lines: [pt_lo.base(), pt_hi.base()],
         aggressor_vas: [va_lo, va_hi],
         victim_vas,
         victim_frames,
@@ -374,6 +395,31 @@ mod tests {
             assert!(HugepageSpray.row_error(&mut rng).abs() <= 1);
             assert!(ThpCollapse.row_error(&mut rng).abs() <= 2);
             assert!(BankConflict.row_error(&mut rng).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn catt_isolation_defeats_the_grooming() {
+        // Same playbook, CATT-partitioned victim: every PT page must land
+        // in the pool behind the guard band, never in the groomed rows.
+        let mut v = Victim::build_isolated(RowhammerConfig::immune(), false);
+        let mut rng = SplitMix64::new(5);
+        let p = massage(&mut v, &PfnAware, 3, 17, 64, &mut rng);
+        let (pool_first, pool_limit) = v.space.table_pool().unwrap();
+        assert!((pool_first..pool_limit).contains(&p.victim_pt.0));
+        let g = v.sys.controller.device().geometry();
+        for line in p.aggressor_leaf_lines {
+            let pt_row = g.row_of(line);
+            let dist = i64::from(pt_row.row) - i64::from(p.target_row);
+            assert!(
+                pt_row.bank != p.bank || dist.abs() > 2,
+                "aggressor PT within blast radius: {pt_row:?} vs target {}",
+                p.target_row
+            );
+        }
+        // The victim still translates through its (pool-resident) PT.
+        for va in &p.victim_vas {
+            assert!(v.sys.load(*va).is_ok());
         }
     }
 

@@ -65,6 +65,22 @@ struct MitigationSpec {
     build: fn(&CampaignConfig, u64) -> Box<dyn Mitigation>,
 }
 
+/// One full defence column: a mitigation build plus the machine policy it
+/// requires. The arena artefact crosses these with the playbook grid; the
+/// legacy campaign grid is the special case `isolate_tables = false` with
+/// `guarded` swept independently.
+#[derive(Debug, Clone)]
+pub struct DefenseSpec {
+    /// Defence name for reports.
+    pub name: &'static str,
+    /// Builds the DRAM-level engine for one trial (`seed` is trial-drawn).
+    pub build: fn(&CampaignConfig, u64) -> Box<dyn Mitigation>,
+    /// Whether PT-Guard runs at the memory controller.
+    pub guarded: bool,
+    /// Whether the victim kernel partitions page tables into the CATT pool.
+    pub isolate_tables: bool,
+}
+
 /// The grid columns: no mitigation, DDR4-typical TRR, PARA, Graphene.
 const MITIGATIONS: [MitigationSpec; 4] = [
     MitigationSpec {
@@ -122,6 +138,10 @@ pub struct CellResult {
     pub provenance: ActivationProvenance,
     /// Mitigation-injected throttling delay, integer picoseconds.
     pub delay_ps: u128,
+    /// Mitigation refreshes issued across all trials.
+    pub refreshes: u64,
+    /// Largest dedicated-storage figure the defence reported in any trial.
+    pub storage_bytes: u64,
     /// Fastest time from hammer start to the first victim-row flip, in
     /// nanoseconds of simulated time (None if no trial flipped it).
     pub first_flip_ns: Option<f64>,
@@ -205,13 +225,36 @@ fn run_cell(cfg: &CampaignConfig, idx: usize) -> CellResult {
             idx % 2 == 1,
         )
     };
+    let spec = DefenseSpec {
+        name: mit.name,
+        build: mit.build,
+        guarded,
+        isolate_tables: false,
+    };
+    run_defense_cell(cfg, &spec, alloc, ham, idx)
+}
+
+/// Runs one playbook × defence cell over `cfg.trials` seeded trials. The
+/// per-trial RNG stream is derived from `(cfg.seed, cell_id, trial)`, so
+/// callers sharding cells across a pool stay byte-identical as long as
+/// `cell_id` is stable; the legacy grid uses its cell index, the arena its
+/// own id space under a different master seed.
+#[must_use]
+pub fn run_defense_cell(
+    cfg: &CampaignConfig,
+    spec: &DefenseSpec,
+    alloc: usize,
+    ham: usize,
+    cell_id: usize,
+) -> CellResult {
+    let guarded = spec.guarded;
     let allocator = ALLOCATORS[alloc];
     let hammerer = HAMMERERS[ham];
 
     let mut cell = CellResult {
         allocator: allocator.name(),
         hammerer: hammerer.name(),
-        mitigation: mit.name,
+        mitigation: spec.name,
         guarded,
         trials: cfg.trials,
         successes: 0,
@@ -226,11 +269,13 @@ fn run_cell(cfg: &CampaignConfig, idx: usize) -> CellResult {
         attacker_acts: 0,
         provenance: ActivationProvenance::default(),
         delay_ps: 0,
+        refreshes: 0,
+        storage_bytes: 0,
         first_flip_ns: None,
     };
 
     for trial in 0..cfg.trials {
-        let mut rng = SplitMix64::new(trial_seed(cfg.seed, idx, trial));
+        let mut rng = SplitMix64::new(trial_seed(cfg.seed, cell_id, trial));
 
         let rh = RowhammerConfig {
             threshold: cfg.rth,
@@ -238,7 +283,11 @@ fn run_cell(cfg: &CampaignConfig, idx: usize) -> CellResult {
             seed: rng.next_u64(),
             ..RowhammerConfig::default()
         };
-        let mut v = Victim::build(rh, guarded);
+        let mut v = if spec.isolate_tables {
+            Victim::build_isolated(rh, guarded)
+        } else {
+            Victim::build(rh, guarded)
+        };
 
         let bank = rng.gen_range_u64(0, u64::from(v.sys.controller.device().geometry().banks));
         let jitter = rng.gen_range_u64(0, 192) as u32;
@@ -266,7 +315,13 @@ fn run_cell(cfg: &CampaignConfig, idx: usize) -> CellResult {
         let stats0 = v.sys.controller.engine().map(|e| e.stats());
         let t0 = v.sys.controller.device().now_ns();
 
-        let mitigation = (mit.build)(cfg, rng.next_u64());
+        let mut mitigation = (spec.build)(cfg, rng.next_u64());
+        // Software-visible defences learn where the kernel's page tables
+        // physically live (a no-op for hardware-only mitigations).
+        let geometry = *v.sys.controller.device().geometry();
+        for f in v.space.table_frames() {
+            mitigation.note_pt_row(geometry.row_of(f.base()));
+        }
         let mut s = HammerSession::new(v, mitigation);
         let out = hammerer.hammer(&mut s, &p, cfg.acts_per_side);
 
@@ -277,6 +332,10 @@ fn run_cell(cfg: &CampaignConfig, idx: usize) -> CellResult {
         cell.provenance.walk += prov.walk;
         cell.provenance.refresh += prov.refresh;
         cell.delay_ps += s.mitigation().delay_injected_ps();
+        cell.refreshes += s.mitigation().refreshes_issued();
+        cell.storage_bytes = cell
+            .storage_bytes
+            .max(s.mitigation().storage_overhead_bytes());
 
         let (mut v, _mitigation) = s.into_parts();
 

@@ -35,6 +35,8 @@ pub mod hammer;
 pub mod rig;
 
 pub use alloc::{Allocator, Placement, ALLOCATORS};
-pub use campaign::{run_with_pool, CampaignConfig, CampaignResult, CellResult};
+pub use campaign::{
+    run_defense_cell, run_with_pool, CampaignConfig, CampaignResult, CellResult, DefenseSpec,
+};
 pub use hammer::{Hammerer, HAMMERERS};
-pub use rig::Victim;
+pub use rig::{catt_reserved_bytes, Victim};

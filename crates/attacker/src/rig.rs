@@ -11,6 +11,20 @@ use rowhammer::DramHost;
 /// Physical address bits of the victim machine (4 GB of DRAM).
 pub const MAX_PHYS_BITS: u32 = 32;
 
+/// Frames in the CATT-isolated page-table pool at the top of DRAM.
+pub const CATT_POOL_FRAMES: u64 = 1024;
+
+/// Guard-band frames between the data allocator and the pool. At 2 frames
+/// per bank-row this is 4 rows — wider than the distance-2 disturbance
+/// radius the Half-Double playbook exploits.
+pub const CATT_GUARD_FRAMES: u64 = 128;
+
+/// DRAM the CATT partition withholds from the data pool (its storage cost).
+#[must_use]
+pub fn catt_reserved_bytes() -> u64 {
+    (CATT_POOL_FRAMES + CATT_GUARD_FRAMES) * 4096
+}
+
 /// A complete victim machine: memory system (caches, TLB, walker, memory
 /// controller, DRAM) plus the OS-managed address space whose page tables
 /// the campaign attacks.
@@ -31,13 +45,36 @@ impl Victim {
     /// Panics if the root table cannot be allocated (cannot happen at 4 GB).
     #[must_use]
     pub fn build(rh: RowhammerConfig, guarded: bool) -> Self {
+        Self::build_with(rh, guarded, false)
+    }
+
+    /// Builds a victim whose kernel partitions the frame allocator the CATT
+    /// way: page tables come from an isolated pool at the top of DRAM,
+    /// separated from everything the attacker can allocate by a guard band
+    /// wider than the disturbance radius.
+    #[must_use]
+    pub fn build_isolated(rh: RowhammerConfig, guarded: bool) -> Self {
+        Self::build_with(rh, guarded, true)
+    }
+
+    fn build_with(rh: RowhammerConfig, guarded: bool, isolated: bool) -> Self {
         let device = DramDevice::ddr4_4gb(rh);
         let engine = guarded.then(|| PtGuardEngine::new(PtGuardConfig::default()));
         let controller = MemoryController::new(device, engine, 3.0);
         let mut sys = MemorySystem::new(MemSysConfig::default(), controller);
         let space = {
             let mut port = OsPort::new(&mut sys);
-            AddressSpace::new(&mut port, MAX_PHYS_BITS).expect("root table fits")
+            if isolated {
+                AddressSpace::new_isolated(
+                    &mut port,
+                    MAX_PHYS_BITS,
+                    CATT_POOL_FRAMES,
+                    CATT_GUARD_FRAMES,
+                )
+                .expect("pool fits in 4 GB")
+            } else {
+                AddressSpace::new(&mut port, MAX_PHYS_BITS).expect("root table fits")
+            }
         };
         sys.set_root(space.root(), MAX_PHYS_BITS);
         Self { sys, space }

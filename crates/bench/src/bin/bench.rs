@@ -1,7 +1,7 @@
 //! `bench` — the QARMA/MAC hot-path and memory-pipeline benchmark driver.
 //!
 //! ```text
-//! bench qarma|mac|memsys|serve|all [--out FILE] [--fast] [--jobs N] [--check FILE]
+//! bench qarma|mac|memsys|serve|arena|all [--out FILE] [--fast] [--jobs N] [--check FILE]
 //! ```
 //!
 //! Unlike the `cargo bench` targets (which only print), this binary
@@ -20,6 +20,9 @@
 //!   reports with) of the coalescing core's drain at batch sizes 1/2/4/8,
 //!   per batch and per line — the measured basis for the queueing model's
 //!   cost constants.
+//! * `arena` → `BENCH_arena.json` — host ns per `on_activate` for every
+//!   defence in the mitigation arena (TRR, PARA, Graphene, Blockhammer,
+//!   SoftTRR, CATT, DAPPER, PT-Guard) over a uniform activation stream.
 //!
 //! `--check FILE` re-measures a representative number and fails (exit 1)
 //! if it regressed more than 2× over the value recorded in `FILE` — the CI
@@ -61,9 +64,10 @@ const BASELINE_NS: [(&str, f64); 8] = [
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bench qarma|mac|memsys|serve|all [--out FILE] [--fast] [--jobs N] [--check FILE]\n\
+        "usage: bench qarma|mac|memsys|serve|arena|all [--out FILE] [--fast] [--jobs N] [--check FILE]\n\
          \x20 --out FILE    write the JSON report (default BENCH_qarma.json;\n\
-         \x20               BENCH_memsys.json / BENCH_serve.json for those targets)\n\
+         \x20               BENCH_memsys.json / BENCH_serve.json / BENCH_arena.json\n\
+         \x20               for those targets)\n\
          \x20 --fast        ~10x shorter samples (smoke mode; also via PTGUARD_BENCH_FAST)\n\
          \x20 --jobs N      workers for the parallel pair-sweep timing (default: all cores)\n\
          \x20 --check FILE  regression gate: fail if the report's anchor number regressed\n\
@@ -412,6 +416,106 @@ fn check_serve(committed: &Value) -> Result<(), String> {
     Ok(())
 }
 
+/// Activations per timed block in the arena target — long enough that the
+/// per-call harness overhead vanishes against the tracker update.
+const ARENA_BLOCK: u64 = 4096;
+
+/// The arena target: host ns per `on_activate` for every defence the
+/// mitigation arena fields, driven by a uniform random activation stream
+/// over a flip-immune DDR4 device. This is the tracker's *host-side* cost
+/// (hash-map upkeep, decay, sampling) — the simulated-time costs (refresh
+/// energy, injected delay) are the `exp arena` artefact's job.
+fn bench_arena(fast: bool) -> Value {
+    use dram::{DramDevice, RowhammerConfig};
+
+    let cfg = attacker::CampaignConfig::default();
+    let mut results = Vec::new();
+    for spec in experiments::arena::defenses() {
+        let mut device = DramDevice::ddr4_4gb(RowhammerConfig::immune());
+        let geom = *device.geometry();
+        let mut mitigation = (spec.build)(&cfg, 0x00BE_2C4A_2E2A);
+        mitigation.note_pt_row(dram::RowId { bank: 0, row: 64 });
+        let mut rng = rng::SplitMix64::new(0xBE2C_0000_0000_0001);
+        let m = measure(effective_budget(), || {
+            for _ in 0..ARENA_BLOCK {
+                let row = dram::RowId {
+                    bank: rng.gen_range_u64(0, u64::from(geom.banks)) as u32,
+                    row: rng.gen_range_u64(0, u64::from(geom.rows_per_bank)) as u32,
+                };
+                mitigation.on_activate(row, &mut device);
+            }
+        });
+        let ns_per_act = m.median_ns / ARENA_BLOCK as f64;
+        println!(
+            "arena_{name:<12} {ns_per_act:>8.1} ns/activation  ({refreshes} refreshes issued)",
+            name = spec.name,
+            refreshes = mitigation.refreshes_issued(),
+        );
+        results.push((
+            spec.name.to_string(),
+            Value::obj(vec![
+                ("ns_per_activation", Value::F64(ns_per_act)),
+                ("refreshes", Value::U64(mitigation.refreshes_issued())),
+                (
+                    "storage_bytes",
+                    Value::U64(mitigation.storage_overhead_bytes()),
+                ),
+            ]),
+        ));
+    }
+    Value::obj(vec![
+        ("schema", Value::Str("ptguard-bench-arena/v1".to_string())),
+        ("fast", Value::Bool(fast)),
+        ("block", Value::U64(ARENA_BLOCK)),
+        ("results", Value::Obj(results)),
+    ])
+}
+
+/// The arena arm of the `--check` gate: every tracker must stay under a
+/// microsecond per activation in the committed report (three orders of
+/// magnitude of headroom — the trackers are hash-map updates), and a fresh
+/// quick measurement of the heaviest committed tracker must be within 2×.
+fn check_arena(committed: &Value) -> Result<(), String> {
+    let results = committed
+        .get("results")
+        .and_then(|r| match r {
+            Value::Obj(pairs) => Some(pairs),
+            _ => None,
+        })
+        .ok_or("committed report lacks results")?;
+    let mut worst: Option<(&str, f64)> = None;
+    for (name, row) in results {
+        let ns = row
+            .get("ns_per_activation")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("committed report lacks results.{name}.ns_per_activation"))?;
+        if ns > 1_000.0 {
+            return Err(format!(
+                "committed BENCH_arena shows {name} at {ns:.1} ns/activation (> 1 us)"
+            ));
+        }
+        if worst.is_none_or(|(_, w)| ns > w) {
+            worst = Some((name.as_str(), ns));
+        }
+    }
+    let (name, committed_ns) = worst.ok_or("committed report has no defences")?;
+    let fresh = bench_arena(true)
+        .get("results")
+        .and_then(|r| r.get(name))
+        .and_then(|s| s.get("ns_per_activation"))
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("fresh arena report lacks {name}"))?;
+    println!(
+        "check: arena {name} fresh {fresh:.1} ns/act vs committed {committed_ns:.1} (gate 2x)"
+    );
+    if fresh > 2.0 * committed_ns && fresh > 50.0 {
+        return Err(format!(
+            "arena tracker {name} regressed: {fresh:.1} ns/act > 2x committed {committed_ns:.1}"
+        ));
+    }
+    Ok(())
+}
+
 /// MAC-heavy profiles for the pipeline benchmark: the pointer-chaser with
 /// the densest page-walk traffic and the paper's worst slowdown case.
 const MEMSYS_PROFILES: [&str; 2] = ["sssp", "xalancbmk"];
@@ -642,6 +746,9 @@ fn check(path: &PathBuf) -> Result<(), String> {
     if committed.get("schema").and_then(Value::as_str) == Some("ptguard-bench-serve/v1") {
         return check_serve(&committed);
     }
+    if committed.get("schema").and_then(Value::as_str) == Some("ptguard-bench-arena/v1") {
+        return check_arena(&committed);
+    }
     let committed_ns = committed
         .get("results")
         .and_then(|r| r.get("mac_compute"))
@@ -696,6 +803,7 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
     let default_out = match what.as_str() {
         "memsys" => "BENCH_memsys.json",
         "serve" => "BENCH_serve.json",
+        "arena" => "BENCH_arena.json",
         _ => "BENCH_qarma.json",
     };
     let out = out_flag.unwrap_or_else(|| PathBuf::from(default_out));
@@ -718,6 +826,7 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
         }
         "memsys" => bench_memsys(fast),
         "serve" => bench_serve(fast),
+        "arena" => bench_arena(fast),
         other => return Err(format!("unknown target: {other}")),
     };
 

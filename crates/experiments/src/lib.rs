@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod arena;
 pub mod attack;
 pub mod coverage;
 pub mod diag;

@@ -17,13 +17,13 @@ use orchestrator::{JobOutput, JobSpec};
 
 use crate::report::Table;
 use crate::{
-    ablation, attack, coverage, diag, exploit, fig6, fig7, fig8, fig9, fullmem, mlp, multicore,
-    oracle, priorwork, rth_sweep, security, serve, storage, tables, Scale,
+    ablation, arena, attack, coverage, diag, exploit, fig6, fig7, fig8, fig9, fullmem, mlp,
+    multicore, oracle, priorwork, rth_sweep, security, serve, storage, tables, Scale,
 };
 
 /// Every artefact `exp` can regenerate, in the order `exp all` prints them
 /// (the same order the usage banner advertises).
-pub const ARTEFACTS: [&str; 22] = [
+pub const ARTEFACTS: [&str; 23] = [
     "table1",
     "table2",
     "table3",
@@ -46,6 +46,7 @@ pub const ARTEFACTS: [&str; 22] = [
     "mlp",
     "serve",
     "attack",
+    "arena",
 ];
 
 /// `priorwork` trials per damage class at each scale.
@@ -519,6 +520,58 @@ pub fn run_artefact_jobs(
                 sim_ops: ops,
             }
         }
+        "arena" => {
+            let r = arena::run_seeded_jobs(scale, seed, jobs);
+            for row in &r.rows {
+                let key = row.name.to_ascii_lowercase().replace([' ', '-'], "_");
+                m(
+                    &mut metrics,
+                    format!("{key}.gmean_norm_ipc"),
+                    row.gmean_norm_ipc,
+                );
+                m(
+                    &mut metrics,
+                    format!("{key}.worst_norm_ipc"),
+                    row.worst_norm_ipc,
+                );
+                mu(
+                    &mut metrics,
+                    format!("{key}.storage_bytes"),
+                    row.storage_bytes,
+                );
+                mu(
+                    &mut metrics,
+                    format!("{key}.benign_refreshes"),
+                    row.benign_refreshes,
+                );
+                mu(
+                    &mut metrics,
+                    format!("{key}.attack_refreshes"),
+                    row.attack_refreshes,
+                );
+                mu(
+                    &mut metrics,
+                    format!("{key}.attack_delay_ps"),
+                    u64::try_from(row.attack_delay_ps).unwrap_or(u64::MAX),
+                );
+                mu(
+                    &mut metrics,
+                    format!("{key}.successes"),
+                    u64::from(row.successes),
+                );
+                mu(
+                    &mut metrics,
+                    format!("{key}.detected"),
+                    u64::from(row.detected),
+                );
+            }
+            let ops = r.sim_ops();
+            JobOutput {
+                rendered: arena::render(&r),
+                metrics,
+                sim_ops: ops,
+            }
+        }
         other => return Err(format!("unknown artefact: {other}")),
     };
     Ok(out)
@@ -739,6 +792,25 @@ mod tests {
             ARTEFACTS.contains(&"attack"),
             "the adversarial campaign must be orchestrated"
         );
+        assert!(
+            ARTEFACTS.contains(&"arena"),
+            "the mitigation arena must be orchestrated"
+        );
+    }
+
+    #[test]
+    fn arena_artefact_surfaces_per_defense_metrics() {
+        let job = run_artefact_jobs("arena", Scale::Trial, 0, 2).unwrap();
+        assert_eq!(
+            job.metric_value("pt_guard.successes"),
+            Some(0.0),
+            "PT-Guard must leave no undetected corruption"
+        );
+        assert_eq!(job.metric_value("catt.successes"), Some(0.0));
+        assert!(job.metric_value("pt_guard.gmean_norm_ipc").unwrap() > 0.0);
+        assert!(job.metric_value("dapper.attack_delay_ps").unwrap() > 0.0);
+        assert!(job.metric_value("trr.storage_bytes").unwrap() > 0.0);
+        assert!(job.sim_ops > 0);
     }
 
     #[test]

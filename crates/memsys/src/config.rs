@@ -158,6 +158,15 @@ pub mod clock {
         let cycles = (ps * u128::from(khz) + 500_000_000) / 1_000_000_000;
         u64::try_from(cycles).expect("cycle count overflows u64")
     }
+
+    /// Converts core cycles to integer picoseconds — the inverse of
+    /// [`ps_to_cycles`]. The arena's slowdown accounting expresses a run's
+    /// baseline cost in this domain so that refresh and throttle overheads
+    /// (already integer picoseconds) add without a float round-trip.
+    #[must_use]
+    pub fn cycles_to_ps(cycles: u64, khz: u64) -> u128 {
+        (u128::from(cycles) * 1_000_000_000 + u128::from(khz) / 2) / u128::from(khz)
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +192,20 @@ mod tests {
             10,
             "the paper's 3.4 ns MAC ≈ 10 cycles"
         );
+    }
+
+    #[test]
+    fn cycles_ps_round_trip() {
+        let khz = clock::ghz_to_khz(3.0);
+        for cycles in [0u64, 1, 2, 29, 30, 1_000_000, 123_456_789] {
+            assert_eq!(
+                clock::ps_to_cycles(clock::cycles_to_ps(cycles, khz), khz),
+                cycles
+            );
+        }
+        // 1 cycle at 3 GHz is 333.333… ps, rounded to nearest.
+        assert_eq!(clock::cycles_to_ps(1, khz), 333);
+        assert_eq!(clock::cycles_to_ps(3, khz), 1000);
     }
 
     #[test]

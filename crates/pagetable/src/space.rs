@@ -40,6 +40,7 @@ impl std::error::Error for MapError {}
 /// A simple first-fit frame allocator with a free list.
 #[derive(Debug, Clone)]
 pub struct FrameAllocator {
+    first: u64,
     next: u64,
     limit: u64,
     free: Vec<Frame>,
@@ -50,10 +51,23 @@ impl FrameAllocator {
     #[must_use]
     pub fn new(first: u64, limit: u64) -> Self {
         Self {
+            first,
             next: first,
             limit,
             free: Vec::new(),
         }
+    }
+
+    /// First frame of the allocator's range.
+    #[must_use]
+    pub fn first(&self) -> u64 {
+        self.first
+    }
+
+    /// One past the last frame of the allocator's range.
+    #[must_use]
+    pub fn limit(&self) -> u64 {
+        self.limit
     }
 
     /// Allocates one frame.
@@ -105,6 +119,10 @@ pub struct AddressSpace {
     root: Frame,
     max_phys_bits: u32,
     allocator: FrameAllocator,
+    /// CATT-style partition: when present, table pages come from this
+    /// dedicated pool at the top of physical memory instead of the data
+    /// allocator, so data frames can never be groomed adjacent to them.
+    table_allocator: Option<FrameAllocator>,
     /// Frames holding page-table pages (all levels, root included).
     table_frames: Vec<Frame>,
     mapped_pages: u64,
@@ -130,9 +148,62 @@ impl AddressSpace {
             root,
             max_phys_bits,
             allocator,
+            table_allocator: None,
             table_frames: vec![root],
             mapped_pages: 0,
         })
+    }
+
+    /// Creates an address space with CATT-style physical isolation: table
+    /// pages (root included) come from a dedicated `pool_frames`-frame pool
+    /// at the top of physical memory, separated from the data allocator by
+    /// `guard_frames` frames nothing ever allocates. With the guard band
+    /// wider than the disturbance radius, no data frame an attacker can
+    /// obtain is ever DRAM-adjacent to a page table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::OutOfMemory`] if `mem` cannot hold the pool, the
+    /// guard band, and at least one data frame.
+    pub fn new_isolated<M: PhysMem + ?Sized>(
+        mem: &mut M,
+        max_phys_bits: u32,
+        pool_frames: u64,
+        guard_frames: u64,
+    ) -> Result<Self, MapError> {
+        let limit = (mem.size() / PAGE_SIZE as u64).min(1u64 << (max_phys_bits - 12));
+        if pool_frames + guard_frames + 2 > limit {
+            return Err(MapError::OutOfMemory);
+        }
+        let pool_first = limit - pool_frames;
+        let mut table_allocator = FrameAllocator::new(pool_first, limit);
+        let allocator = FrameAllocator::new(1, pool_first - guard_frames);
+        let root = table_allocator.alloc().ok_or(MapError::OutOfMemory)?;
+        table::zero_page(mem, root);
+        Ok(Self {
+            root,
+            max_phys_bits,
+            allocator,
+            table_allocator: Some(table_allocator),
+            table_frames: vec![root],
+            mapped_pages: 0,
+        })
+    }
+
+    /// The isolated table pool as `(first, limit)` frame numbers, if this
+    /// space was built with [`AddressSpace::new_isolated`].
+    #[must_use]
+    pub fn table_pool(&self) -> Option<(u64, u64)> {
+        self.table_allocator
+            .as_ref()
+            .map(|a| (a.first(), a.limit()))
+    }
+
+    fn alloc_table_frame(&mut self) -> Option<Frame> {
+        match &mut self.table_allocator {
+            Some(pool) => pool.alloc(),
+            None => self.allocator.alloc(),
+        }
     }
 
     /// The PML4 root frame (CR3).
@@ -204,7 +275,7 @@ impl AddressSpace {
             table = if entry.present() {
                 entry.frame()
             } else {
-                let new = self.allocator.alloc().ok_or(MapError::OutOfMemory)?;
+                let new = self.alloc_table_frame().ok_or(MapError::OutOfMemory)?;
                 table::zero_page(mem, new);
                 table::write_entry(mem, table, index, Pte::new(new, PteFlags::table()));
                 self.table_frames.push(new);
@@ -253,7 +324,7 @@ impl AddressSpace {
             table = if entry.present() {
                 entry.frame()
             } else {
-                let new = self.allocator.alloc().ok_or(MapError::OutOfMemory)?;
+                let new = self.alloc_table_frame().ok_or(MapError::OutOfMemory)?;
                 table::zero_page(mem, new);
                 table::write_entry(mem, table, index, Pte::new(new, PteFlags::table()));
                 self.table_frames.push(new);
@@ -426,7 +497,7 @@ impl AddressSpace {
             })
             .ok_or(MapError::NotMapped)?;
 
-        let fresh = self.allocator.alloc().ok_or(MapError::OutOfMemory)?;
+        let fresh = self.alloc_table_frame().ok_or(MapError::OutOfMemory)?;
         for i in 0..PTES_PER_PAGE {
             table::write_entry(mem, fresh, i, table::read_entry(mem, victim, i));
         }
@@ -434,7 +505,10 @@ impl AddressSpace {
         pte.set_frame(fresh);
         table::write_entry(mem, pt, pi, pte);
         self.table_frames[idx] = fresh;
-        self.allocator.free(victim);
+        match &mut self.table_allocator {
+            Some(pool) => pool.free(victim),
+            None => self.allocator.free(victim),
+        }
         Ok(fresh)
     }
 
@@ -463,6 +537,49 @@ mod tests {
         let mut mem = VecMemory::new(8 << 20);
         let space = AddressSpace::new(&mut mem, 32).unwrap();
         (mem, space)
+    }
+
+    #[test]
+    fn isolated_space_keeps_tables_inside_the_pool() {
+        let mut mem = VecMemory::new(8 << 20); // 2048 frames
+        let mut space = AddressSpace::new_isolated(&mut mem, 32, 64, 16).unwrap();
+        let (pool_first, pool_limit) = space.table_pool().unwrap();
+        assert_eq!((pool_first, pool_limit), (2048 - 64, 2048));
+        // Map across distant VAs: every table page (root included) must sit
+        // in the pool, every data frame strictly below the guard band.
+        for va in [0x1000u64, 0x7f00_0000_0000, 0x40_0000_0000] {
+            space
+                .map_new(&mut mem, VirtAddr::new(va), PteFlags::user_data())
+                .unwrap();
+        }
+        for f in space.table_frames() {
+            assert!(
+                (pool_first..pool_limit).contains(&f.0),
+                "table frame {f:?} escaped the pool"
+            );
+        }
+        let data = space.alloc_frame(&mut mem).unwrap();
+        assert!(data.0 < pool_first - 16, "data frame inside pool/guard");
+        assert!(space.translate(&mem, VirtAddr::new(0x1234)).is_ok());
+    }
+
+    #[test]
+    fn isolated_migration_stays_in_the_pool() {
+        let mut mem = VecMemory::new(8 << 20);
+        let mut space = AddressSpace::new_isolated(&mut mem, 32, 64, 16).unwrap();
+        let (pool_first, pool_limit) = space.table_pool().unwrap();
+        let va = VirtAddr::new(0x1000);
+        space.map_new(&mut mem, va, PteFlags::user_data()).unwrap();
+        let victim = *space.table_frames().last().unwrap();
+        let fresh = space.migrate_table_page(&mut mem, victim).unwrap();
+        assert!((pool_first..pool_limit).contains(&fresh.0));
+        assert!(space.translate(&mem, va).is_ok());
+    }
+
+    #[test]
+    fn default_space_has_no_pool() {
+        let (_, space) = setup();
+        assert_eq!(space.table_pool(), None);
     }
 
     #[test]

@@ -6,8 +6,10 @@
 //!
 //! * [`mitigations`] — Targeted Row Refresh (TRR, limited aggressor
 //!   tracking), PARA (probabilistic victim refresh), Graphene-style exact
-//!   counting (Misra-Gries summaries), and Blockhammer-style throttling.
-//!   All are *victim-refresh* or *threshold-dependent* designs.
+//!   counting (Misra-Gries summaries), Blockhammer-style throttling,
+//!   SoftTRR (software PT-row refresh), CATT-style physical isolation, and
+//!   DAPPER-style bounded-delay tracking. All but CATT are *victim-refresh*
+//!   or *threshold-dependent* designs.
 //! * [`attacks`] — single-sided, double-sided, many-sided (TRRespass),
 //!   frequency-scheduled (Blacksmith-like), and Half-Double patterns.
 //! * [`session`] — [`session::HammerSession`] wires a mitigation into the
@@ -32,5 +34,7 @@ pub mod mitigations;
 pub mod session;
 
 pub use attacks::AttackKind;
-pub use mitigations::{Blockhammer, Graphene, Mitigation, NoMitigation, Para, SoftTrr, Trr};
+pub use mitigations::{
+    Blockhammer, Catt, Dapper, Graphene, Mitigation, NoMitigation, Para, SoftTrr, Trr,
+};
 pub use session::{ActivationProvenance, DramHost, HammerSession};

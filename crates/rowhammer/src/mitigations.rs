@@ -35,6 +35,19 @@ pub trait Mitigation {
     fn delay_injected_ps(&self) -> u128 {
         0
     }
+
+    /// Tells software-visible defences which DRAM rows hold page tables
+    /// (the kernel knows its own allocations). Purely hardware mitigations
+    /// ignore the hint — the default is a no-op.
+    fn note_pt_row(&mut self, _row: RowId) {}
+
+    /// Dedicated storage the defence provisions, in bytes: tracker tables,
+    /// counters, or — for isolation schemes — DRAM carved out of the data
+    /// pool. The arena's storage column; PT-Guard itself reports 0 because
+    /// its MACs live in unused PTE bits (Table IV).
+    fn storage_overhead_bytes(&self) -> u64 {
+        0
+    }
 }
 
 /// Boxed mitigations delegate, so heterogeneous defence matrices (the
@@ -54,6 +67,14 @@ impl<M: Mitigation + ?Sized> Mitigation for Box<M> {
 
     fn delay_injected_ps(&self) -> u128 {
         (**self).delay_injected_ps()
+    }
+
+    fn note_pt_row(&mut self, row: RowId) {
+        (**self).note_pt_row(row);
+    }
+
+    fn storage_overhead_bytes(&self) -> u64 {
+        (**self).storage_overhead_bytes()
     }
 }
 
@@ -108,27 +129,27 @@ impl Trr {
     pub fn ddr4_typical(rth: u64) -> Self {
         Self::new(4, (rth / 4).max(1))
     }
+
+    fn refresh_neighbours(&mut self, row: RowId, device: &mut DramDevice) {
+        let rows = device.geometry().rows_per_bank;
+        for d in [-1i64, 1] {
+            if let Some(v) = row.offset(d, rows) {
+                device.refresh_row(v);
+                self.refreshes += 1;
+            }
+        }
+    }
 }
 
 impl Mitigation for Trr {
     fn on_activate(&mut self, row: RowId, device: &mut DramDevice) {
         self.seq += 1;
-        if let Some(entry) = self.table.iter_mut().find(|(r, _, _)| *r == row) {
-            entry.1 += 1;
-            if entry.1 >= self.refresh_threshold {
-                entry.1 = 0;
-                let rows = device.geometry().rows_per_bank;
-                for d in [-1i64, 1] {
-                    if let Some(v) = row.offset(d, rows) {
-                        device.refresh_row(v);
-                        self.refreshes += 1;
-                    }
-                }
-            }
-            return;
-        }
-        if self.table.len() < self.table_size {
+        let idx = if let Some(i) = self.table.iter().position(|(r, _, _)| *r == row) {
+            self.table[i].1 += 1;
+            i
+        } else if self.table.len() < self.table_size {
             self.table.push((row, 1, self.seq));
+            self.table.len() - 1
         } else {
             // Capacity exhausted: evict the coldest entry, oldest first on
             // ties — the lossy behaviour many-sided patterns exploit (any
@@ -142,6 +163,14 @@ impl Mitigation for Trr {
                 .map(|(i, _)| i)
                 .expect("non-empty");
             self.table[coldest] = (row, 1, self.seq);
+            coldest
+        };
+        // The threshold check covers the insert/evict paths too: a freshly
+        // inserted row already counts one activation, so with
+        // `refresh_threshold == 1` the very first activation must fire.
+        if self.table[idx].1 >= self.refresh_threshold {
+            self.table[idx].1 = 0;
+            self.refresh_neighbours(row, device);
         }
     }
 
@@ -152,7 +181,16 @@ impl Mitigation for Trr {
     fn refreshes_issued(&self) -> u64 {
         self.refreshes
     }
+
+    fn storage_overhead_bytes(&self) -> u64 {
+        // Row address + counter + recency tag per tracked entry.
+        self.table_size as u64 * TRACKER_ENTRY_BYTES
+    }
 }
+
+/// Modelled cost of one (row, counter, tag) tracker entry, used by every
+/// table/counter defence's storage estimate.
+const TRACKER_ENTRY_BYTES: u64 = 16;
 
 /// PARA: refresh each neighbour with a small probability per activation.
 ///
@@ -169,10 +207,19 @@ impl Para {
     /// Creates a PARA engine refreshing neighbours with `probability`.
     #[must_use]
     pub fn new(probability: f64, seed: u64) -> Self {
+        // SplitMix64 finalizer: adjacent raw seeds map to decorrelated
+        // xorshift states. (The previous `seed | 1` nonzero guard collapsed
+        // every even seed 2k onto 2k+1, silently duplicating multi-seed
+        // sweep trials.)
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
         Self {
             probability,
             refreshes: 0,
-            rng_state: seed | 1,
+            // xorshift64* still requires a nonzero state.
+            rng_state: z.max(1),
         }
     }
 
@@ -206,6 +253,11 @@ impl Mitigation for Para {
 
     fn refreshes_issued(&self) -> u64 {
         self.refreshes
+    }
+
+    fn storage_overhead_bytes(&self) -> u64 {
+        // Stateless apart from the LFSR register.
+        8
     }
 }
 
@@ -270,6 +322,10 @@ impl Mitigation for Graphene {
     fn refreshes_issued(&self) -> u64 {
         self.refreshes
     }
+
+    fn storage_overhead_bytes(&self) -> u64 {
+        self.capacity as u64 * TRACKER_ENTRY_BYTES
+    }
 }
 
 /// Blockhammer-style aggressor throttling.
@@ -326,6 +382,13 @@ impl Mitigation for Blockhammer {
 
     fn delay_injected_ps(&self) -> u128 {
         self.delay_ps
+    }
+
+    fn storage_overhead_bytes(&self) -> u64 {
+        // The paper's blacklisting counting Bloom filters (RowBlocker-BL),
+        // provisioned per rank — not the per-row shadow map this model keeps
+        // for exactness.
+        32 * 1024
     }
 }
 
@@ -404,6 +467,207 @@ impl Mitigation for SoftTrr {
 
     fn refreshes_issued(&self) -> u64 {
         self.refreshes
+    }
+
+    fn note_pt_row(&mut self, row: RowId) {
+        self.register_pt_row(row);
+    }
+
+    fn storage_overhead_bytes(&self) -> u64 {
+        // Kernel-side bookkeeping: one entry per registered PT row plus one
+        // counter per sampled neighbour.
+        (self.pt_rows.len() + self.counters.len()) as u64 * TRACKER_ENTRY_BYTES
+    }
+}
+
+/// CATT (Brasser et al., USENIX Security 2017): "CAn't Touch This" —
+/// physical isolation instead of tracking.
+///
+/// The kernel partitions the frame allocator so page tables live in a
+/// dedicated pool separated from attacker-reachable memory by a guard band
+/// wider than the disturbance radius. Enforcement happens at *allocation*
+/// time (see `pagetable::AddressSpace::new_isolated`); at the DRAM level
+/// this engine is passive — it never refreshes or delays, it only audits
+/// how often the activation stream lands next to the protected pool. Its
+/// entire cost is the reserved DRAM it carves out of the data pool.
+#[derive(Debug)]
+pub struct Catt {
+    protected_rows: std::collections::HashSet<RowId>,
+    reserved_bytes: u64,
+    adjacent_acts: u64,
+}
+
+impl Catt {
+    /// Creates a CATT audit engine accounting for `reserved_bytes` of DRAM
+    /// withheld from the data allocator (pool + guard band).
+    #[must_use]
+    pub fn new(reserved_bytes: u64) -> Self {
+        Self {
+            protected_rows: std::collections::HashSet::new(),
+            reserved_bytes,
+            adjacent_acts: 0,
+        }
+    }
+
+    /// Activations observed within one row of the protected pool. With the
+    /// allocator actually partitioned this stays at whatever the pool's own
+    /// walk traffic produces — attacker aggressors cannot get adjacent.
+    #[must_use]
+    pub fn adjacent_acts(&self) -> u64 {
+        self.adjacent_acts
+    }
+}
+
+impl Mitigation for Catt {
+    fn on_activate(&mut self, row: RowId, device: &mut DramDevice) {
+        let rows = device.geometry().rows_per_bank;
+        for d in [-1i64, 1] {
+            if let Some(n) = row.offset(d, rows) {
+                if self.protected_rows.contains(&n) {
+                    self.adjacent_acts += 1;
+                    break;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "CATT"
+    }
+
+    fn refreshes_issued(&self) -> u64 {
+        0
+    }
+
+    fn note_pt_row(&mut self, row: RowId) {
+        self.protected_rows.insert(row);
+    }
+
+    fn storage_overhead_bytes(&self) -> u64 {
+        self.reserved_bytes
+    }
+}
+
+/// DAPPER-style performance-attack-resilient tracking.
+///
+/// A Misra-Gries aggressor tracker (like Graphene) that *also* throttles
+/// rows past half the refresh trigger — but unlike Blockhammer its delay
+/// injection is budgeted per refresh window, so a performance attack that
+/// deliberately trips the tracker cannot weaponize the defence into
+/// unbounded slowdown. All delay accounting goes through the integer
+/// picosecond path, rounded once at construction.
+#[derive(Debug)]
+pub struct Dapper {
+    capacity: usize,
+    refresh_threshold: u64,
+    throttle_threshold: u64,
+    throttle_delay_ns: f64,
+    throttle_delay_ps: u128,
+    window_budget_ps: u128,
+    window_spent_ps: u128,
+    window_start_ns: f64,
+    counters: HashMap<RowId, u64>,
+    refreshes: u64,
+    delay_ps: u128,
+    throttles_suppressed: u64,
+}
+
+impl Dapper {
+    /// Creates a DAPPER engine: `capacity` tracked aggressors, victim
+    /// refresh at `refresh_threshold` activations, throttling past half
+    /// that, with at most `window_budget_ns` of injected delay per refresh
+    /// window.
+    #[must_use]
+    pub fn new(
+        capacity: usize,
+        refresh_threshold: u64,
+        throttle_delay_ns: f64,
+        window_budget_ns: f64,
+    ) -> Self {
+        Self {
+            capacity,
+            refresh_threshold,
+            throttle_threshold: (refresh_threshold / 2).max(1),
+            throttle_delay_ns,
+            throttle_delay_ps: clock::ns_to_ps(throttle_delay_ns),
+            window_budget_ps: clock::ns_to_ps(window_budget_ns),
+            window_spent_ps: 0,
+            window_start_ns: 0.0,
+            counters: HashMap::new(),
+            refreshes: 0,
+            delay_ps: 0,
+            throttles_suppressed: 0,
+        }
+    }
+
+    /// A DDR4-typical configuration: 64 tracked aggressors, refresh at
+    /// RTH/8, 750 ns throttle stalls, ≤ 2 ms of delay per refresh window.
+    #[must_use]
+    pub fn ddr4_typical(rth: u64) -> Self {
+        Self::new(64, (rth / 8).max(1), 750.0, 2_000_000.0)
+    }
+
+    /// Throttle decisions skipped because the window budget was exhausted —
+    /// the bounded-slowdown guarantee a performance attack runs into.
+    #[must_use]
+    pub fn throttles_suppressed(&self) -> u64 {
+        self.throttles_suppressed
+    }
+}
+
+impl Mitigation for Dapper {
+    fn on_activate(&mut self, row: RowId, device: &mut DramDevice) {
+        let now = device.now_ns();
+        if now - self.window_start_ns >= device.timing().t_refw_ns {
+            self.window_start_ns = now;
+            self.window_spent_ps = 0;
+        }
+        let count = {
+            let c = self.counters.entry(row).or_insert(0);
+            *c += 1;
+            *c
+        };
+        if self.counters.len() > self.capacity {
+            self.counters.retain(|_, c| {
+                *c -= 1;
+                *c > 0
+            });
+        }
+        if count >= self.refresh_threshold {
+            self.counters.insert(row, 0);
+            let rows = device.geometry().rows_per_bank;
+            for d in [-1i64, 1] {
+                if let Some(v) = row.offset(d, rows) {
+                    device.refresh_row(v);
+                    self.refreshes += 1;
+                }
+            }
+        } else if count >= self.throttle_threshold {
+            if self.window_spent_ps + self.throttle_delay_ps <= self.window_budget_ps {
+                device.advance_time(self.throttle_delay_ns);
+                self.window_spent_ps += self.throttle_delay_ps;
+                self.delay_ps += self.throttle_delay_ps;
+            } else {
+                self.throttles_suppressed += 1;
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "DAPPER"
+    }
+
+    fn refreshes_issued(&self) -> u64 {
+        self.refreshes
+    }
+
+    fn delay_injected_ps(&self) -> u128 {
+        self.delay_ps
+    }
+
+    fn storage_overhead_bytes(&self) -> u64 {
+        // Tracker entries plus the window budget registers.
+        self.capacity as u64 * TRACKER_ENTRY_BYTES + 32
     }
 }
 
@@ -534,5 +798,108 @@ mod tests {
         // 100 throttled activations of exactly 1 µs each: the integer
         // accounting is exact, not approximate.
         assert_eq!(b.delay_injected_ps(), 100 * clock::ns_to_ps(1000.0));
+    }
+
+    #[test]
+    fn trr_threshold_one_fires_on_insertion() {
+        // Regression: the insert/evict paths skipped the threshold check,
+        // so a threshold-1 TRR (ddr4_typical with rth ≤ 4) needed a second
+        // activation of a fresh row before refreshing its neighbours.
+        let mut d = device();
+        let mut trr = Trr::new(4, 1);
+        trr.on_activate(RowId { bank: 0, row: 500 }, &mut d);
+        assert_eq!(
+            trr.refreshes_issued(),
+            2,
+            "the first activation of a fresh row must trigger at threshold 1"
+        );
+        // Same on the eviction path: fill the table, then insert a fifth row.
+        let mut trr = Trr::new(4, 1);
+        for r in 0..5u32 {
+            trr.on_activate(
+                RowId {
+                    bank: 0,
+                    row: 100 + 2 * r,
+                },
+                &mut d,
+            );
+        }
+        assert_eq!(trr.refreshes_issued(), 10);
+    }
+
+    fn para_refresh_stream(seed: u64) -> Vec<u64> {
+        let mut d = device();
+        let mut p = Para::new(0.05, seed);
+        let row = RowId { bank: 0, row: 500 };
+        (0..512)
+            .map(|_| {
+                p.on_activate(row, &mut d);
+                p.refreshes_issued()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn para_adjacent_seeds_draw_distinct_streams() {
+        // Regression: seeding with `seed | 1` made even/odd seed pairs
+        // (2k, 2k+1) produce identical refresh streams, silently
+        // duplicating multi-seed sweep trials.
+        for k in [0u64, 1, 21, 1_000_003] {
+            assert_ne!(
+                para_refresh_stream(2 * k),
+                para_refresh_stream(2 * k + 1),
+                "seeds {} and {} must not collide",
+                2 * k,
+                2 * k + 1
+            );
+        }
+    }
+
+    #[test]
+    fn catt_is_passive_but_audits_adjacency() {
+        let mut d = device();
+        let mut c = Catt::new(4 << 20);
+        c.note_pt_row(RowId { bank: 0, row: 500 });
+        for _ in 0..100 {
+            c.on_activate(RowId { bank: 0, row: 499 }, &mut d);
+            c.on_activate(RowId { bank: 0, row: 900 }, &mut d);
+        }
+        assert_eq!(c.refreshes_issued(), 0);
+        assert_eq!(c.delay_injected_ps(), 0);
+        assert_eq!(c.adjacent_acts(), 100);
+        assert_eq!(c.storage_overhead_bytes(), 4 << 20);
+    }
+
+    #[test]
+    fn dapper_refreshes_at_threshold_and_throttles_past_half() {
+        let mut d = device();
+        let mut dap = Dapper::new(64, 100, 750.0, 2_000_000.0);
+        let row = RowId { bank: 0, row: 500 };
+        for _ in 0..100 {
+            dap.on_activate(row, &mut d);
+        }
+        assert_eq!(dap.refreshes_issued(), 2, "both neighbours at threshold");
+        // Activations 50..99 sit in the throttle band (count ≥ 50, < 100).
+        assert_eq!(dap.delay_injected_ps(), 50 * clock::ns_to_ps(750.0));
+    }
+
+    #[test]
+    fn dapper_delay_is_bounded_per_window() {
+        // A performance attack keeps a row in the throttle band forever;
+        // DAPPER's injected delay must saturate at the window budget.
+        let mut d = device();
+        let budget_ns = 30_000.0; // fits 40 stalls of 750 ns
+        let mut dap = Dapper::new(64, 100_000, 750.0, budget_ns);
+        let row = RowId { bank: 0, row: 500 };
+        // Counts 50 000..60 000 sit in the throttle band, never refreshing.
+        for _ in 0..60_000 {
+            dap.on_activate(row, &mut d);
+        }
+        assert_eq!(dap.refreshes_issued(), 0);
+        assert_eq!(dap.delay_injected_ps(), clock::ns_to_ps(budget_ns));
+        assert!(
+            dap.throttles_suppressed() > 0,
+            "the budget must have clipped throttles"
+        );
     }
 }

@@ -1,0 +1,138 @@
+//! Trait-level conformance suite run against *every* [`Mitigation`] impl.
+//!
+//! Three properties every defence must satisfy regardless of mechanism:
+//!
+//! 1. **Refresh accounting is honest** — `refreshes_issued()` equals the
+//!    number of `ActivationKind::Refresh` events the DRAM activation tap
+//!    records, so campaign reports cannot drift from device ground truth.
+//! 2. **Edge safety** — hammering the first and last rows of a bank never
+//!    produces a refresh outside the geometry (no wraparound, no panic).
+//! 3. **Delay monotonicity** — `delay_injected_ps()` never decreases, so
+//!    per-cell delay deltas in the arena are always well-defined.
+//!
+//! (The fourth conformance property — byte-identical output across
+//! `--jobs` — is pinned inside the arena artefact's own test, where the
+//! sharding actually happens.)
+
+use dram::geometry::RowId;
+use dram::{ActivationKind, DramDevice, RowhammerConfig};
+use rowhammer::{
+    Blockhammer, Catt, Dapper, Graphene, Mitigation, NoMitigation, Para, SoftTrr, Trr,
+};
+
+/// Every implementation behind the trait, by constructor.
+fn all_mitigations() -> Vec<Box<dyn Mitigation>> {
+    vec![
+        Box::new(NoMitigation),
+        Box::new(Trr::new(4, 50)),
+        Box::new(Trr::new(4, 1)),
+        Box::new(Para::new(0.05, 7)),
+        Box::new(Graphene::new(16, 50)),
+        Box::new(Blockhammer::new(64, 500.0)),
+        Box::new(SoftTrr::new(50)),
+        Box::new(Catt::new(4 << 20)),
+        Box::new(Dapper::new(64, 50, 750.0, 2_000_000.0)),
+    ]
+}
+
+fn device() -> DramDevice {
+    DramDevice::ddr4_4gb(RowhammerConfig::immune())
+}
+
+/// Drives `mitigation` exactly the way a `HammerSession` does (hammer the
+/// device, then feed the activation) over a pattern that exercises interior
+/// rows adjacent to a registered PT row plus both geometry edges, asserting
+/// delay monotonicity inline. Returns the refresh events the tap recorded.
+fn drive(mitigation: &mut dyn Mitigation) -> Vec<(RowId, ActivationKind)> {
+    let mut d = device();
+    d.set_activation_tap(true);
+    let last = d.geometry().rows_per_bank - 1;
+    mitigation.note_pt_row(RowId { bank: 0, row: 120 });
+    let pattern = [
+        RowId { bank: 0, row: 119 },
+        RowId { bank: 0, row: 121 },
+        RowId { bank: 0, row: 0 },
+        RowId { bank: 0, row: last },
+    ];
+    let mut prev_delay = 0u128;
+    for _ in 0..200 {
+        for row in pattern {
+            d.hammer(row, 1);
+            mitigation.on_activate(row, &mut d);
+            let delay = mitigation.delay_injected_ps();
+            assert!(
+                delay >= prev_delay,
+                "{}: delay_injected_ps went backwards ({prev_delay} -> {delay})",
+                mitigation.name()
+            );
+            prev_delay = delay;
+        }
+    }
+    let mut tap = Vec::new();
+    d.drain_activations(&mut tap);
+    tap.into_iter()
+        .filter(|&(_, k)| k == ActivationKind::Refresh)
+        .collect()
+}
+
+#[test]
+fn refresh_accounting_matches_device_taps() {
+    for mut m in all_mitigations() {
+        let refreshes = drive(m.as_mut());
+        assert_eq!(
+            refreshes.len() as u64,
+            m.refreshes_issued(),
+            "{}: claimed refreshes must equal tapped Refresh activations",
+            m.name()
+        );
+    }
+}
+
+#[test]
+fn no_refresh_escapes_the_geometry() {
+    for mut m in all_mitigations() {
+        let rows_per_bank = device().geometry().rows_per_bank;
+        for (row, _) in drive(m.as_mut()) {
+            assert!(
+                row.row < rows_per_bank,
+                "{}: refresh of out-of-geometry row {row:?}",
+                m.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn edge_rows_refresh_inward_only() {
+    // A threshold-1 TRR triggers on every activation: hammering row 0 must
+    // refresh only row 1, and the last row only its lower neighbour.
+    let mut d = device();
+    d.set_activation_tap(true);
+    let last = d.geometry().rows_per_bank - 1;
+    let mut trr = Trr::new(4, 1);
+    for row in [RowId { bank: 2, row: 0 }, RowId { bank: 2, row: last }] {
+        d.hammer(row, 1);
+        trr.on_activate(row, &mut d);
+    }
+    let mut tap = Vec::new();
+    d.drain_activations(&mut tap);
+    let refreshed: Vec<u32> = tap
+        .iter()
+        .filter(|&&(_, k)| k == ActivationKind::Refresh)
+        .map(|&(r, _)| r.row)
+        .collect();
+    assert_eq!(refreshed, vec![1, last - 1]);
+    assert_eq!(trr.refreshes_issued(), 2);
+}
+
+#[test]
+fn storage_overhead_is_reported_where_provisioned() {
+    // Spot-check the storage column the arena reports: isolation reserves
+    // real DRAM, trackers cost table entries, PT-Guard-style zero-state
+    // defences report zero.
+    assert_eq!(NoMitigation.storage_overhead_bytes(), 0);
+    assert_eq!(Catt::new(4 << 20).storage_overhead_bytes(), 4 << 20);
+    assert!(Trr::new(4, 50).storage_overhead_bytes() > 0);
+    assert!(Graphene::new(16, 50).storage_overhead_bytes() > 0);
+    assert!(Dapper::ddr4_typical(700).storage_overhead_bytes() > 0);
+}
