@@ -1,7 +1,7 @@
 //! `bench` — the QARMA/MAC hot-path and memory-pipeline benchmark driver.
 //!
 //! ```text
-//! bench qarma|mac|memsys|serve|arena|all [--out FILE] [--fast] [--jobs N] [--check FILE]
+//! bench qarma|mac|memsys|channels|serve|arena|all [--out FILE] [--fast] [--jobs N] [--check FILE]
 //! ```
 //!
 //! Unlike the `cargo bench` targets (which only print), this binary
@@ -20,6 +20,10 @@
 //!   reports with) of the coalescing core's drain at batch sizes 1/2/4/8,
 //!   per batch and per line — the measured basis for the queueing model's
 //!   cost constants.
+//! * `channels` → `BENCH_channels.json` — host ns per simulated memory op
+//!   of the pipelined driver at `channels ∈ {1, 2, 4}` (mlp 4) on the same
+//!   two MAC-heavy profiles; the committed report bounds the host-side
+//!   cost of the per-channel drain + picosecond-ordered retire merge.
 //! * `arena` → `BENCH_arena.json` — host ns per `on_activate` for every
 //!   defence in the mitigation arena (TRR, PARA, Graphene, Blockhammer,
 //!   SoftTRR, CATT, DAPPER, PT-Guard) over a uniform activation stream.
@@ -64,10 +68,10 @@ const BASELINE_NS: [(&str, f64); 8] = [
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: bench qarma|mac|memsys|serve|arena|all [--out FILE] [--fast] [--jobs N] [--check FILE]\n\
+        "usage: bench qarma|mac|memsys|channels|serve|arena|all [--out FILE] [--fast] [--jobs N] [--check FILE]\n\
          \x20 --out FILE    write the JSON report (default BENCH_qarma.json;\n\
-         \x20               BENCH_memsys.json / BENCH_serve.json / BENCH_arena.json\n\
-         \x20               for those targets)\n\
+         \x20               BENCH_memsys.json / BENCH_channels.json / BENCH_serve.json\n\
+         \x20               / BENCH_arena.json for those targets)\n\
          \x20 --fast        ~10x shorter samples (smoke mode; also via PTGUARD_BENCH_FAST)\n\
          \x20 --jobs N      workers for the parallel pair-sweep timing (default: all cores)\n\
          \x20 --check FILE  regression gate: fail if the report's anchor number regressed\n\
@@ -734,6 +738,187 @@ fn check_memsys(committed: &Value) -> Result<(), String> {
     Ok(())
 }
 
+/// Channel counts the channels target sweeps the pipelined driver at.
+const CHANNELS_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// One measured channel count on one profile.
+struct ChannelsPoint {
+    channels: usize,
+    ns_per_sim_op: f64,
+    sim_cycles: u64,
+    dram_reads: u64,
+    /// min/max per-channel DRAM reads (1.0 = perfectly even interleave).
+    balance: f64,
+}
+
+/// Measures the pipelined driver at every channel count on one profile:
+/// best-of-`reps` host ns per simulated memory op, plus the deterministic
+/// simulated metrics. Reps interleave across channel counts for the same
+/// host-drift reason as [`memsys_profile`].
+fn channels_profile(name: &str, instrs: u64, reps: usize) -> Vec<ChannelsPoint> {
+    let p = by_name(name).expect("profile");
+    let mut machines: Vec<_> = CHANNELS_SWEEP
+        .iter()
+        .map(|&channels| {
+            let mem_cfg = MemSysConfig {
+                mlp: 4,
+                channels,
+                ..MemSysConfig::default()
+            };
+            let mut machine = build_machine_from_source_cfg(
+                TraceGenerator::new(p, 0xbe2c),
+                p,
+                Protection::PtGuard(PtGuardConfig::default()),
+                4,
+                mem_cfg,
+            );
+            let _ = simx::runner::run(&mut machine, instrs); // warm-up
+            machine
+        })
+        .collect();
+    let mut best = vec![f64::INFINITY; CHANNELS_SWEEP.len()];
+    let mut last = vec![None; CHANNELS_SWEEP.len()];
+    for rep in 0..reps {
+        for k in 0..CHANNELS_SWEEP.len() {
+            let i = (rep + k) % CHANNELS_SWEEP.len();
+            let t = Instant::now();
+            let r = simx::runner::run(&mut machines[i], instrs);
+            let ns = t.elapsed().as_nanos() as f64;
+            best[i] = best[i].min(ns / r.mem_ops.max(1) as f64);
+            last[i] = Some(r);
+        }
+    }
+    CHANNELS_SWEEP
+        .iter()
+        .zip(&machines)
+        .zip(best)
+        .zip(last)
+        .map(|(((&channels, machine), ns_per_sim_op), r)| {
+            let r = r.expect("at least one rep");
+            let reads: Vec<u64> = (0..machine.sys.channels())
+                .map(|c| machine.sys.channel(c).stats().reads)
+                .collect();
+            let max = reads.iter().copied().max().unwrap_or(0);
+            let min = reads.iter().copied().min().unwrap_or(0);
+            ChannelsPoint {
+                channels,
+                ns_per_sim_op,
+                sim_cycles: r.cycles,
+                dram_reads: reads.iter().sum(),
+                balance: min as f64 / max.max(1) as f64,
+            }
+        })
+        .collect()
+}
+
+/// The channels target: the multi-channel drain + retire-merge host cost
+/// across the channel sweep, rendered as the `ptguard-bench-channels/v1`
+/// report.
+fn bench_channels(fast: bool) -> Value {
+    let (instrs, reps) = if fast { (20_000, 2) } else { (60_000, 25) };
+    let mut profiles = Vec::new();
+    let mut merge_cost = Vec::new();
+    for name in MEMSYS_PROFILES {
+        let points = channels_profile(name, instrs, reps);
+        for p in &points {
+            println!(
+                "{name:<12} ch{:<2} {:>8.1} host-ns/sim-op  ({} sim cycles, {} DRAM reads, balance {:.2})",
+                p.channels, p.ns_per_sim_op, p.sim_cycles, p.dram_reads, p.balance
+            );
+        }
+        let ns_of = |channels: usize| {
+            points
+                .iter()
+                .find(|p| p.channels == channels)
+                .expect("channel count measured")
+                .ns_per_sim_op
+        };
+        merge_cost.push((name.to_string(), Value::F64(ns_of(4) / ns_of(1).max(1e-9))));
+        profiles.push((
+            name.to_string(),
+            Value::Obj(
+                points
+                    .into_iter()
+                    .map(|p| {
+                        (
+                            format!("ch{}", p.channels),
+                            Value::obj(vec![
+                                ("ns_per_sim_op", Value::F64(p.ns_per_sim_op)),
+                                ("sim_cycles", Value::U64(p.sim_cycles)),
+                                ("dram_reads", Value::U64(p.dram_reads)),
+                                ("balance", Value::F64(p.balance)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ));
+    }
+    Value::obj(vec![
+        (
+            "schema",
+            Value::Str("ptguard-bench-channels/v1".to_string()),
+        ),
+        ("fast", Value::Bool(fast)),
+        ("instructions", Value::U64(instrs)),
+        ("reps", Value::U64(reps as u64)),
+        ("profiles", Value::Obj(profiles)),
+        ("host_ns_per_op_ch4_over_ch1", Value::Obj(merge_cost)),
+    ])
+}
+
+/// The channels arm of the `--check` gate: the committed report must show
+/// the 4-channel drain + merge costing less than 3× the single-channel
+/// host time per op on every profile (the merge is O(channels) per pipe
+/// step and must not dominate), the interleave staying reasonably even,
+/// and a fresh quick measurement of the 4-channel point must be within 2×.
+fn check_channels(committed: &Value) -> Result<(), String> {
+    let field = |profile: &str, ch: &str, field: &str| {
+        committed
+            .get("profiles")
+            .and_then(|p| p.get(profile))
+            .and_then(|p| p.get(ch))
+            .and_then(|m| m.get(field))
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("committed report lacks profiles.{profile}.{ch}.{field}"))
+    };
+    for p in MEMSYS_PROFILES {
+        let (ch1, ch4) = (
+            field(p, "ch1", "ns_per_sim_op")?,
+            field(p, "ch4", "ns_per_sim_op")?,
+        );
+        println!("check: {p} committed ch1 {ch1:.1} vs ch4 {ch4:.1} host-ns/sim-op");
+        if ch4 >= 3.0 * ch1 {
+            return Err(format!(
+                "committed BENCH_channels shows the 4-channel merge dominating: \
+                 {ch4:.1} ns >= 3x {ch1:.1} ns on {p}"
+            ));
+        }
+        let balance = field(p, "ch4", "balance")?;
+        if balance < 0.5 {
+            return Err(format!(
+                "committed BENCH_channels shows a skewed interleave on {p}: balance {balance:.2}"
+            ));
+        }
+    }
+    let committed_ns = field(MEMSYS_PROFILES[0], "ch4", "ns_per_sim_op")?;
+    let fresh = channels_profile(MEMSYS_PROFILES[0], 20_000, 2)
+        .into_iter()
+        .find(|p| p.channels == 4)
+        .expect("ch4 measured");
+    println!(
+        "check: {} ch4 fresh {:.1} host-ns/sim-op vs committed {committed_ns:.1} (gate 2x)",
+        MEMSYS_PROFILES[0], fresh.ns_per_sim_op
+    );
+    if fresh.ns_per_sim_op > 2.0 * committed_ns {
+        return Err(format!(
+            "multi-channel pipeline regressed: {:.1} host-ns/sim-op > 2x committed {committed_ns:.1}",
+            fresh.ns_per_sim_op
+        ));
+    }
+    Ok(())
+}
+
 /// The `--check` gate: dispatch on the committed report's schema and
 /// re-measure its anchor number against the 2× budget.
 fn check(path: &PathBuf) -> Result<(), String> {
@@ -742,6 +927,9 @@ fn check(path: &PathBuf) -> Result<(), String> {
     let committed = Value::parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
     if committed.get("schema").and_then(Value::as_str) == Some("ptguard-bench-memsys/v1") {
         return check_memsys(&committed);
+    }
+    if committed.get("schema").and_then(Value::as_str) == Some("ptguard-bench-channels/v1") {
+        return check_channels(&committed);
     }
     if committed.get("schema").and_then(Value::as_str) == Some("ptguard-bench-serve/v1") {
         return check_serve(&committed);
@@ -802,6 +990,7 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
     // and the pipeline numbers regenerate on different cadences.
     let default_out = match what.as_str() {
         "memsys" => "BENCH_memsys.json",
+        "channels" => "BENCH_channels.json",
         "serve" => "BENCH_serve.json",
         "arena" => "BENCH_arena.json",
         _ => "BENCH_qarma.json",
@@ -825,6 +1014,7 @@ fn run(mut args: Vec<String>) -> Result<(), String> {
             render_report(&rows, sweep, fast)
         }
         "memsys" => bench_memsys(fast),
+        "channels" => bench_channels(fast),
         "serve" => bench_serve(fast),
         "arena" => bench_arena(fast),
         other => return Err(format!("unknown target: {other}")),

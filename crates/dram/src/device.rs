@@ -10,7 +10,7 @@ use crate::geometry::{DramGeometry, RowId};
 /// Granularity of sparse backing-store allocation.
 const STORE_PAGE: usize = 4096;
 use crate::rowhammer::{weak_cells_for_row, RowhammerConfig, WeakCell};
-use crate::timing::DramTiming;
+use crate::timing::{ns_to_ps, DramTiming};
 
 /// How an activation was triggered — the provenance axis the attacker
 /// subsystem reasons over. PThammer's whole point is that `Walk`
@@ -66,16 +66,17 @@ pub struct DramStats {
 }
 
 /// Timing of one scheduled access: how long the request waited for its bank
-/// plus the bank-state-dependent service latency. The blocking path sees
-/// `wait_ns == 0.0` exactly (the bank is always free when each access is the
-/// only one outstanding), so `wait_ns + latency_ns` reproduces the legacy
-/// [`DramDevice::access`] return value bit for bit.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// plus the bank-state-dependent service latency, both in integer
+/// picoseconds. The blocking path sees `wait_ps == 0` exactly (the bank is
+/// always free when each access is the only one outstanding), so
+/// `wait_ps + latency_ps` reproduces the blocking
+/// [`DramDevice::access_ps`] return value bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceTiming {
-    /// Time spent queued behind earlier work on the same bank, in ns.
-    pub wait_ns: f64,
-    /// Bank service latency (row hit / conflict / closed), in ns.
-    pub latency_ns: f64,
+    /// Time spent queued behind earlier work on the same bank, in ps.
+    pub wait_ps: u128,
+    /// Bank service latency (row hit / conflict / closed), in ps.
+    pub latency_ps: u128,
 }
 
 /// A DRAM device with open-row bank state and Rowhammer disturbance.
@@ -92,14 +93,19 @@ pub struct DramDevice {
     store: HashMap<u64, Box<[u8; STORE_PAGE]>>,
     capacity: u64,
     open_row: Vec<Option<u32>>,
-    /// Per-bank time at which the bank finishes its last scheduled access.
-    busy_until_ns: Vec<f64>,
+    /// Per-bank time (integer ps) at which the bank finishes its last
+    /// scheduled access. Integer so long same-bank chains never drift: an
+    /// f64 chain at a large clock value rounds every partial sum to the
+    /// (coarse) ulp, which at 2^53 ps is already more than a core cycle.
+    busy_until_ps: Vec<u128>,
     pressure: HashMap<RowId, f64>,
     weak_cells: HashMap<RowId, Vec<WeakCell>>,
     flips: Vec<FlipRecord>,
     stats: DramStats,
-    now_ns: f64,
-    window_start_ns: f64,
+    /// Device clock in integer picoseconds.
+    now_ps: u128,
+    /// Start of the current distributed-refresh slice, in ps.
+    window_start_ps: u128,
     /// Index of the next distributed-refresh slice (0..8192).
     ref_slice: u64,
     /// Whether activations are recorded into `tap` (off by default).
@@ -120,7 +126,7 @@ impl DramDevice {
             store: HashMap::new(),
             capacity: geometry.capacity(),
             open_row: vec![None; geometry.banks as usize],
-            busy_until_ns: vec![0.0; geometry.banks as usize],
+            busy_until_ps: vec![0; geometry.banks as usize],
             pressure: HashMap::new(),
             weak_cells: HashMap::new(),
             flips: Vec::new(),
@@ -129,8 +135,8 @@ impl DramDevice {
                 per_bank_row_misses: vec![0; geometry.banks as usize],
                 ..DramStats::default()
             },
-            now_ns: 0.0,
-            window_start_ns: 0.0,
+            now_ps: 0,
+            window_start_ps: 0,
             ref_slice: 0,
             tap_enabled: false,
             tap: Vec::new(),
@@ -159,10 +165,19 @@ impl DramDevice {
         &self.timing
     }
 
-    /// Current device time in nanoseconds.
+    /// Current device time in integer picoseconds.
     #[must_use]
+    pub fn now_ps(&self) -> u128 {
+        self.now_ps
+    }
+
+    /// Current device time in nanoseconds (convenience view of the integer
+    /// picosecond clock for reporting and mitigation windowing; the timing
+    /// model itself never reads this back).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
     pub fn now_ns(&self) -> f64 {
-        self.now_ns
+        self.now_ps as f64 / 1e3
     }
 
     /// Statistics so far.
@@ -220,13 +235,14 @@ impl DramDevice {
     }
 
     /// A timed access: models bank state (row hit/miss), applies disturbance
-    /// from any activation, advances time, and returns the latency in ns.
-    pub fn access(&mut self, addr: PhysAddr, write: bool) -> f64 {
-        let t = self.service_at(addr, write, self.now_ns);
-        t.wait_ns + t.latency_ns
+    /// from any activation, advances time, and returns the latency in
+    /// integer picoseconds.
+    pub fn access_ps(&mut self, addr: PhysAddr, write: bool) -> u128 {
+        let t = self.service_at(addr, write, self.now_ps);
+        t.wait_ps + t.latency_ps
     }
 
-    /// A timed access scheduled at or after `earliest_ns`: the request waits
+    /// A timed access scheduled at or after `earliest_ps`: the request waits
     /// for its bank to go idle (per-bank busy-until state), then services
     /// with the usual row-hit/conflict/closed latency, disturbing neighbours
     /// on any activation and advancing the device clock by the service
@@ -235,46 +251,46 @@ impl DramDevice {
     /// The controller's banked queues drain through here so requests to
     /// different banks overlap (each bank's busy-until chains independently
     /// from the drain epoch) while same-bank requests serialise. A request
-    /// issued at `earliest_ns == busy_until_ns[bank]` (the blocking case)
-    /// waits exactly `0.0` ns — computed by comparison, never subtraction —
+    /// issued at `earliest_ps == busy_until_ps[bank]` (the blocking case)
+    /// waits exactly `0` ps — computed by comparison, never subtraction —
     /// which keeps the blocking path bit-identical to the pre-pipeline
     /// device.
-    pub fn service_at(&mut self, addr: PhysAddr, _write: bool, earliest_ns: f64) -> ServiceTiming {
+    pub fn service_at(&mut self, addr: PhysAddr, _write: bool, earliest_ps: u128) -> ServiceTiming {
         let row = self.geometry.row_of(addr);
         let bank = row.bank as usize;
-        let busy = self.busy_until_ns[bank];
-        let begin = if busy <= earliest_ns {
-            earliest_ns
+        let busy = self.busy_until_ps[bank];
+        let begin = if busy <= earliest_ps {
+            earliest_ps
         } else {
             busy
         };
-        let wait_ns = begin - earliest_ns;
-        let latency_ns = match self.open_row[bank] {
+        let wait_ps = begin - earliest_ps;
+        let latency_ps = match self.open_row[bank] {
             Some(open) if open == row.row => {
                 self.stats.row_hits += 1;
                 self.stats.per_bank_row_hits[bank] += 1;
-                self.timing.row_hit_ns()
+                self.timing.row_hit_ps()
             }
             Some(_) => {
                 self.stats.row_misses += 1;
                 self.stats.per_bank_row_misses[bank] += 1;
                 self.open_row[bank] = Some(row.row);
                 self.activate(row, self.demand_kind);
-                self.timing.row_conflict_ns()
+                self.timing.row_conflict_ps()
             }
             None => {
                 self.stats.row_misses += 1;
                 self.stats.per_bank_row_misses[bank] += 1;
                 self.open_row[bank] = Some(row.row);
                 self.activate(row, self.demand_kind);
-                self.timing.row_closed_ns()
+                self.timing.row_closed_ps()
             }
         };
-        self.busy_until_ns[bank] = begin + latency_ns;
-        self.advance_time(latency_ns);
+        self.busy_until_ps[bank] = begin + latency_ps;
+        self.advance_time_ps(latency_ps);
         ServiceTiming {
-            wait_ns,
-            latency_ns,
+            wait_ps,
+            latency_ps,
         }
     }
 
@@ -289,7 +305,7 @@ impl DramDevice {
     pub fn hammer(&mut self, row: RowId, times: u64) {
         for _ in 0..times {
             self.activate(row, ActivationKind::Explicit);
-            self.advance_time(self.timing.t_rc_ns);
+            self.advance_time_ps(self.timing.t_rc_ps());
         }
         self.open_row[row.bank as usize] = Some(row.row);
     }
@@ -308,19 +324,27 @@ impl DramDevice {
         self.activate(row, ActivationKind::Refresh);
     }
 
+    /// Advances the device clock by `delta_ns` (convenience wrapper over
+    /// [`DramDevice::advance_time_ps`] for callers that still think in ns —
+    /// mitigation sweeps and tests).
+    pub fn advance_time(&mut self, delta_ns: f64) {
+        self.advance_time_ps(ns_to_ps(delta_ns));
+    }
+
     /// Advances the device clock, issuing distributed auto-refresh.
     ///
     /// Real devices spread the refresh of all rows over the window as 8192
     /// REF commands (one per tREFI); we model that granularity: each
     /// elapsed tREFI restores the charge of the next 1/8192 slice of every
     /// bank, so a row's victim-to-refresh interval depends on its position
-    /// in the sweep — as on silicon.
-    pub fn advance_time(&mut self, delta_ns: f64) {
+    /// in the sweep — as on silicon. All arithmetic is integer picoseconds;
+    /// the default 64 ms window divides into 8192 slices exactly.
+    pub fn advance_time_ps(&mut self, delta_ps: u128) {
         const REF_SLICES: u64 = 8192;
-        let trefi = self.timing.t_refw_ns / REF_SLICES as f64;
-        self.now_ns += delta_ns;
-        while self.now_ns - self.window_start_ns >= trefi {
-            self.window_start_ns += trefi;
+        let trefi = (self.timing.t_refw_ps() / u128::from(REF_SLICES)).max(1);
+        self.now_ps += delta_ps;
+        while self.now_ps - self.window_start_ps >= trefi {
+            self.window_start_ps += trefi;
             let slice = self.ref_slice;
             self.ref_slice = (self.ref_slice + 1) % REF_SLICES;
             if self.ref_slice == 0 {
@@ -419,7 +443,7 @@ impl DramDevice {
             bit_in_byte: (bit % 8) as u8,
             row,
             from: is_one,
-            time_ns: self.now_ns,
+            time_ns: self.now_ns(),
         });
     }
 }
@@ -496,10 +520,10 @@ mod tests {
     fn row_hit_miss_accounting() {
         let mut d = DramDevice::ddr4_4gb(RowhammerConfig::immune());
         let a = PhysAddr::new(0x1000);
-        d.access(a, false);
-        d.access(a, false);
+        d.access_ps(a, false);
+        d.access_ps(a, false);
         let far = PhysAddr::new(0x100_0000);
-        d.access(far, false);
+        d.access_ps(far, false);
         assert_eq!(d.stats().row_hits, 1);
         assert_eq!(d.stats().row_misses, 2);
     }
@@ -639,9 +663,9 @@ mod tests {
         d.set_activation_tap(true);
         d.hammer(RowId { bank: 0, row: 10 }, 1);
         d.tap_pte_hint(true);
-        d.access(PhysAddr::new(0x10_0000), false);
+        d.access_ps(PhysAddr::new(0x10_0000), false);
         d.tap_pte_hint(false);
-        d.access(PhysAddr::new(0x20_0000), false);
+        d.access_ps(PhysAddr::new(0x20_0000), false);
         d.refresh_row(RowId { bank: 0, row: 11 });
         d.drain_activations(&mut tap);
         let kinds: Vec<ActivationKind> = tap.iter().map(|&(_, k)| k).collect();
@@ -658,6 +682,34 @@ mod tests {
         tap.clear();
         d.drain_activations(&mut tap);
         assert!(tap.is_empty());
+    }
+
+    #[test]
+    fn far_future_same_bank_chain_is_exact() {
+        // At a clock beyond 2^53 ps an f64 time base rounds every partial
+        // sum to its (coarse) ulp — 2 ns at 1e19 ps, several core cycles —
+        // so a same-bank wait chain drifts. The integer clock must track
+        // the analytic sum exactly no matter how far the clock has run.
+        let timing = DramTiming {
+            t_refw_ns: 1e18, // keep the refresh sweep off the hot loop
+            ..DramTiming::default()
+        };
+        let mut d = DramDevice::new(DramGeometry::default(), timing, RowhammerConfig::immune());
+        d.advance_time_ps(10u128.pow(19));
+        let t0 = d.now_ps();
+        let a = PhysAddr::new(0x4000);
+        let mut busy = t0;
+        for k in 0..64u128 {
+            let t = d.service_at(a, false, t0);
+            let lat = if k == 0 {
+                timing.row_closed_ps()
+            } else {
+                timing.row_hit_ps()
+            };
+            assert_eq!(t.latency_ps, lat);
+            assert_eq!(t.wait_ps, busy - t0, "chain drifted at access {k}");
+            busy += lat;
+        }
     }
 
     #[test]

@@ -39,6 +39,74 @@ pub enum AddressMapping {
     BankXor,
 }
 
+/// The channel-interleaving function of a multi-channel memory system.
+///
+/// Real server controllers pick the channel by XOR-folding several strides
+/// of the line address — low (consecutive-line) bits, bank-stride bits, and
+/// rank/row-stride bits — so that neither streaming nor power-of-two-strided
+/// traffic resonates onto a single channel. We model exactly that: the
+/// channel of a line is a pure function of its physical address, identical
+/// on every core and every run, so multi-channel simulations stay
+/// deterministic.
+///
+/// `channels == 1` maps every address to channel 0 and the multi-channel
+/// system degenerates, bit for bit, to the single-controller model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelInterleave {
+    /// Number of channels (power of two).
+    pub channels: u32,
+    /// log2 of ranks per channel, folded into the hash as an extra stride
+    /// (the default single-rank-pair layout uses 1).
+    pub rank_bits: u32,
+}
+
+impl Default for ChannelInterleave {
+    fn default() -> Self {
+        Self::new(1)
+    }
+}
+
+impl ChannelInterleave {
+    /// Cache-line shift: channels interleave at line (64 B) granularity.
+    const LINE_SHIFT: u32 = 6;
+    /// Shift to the bank-stride bits of the line address (128 lines = one
+    /// 8 KB row buffer under the default geometry).
+    const BANK_SHIFT: u32 = 7;
+    /// Shift to the row-stride bits (16 banks × 128 lines).
+    const ROW_SHIFT: u32 = 14;
+
+    /// An interleave over `channels` channels with one rank bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `channels` is a nonzero power of two.
+    #[must_use]
+    pub fn new(channels: u32) -> Self {
+        assert!(
+            channels.is_power_of_two(),
+            "channel count must be a power of two, got {channels}"
+        );
+        Self {
+            channels,
+            rank_bits: 1,
+        }
+    }
+
+    /// The channel of a physical address (constant 0 for one channel).
+    #[must_use]
+    pub fn channel_of(&self, addr: PhysAddr) -> u32 {
+        if self.channels == 1 {
+            return 0;
+        }
+        let line = addr.as_u64() >> Self::LINE_SHIFT;
+        let mask = u64::from(self.channels - 1);
+        let folded =
+            (line ^ (line >> (Self::BANK_SHIFT + self.rank_bits)) ^ (line >> Self::ROW_SHIFT))
+                & mask;
+        folded as u32
+    }
+}
+
 /// DRAM organisation parameters.
 ///
 /// The default models the paper's baseline: 4 GB DDR4, 16 banks, 8 KB rows.
@@ -227,6 +295,48 @@ mod tests {
             u64::from(plain.banks) * u64::from(plain.row_bytes)
         );
         assert_ne!(hashed_stride, plain_stride as i64);
+    }
+
+    #[test]
+    fn single_channel_interleave_is_constant_zero() {
+        let il = ChannelInterleave::new(1);
+        for addr in [0u64, 64, 8192, 123_456_789, (4u64 << 30) - 64] {
+            assert_eq!(il.channel_of(PhysAddr::new(addr)), 0);
+        }
+    }
+
+    #[test]
+    fn interleave_spreads_lines_and_strides() {
+        for channels in [2u32, 4] {
+            let il = ChannelInterleave::new(channels);
+            // Consecutive lines round-robin across all channels.
+            let mut seen = vec![0u64; channels as usize];
+            for i in 0..1024u64 {
+                seen[il.channel_of(PhysAddr::new(i * 64)) as usize] += 1;
+            }
+            for (c, n) in seen.iter().enumerate() {
+                assert!(*n > 0, "channel {c} unused by a streaming pattern");
+            }
+            // A row-buffer-strided pattern (the Rowhammer aggressor stride)
+            // must not resonate onto one channel: the folded bank/row bits
+            // break it up.
+            let stride = 16u64 * 8192;
+            let mut seen = vec![0u64; channels as usize];
+            for i in 0..1024u64 {
+                seen[il.channel_of(PhysAddr::new(i * stride)) as usize] += 1;
+            }
+            let used = seen.iter().filter(|n| **n > 0).count();
+            assert!(
+                used == channels as usize,
+                "row-strided pattern uses {used}/{channels} channels"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn interleave_rejects_non_power_of_two() {
+        let _ = ChannelInterleave::new(3);
     }
 
     #[test]

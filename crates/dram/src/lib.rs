@@ -30,6 +30,6 @@ pub mod rowhammer;
 pub mod timing;
 
 pub use device::{ActivationKind, DramDevice, ServiceTiming};
-pub use geometry::{DramGeometry, RowId};
+pub use geometry::{ChannelInterleave, DramGeometry, RowId};
 pub use rowhammer::RowhammerConfig;
 pub use timing::DramTiming;

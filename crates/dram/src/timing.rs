@@ -5,6 +5,20 @@
 //! (and irrelevant to PT-Guard's added MAC latency, which is a constant on
 //! top of whatever the DRAM access costs).
 
+/// Converts nanoseconds to integer picoseconds, rounding to nearest.
+///
+/// This is the device-side twin of `memsys::config::clock::ns_to_ps` (the
+/// `dram` crate sits below `memsys` and cannot depend on it): all datasheet
+/// timings have at most three decimals of ns, so the conversion is exact and
+/// the two definitions agree bit for bit. Internally the device accumulates
+/// time **only** in integer picoseconds — f64 sums drift once the clock is
+/// large (beyond 2^53 ps the f64 ulp exceeds a full core cycle), which is
+/// precisely the bug class this representation removes.
+#[must_use]
+pub fn ns_to_ps(ns: f64) -> u128 {
+    (ns * 1e3).round() as u128
+}
+
 /// DRAM timing parameters in nanoseconds.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DramTiming {
@@ -64,6 +78,36 @@ impl DramTiming {
     pub fn max_acts_per_refresh_window(&self) -> u64 {
         (self.t_refw_ns / self.t_rc_ns) as u64
     }
+
+    /// [`DramTiming::row_hit_ns`] in integer picoseconds.
+    #[must_use]
+    pub fn row_hit_ps(&self) -> u128 {
+        ns_to_ps(self.row_hit_ns())
+    }
+
+    /// [`DramTiming::row_closed_ns`] in integer picoseconds.
+    #[must_use]
+    pub fn row_closed_ps(&self) -> u128 {
+        ns_to_ps(self.row_closed_ns())
+    }
+
+    /// [`DramTiming::row_conflict_ns`] in integer picoseconds.
+    #[must_use]
+    pub fn row_conflict_ps(&self) -> u128 {
+        ns_to_ps(self.row_conflict_ns())
+    }
+
+    /// `tRC` in integer picoseconds.
+    #[must_use]
+    pub fn t_rc_ps(&self) -> u128 {
+        ns_to_ps(self.t_rc_ns)
+    }
+
+    /// The refresh window in integer picoseconds.
+    #[must_use]
+    pub fn t_refw_ps(&self) -> u128 {
+        ns_to_ps(self.t_refw_ns)
+    }
 }
 
 #[cfg(test)]
@@ -75,6 +119,17 @@ mod tests {
         let t = DramTiming::default();
         assert!(t.row_hit_ns() < t.row_closed_ns());
         assert!(t.row_closed_ns() < t.row_conflict_ns());
+    }
+
+    #[test]
+    fn ps_accessors_match_rounded_ns() {
+        let t = DramTiming::default();
+        assert_eq!(t.row_hit_ps(), 17_490);
+        assert_eq!(t.row_closed_ps(), 31_650);
+        assert_eq!(t.row_conflict_ps(), 45_810);
+        assert_eq!(t.t_rc_ps(), 45_000);
+        // The default refresh window divides exactly into 8192 tREFI slices.
+        assert_eq!(t.t_refw_ps() % 8192, 0);
     }
 
     #[test]

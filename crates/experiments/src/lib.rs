@@ -18,6 +18,7 @@
 pub mod ablation;
 pub mod arena;
 pub mod attack;
+pub mod channels;
 pub mod coverage;
 pub mod diag;
 pub mod exploit;

@@ -17,13 +17,13 @@ use orchestrator::{JobOutput, JobSpec};
 
 use crate::report::Table;
 use crate::{
-    ablation, arena, attack, coverage, diag, exploit, fig6, fig7, fig8, fig9, fullmem, mlp,
-    multicore, oracle, priorwork, rth_sweep, security, serve, storage, tables, Scale,
+    ablation, arena, attack, channels, coverage, diag, exploit, fig6, fig7, fig8, fig9, fullmem,
+    mlp, multicore, oracle, priorwork, rth_sweep, security, serve, storage, tables, Scale,
 };
 
 /// Every artefact `exp` can regenerate, in the order `exp all` prints them
 /// (the same order the usage banner advertises).
-pub const ARTEFACTS: [&str; 23] = [
+pub const ARTEFACTS: [&str; 24] = [
     "table1",
     "table2",
     "table3",
@@ -47,6 +47,7 @@ pub const ARTEFACTS: [&str; 23] = [
     "serve",
     "attack",
     "arena",
+    "channels",
 ];
 
 /// `priorwork` trials per damage class at each scale.
@@ -568,6 +569,44 @@ pub fn run_artefact_jobs(
             let ops = r.sim_ops();
             JobOutput {
                 rendered: arena::render(&r),
+                metrics,
+                sim_ops: ops,
+            }
+        }
+        "channels" => {
+            let r = channels::run_seeded_jobs(scale, seed, jobs);
+            for row in &r.rows {
+                m(
+                    &mut metrics,
+                    format!("{}@{}.speedup2", row.name, row.mlp),
+                    row.speedup[1],
+                );
+                m(
+                    &mut metrics,
+                    format!("{}@{}.speedup4", row.name, row.mlp),
+                    row.speedup[2],
+                );
+                m(
+                    &mut metrics,
+                    format!("{}@{}.balance4", row.name, row.mlp),
+                    row.balance,
+                );
+            }
+            for c in &r.contention {
+                m(
+                    &mut metrics,
+                    format!("contention{}.slowdown", c.channels),
+                    c.slowdown,
+                );
+                m(
+                    &mut metrics,
+                    format!("contention{}.queued_frac", c.channels),
+                    c.queued_frac,
+                );
+            }
+            let ops = r.sim_ops(instrs);
+            JobOutput {
+                rendered: channels::render(&r),
                 metrics,
                 sim_ops: ops,
             }

@@ -71,6 +71,11 @@ pub struct MemSysConfig {
     /// larger windows overlap misses across banks and let the controller
     /// batch MAC verification over each drain.
     pub mlp: usize,
+    /// Memory channels: one [`crate::MemoryController`] + DRAM device per
+    /// channel behind the shared LLC, with lines spread by the XOR-folded
+    /// [`dram::ChannelInterleave`]. Must be a power of two. `1` (the
+    /// default) is byte-identical to the single-controller model.
+    pub channels: usize,
 }
 
 impl Default for MemSysConfig {
@@ -100,6 +105,7 @@ impl Default for MemSysConfig {
             mmu_cache_latency_cycles: 2,
             core_ghz: 3.0,
             mlp: 1,
+            channels: 1,
         }
     }
 }

@@ -31,6 +31,15 @@ use crate::fullmac::FullMemoryMac;
 /// 1, 2, 3-4, 5-8, 9-16, and >16.
 pub const MAC_BATCH_BUCKETS: usize = 6;
 
+/// FR-FCFS age cap: a queued request may be bypassed by younger row-hit
+/// requests at most this many times before the scheduler picks it
+/// unconditionally. Without the cap an adversarial row-hit stream (the
+/// Blockhammer-style throttling pattern) starves a row-miss request for the
+/// whole drain. The cap is larger than any pipeline window the drivers use
+/// (`mlp ≤ 4`), so ordinary windows never hit it and pinned cycle totals
+/// are unchanged.
+pub const FR_FCFS_BYPASS_CAP: u32 = 4;
+
 /// Controller statistics.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ControllerStats {
@@ -52,12 +61,34 @@ pub struct ControllerStats {
     pub mac_batch_hist: [u64; MAC_BATCH_BUCKETS],
 }
 
+impl ControllerStats {
+    /// Accumulates another controller's stats into this one (counters sum,
+    /// the occupancy high-water mark takes the max). The multi-channel
+    /// system reports its total as the fold of every channel over this, so
+    /// "sum of per-channel counters == system total" holds by construction
+    /// and is pinned by a reconciliation test.
+    pub fn absorb(&mut self, other: &ControllerStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.pte_reads += other.pte_reads;
+        self.check_failures += other.check_failures;
+        self.mac_cycles_added += other.mac_cycles_added;
+        self.queue_occupancy_hwm = self.queue_occupancy_hwm.max(other.queue_occupancy_hwm);
+        for (b, o) in self.mac_batch_hist.iter_mut().zip(&other.mac_batch_hist) {
+            *b += o;
+        }
+    }
+}
+
 /// A read waiting in a bank queue.
 #[derive(Debug, Clone, Copy)]
 struct QueuedRead {
     id: u64,
     addr: PhysAddr,
     is_pte: bool,
+    /// Times a younger row-hit request was scheduled past this one
+    /// (FR-FCFS age; see [`FR_FCFS_BYPASS_CAP`]).
+    bypassed: u32,
 }
 
 /// A queued read after its DRAM service, before MAC verification.
@@ -81,6 +112,10 @@ struct DrainScratch {
     needing: Vec<usize>,
     items: Vec<(Line, PhysAddr)>,
     computed: Vec<u128>,
+    /// One bank's queue, flattened for in-place FR-FCFS picking.
+    bankq: Vec<QueuedRead>,
+    /// Parallel to `bankq`: whether the slot has been scheduled.
+    taken: Vec<bool>,
 }
 
 /// Result of a DRAM line read.
@@ -99,6 +134,12 @@ pub struct DramRead {
     /// The PT-Guard verdict ([`ReadVerdict::Forwarded`] when the controller
     /// has no engine).
     pub verdict: ReadVerdict,
+    /// DRAM service finish relative to this controller's drain epoch, in
+    /// integer picoseconds (bank wait + service, plus any MAC-table fetch;
+    /// excludes MAC computation cycles). The multi-channel system merges
+    /// per-channel drains on `(dram_ps, channel, id)` — a pure integer key,
+    /// identical across hosts.
+    pub dram_ps: u128,
 }
 
 /// A DDR memory controller with an optional PT-Guard engine on its
@@ -183,7 +224,7 @@ impl MemoryController {
     /// so the stat equals the sum of per-read `mac_cycles` in every mode.
     pub fn read_line(&mut self, addr: PhysAddr, is_pte: bool) -> DramRead {
         self.device.tap_pte_hint(is_pte);
-        let dram_ps = clock::ns_to_ps(self.device.access(addr, false));
+        let dram_ps = self.device.access_ps(addr, false);
         let raw = Line::from_bytes(&self.device.read_line(addr));
         self.finish_read(addr, is_pte, dram_ps, raw, None)
     }
@@ -222,7 +263,7 @@ impl MemoryController {
                 let hit = fm.cache_access(slot);
                 if !hit {
                     self.device.tap_pte_hint(false);
-                    dram_ps += clock::ns_to_ps(self.device.access(slot, false));
+                    dram_ps += self.device.access_ps(slot, false);
                 }
                 // MAC computation latency, same 10 cycles as PT-Guard's,
                 // charged on hits and misses alike — the cache saves only
@@ -253,6 +294,7 @@ impl MemoryController {
             latency_cycles: clock::ps_to_cycles(dram_ps, self.core_khz) + mac_cycles,
             mac_cycles,
             verdict,
+            dram_ps,
         }
     }
 
@@ -263,7 +305,12 @@ impl MemoryController {
         let id = self.next_req_id;
         self.next_req_id += 1;
         let bank = self.device.geometry().row_of(addr).bank as usize;
-        self.queues[bank].push_back(QueuedRead { id, addr, is_pte });
+        self.queues[bank].push_back(QueuedRead {
+            id,
+            addr,
+            is_pte,
+            bypassed: 0,
+        });
         self.queued += 1;
         self.stats.queue_occupancy_hwm = self.stats.queue_occupancy_hwm.max(self.queued as u64);
         id
@@ -281,13 +328,14 @@ impl MemoryController {
     /// so a steady-state drain allocates nothing.
     ///
     /// Scheduling: all banks drain concurrently from a common epoch `t0`
-    /// (the device clock at drain entry). Within a bank, requests are picked
-    /// FR-FCFS — the oldest request hitting the currently open row first,
-    /// else the oldest request — and chain through the bank's busy-until
-    /// time, so same-bank requests serialise while different banks overlap.
-    /// Completion order is `(service finish in integer ps, request id)`:
-    /// pure integer comparison, so it is identical across hosts and
-    /// `--jobs` values.
+    /// (the device clock at drain entry, integer ps). Within a bank,
+    /// requests are picked FR-FCFS — the oldest request hitting the
+    /// currently open row first, else the oldest request — subject to the
+    /// [`FR_FCFS_BYPASS_CAP`] age cap, and chain through the bank's
+    /// busy-until time, so same-bank requests serialise while different
+    /// banks overlap. Completion order is `(service finish in integer ps,
+    /// request id)`: pure integer comparison, so it is identical across
+    /// hosts and `--jobs` values.
     ///
     /// MAC verification is batched: every serviced read that will reach full
     /// verification (per [`PtGuardEngine::read_needs_mac`]) contributes its
@@ -295,27 +343,59 @@ impl MemoryController {
     /// [`ptguard::mac::PteMac::compute_batch_into`] call, and the result is
     /// fed back through the normal per-read verify path.
     pub fn drain_reads(&mut self, out: &mut Vec<(u64, DramRead)>) {
-        let t0 = self.device.now_ns();
+        let t0 = self.device.now_ps();
         let mut s = std::mem::take(&mut self.scratch);
         s.serviced.clear();
         for bank in 0..self.queues.len() {
-            while !self.queues[bank].is_empty() {
-                // FR-FCFS: oldest row-hit request, else oldest. Re-evaluated
-                // after every service because each activation moves the open
-                // row. Queue order is insertion order and ids are monotonic,
-                // so the first row match is the oldest one.
+            if self.queues[bank].is_empty() {
+                continue;
+            }
+            // Flatten the bank queue into scratch and *mark* picks in a
+            // parallel `taken` bitmap instead of extracting mid-queue (the
+            // previous `VecDeque::remove(pick)` shifted every element
+            // behind the pick — O(n) per pick, O(n²) per drain). Slots stay
+            // in insertion order, every scan starts at the oldest live slot,
+            // and ids are monotonic, so the first row match is the oldest
+            // one and same-row requests keep exact FIFO order.
+            s.bankq.clear();
+            s.bankq.extend(self.queues[bank].drain(..));
+            s.taken.clear();
+            s.taken.resize(s.bankq.len(), false);
+            let mut head = 0;
+            let mut remaining = s.bankq.len();
+            while remaining > 0 {
+                while s.taken[head] {
+                    head += 1;
+                }
+                // FR-FCFS with an age cap. Re-evaluated after every service
+                // because each activation moves the open row. Once the
+                // oldest live request has been bypassed
+                // [`FR_FCFS_BYPASS_CAP`] times it is scheduled
+                // unconditionally; the head is always the most-bypassed
+                // live request (every bypass that aged a younger request
+                // also aged the head), so capping the head caps the queue.
                 let open = self.device.open_row(bank);
-                let pick = open
-                    .and_then(|row| {
-                        self.queues[bank]
-                            .iter()
-                            .position(|q| self.device.geometry().row_of(q.addr).row == row)
+                let pick = if s.bankq[head].bypassed >= FR_FCFS_BYPASS_CAP {
+                    head
+                } else {
+                    open.and_then(|row| {
+                        (head..s.bankq.len()).find(|&i| {
+                            !s.taken[i] && self.device.geometry().row_of(s.bankq[i].addr).row == row
+                        })
                     })
-                    .unwrap_or(0);
-                let q = self.queues[bank].remove(pick).expect("non-empty queue");
+                    .unwrap_or(head)
+                };
+                for i in head..pick {
+                    if !s.taken[i] {
+                        s.bankq[i].bypassed += 1;
+                    }
+                }
+                s.taken[pick] = true;
+                remaining -= 1;
+                let q = s.bankq[pick];
                 self.device.tap_pte_hint(q.is_pte);
                 let t = self.device.service_at(q.addr, false, t0);
-                let dram_ps = clock::ns_to_ps(t.wait_ns) + clock::ns_to_ps(t.latency_ns);
+                let dram_ps = t.wait_ps + t.latency_ps;
                 // The raw line must be read *immediately* after this
                 // request's own service: the activation may have flipped
                 // bits (Rowhammer), and the blocking path reads right after
@@ -390,7 +470,7 @@ impl MemoryController {
             None => line,
         };
         self.device.tap_pte_hint(false);
-        let _ = self.device.access(addr, true);
+        let _ = self.device.access_ps(addr, true);
         self.device.write_line(addr, &stored.to_bytes());
         // Whole-memory integrity: keep the MAC table in sync (off the
         // critical path, but it is real DRAM traffic).
@@ -400,7 +480,7 @@ impl MemoryController {
                 let hit = fm.cache_access(slot);
                 fm.note_write(hit);
                 let computed = fm.line_mac(&stored, addr);
-                let _ = self.device.access(slot, true);
+                let _ = self.device.access_ps(slot, true);
                 self.device.write_u64(slot, computed);
             }
         }
@@ -585,6 +665,62 @@ mod tests {
         assert_eq!(r.verdict, ReadVerdict::CheckFailed);
         total += r.mac_cycles;
         assert_eq!(fm.stats().mac_cycles_added, total);
+    }
+
+    #[test]
+    fn row_miss_is_scheduled_after_at_most_cap_bypasses() {
+        // Regression test for FR-FCFS starvation: pre-fix, the scheduler
+        // preferred row hits with no age bound, so a row-miss request behind
+        // an adversarial row-hit stream was serviced dead last.
+        let mut mc = controller(false);
+        // Open row 0 of bank 0.
+        mc.read_line(PhysAddr::new(0), false);
+        let stride = 16u64 * 8192; // same-bank neighbour-row stride
+        let miss = mc.enqueue_read(PhysAddr::new(stride), false);
+        for i in 1..=8u64 {
+            mc.enqueue_read(PhysAddr::new(i * 64), false);
+        }
+        let mut out = Vec::new();
+        mc.drain_reads(&mut out);
+        assert_eq!(out.len(), 9);
+        let pos = out.iter().position(|(id, _)| *id == miss).unwrap();
+        assert_eq!(
+            pos, FR_FCFS_BYPASS_CAP as usize,
+            "row miss must be scheduled after exactly the bypass cap, not starved to position {pos}"
+        );
+    }
+
+    #[test]
+    fn same_row_requests_retain_fifo_order() {
+        // The swap-free pick scheme must keep exact FIFO (age) order among
+        // requests to the same row, interleaved rows notwithstanding.
+        let mut mc = controller(false);
+        mc.read_line(PhysAddr::new(0), false); // open row 0 of bank 0
+        let stride = 16u64 * 8192;
+        let ids = [
+            mc.enqueue_read(PhysAddr::new(64), false),          // row 0
+            mc.enqueue_read(PhysAddr::new(stride), false),      // row 1
+            mc.enqueue_read(PhysAddr::new(128), false),         // row 0
+            mc.enqueue_read(PhysAddr::new(stride + 64), false), // row 1
+            mc.enqueue_read(PhysAddr::new(192), false),         // row 0
+            mc.enqueue_read(PhysAddr::new(256), false),         // row 0
+        ];
+        let mut out = Vec::new();
+        mc.drain_reads(&mut out);
+        assert_eq!(out.len(), ids.len());
+        for row_ids in [
+            [ids[0], ids[2], ids[4], ids[5]].as_slice(),
+            [ids[1], ids[3]].as_slice(),
+        ] {
+            let pos: Vec<usize> = row_ids
+                .iter()
+                .map(|id| out.iter().position(|(o, _)| o == id).unwrap())
+                .collect();
+            assert!(
+                pos.windows(2).all(|w| w[0] < w[1]),
+                "same-row FIFO order violated: {pos:?}"
+            );
+        }
     }
 
     #[test]

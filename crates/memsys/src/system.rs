@@ -1,5 +1,13 @@
-//! The full memory hierarchy: TLB → page walk → caches → controller.
+//! The full memory hierarchy: TLB → page walk → caches → controller(s).
+//!
+//! The hierarchy fronts one memory controller per channel
+//! ([`MemSysConfig::channels`]): lines are spread across channels by the
+//! XOR-folded [`dram::ChannelInterleave`], each channel drains its banked
+//! queues independently, and completions retire in deterministic
+//! `(integer-ps finish, channel, request id)` order. With one channel every
+//! path degenerates — bit for bit — to the single-controller model.
 
+use dram::ChannelInterleave;
 use pagetable::addr::{Frame, PhysAddr, VirtAddr};
 use pagetable::memory::PhysMem;
 use pagetable::x86_64::Pte;
@@ -8,7 +16,7 @@ use ptguard::line::Line;
 
 use crate::cache::Cache;
 use crate::config::MemSysConfig;
-use crate::controller::MemoryController;
+use crate::controller::{ControllerStats, MemoryController};
 use crate::mmucache::MmuCache;
 use crate::tlb::Tlb;
 
@@ -131,16 +139,19 @@ struct PendingOp {
 
 /// One outstanding miss line: the controller request plus every op waiting
 /// on it. `waiters[0]` is the primary (it installs the fill); later waiters
-/// merged into the same line and only collect the latency.
+/// merged into the same line and only collect the latency. Request ids are
+/// per-controller monotonic counters, so the entry is keyed by
+/// `(channel, req_id)` — ids alone collide across channels.
 #[derive(Debug)]
 struct MshrEntry {
+    channel: u32,
     req_id: u64,
     line_addr: u64,
     is_pte: bool,
     waiters: Vec<u64>,
 }
 
-/// The single-core memory system of Table III.
+/// The single-core memory system of Table III (N-channel capable).
 #[derive(Debug)]
 pub struct MemorySystem {
     cfg: MemSysConfig,
@@ -149,8 +160,15 @@ pub struct MemorySystem {
     llc: Cache,
     tlb: Tlb,
     mmu: MmuCache,
-    /// The memory controller (public for device access in experiments).
+    /// Channel 0's memory controller (public for device access in
+    /// experiments, which run single-channel; use
+    /// [`MemorySystem::channel`] to address other channels).
     pub controller: MemoryController,
+    /// Controllers of channels `1..N` (empty in the single-channel
+    /// configuration, so existing call sites see exactly one controller).
+    aux: Vec<MemoryController>,
+    /// The address → channel function shared by every access path.
+    interleave: ChannelInterleave,
     root: Frame,
     max_phys_bits: u32,
     stats: SystemStats,
@@ -160,15 +178,46 @@ pub struct MemorySystem {
     pending: Vec<PendingOp>,
     /// Ops that finished since the last [`MemorySystem::pipe_take_completed`].
     completed: Vec<(u64, AccessOutcome)>,
-    /// Reusable buffer for the controller drain in [`MemorySystem::pipe_step`].
+    /// Reusable buffer for one channel's drain in [`MemorySystem::pipe_step`].
     drain_buf: Vec<(u64, crate::controller::DramRead)>,
+    /// Reusable channel-tagged retire buffer for the cross-channel merge.
+    merge_buf: Vec<(u32, u64, crate::controller::DramRead)>,
     next_op_id: u64,
 }
 
 impl MemorySystem {
-    /// Builds the hierarchy over `controller`.
+    /// Builds the hierarchy over a single `controller`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.channels != 1` — a multi-channel configuration needs
+    /// one controller per channel; use [`MemorySystem::new_multi`].
     #[must_use]
     pub fn new(cfg: MemSysConfig, controller: MemoryController) -> Self {
+        assert_eq!(
+            cfg.channels, 1,
+            "MemorySystem::new is single-channel; use new_multi for {} channels",
+            cfg.channels
+        );
+        Self::new_multi(cfg, vec![controller])
+    }
+
+    /// Builds the hierarchy over one controller per channel. Channel `i` of
+    /// the [`ChannelInterleave`] maps to `controllers[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `controllers.len() != cfg.channels` or the channel count
+    /// is not a power of two.
+    #[must_use]
+    pub fn new_multi(cfg: MemSysConfig, mut controllers: Vec<MemoryController>) -> Self {
+        assert_eq!(
+            controllers.len(),
+            cfg.channels,
+            "need one controller per channel"
+        );
+        let interleave = ChannelInterleave::new(u32::try_from(cfg.channels).expect("channels"));
+        let controller = controllers.remove(0);
         Self {
             l1d: Cache::new(cfg.l1d),
             l2: Cache::new(cfg.l2),
@@ -180,6 +229,8 @@ impl MemorySystem {
                 cfg.mmu_cache_latency_cycles,
             ),
             controller,
+            aux: controllers,
+            interleave,
             root: Frame(0),
             max_phys_bits: 40,
             stats: SystemStats::default(),
@@ -187,9 +238,64 @@ impl MemorySystem {
             pending: Vec::new(),
             completed: Vec::new(),
             drain_buf: Vec::new(),
+            merge_buf: Vec::new(),
             next_op_id: 0,
             cfg,
         }
+    }
+
+    /// Number of memory channels.
+    #[must_use]
+    pub fn channels(&self) -> usize {
+        1 + self.aux.len()
+    }
+
+    /// The controller of channel `i`.
+    #[must_use]
+    pub fn channel(&self, i: usize) -> &MemoryController {
+        if i == 0 {
+            &self.controller
+        } else {
+            &self.aux[i - 1]
+        }
+    }
+
+    /// Mutable access to the controller of channel `i`.
+    pub fn channel_mut(&mut self, i: usize) -> &mut MemoryController {
+        if i == 0 {
+            &mut self.controller
+        } else {
+            &mut self.aux[i - 1]
+        }
+    }
+
+    /// Aggregate controller statistics: the fold of every channel's stats
+    /// through [`ControllerStats::absorb`] (counters sum, high-water marks
+    /// take the max). Identical to `controller.stats()` at one channel.
+    #[must_use]
+    pub fn controller_stats_total(&self) -> ControllerStats {
+        let mut total = self.controller.stats();
+        for c in &self.aux {
+            total.absorb(&c.stats());
+        }
+        total
+    }
+
+    /// The channel serving `addr`.
+    fn chan_of(&self, addr: PhysAddr) -> usize {
+        self.interleave.channel_of(addr) as usize
+    }
+
+    /// The controller serving `addr`.
+    fn ctrl_for(&mut self, addr: PhysAddr) -> &mut MemoryController {
+        let c = self.chan_of(addr);
+        self.channel_mut(c)
+    }
+
+    /// Whether any channel has queued reads.
+    fn any_queued_reads(&self) -> bool {
+        self.controller.has_queued_reads()
+            || self.aux.iter().any(MemoryController::has_queued_reads)
     }
 
     /// The system's configuration.
@@ -216,9 +322,29 @@ impl MemorySystem {
     /// Consumes the hierarchy, returning its memory controller — the DRAM
     /// contents (page tables included) travel with it. Call
     /// [`MemorySystem::flush_caches`] first so no dirty lines are lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a multi-channel system: the DRAM contents are spread
+    /// across the channels, so no single controller carries them.
     #[must_use]
     pub fn into_controller(self) -> MemoryController {
+        assert!(
+            self.aux.is_empty(),
+            "into_controller is single-channel; a multi-channel system's store is interleaved"
+        );
         self.controller
+    }
+
+    /// Consumes the hierarchy, returning every channel's controller in
+    /// channel order — the multi-channel counterpart of
+    /// [`MemorySystem::into_controller`]. Call
+    /// [`MemorySystem::flush_caches`] first so no dirty lines are lost.
+    #[must_use]
+    pub fn into_controllers(self) -> Vec<MemoryController> {
+        let mut v = vec![self.controller];
+        v.extend(self.aux);
+        v
     }
 
     /// The TLB (for assertions in tests).
@@ -383,7 +509,7 @@ impl MemorySystem {
         match self.probe_caches(addr, write, is_pte) {
             Ok((line, cycles)) => (line, cycles, false, ReadVerdict::Forwarded),
             Err(mut cycles) => {
-                let read = self.controller.read_line(addr, is_pte);
+                let read = self.ctrl_for(addr).read_line(addr, is_pte);
                 cycles += read.latency_cycles;
                 if read.verdict == ReadVerdict::CheckFailed {
                     // The line is not installed anywhere (Section IV-F).
@@ -440,7 +566,7 @@ impl MemorySystem {
     /// Shared by the blocking miss path and the pipelined resume path.
     fn install_fill(&mut self, addr: PhysAddr, line: Line, write: bool, is_pte: bool) {
         if let Some((wa, wl)) = self.llc.fill(addr, line, false) {
-            self.controller.write_line(wa, wl);
+            self.ctrl_for(wa).write_line(wa, wl);
         }
         self.fill_level(1, addr, line, false);
         if !is_pte {
@@ -469,7 +595,7 @@ impl MemorySystem {
         if self.llc.peek(addr).is_some() {
             self.llc.update(addr, line, true);
         } else {
-            self.controller.write_line(addr, line);
+            self.ctrl_for(addr).write_line(addr, line);
         }
     }
 
@@ -480,7 +606,7 @@ impl MemorySystem {
     /// MSHR file must complete — not drop — the pending misses, or their
     /// fills (and any dirty lines they produce) would be lost.
     pub fn flush_caches(&mut self) {
-        while self.controller.has_queued_reads() {
+        while self.any_queued_reads() {
             self.pipe_step();
         }
         debug_assert!(
@@ -494,7 +620,7 @@ impl MemorySystem {
             self.writeback(a, l);
         }
         for (a, l) in self.llc.drain_dirty() {
-            self.controller.write_line(a, l);
+            self.ctrl_for(a).write_line(a, l);
         }
     }
 
@@ -517,24 +643,30 @@ impl MemorySystem {
     /// cache hierarchy (caches win over DRAM).
     #[must_use]
     pub fn func_read_u64(&mut self, addr: PhysAddr) -> u64 {
-        let line = self
+        let line = match self
             .l1d
             .peek(addr)
             .or_else(|| self.l2.peek(addr))
             .or_else(|| self.llc.peek(addr))
-            .unwrap_or_else(|| self.controller.read_line(addr, false).line);
+        {
+            Some(line) => line,
+            None => self.ctrl_for(addr).read_line(addr, false).line,
+        };
         line.word(addr.line_offset() / 8)
     }
 
     /// Functional, untimed u64 write at a physical address: read-modify-
     /// write through the hierarchy with write-allocate into the L1.
     pub fn func_write_u64(&mut self, addr: PhysAddr, value: u64) {
-        let mut line = self
+        let mut line = match self
             .l1d
             .peek(addr)
             .or_else(|| self.l2.peek(addr))
             .or_else(|| self.llc.peek(addr))
-            .unwrap_or_else(|| self.controller.read_line(addr, false).line);
+        {
+            Some(line) => line,
+            None => self.ctrl_for(addr).read_line(addr, false).line,
+        };
         line.set_word(addr.line_offset() / 8, value);
         if self.l1d.peek(addr).is_some() {
             self.l1d.update(addr, line, true);
@@ -578,15 +710,29 @@ impl MemorySystem {
         id
     }
 
-    /// Services every queued DRAM read and resumes the ops waiting on them
-    /// (in deterministic completion order); resumed ops run until they
-    /// complete or suspend on a new miss.
+    /// Services every queued DRAM read on every channel and resumes the ops
+    /// waiting on them; resumed ops run until they complete or suspend on a
+    /// new miss. Per-channel drains are merged at retire time in integer-
+    /// picosecond order, ties broken by channel index then request id, so
+    /// the resume order is deterministic and — with one channel — identical
+    /// to the single-controller model's `(dram_ps, id)` order.
     pub fn pipe_step(&mut self) {
         let mut drained = std::mem::take(&mut self.drain_buf);
-        drained.clear();
-        self.controller.drain_reads(&mut drained);
-        for (req_id, read) in &drained {
-            let Some(pos) = self.mshr.iter().position(|e| e.req_id == *req_id) else {
+        let mut merged = std::mem::take(&mut self.merge_buf);
+        merged.clear();
+        for ch in 0..self.channels() {
+            drained.clear();
+            self.channel_mut(ch).drain_reads(&mut drained);
+            let ch = u32::try_from(ch).expect("channel index");
+            merged.extend(drained.drain(..).map(|(req_id, read)| (ch, req_id, read)));
+        }
+        merged.sort_by_key(|a| (a.2.dram_ps, a.0, a.1));
+        for (ch, req_id, read) in &merged {
+            let Some(pos) = self
+                .mshr
+                .iter()
+                .position(|e| e.channel == *ch && e.req_id == *req_id)
+            else {
                 continue;
             };
             let entry = self.mshr.remove(pos);
@@ -601,6 +747,7 @@ impl MemorySystem {
             }
         }
         self.drain_buf = drained;
+        self.merge_buf = merged;
     }
 
     /// Ops issued but not yet completed.
@@ -716,8 +863,10 @@ impl MemorySystem {
         {
             entry.waiters.push(op.id);
         } else {
-            let req_id = self.controller.enqueue_read(addr, is_pte);
+            let ch = self.chan_of(addr);
+            let req_id = self.channel_mut(ch).enqueue_read(addr, is_pte);
             self.mshr.push(MshrEntry {
+                channel: u32::try_from(ch).expect("channel index"),
                 req_id,
                 line_addr,
                 is_pte,
@@ -851,9 +1000,11 @@ impl PhysMem for OsPort<'_> {
             return line.word(addr.line_offset() / 8);
         }
         // Functional DRAM read: strip a verified MAC like the read path
-        // would, without mutating engine statistics or timing.
-        let raw = Line::from_bytes(&self.sys.controller.device().read_line(addr));
-        let stripped = match self.sys.controller.engine() {
+        // would, without mutating engine statistics or timing. The line
+        // lives on whichever channel the interleave maps it to.
+        let ctrl = self.sys.channel(self.sys.chan_of(addr));
+        let raw = Line::from_bytes(&ctrl.device().read_line(addr));
+        let stripped = match ctrl.engine() {
             Some(engine) => {
                 let mac_unit = engine.mac_unit();
                 let stored = ptguard::pattern::extract_mac(&raw);
@@ -1186,6 +1337,72 @@ mod tests {
         {
             let port = OsPort::new(&mut sys);
             assert_eq!(port.read_u64(addr), 0xdead_beef_cafe_f00d);
+        }
+    }
+
+    fn system_n(guarded: bool, channels: usize) -> MemorySystem {
+        let cfg = MemSysConfig {
+            channels,
+            ..MemSysConfig::default()
+        };
+        let controllers = (0..channels)
+            .map(|_| {
+                let device = DramDevice::ddr4_4gb(RowhammerConfig::immune());
+                let engine = guarded.then(|| PtGuardEngine::new(PtGuardConfig::default()));
+                MemoryController::new(device, engine, 3.0)
+            })
+            .collect();
+        MemorySystem::new_multi(cfg, controllers)
+    }
+
+    #[test]
+    fn four_channel_system_spreads_traffic_and_reconciles_stats() {
+        let mut sys = system_n(true, 4);
+        let (space, base) = setup(&mut sys, 64);
+        cold_start(&mut sys, &space);
+        for i in 0..64 {
+            let out = sys.load(VirtAddr::new(base + i * 4096));
+            assert!(out.is_ok(), "page {i} faulted: {out:?}");
+        }
+        let per: Vec<_> = (0..sys.channels())
+            .map(|c| sys.channel(c).stats())
+            .collect();
+        assert!(
+            per.iter().filter(|s| s.reads > 0).count() >= 2,
+            "traffic must spread across channels: {:?}",
+            per.iter().map(|s| s.reads).collect::<Vec<_>>()
+        );
+        let total = sys.controller_stats_total();
+        assert_eq!(per.iter().map(|s| s.reads).sum::<u64>(), total.reads);
+        assert_eq!(per.iter().map(|s| s.writes).sum::<u64>(), total.writes);
+        assert_eq!(
+            per.iter().map(|s| s.mac_cycles_added).sum::<u64>(),
+            total.mac_cycles_added
+        );
+    }
+
+    #[test]
+    fn four_channel_pipeline_is_deterministic_and_complete() {
+        let run = || {
+            let mut sys = system_n(true, 4);
+            let (space, base) = setup(&mut sys, 32);
+            cold_start(&mut sys, &space);
+            let ids: Vec<u64> = (0..32)
+                .map(|i| sys.pipe_issue(VirtAddr::new(base + i * 4096), i % 3 == 0))
+                .collect();
+            while sys.pipe_pending() > 0 {
+                sys.pipe_step();
+            }
+            let done = sys.pipe_take_completed();
+            assert_eq!(done.len(), ids.len(), "no in-flight op may be dropped");
+            done
+        };
+        let a = run();
+        let b = run();
+        for ((ida, outa), (idb, outb)) in a.iter().zip(&b) {
+            assert_eq!(ida, idb, "completion order must be deterministic");
+            assert_eq!(outa.cycles(), outb.cycles());
+            assert!(outa.is_ok());
         }
     }
 }

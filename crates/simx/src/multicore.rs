@@ -119,20 +119,26 @@ pub fn run_core_from_source<S: OpSource>(
     // Each pass drains its window and the measured pass resets both clocks,
     // so warm-up completion times cannot leak into the measurement.
     let window = cfg.mlp.max(1);
-    let mut cycles_fp = 0.0f64;
-    let mut finish_prev = 0.0f64;
-    let mut inflight: VecDeque<(u64, f64)> = VecDeque::new();
+    // The core clock runs in integer milli-cycles: each instruction adds
+    // 1000, each retire adds the unhidden fraction of the miss latency
+    // with the overlap factor quantised once (`keep_millis` per cycle).
+    // An f64 clock drifts at long horizons — past 2^53 the ulp exceeds a
+    // cycle and `+= 1.0` stops advancing; integers cannot lose ticks.
+    let keep_millis = ((1.0 - cfg.o3_overlap) * 1000.0).round() as u64;
+    let mut cycles_mc = 0u64;
+    let mut finish_prev = 0u64;
+    let mut inflight: VecDeque<(u64, u64)> = VecDeque::new();
     // Small linear-scanned buffer, capacity reused per op (see the
     // single-core driver for rationale).
     let mut outcomes: Vec<(u64, AccessOutcome)> = Vec::new();
 
     fn retire(
         sys: &mut MemorySystem,
-        inflight: &mut VecDeque<(u64, f64)>,
+        inflight: &mut VecDeque<(u64, u64)>,
         outcomes: &mut Vec<(u64, AccessOutcome)>,
-        cycles_fp: &mut f64,
-        finish_prev: &mut f64,
-        o3_overlap: f64,
+        cycles_mc: &mut u64,
+        finish_prev: &mut u64,
+        keep_millis: u64,
     ) {
         let (id, t_issue) = inflight.pop_front().expect("retire needs an op in flight");
         let out = loop {
@@ -144,33 +150,33 @@ pub fn run_core_from_source<S: OpSource>(
         };
         // At mlp = 1 this reproduces the blocking `+=` chain exactly:
         // `finish_prev <= t_issue` always holds, so the max is the sum.
-        let finish = (t_issue + out.cycles() as f64 * (1.0 - o3_overlap)).max(*finish_prev);
+        let finish = (t_issue + out.cycles() * keep_millis).max(*finish_prev);
         *finish_prev = finish;
-        *cycles_fp = cycles_fp.max(finish);
+        *cycles_mc = (*cycles_mc).max(finish);
     }
 
     for phase in 0..2 {
         if phase == 1 {
-            cycles_fp = 0.0;
-            finish_prev = 0.0;
+            cycles_mc = 0;
+            finish_prev = 0;
         }
         for _ in 0..cfg.instructions_per_core {
-            cycles_fp += 1.0;
+            cycles_mc += 1000;
             let (va, write) = match source.next_op() {
                 Op::Compute => continue,
                 Op::Load(va) => (va, false),
                 Op::Store(va) => (va, true),
             };
             let id = sys.pipe_issue(va, write);
-            inflight.push_back((id, cycles_fp));
+            inflight.push_back((id, cycles_mc));
             while inflight.len() >= window {
                 retire(
                     &mut sys,
                     &mut inflight,
                     &mut outcomes,
-                    &mut cycles_fp,
+                    &mut cycles_mc,
                     &mut finish_prev,
-                    cfg.o3_overlap,
+                    keep_millis,
                 );
             }
         }
@@ -179,13 +185,13 @@ pub fn run_core_from_source<S: OpSource>(
                 &mut sys,
                 &mut inflight,
                 &mut outcomes,
-                &mut cycles_fp,
+                &mut cycles_mc,
                 &mut finish_prev,
-                cfg.o3_overlap,
+                keep_millis,
             );
         }
     }
-    cycles_fp.round() as u64
+    (cycles_mc + 500) / 1000
 }
 
 /// Evaluates one bundle: per-core slowdown of PT-Guard vs baseline,

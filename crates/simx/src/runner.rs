@@ -161,17 +161,27 @@ pub fn build_machine_from_source_cfg<S: OpSource>(
     dram_gb: u64,
     mem_cfg: MemSysConfig,
 ) -> Machine<S> {
-    let geometry = DramGeometry::with_capacity(dram_gb << 30);
-    let device = DramDevice::new(geometry, DramTiming::default(), RowhammerConfig::immune());
     let core_ghz = mem_cfg.core_ghz;
-    let controller = match protection {
-        Protection::None => MemoryController::new(device, None, core_ghz),
-        Protection::PtGuard(cfg) => {
-            MemoryController::new(device, Some(PtGuardEngine::new(cfg)), core_ghz)
-        }
-        Protection::FullMemoryMac => MemoryController::with_full_memory_mac(device, core_ghz),
-    };
-    let mut sys = MemorySystem::new(mem_cfg, controller);
+    // One controller (device + engine) per channel; every device keeps the
+    // full geometry so physical addresses are uncompacted and the
+    // interleave alone decides which store holds a line.
+    let controllers: Vec<MemoryController> = (0..mem_cfg.channels.max(1))
+        .map(|_| {
+            let geometry = DramGeometry::with_capacity(dram_gb << 30);
+            let device =
+                DramDevice::new(geometry, DramTiming::default(), RowhammerConfig::immune());
+            match protection {
+                Protection::None => MemoryController::new(device, None, core_ghz),
+                Protection::PtGuard(cfg) => {
+                    MemoryController::new(device, Some(PtGuardEngine::new(cfg)), core_ghz)
+                }
+                Protection::FullMemoryMac => {
+                    MemoryController::with_full_memory_mac(device, core_ghz)
+                }
+            }
+        })
+        .collect();
+    let mut sys = MemorySystem::new_multi(mem_cfg, controllers);
 
     let base = TraceGenerator::HEAP_BASE;
     let pages = profile.hot_pages + profile.stream_pages;
@@ -212,12 +222,7 @@ pub fn build_machine_from_source_cfg<S: OpSource>(
 pub fn run<S: OpSource>(machine: &mut Machine<S>, instructions: u64) -> RunResult {
     let window = machine.sys.config().mlp.max(1);
     let stats_before = machine.sys.stats();
-    let mac_before = machine
-        .sys
-        .controller
-        .engine()
-        .map(|e| e.stats().read_mac_computations)
-        .unwrap_or(0);
+    let mac_before = read_mac_total(machine);
     let mut mem_ops = 0u64;
     // `core` is the front-end clock (instruction issue); `finish_prev` the
     // in-order retire horizon. Retiring folds each op's completion into
@@ -300,12 +305,7 @@ pub fn run<S: OpSource>(machine: &mut Machine<S>, instructions: u64) -> RunResul
 pub fn run_blocking<S: OpSource>(machine: &mut Machine<S>, instructions: u64) -> RunResult {
     let mut cycles = 0u64;
     let stats_before = machine.sys.stats();
-    let mac_before = machine
-        .sys
-        .controller
-        .engine()
-        .map(|e| e.stats().read_mac_computations)
-        .unwrap_or(0);
+    let mac_before = read_mac_total(machine);
     let mut mem_ops = 0u64;
     for _ in 0..instructions {
         cycles += 1;
@@ -335,6 +335,14 @@ pub fn run_blocking<S: OpSource>(machine: &mut Machine<S>, instructions: u64) ->
     )
 }
 
+/// Read-path MAC computations summed over every channel's engine.
+fn read_mac_total<S: OpSource>(machine: &Machine<S>) -> u64 {
+    (0..machine.sys.channels())
+        .filter_map(|c| machine.sys.channel(c).engine())
+        .map(|e| e.stats().read_mac_computations)
+        .sum()
+}
+
 /// Shared [`RunResult`] assembly from the stat deltas of a run.
 fn finalize_result<S: OpSource>(
     machine: &Machine<S>,
@@ -347,13 +355,7 @@ fn finalize_result<S: OpSource>(
     let stats = machine.sys.stats();
     let llc_misses = (stats.llc_misses + stats.walk_llc_misses)
         - (stats_before.llc_misses + stats_before.walk_llc_misses);
-    let mac_computations = machine
-        .sys
-        .controller
-        .engine()
-        .map(|e| e.stats().read_mac_computations)
-        .unwrap_or(0)
-        - mac_before;
+    let mac_computations = read_mac_total(machine) - mac_before;
     RunResult {
         instructions,
         cycles,

@@ -3,14 +3,16 @@
 //! Unlike [`crate::multicore`] — which approximates contention with a DRAM
 //! latency multiplier, as the paper's SE-mode methodology does — this model
 //! *derives* contention: four cores with private L1/L2/TLB/MMU-cache stacks
-//! share one LLC and one DRAM channel, and requests that overlap in time
-//! queue behind each other at the channel. Each core is an O3-overlap
-//! in-order pipeline as in the per-core model.
+//! share one LLC and one or more DRAM channels, and requests that overlap
+//! in time queue behind each other at their line's channel (lines spread by
+//! the [`ChannelInterleave`]). Each core is an O3-overlap in-order pipeline
+//! as in the per-core model. All clocks run in integer milli-cycles, so
+//! interleavings and totals are exact at any horizon.
 //!
 //! The two models bracket the paper's result; the `multicore` experiment
 //! reports both.
 
-use dram::{DramDevice, DramGeometry, DramTiming, RowhammerConfig};
+use dram::{ChannelInterleave, DramDevice, DramGeometry, DramTiming, RowhammerConfig};
 use memsys::cache::Cache;
 use memsys::mmucache::MmuCache;
 use memsys::system::OsPort;
@@ -40,6 +42,8 @@ pub struct SharedConfig {
     pub dram_gb: u64,
     /// DRAM burst occupancy per request in ns (channel serialization).
     pub burst_occupancy_ns: f64,
+    /// Memory channels (power of two); requests serialize per channel.
+    pub channels: usize,
 }
 
 impl Default for SharedConfig {
@@ -49,6 +53,7 @@ impl Default for SharedConfig {
             instructions_per_core: 60_000,
             dram_gb: 16,
             burst_occupancy_ns: 6.0,
+            channels: 1,
         }
     }
 }
@@ -61,8 +66,8 @@ struct CoreStack<S: OpSource> {
     mmu: MmuCache,
     source: S,
     root: Frame,
-    /// Local time in cycles (the core's pipeline clock).
-    now_cycles: f64,
+    /// Local time in milli-cycles (the core's pipeline clock).
+    now_mc: u64,
     done: u64,
 }
 
@@ -74,12 +79,17 @@ struct CoreStack<S: OpSource> {
 pub struct SharedSystem<S: OpSource = TraceGenerator> {
     cores: Vec<CoreStack<S>>,
     llc: Cache,
-    controller: MemoryController,
+    /// One controller per channel, indexed by [`ChannelInterleave`] output.
+    controllers: Vec<MemoryController>,
+    interleave: ChannelInterleave,
     cfg: SharedConfig,
-    mem_cfg: MemSysConfig,
-    /// Channel serialization point, in core cycles.
-    channel_free_at: f64,
-    /// DRAM requests that waited on the channel.
+    /// Per-channel serialization point, in milli-cycles.
+    channel_free_at: Vec<u64>,
+    /// Unhidden fraction of a stall, in milli-cycles per cycle.
+    keep_millis: u64,
+    /// Channel hold per request, in milli-cycles.
+    occupancy_mc: u64,
+    /// DRAM requests that waited on their channel.
     pub queued_requests: u64,
     /// Total DRAM requests.
     pub dram_requests: u64,
@@ -122,16 +132,22 @@ impl<S: OpSource> SharedSystem<S> {
         assert_eq!(sources.len(), bundle.workloads.len(), "one source per core");
         let mut mem_cfg = MemSysConfig::default();
         mem_cfg.llc.size_bytes = bundle.workloads.len() * (1 << 20); // 1 MB/core
-        let geometry = DramGeometry::with_capacity(cfg.dram_gb << 30);
-        let device = DramDevice::new(geometry, DramTiming::default(), RowhammerConfig::immune());
-        let engine = guard.map(PtGuardEngine::new);
-        let controller = MemoryController::new(device, engine, mem_cfg.core_ghz);
+        mem_cfg.channels = cfg.channels.max(1);
+        let controllers: Vec<MemoryController> = (0..mem_cfg.channels)
+            .map(|_| {
+                let geometry = DramGeometry::with_capacity(cfg.dram_gb << 30);
+                let device =
+                    DramDevice::new(geometry, DramTiming::default(), RowhammerConfig::immune());
+                let engine = guard.map(PtGuardEngine::new);
+                MemoryController::new(device, engine, mem_cfg.core_ghz)
+            })
+            .collect();
 
         // Build each core's address space through a scratch hierarchy so PTE
-        // lines are MAC'd in DRAM, then steal the controller back.
+        // lines are MAC'd in DRAM, then steal the controllers back.
         // Simpler: build through a temporary MemorySystem sharing nothing,
         // then write lines straight through the controller write path.
-        let mut sys = MemorySystem::new(mem_cfg, controller);
+        let mut sys = MemorySystem::new_multi(mem_cfg, controllers);
         let mut cores = Vec::new();
         for (w, source) in bundle.workloads.iter().zip(sources) {
             // Give each core a disjoint VA slice by rebasing the source's
@@ -160,21 +176,24 @@ impl<S: OpSource> SharedSystem<S> {
                 ),
                 source,
                 root: space.root(),
-                now_cycles: 0.0,
+                now_mc: 0,
                 done: 0,
             });
         }
         sys.flush_caches();
-        // Decompose the scratch hierarchy: keep only its controller (which
-        // owns the DRAM with all page tables MAC'd in place).
-        let controller = sys.into_controller();
+        // Decompose the scratch hierarchy: keep only its controllers (which
+        // own the DRAM channels with all page tables MAC'd in place).
+        let controllers = sys.into_controllers();
+        let channels = controllers.len();
         Self {
             cores,
             llc: Cache::new(mem_cfg.llc),
-            controller,
+            controllers,
+            interleave: ChannelInterleave::new(u32::try_from(channels).expect("channels")),
+            keep_millis: ((1.0 - cfg.o3_overlap) * 1000.0).round() as u64,
+            occupancy_mc: (cfg.burst_occupancy_ns * mem_cfg.core_ghz * 1000.0).round() as u64,
             cfg,
-            mem_cfg,
-            channel_free_at: 0.0,
+            channel_free_at: vec![0; channels],
             queued_requests: 0,
             dram_requests: 0,
         }
@@ -222,25 +241,26 @@ impl<S: OpSource> SharedSystem<S> {
             }
             return (line, cycles, ReadVerdict::Forwarded);
         }
-        // DRAM: serialize on the shared channel.
+        // DRAM: serialize on the line's channel.
         self.dram_requests += 1;
-        let now = self.cores[ci].now_cycles + cycles as f64;
-        let wait = (self.channel_free_at - now).max(0.0);
-        if wait > 0.0 {
+        let ch = self.interleave.channel_of(addr) as usize;
+        let now = self.cores[ci].now_mc + cycles * 1000;
+        let wait = self.channel_free_at[ch].saturating_sub(now);
+        if wait > 0 {
             self.queued_requests += 1;
         }
-        let read = self.controller.read_line(addr, is_pte);
-        let occupancy = self.cfg.burst_occupancy_ns * self.mem_cfg.core_ghz;
+        let read = self.controllers[ch].read_line(addr, is_pte);
         // MAC computation happens in the controller after the data burst:
         // it delays *this* requester but does not hold the channel.
         let channel_cycles = read.latency_cycles - read.mac_cycles;
-        self.channel_free_at = now + wait + channel_cycles as f64 + occupancy;
-        cycles += wait as u64 + read.latency_cycles;
+        self.channel_free_at[ch] = now + wait + channel_cycles * 1000 + self.occupancy_mc;
+        cycles += wait / 1000 + read.latency_cycles;
         if read.verdict == ReadVerdict::CheckFailed {
             return (read.line, cycles, read.verdict);
         }
         if let Some((wa, wl)) = self.llc.fill(addr, read.line, false) {
-            self.controller.write_line(wa, wl);
+            let ch = self.interleave.channel_of(wa) as usize;
+            self.controllers[ch].write_line(wa, wl);
         }
         let core = &mut self.cores[ci];
         if let Some((wa, wl)) = core.l2.fill(addr, read.line, false) {
@@ -259,7 +279,8 @@ impl<S: OpSource> SharedSystem<S> {
         if self.llc.peek(addr).is_some() {
             self.llc.update(addr, line, true);
         } else {
-            self.controller.write_line(addr, line);
+            let ch = self.interleave.channel_of(addr) as usize;
+            self.controllers[ch].write_line(addr, line);
         }
     }
 
@@ -314,7 +335,7 @@ impl<S: OpSource> SharedSystem<S> {
     /// Executes one instruction on core `ci`, advancing its local clock.
     fn step(&mut self, ci: usize) {
         let op = self.cores[ci].source.next_op();
-        self.cores[ci].now_cycles += 1.0;
+        self.cores[ci].now_mc += 1000;
         let (va, write) = match op {
             Op::Compute => return,
             Op::Load(va) => (va, false),
@@ -334,7 +355,7 @@ impl<S: OpSource> SharedSystem<S> {
             let (_, c, _) = self.line_access(ci, pa, write, false);
             cycles += c;
         }
-        self.cores[ci].now_cycles += cycles as f64 * (1.0 - self.cfg.o3_overlap);
+        self.cores[ci].now_mc += cycles * self.keep_millis;
     }
 
     /// Runs all cores to completion (time-ordered interleaving); returns
@@ -343,16 +364,13 @@ impl<S: OpSource> SharedSystem<S> {
         // Warm-up region.
         self.run_region();
         for c in &mut self.cores {
-            c.now_cycles = 0.0;
+            c.now_mc = 0;
             c.done = 0;
         }
-        self.channel_free_at = 0.0;
+        self.channel_free_at.fill(0);
         // Measured region.
         self.run_region();
-        self.cores
-            .iter()
-            .map(|c| c.now_cycles.round() as u64)
-            .collect()
+        self.cores.iter().map(|c| (c.now_mc + 500) / 1000).collect()
     }
 
     fn run_region(&mut self) {
@@ -363,7 +381,7 @@ impl<S: OpSource> SharedSystem<S> {
             // realistically at the channel.
             let mut next: Option<usize> = None;
             for (i, c) in self.cores.iter().enumerate() {
-                if c.done < target && next.is_none_or(|n| c.now_cycles < self.cores[n].now_cycles) {
+                if c.done < target && next.is_none_or(|n| c.now_mc < self.cores[n].now_mc) {
                     next = Some(i);
                 }
             }
@@ -454,6 +472,36 @@ mod tests {
             "expected ≥5% of DRAM requests to queue: {}/{}",
             sys.queued_requests,
             sys.dram_requests
+        );
+    }
+
+    #[test]
+    fn more_channels_relieve_queueing() {
+        // The same 4-core memory-bound bundle on 1 vs 4 channels: spreading
+        // lines across channels must cut the fraction of requests that wait.
+        let base_cfg = SharedConfig {
+            instructions_per_core: 15_000,
+            ..SharedConfig::default()
+        };
+        let bundles = same_bundles(4);
+        let lbm = bundles.iter().find(|b| b.name == "SAME-lbm").unwrap();
+        let queueing = |channels: usize| {
+            let mut sys = SharedSystem::new(
+                lbm,
+                None,
+                SharedConfig {
+                    channels,
+                    ..base_cfg
+                },
+            );
+            let _ = sys.run();
+            sys.queued_requests as f64 / sys.dram_requests.max(1) as f64
+        };
+        let q1 = queueing(1);
+        let q4 = queueing(4);
+        assert!(
+            q4 < q1 - 0.02,
+            "4 channels must queue less than 1: {q1} vs {q4}"
         );
     }
 }
