@@ -1,0 +1,111 @@
+//! The windowed in-order driver shared by the single-core and multi-core
+//! runners.
+//!
+//! Both runners execute the same issue/retire discipline against the
+//! pipelined [`MemorySystem`]: each instruction advances the front-end
+//! clock by a fixed `tick`, each memory op is issued into the pipeline,
+//! and when the in-flight window is full the oldest op retires, folding
+//! `t_issue + latency × scale` into the in-order retire horizon. They
+//! differ only in units — the single-core runner ticks one cycle and keeps
+//! the whole latency (`tick = 1`, `scale = 1`); the multi-core runner runs
+//! in milli-cycles and keeps the unhidden fraction of each stall
+//! (`tick = 1000`, `scale = keep_millis`). Extracting the loop here keeps
+//! the two from drifting apart; the identity tests
+//! (`tests/pipeline_identity.rs`, `tests/controller_cycles.rs`) pin the
+//! extraction bit-for-bit.
+
+use std::collections::VecDeque;
+
+use memsys::system::AccessOutcome;
+use memsys::MemorySystem;
+use pagetable::addr::VirtAddr;
+
+/// The shared issue/retire window over a pipelined [`MemorySystem`].
+#[derive(Debug)]
+pub(crate) struct WindowedDriver {
+    /// In-flight op cap ([`memsys::MemSysConfig::mlp`], clamped to ≥ 1).
+    window: usize,
+    /// Front-end clock advance per instruction (1 cycle or 1000 mc).
+    tick: u64,
+    /// Latency multiplier at retire (1, or the unhidden `keep_millis`).
+    scale: u64,
+    /// Front-end clock (instruction issue), in `tick` units.
+    clock: u64,
+    /// In-order retire horizon: the max of every retired op's finish time.
+    finish_prev: u64,
+    /// `(op id, issue time)` of in-flight ops, oldest first.
+    inflight: VecDeque<(u64, u64)>,
+    /// Completed-but-not-retired outcomes. The window is small (a handful
+    /// of ops), so a linear-scanned Vec beats a HashMap on the per-op hot
+    /// path — and its capacity is reused for the whole run.
+    outcomes: Vec<(u64, AccessOutcome)>,
+}
+
+impl WindowedDriver {
+    pub(crate) fn new(window: usize, tick: u64, scale: u64) -> Self {
+        Self {
+            window: window.max(1),
+            tick,
+            scale,
+            clock: 0,
+            finish_prev: 0,
+            inflight: VecDeque::new(),
+            outcomes: Vec::new(),
+        }
+    }
+
+    /// Advances the front-end clock by one instruction.
+    pub(crate) fn tick_instruction(&mut self) {
+        self.clock += self.tick;
+    }
+
+    /// Issues one memory op; blocks (retiring oldest-first) while the
+    /// window is full.
+    pub(crate) fn mem_op(&mut self, sys: &mut MemorySystem, va: VirtAddr, write: bool) {
+        let id = sys.pipe_issue(va, write);
+        self.inflight.push_back((id, self.clock));
+        while self.inflight.len() >= self.window {
+            self.retire_one(sys);
+        }
+    }
+
+    /// Retires every in-flight op (end of a measured region or phase).
+    pub(crate) fn drain(&mut self, sys: &mut MemorySystem) {
+        while !self.inflight.is_empty() {
+            self.retire_one(sys);
+        }
+    }
+
+    /// Resets both clocks for a fresh measured region (the in-flight
+    /// window must already be drained).
+    pub(crate) fn reset_clocks(&mut self) {
+        debug_assert!(self.inflight.is_empty(), "reset with ops in flight");
+        self.clock = 0;
+        self.finish_prev = 0;
+    }
+
+    /// The run's cycle count so far, in `tick` units.
+    pub(crate) fn clock(&self) -> u64 {
+        self.clock.max(self.finish_prev)
+    }
+
+    fn retire_one(&mut self, sys: &mut MemorySystem) {
+        let (id, t_issue) = self
+            .inflight
+            .pop_front()
+            .expect("retire needs an op in flight");
+        let out = loop {
+            sys.pipe_drain_completed(&mut self.outcomes);
+            if let Some(pos) = self.outcomes.iter().position(|(cid, _)| *cid == id) {
+                break self.outcomes.swap_remove(pos).1;
+            }
+            sys.pipe_step();
+        };
+        debug_assert!(out.is_ok(), "unexpected fault: {out:?}");
+        // At a window of 1 this reproduces the blocking `+=` chain exactly:
+        // `finish_prev <= t_issue` always holds, so the max is the sum.
+        let finish = (t_issue + out.cycles() * self.scale).max(self.finish_prev);
+        self.finish_prev = finish;
+        self.clock = self.clock.max(finish);
+    }
+}

@@ -23,6 +23,7 @@
 
 #![warn(missing_docs)]
 
+mod driver;
 pub mod multicore;
 pub mod runner;
 pub mod shared;

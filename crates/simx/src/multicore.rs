@@ -12,9 +12,7 @@
 //! an *overlap factor* hides a fraction of every memory stall (O3), and a
 //! *contention factor* scales DRAM latency with core count.
 
-use std::collections::VecDeque;
-
-use memsys::system::{AccessOutcome, OsPort};
+use memsys::system::OsPort;
 use memsys::{MemSysConfig, MemoryController, MemorySystem};
 use pagetable::addr::VirtAddr;
 use pagetable::space::AddressSpace;
@@ -26,6 +24,7 @@ use dram::{DramDevice, DramGeometry, DramTiming, RowhammerConfig};
 use workloads::multiprog::Bundle;
 use workloads::tracegen::{Op, TraceGenerator};
 
+use crate::driver::WindowedDriver;
 use crate::source::OpSource;
 
 /// Multi-core model parameters.
@@ -118,80 +117,30 @@ pub fn run_core_from_source<S: OpSource>(
     // Bn-instruction fast-forward); the second pass is the measured region.
     // Each pass drains its window and the measured pass resets both clocks,
     // so warm-up completion times cannot leak into the measurement.
-    let window = cfg.mlp.max(1);
+    //
     // The core clock runs in integer milli-cycles: each instruction adds
     // 1000, each retire adds the unhidden fraction of the miss latency
     // with the overlap factor quantised once (`keep_millis` per cycle).
     // An f64 clock drifts at long horizons — past 2^53 the ulp exceeds a
     // cycle and `+= 1.0` stops advancing; integers cannot lose ticks.
     let keep_millis = ((1.0 - cfg.o3_overlap) * 1000.0).round() as u64;
-    let mut cycles_mc = 0u64;
-    let mut finish_prev = 0u64;
-    let mut inflight: VecDeque<(u64, u64)> = VecDeque::new();
-    // Small linear-scanned buffer, capacity reused per op (see the
-    // single-core driver for rationale).
-    let mut outcomes: Vec<(u64, AccessOutcome)> = Vec::new();
-
-    fn retire(
-        sys: &mut MemorySystem,
-        inflight: &mut VecDeque<(u64, u64)>,
-        outcomes: &mut Vec<(u64, AccessOutcome)>,
-        cycles_mc: &mut u64,
-        finish_prev: &mut u64,
-        keep_millis: u64,
-    ) {
-        let (id, t_issue) = inflight.pop_front().expect("retire needs an op in flight");
-        let out = loop {
-            sys.pipe_drain_completed(outcomes);
-            if let Some(pos) = outcomes.iter().position(|(cid, _)| *cid == id) {
-                break outcomes.swap_remove(pos).1;
-            }
-            sys.pipe_step();
-        };
-        // At mlp = 1 this reproduces the blocking `+=` chain exactly:
-        // `finish_prev <= t_issue` always holds, so the max is the sum.
-        let finish = (t_issue + out.cycles() * keep_millis).max(*finish_prev);
-        *finish_prev = finish;
-        *cycles_mc = (*cycles_mc).max(finish);
-    }
-
+    let mut driver = WindowedDriver::new(cfg.mlp, 1000, keep_millis);
     for phase in 0..2 {
         if phase == 1 {
-            cycles_mc = 0;
-            finish_prev = 0;
+            driver.reset_clocks();
         }
         for _ in 0..cfg.instructions_per_core {
-            cycles_mc += 1000;
+            driver.tick_instruction();
             let (va, write) = match source.next_op() {
                 Op::Compute => continue,
                 Op::Load(va) => (va, false),
                 Op::Store(va) => (va, true),
             };
-            let id = sys.pipe_issue(va, write);
-            inflight.push_back((id, cycles_mc));
-            while inflight.len() >= window {
-                retire(
-                    &mut sys,
-                    &mut inflight,
-                    &mut outcomes,
-                    &mut cycles_mc,
-                    &mut finish_prev,
-                    keep_millis,
-                );
-            }
+            driver.mem_op(&mut sys, va, write);
         }
-        while !inflight.is_empty() {
-            retire(
-                &mut sys,
-                &mut inflight,
-                &mut outcomes,
-                &mut cycles_mc,
-                &mut finish_prev,
-                keep_millis,
-            );
-        }
+        driver.drain(&mut sys);
     }
-    (cycles_mc + 500) / 1000
+    (driver.clock() + 500) / 1000
 }
 
 /// Evaluates one bundle: per-core slowdown of PT-Guard vs baseline,

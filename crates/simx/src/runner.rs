@@ -8,10 +8,8 @@
 //! the next instruction issues and reproduces the blocking driver's cycle
 //! count and cache state bit for bit.
 
-use std::collections::VecDeque;
-
 use dram::{DramDevice, DramGeometry, DramTiming, RowhammerConfig};
-use memsys::system::{AccessOutcome, OsPort};
+use memsys::system::OsPort;
 use memsys::{MemSysConfig, MemoryController, MemorySystem};
 use pagetable::addr::VirtAddr;
 use pagetable::space::AddressSpace;
@@ -21,6 +19,7 @@ use ptguard::{PtGuardConfig, PtGuardEngine};
 use workloads::tracegen::{Op, TraceGenerator};
 use workloads::WorkloadProfile;
 
+use crate::driver::WindowedDriver;
 use crate::source::OpSource;
 
 /// A fully-built simulated machine for one workload.
@@ -220,78 +219,29 @@ pub fn build_machine_from_source_cfg<S: OpSource>(
 /// `mlp = 1` every op retires before the next instruction issues — the
 /// exact blocking model (see [`run_blocking`]), bit for bit.
 pub fn run<S: OpSource>(machine: &mut Machine<S>, instructions: u64) -> RunResult {
-    let window = machine.sys.config().mlp.max(1);
     let stats_before = machine.sys.stats();
     let mac_before = read_mac_total(machine);
     let mut mem_ops = 0u64;
-    // `core` is the front-end clock (instruction issue); `finish_prev` the
-    // in-order retire horizon. Retiring folds each op's completion into
-    // both, so with a window of 1 `core` accumulates exactly
-    // `1 + out.cycles()` per memory instruction — the blocking sum.
-    let mut core = 0u64;
-    let mut finish_prev = 0u64;
-    let mut inflight: VecDeque<(u64, u64)> = VecDeque::new();
-    // Completed-but-not-retired outcomes. The window is small (a handful of
-    // ops), so a linear-scanned Vec beats a HashMap on the per-op hot path —
-    // and its capacity, like the drain buffers below it, is reused for the
-    // whole run.
-    let mut outcomes: Vec<(u64, AccessOutcome)> = Vec::new();
-
-    fn retire<S: OpSource>(
-        machine: &mut Machine<S>,
-        inflight: &mut VecDeque<(u64, u64)>,
-        outcomes: &mut Vec<(u64, AccessOutcome)>,
-        core: &mut u64,
-        finish_prev: &mut u64,
-    ) {
-        let (id, t_issue) = inflight.pop_front().expect("retire needs an op in flight");
-        let out = loop {
-            machine.sys.pipe_drain_completed(outcomes);
-            if let Some(pos) = outcomes.iter().position(|(cid, _)| *cid == id) {
-                break outcomes.swap_remove(pos).1;
-            }
-            machine.sys.pipe_step();
-        };
-        debug_assert!(out.is_ok(), "unexpected fault: {out:?}");
-        let finish = (*finish_prev).max(t_issue + out.cycles());
-        *finish_prev = finish;
-        *core = (*core).max(finish);
-    }
-
+    // The shared windowed driver: one cycle per instruction, the whole
+    // latency kept at retire. With a window of 1 the front-end clock
+    // accumulates exactly `1 + out.cycles()` per memory instruction — the
+    // blocking sum.
+    let mut driver = WindowedDriver::new(machine.sys.config().mlp, 1, 1);
     for _ in 0..instructions {
-        core += 1;
+        driver.tick_instruction();
         let (va, write) = match machine.source.next_op() {
             Op::Compute => continue,
             Op::Load(va) => (va, false),
             Op::Store(va) => (va, true),
         };
         mem_ops += 1;
-        let id = machine.sys.pipe_issue(va, write);
-        inflight.push_back((id, core));
-        while inflight.len() >= window {
-            retire(
-                machine,
-                &mut inflight,
-                &mut outcomes,
-                &mut core,
-                &mut finish_prev,
-            );
-        }
+        driver.mem_op(&mut machine.sys, va, write);
     }
-    while !inflight.is_empty() {
-        retire(
-            machine,
-            &mut inflight,
-            &mut outcomes,
-            &mut core,
-            &mut finish_prev,
-        );
-    }
-    let cycles = core.max(finish_prev);
+    driver.drain(&mut machine.sys);
     finalize_result(
         machine,
         instructions,
-        cycles,
+        driver.clock(),
         mem_ops,
         stats_before,
         mac_before,
