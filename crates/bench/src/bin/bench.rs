@@ -520,9 +520,12 @@ fn check_arena(committed: &Value) -> Result<(), String> {
     Ok(())
 }
 
-/// MAC-heavy profiles for the pipeline benchmark: the pointer-chaser with
-/// the densest page-walk traffic and the paper's worst slowdown case.
-const MEMSYS_PROFILES: [&str; 2] = ["sssp", "xalancbmk"];
+/// Profiles for the pipeline benchmark: the pointer-chaser with the
+/// densest page-walk traffic (`sssp`), the paper's worst slowdown case
+/// (`xalancbmk`), and a frontier-driven graph traversal (`bfs`) whose
+/// sparser miss stream is where the event pump's per-op savings first
+/// overtake the blocking driver.
+const MEMSYS_PROFILES: [&str; 3] = ["sssp", "xalancbmk", "bfs"];
 
 /// How one `bench memsys` mode drives the machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -531,6 +534,9 @@ enum Mode {
     Blocking,
     /// Windowed driver with the batched drain-time MAC kernel.
     Pipelined,
+    /// Windowed driver with the pre-event per-op polling discipline
+    /// (`run_polling`) — the host-cost control for the event pump.
+    Polling,
     /// Windowed driver with scalar per-chunk MAC verification — the
     /// unbatched control (`MemoryController::set_unbatched_mac`).
     ScalarMac,
@@ -560,12 +566,10 @@ fn memsys_profile(
     reps: usize,
 ) -> Vec<MemsysPoint> {
     let p = by_name(name).expect("profile");
-    let go = |m: &mut _, blocking: bool| {
-        if blocking {
-            run_blocking(m, instrs)
-        } else {
-            simx::runner::run(m, instrs)
-        }
+    let go = |m: &mut _, mode: Mode| match mode {
+        Mode::Blocking => run_blocking(m, instrs),
+        Mode::Polling => simx::runner::run_polling(m, instrs),
+        Mode::Pipelined | Mode::ScalarMac => simx::runner::run(m, instrs),
     };
     let mut machines: Vec<_> = modes
         .iter()
@@ -585,7 +589,7 @@ fn memsys_profile(
                 .sys
                 .controller
                 .set_unbatched_mac(mode == Mode::ScalarMac);
-            let _ = go(&mut machine, mode == Mode::Blocking); // warm-up: caches, TLB, page tables
+            let _ = go(&mut machine, mode); // warm-up: caches, TLB, page tables
             machine
         })
         .collect();
@@ -596,9 +600,8 @@ fn memsys_profile(
         // inherits a particular position's thermal/steal-time bias.
         for k in 0..modes.len() {
             let i = (rep + k) % modes.len();
-            let blocking = modes[i].2 == Mode::Blocking;
             let t = Instant::now();
-            let r = go(&mut machines[i], blocking);
+            let r = go(&mut machines[i], modes[i].2);
             let ns = t.elapsed().as_nanos() as f64;
             best[i] = best[i].min(ns / r.mem_ops.max(1) as f64);
             last[i] = Some(r);
@@ -627,11 +630,14 @@ fn memsys_profile(
 /// sweep, rendered as the `ptguard-bench-memsys/v1` report.
 fn bench_memsys(fast: bool) -> Value {
     let (instrs, reps) = if fast { (20_000, 2) } else { (60_000, 25) };
-    let modes: [(&'static str, usize, Mode); 5] = [
+    let modes: [(&'static str, usize, Mode); 6] = [
         ("blocking", 1, Mode::Blocking),
         ("mlp1", 1, Mode::Pipelined),
         ("mlp2", 2, Mode::Pipelined),
         ("mlp4", 4, Mode::Pipelined),
+        // Same window as mlp4, but every op goes through the op machinery
+        // and completion buffer — the pre-event polling control.
+        ("mlp4-poll", 4, Mode::Polling),
         // Same window as mlp4, but the drain verifies with one scalar
         // cipher call per chunk — the unbatched-verification control.
         ("mlp4-scalar", 4, Mode::ScalarMac),
@@ -693,7 +699,10 @@ fn bench_memsys(fast: bool) -> Value {
 
 /// The memsys arm of the `--check` gate: the committed report must show
 /// the batched pipeline beating the serial one on at least one profile,
-/// and a fresh quick measurement must not have regressed more than 2×.
+/// the event-driven mlp4 pipeline at or under the blocking driver's host
+/// cost on at least one profile (the point of replacing per-step polling
+/// with the event wheel), and a fresh quick measurement must not have
+/// regressed more than 2×.
 fn check_memsys(committed: &Value) -> Result<(), String> {
     let ns_of = |profile: &str, mode: &str| {
         committed
@@ -716,6 +725,21 @@ fn check_memsys(committed: &Value) -> Result<(), String> {
     }
     if !batched_wins {
         return Err("committed BENCH_memsys shows no batched-MAC win on any profile".to_string());
+    }
+    let mut event_wins = false;
+    for p in MEMSYS_PROFILES {
+        let (blocking, event) = (ns_of(p, "blocking")?, ns_of(p, "mlp4")?);
+        println!("check: {p} committed blocking {blocking:.1} vs mlp4 {event:.1} host-ns/sim-op");
+        if event <= blocking {
+            event_wins = true;
+        }
+    }
+    if !event_wins {
+        return Err(
+            "committed BENCH_memsys shows the event-driven mlp4 pipeline costlier than the \
+             blocking driver on every profile"
+                .to_string(),
+        );
     }
     let committed_ns = ns_of(MEMSYS_PROFILES[0], "mlp1")?;
     let fresh = memsys_profile(

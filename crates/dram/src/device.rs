@@ -57,6 +57,8 @@ pub struct DramStats {
     pub row_refreshes: u64,
     /// Completed global refresh windows.
     pub refresh_windows: u64,
+    /// Completed distributed-refresh slices (one tREFI each).
+    pub refresh_slices: u64,
     /// Total bit flips injected by disturbance.
     pub total_flips: u64,
     /// Row hits per bank (sized to the geometry at construction).
@@ -77,6 +79,27 @@ pub struct ServiceTiming {
     pub wait_ps: u128,
     /// Bank service latency (row hit / conflict / closed), in ps.
     pub latency_ps: u128,
+}
+
+/// A device-level timing completion, recorded while the timing-event tap
+/// is on (see [`DramDevice::set_timing_event_tap`]) so the memory
+/// controller can post bank and refresh completions into an event
+/// scheduler instead of callers polling per-bank busy-until state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimingEvent {
+    /// A bank finished a scheduled access at `ready_ps` (its busy-until
+    /// time after the service).
+    BankReady {
+        /// The bank that went idle.
+        bank: u32,
+        /// Absolute device time at which it went idle, in ps.
+        ready_ps: u128,
+    },
+    /// A distributed-refresh slice (one tREFI) completed at `at_ps`.
+    RefreshSlice {
+        /// Absolute device time of the slice boundary, in ps.
+        at_ps: u128,
+    },
 }
 
 /// A DRAM device with open-row bank state and Rowhammer disturbance.
@@ -112,6 +135,12 @@ pub struct DramDevice {
     tap_enabled: bool,
     /// Recorded activations since the last drain (only when tapped).
     tap: Vec<(RowId, ActivationKind)>,
+    /// Whether timing completions are recorded (off by default, so the
+    /// blocking path pays nothing; the controller turns it on only while
+    /// its pipelined queues are non-empty).
+    timing_tap_enabled: bool,
+    /// Recorded timing completions since the last drain (only when on).
+    timing_events: Vec<TimingEvent>,
     /// Provenance attributed to the next demand accesses (`service_at`):
     /// `Walk` while the controller is servicing a PTE line, else `Demand`.
     demand_kind: ActivationKind,
@@ -140,6 +169,8 @@ impl DramDevice {
             ref_slice: 0,
             tap_enabled: false,
             tap: Vec::new(),
+            timing_tap_enabled: false,
+            timing_events: Vec::new(),
             demand_kind: ActivationKind::Demand,
             geometry,
             timing,
@@ -206,6 +237,23 @@ impl DramDevice {
     /// Drains recorded activations (in occurrence order) into `out`.
     pub fn drain_activations(&mut self, out: &mut Vec<(RowId, ActivationKind)>) {
         out.append(&mut self.tap);
+    }
+
+    /// Enables or disables the timing-event tap. Off by default; while
+    /// off, services and refresh slices leave no event record, so the
+    /// blocking path is bit-identical in behaviour and cost. Disabling
+    /// clears any undrained events — capture them first.
+    pub fn set_timing_event_tap(&mut self, enabled: bool) {
+        self.timing_tap_enabled = enabled;
+        if !enabled {
+            self.timing_events.clear();
+        }
+    }
+
+    /// Drains recorded timing completions (in occurrence order) into
+    /// `out`.
+    pub fn drain_timing_events(&mut self, out: &mut Vec<TimingEvent>) {
+        out.append(&mut self.timing_events);
     }
 
     /// Marks whether upcoming demand accesses ([`DramDevice::service_at`])
@@ -287,6 +335,12 @@ impl DramDevice {
             }
         };
         self.busy_until_ps[bank] = begin + latency_ps;
+        if self.timing_tap_enabled {
+            self.timing_events.push(TimingEvent::BankReady {
+                bank: bank as u32,
+                ready_ps: begin + latency_ps,
+            });
+        }
         self.advance_time_ps(latency_ps);
         ServiceTiming {
             wait_ps,
@@ -345,6 +399,12 @@ impl DramDevice {
         self.now_ps += delta_ps;
         while self.now_ps - self.window_start_ps >= trefi {
             self.window_start_ps += trefi;
+            self.stats.refresh_slices += 1;
+            if self.timing_tap_enabled {
+                self.timing_events.push(TimingEvent::RefreshSlice {
+                    at_ps: self.window_start_ps,
+                });
+            }
             let slice = self.ref_slice;
             self.ref_slice = (self.ref_slice + 1) % REF_SLICES;
             if self.ref_slice == 0 {

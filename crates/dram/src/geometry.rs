@@ -169,13 +169,23 @@ impl DramGeometry {
     /// the stride Rowhammer attacks use to find aggressors. Under
     /// [`AddressMapping::BankXor`] the bank additionally XORs in the low
     /// row bits, like real controllers spreading row-buffer conflicts.
+    #[inline]
     #[must_use]
     pub fn row_of(&self, addr: PhysAddr) -> RowId {
         let a = addr.as_u64();
         debug_assert!(a < self.capacity(), "address {a:#x} beyond capacity");
         let row_bytes = u64::from(self.row_bytes);
-        let raw_bank = (a / row_bytes) % u64::from(self.banks);
-        let row = a / (row_bytes * u64::from(self.banks));
+        let banks = u64::from(self.banks);
+        // Every shipped geometry has power-of-two rows and banks, so the
+        // decode is a shift/mask on the hot path; the division form stays
+        // as the general fallback (identical results when both divisors
+        // are powers of two).
+        let (raw_bank, row) = if row_bytes.is_power_of_two() && banks.is_power_of_two() {
+            let rb = row_bytes.trailing_zeros();
+            ((a >> rb) & (banks - 1), a >> (rb + banks.trailing_zeros()))
+        } else {
+            ((a / row_bytes) % banks, a / (row_bytes * banks))
+        };
         let bank = match self.mapping {
             AddressMapping::RowBankColumn => raw_bank,
             AddressMapping::BankXor => {
@@ -190,9 +200,15 @@ impl DramGeometry {
     }
 
     /// Column (byte offset within the row) of an address.
+    #[inline]
     #[must_use]
     pub fn column_of(&self, addr: PhysAddr) -> u32 {
-        (addr.as_u64() % u64::from(self.row_bytes)) as u32
+        let row_bytes = u64::from(self.row_bytes);
+        if row_bytes.is_power_of_two() {
+            (addr.as_u64() & (row_bytes - 1)) as u32
+        } else {
+            (addr.as_u64() % row_bytes) as u32
+        }
     }
 
     /// First physical address of a row (the exact inverse of

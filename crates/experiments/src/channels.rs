@@ -48,6 +48,11 @@ pub struct ChannelRow {
     /// MAC verification cycles added, summed over channels, per entry of
     /// [`CHANNELS`] — reconciles against the single-channel total.
     pub mac_cycles: [u64; CHANNELS.len()],
+    /// Events fired by the pump, per entry of [`CHANNELS`].
+    pub events_fired: [u64; CHANNELS.len()],
+    /// Mean virtual time skipped per pump advance in ps, per entry of
+    /// [`CHANNELS`].
+    pub idle_skip_mean_ps: [f64; CHANNELS.len()],
 }
 
 /// One channel count of the 4-core shared-system contention scenario.
@@ -125,6 +130,8 @@ fn sweep_rows(scale: Scale, sweep_seed: u64, jobs: usize, workloads: &[usize]) -
         let seed = crate::salted(0xc4a + wi as u64, sweep_seed);
         let mut cycles = [0u64; CHANNELS.len()];
         let mut mac_cycles = [0u64; CHANNELS.len()];
+        let mut events_fired = [0u64; CHANNELS.len()];
+        let mut idle_skip_mean_ps = [0.0f64; CHANNELS.len()];
         let mut balance = 1.0f64;
         for (ci, &channels) in CHANNELS.iter().enumerate() {
             let mem_cfg = MemSysConfig {
@@ -142,6 +149,9 @@ fn sweep_rows(scale: Scale, sweep_seed: u64, jobs: usize, workloads: &[usize]) -
             let _ = run(&mut machine, instrs); // warm-up, discarded
             let r = run(&mut machine, instrs);
             cycles[ci] = r.cycles;
+            let pump = machine.sys.pump_stats();
+            events_fired[ci] = pump.events_fired;
+            idle_skip_mean_ps[ci] = pump.idle_skip_ps.mean();
             mac_cycles[ci] = (0..machine.sys.channels())
                 .map(|c| machine.sys.channel(c).stats().mac_cycles_added)
                 .sum();
@@ -161,6 +171,8 @@ fn sweep_rows(scale: Scale, sweep_seed: u64, jobs: usize, workloads: &[usize]) -
             speedup: cycles.map(|c| cycles[0] as f64 / c.max(1) as f64),
             balance,
             mac_cycles,
+            events_fired,
+            idle_skip_mean_ps,
         }
     };
     if jobs == 1 {
@@ -222,6 +234,8 @@ pub fn render(r: &ChannelsResult) -> String {
         "speedup@2",
         "speedup@4",
         "balance@4",
+        "events@4",
+        "idle-skip@4",
     ]);
     for row in &r.rows {
         t.row(vec![
@@ -233,6 +247,8 @@ pub fn render(r: &ChannelsResult) -> String {
             format!("{:.3}x", row.speedup[1]),
             format!("{:.3}x", row.speedup[2]),
             format!("{:.2}", row.balance),
+            row.events_fired[2].to_string(),
+            format!("{:.1} ns", row.idle_skip_mean_ps[2] / 1000.0),
         ]);
     }
     let mut c = Table::new(vec![
@@ -252,7 +268,7 @@ pub fn render(r: &ChannelsResult) -> String {
         ]);
     }
     format!(
-        "Multi-channel memory system: channel-level parallelism under PT-Guard\n{}\nchannels=1 is pinned byte-identical to the single-controller model;\nwider systems spread lines with the XOR-folded interleave and drain\nper-channel controllers merged in integer-picosecond retire order.\n\nMAC bandwidth contention (4-core SAME-lbm, {} instrs/core):\n{}",
+        "Multi-channel memory system: channel-level parallelism under PT-Guard\n{}\nchannels=1 is pinned byte-identical to the single-controller model;\nwider systems spread lines with the XOR-folded interleave and drain\nper-channel controllers merged in integer-picosecond retire order.\nevents@4 / idle-skip@4 report the event pump at the widest channel\ncount: drains fired and mean virtual time jumped per advance.\n\nMAC bandwidth contention (4-core SAME-lbm, {} instrs/core):\n{}",
         t.render(),
         r.contention_instrs,
         c.render()
@@ -288,6 +304,14 @@ mod tests {
                 );
             }
             assert!(row.balance > 0.5, "{}: skewed interleave", row.name);
+            for (ci, &fired) in row.events_fired.iter().enumerate() {
+                assert!(
+                    fired > 0,
+                    "{}@{}: pump never fired at ci={ci}",
+                    row.name,
+                    row.mlp
+                );
+            }
         }
     }
 

@@ -50,6 +50,16 @@ pub struct MlpRow {
     /// MAC verification batch-size histogram
     /// (buckets: 1, 2, 3–4, 5–8, 9–16, >16).
     pub mac_batches: [u64; MAC_BATCH_BUCKETS],
+    /// Events accepted by the wheel over both regions (one drain arm per
+    /// channel with outstanding reads; completions ride the drain).
+    pub events_posted: u64,
+    /// Events fired by the pump.
+    pub events_fired: u64,
+    /// Wheel slot cascades (coarse slots re-filed toward level 0).
+    pub wheel_cascades: u64,
+    /// Mean virtual time skipped per pump advance, in picoseconds — the
+    /// idle gap the event wheel jumps instead of polling through.
+    pub idle_skip_mean_ps: f64,
 }
 
 /// Runs the sweep.
@@ -88,6 +98,7 @@ pub fn run_seeded(scale: Scale, sweep_seed: u64) -> Vec<MlpRow> {
             }
             let cstats = machine.sys.controller.stats();
             let dstats = machine.sys.controller.device().stats();
+            let pump = machine.sys.pump_stats();
             let hits: u64 = dstats.per_bank_row_hits.iter().sum();
             let misses: u64 = dstats.per_bank_row_misses.iter().sum();
             rows.push(MlpRow {
@@ -100,6 +111,10 @@ pub fn run_seeded(scale: Scale, sweep_seed: u64) -> Vec<MlpRow> {
                 mshr_hwm: machine.sys.stats().mshr_hwm,
                 row_hit_rate: hits as f64 / (hits + misses).max(1) as f64,
                 mac_batches: cstats.mac_batch_hist,
+                events_posted: pump.events_posted,
+                events_fired: pump.events_fired,
+                wheel_cascades: pump.wheel_cascades,
+                idle_skip_mean_ps: pump.idle_skip_ps.mean(),
             });
         }
     }
@@ -118,6 +133,9 @@ pub fn render(rows: &[MlpRow]) -> String {
         "queue",
         "MSHR",
         "row-hit",
+        "events p/f",
+        "casc",
+        "idle-skip",
         "MAC batches (1 / 2 / 3-4 / 5-8 / 9-16 / >16)",
     ]);
     for r in rows {
@@ -130,11 +148,14 @@ pub fn render(rows: &[MlpRow]) -> String {
             r.queue_hwm.to_string(),
             r.mshr_hwm.to_string(),
             format!("{:.1}%", 100.0 * r.row_hit_rate),
+            format!("{}/{}", r.events_posted, r.events_fired),
+            r.wheel_cascades.to_string(),
+            format!("{:.1} ns", r.idle_skip_mean_ps / 1000.0),
             r.mac_batches.map(|c| c.to_string()).join(" / "),
         ]);
     }
     format!(
-        "Event pipeline: PT-Guard under memory-level parallelism\n{}\nmlp=1 is pinned byte-identical to the blocking model; larger windows\noverlap misses across banks and batch MAC verification per drain.\n",
+        "Event pipeline: PT-Guard under memory-level parallelism\n{}\nmlp=1 is pinned byte-identical to the blocking model; larger windows\noverlap misses across banks and batch MAC verification per drain.\nevents p/f = wheel posts/fires; casc = slot cascades; idle-skip = mean\nvirtual time jumped per pump advance instead of being polled through.\n",
         t.render()
     )
 }
@@ -164,6 +185,12 @@ mod tests {
                 assert!(r.queue_hwm >= 1);
                 assert!(r.mshr_hwm >= 1);
             }
+            // Event-engine counters: every row goes through the pump (the
+            // event path drives mlp=1 too), and a wheel never fires more
+            // than it accepted.
+            assert!(r.events_fired > 0, "{}@{}: pump never fired", r.name, r.mlp);
+            assert!(r.events_posted >= r.events_fired);
+            assert!(r.idle_skip_mean_ps >= 0.0);
         }
         // At least one MAC-heavy profile must actually batch at mlp=4.
         assert!(

@@ -407,6 +407,26 @@ pub fn run_artefact_jobs(
                     format!("{}@{}.row_hit_rate", row.name, row.mlp),
                     row.row_hit_rate,
                 );
+                mu(
+                    &mut metrics,
+                    format!("{}@{}.events_posted", row.name, row.mlp),
+                    row.events_posted,
+                );
+                mu(
+                    &mut metrics,
+                    format!("{}@{}.events_fired", row.name, row.mlp),
+                    row.events_fired,
+                );
+                mu(
+                    &mut metrics,
+                    format!("{}@{}.wheel_cascades", row.name, row.mlp),
+                    row.wheel_cascades,
+                );
+                m(
+                    &mut metrics,
+                    format!("{}@{}.idle_skip_mean_ps", row.name, row.mlp),
+                    row.idle_skip_mean_ps,
+                );
             }
             let ops = (mlp::WORKLOADS.len() * mlp::WINDOWS.len()) as u64 * 2 * instrs;
             JobOutput {
@@ -590,6 +610,16 @@ pub fn run_artefact_jobs(
                     &mut metrics,
                     format!("{}@{}.balance4", row.name, row.mlp),
                     row.balance,
+                );
+                mu(
+                    &mut metrics,
+                    format!("{}@{}.events_fired4", row.name, row.mlp),
+                    row.events_fired[2],
+                );
+                m(
+                    &mut metrics,
+                    format!("{}@{}.idle_skip_mean_ps4", row.name, row.mlp),
+                    row.idle_skip_mean_ps[2],
                 );
             }
             for c in &r.contention {

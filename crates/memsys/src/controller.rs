@@ -155,6 +155,12 @@ pub struct MemoryController {
     stats: ControllerStats,
     /// Per-bank FIFO request queues for the pipelined read path.
     queues: Vec<VecDeque<QueuedRead>>,
+    /// Banks with a non-empty queue, in arrival order; sorted at drain
+    /// time so a drain visits only occupied banks in ascending bank
+    /// order (identical to scanning all banks and skipping empties).
+    active_banks: Vec<u32>,
+    /// Parallel membership flags for `active_banks`, indexed by bank.
+    bank_active: Vec<bool>,
     /// Reads currently queued across all banks.
     queued: usize,
     /// Monotonic request id; doubles as the FCFS age tiebreaker.
@@ -180,6 +186,8 @@ impl MemoryController {
             core_khz: clock::ghz_to_khz(core_ghz),
             stats: ControllerStats::default(),
             queues: vec![VecDeque::new(); banks],
+            active_banks: Vec::new(),
+            bank_active: vec![false; banks],
             queued: 0,
             next_req_id: 0,
             scratch: DrainScratch::default(),
@@ -202,6 +210,8 @@ impl MemoryController {
             core_khz: clock::ghz_to_khz(core_ghz),
             stats: ControllerStats::default(),
             queues: vec![VecDeque::new(); banks],
+            active_banks: Vec::new(),
+            bank_active: vec![false; banks],
             queued: 0,
             next_req_id: 0,
             scratch: DrainScratch::default(),
@@ -311,6 +321,10 @@ impl MemoryController {
             is_pte,
             bypassed: 0,
         });
+        if !self.bank_active[bank] {
+            self.bank_active[bank] = true;
+            self.active_banks.push(bank as u32);
+        }
         self.queued += 1;
         self.stats.queue_occupancy_hwm = self.stats.queue_occupancy_hwm.max(self.queued as u64);
         id
@@ -320,6 +334,12 @@ impl MemoryController {
     #[must_use]
     pub fn has_queued_reads(&self) -> bool {
         self.queued > 0
+    }
+
+    /// Number of reads waiting across all bank queues.
+    #[must_use]
+    pub fn queued_reads(&self) -> usize {
+        self.queued
     }
 
     /// Services every queued read and appends `(request id, result)` pairs
@@ -343,10 +363,53 @@ impl MemoryController {
     /// [`ptguard::mac::PteMac::compute_batch_into`] call, and the result is
     /// fed back through the normal per-read verify path.
     pub fn drain_reads(&mut self, out: &mut Vec<(u64, DramRead)>) {
+        // Single-request fast path: with one read queued (the common event
+        // round — a lone walk step or data miss arming the pump), FR-FCFS,
+        // the completion sort and the batch plumbing all degenerate to
+        // identity, so service the request directly. Timing, MAC values,
+        // verdicts and stats are exactly the general path's: one candidate
+        // is picked unconditionally, and a one-item MAC batch is the plain
+        // per-line computation.
+        if self.queued == 1 {
+            let bank = self
+                .active_banks
+                .pop()
+                .expect("one queued read implies one active bank") as usize;
+            debug_assert!(self.active_banks.is_empty());
+            self.bank_active[bank] = false;
+            let q = self.queues[bank].pop_front().expect("queued read");
+            self.queued = 0;
+            let t0 = self.device.now_ps();
+            self.device.tap_pte_hint(q.is_pte);
+            let t = self.device.service_at(q.addr, false, t0);
+            let raw = Line::from_bytes(&self.device.read_line(q.addr));
+            let mac = match &self.engine {
+                Some(engine) if engine.read_needs_mac(&raw, q.addr, q.is_pte) => {
+                    self.stats.mac_batch_hist[0] += 1;
+                    let unit = engine.mac_unit();
+                    Some(if self.unbatched_mac {
+                        unit.compute_unbatched(&raw, q.addr)
+                    } else {
+                        unit.compute(&raw, q.addr)
+                    })
+                }
+                _ => None,
+            };
+            let read = self.finish_read(q.addr, q.is_pte, t.wait_ps + t.latency_ps, raw, mac);
+            out.push((q.id, read));
+            return;
+        }
         let t0 = self.device.now_ps();
         let mut s = std::mem::take(&mut self.scratch);
         s.serviced.clear();
-        for bank in 0..self.queues.len() {
+        // Visit only occupied banks, in ascending bank order — the same
+        // order a full 0..banks scan would service them in, without
+        // touching the (mostly empty) other queues.
+        let mut active = std::mem::take(&mut self.active_banks);
+        active.sort_unstable();
+        for &bank in &active {
+            let bank = bank as usize;
+            self.bank_active[bank] = false;
             if self.queues[bank].is_empty() {
                 continue;
             }
@@ -411,8 +474,12 @@ impl MemoryController {
                 });
             }
         }
+        active.clear();
+        self.active_banks = active;
         self.queued = 0;
-        s.serviced.sort_by_key(|r| (r.dram_ps, r.id));
+        if s.serviced.len() > 1 {
+            s.serviced.sort_by_key(|r| (r.dram_ps, r.id));
+        }
 
         // One MAC batch over every read that will reach full verification.
         s.macs.clear();

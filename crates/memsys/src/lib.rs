@@ -33,4 +33,4 @@ pub mod tlb;
 
 pub use config::MemSysConfig;
 pub use controller::MemoryController;
-pub use system::{AccessOutcome, MemorySystem};
+pub use system::{AccessOutcome, IssueOutcome, MemorySystem, PumpStats};

@@ -13,6 +13,7 @@ use pagetable::memory::PhysMem;
 use pagetable::x86_64::Pte;
 use ptguard::engine::ReadVerdict;
 use ptguard::line::Line;
+use sched::{EventKey, EventWheel, Log2Hist};
 
 use crate::cache::Cache;
 use crate::config::MemSysConfig;
@@ -84,6 +85,52 @@ pub struct SystemStats {
     pub mshr_hwm: u64,
 }
 
+/// Result of issuing an access on the event-driven pipeline
+/// ([`MemorySystem::pipe_issue_event`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IssueOutcome {
+    /// The access completed synchronously (TLB/cache hits all the way, or
+    /// an immediate fault) — no event was scheduled and nothing occupies
+    /// the in-flight window.
+    Done(AccessOutcome),
+    /// The access suspended on a DRAM read; its outcome arrives through
+    /// [`MemorySystem::pipe_drain_completed`] after
+    /// [`MemorySystem::advance_to_next_event`] fires the miss.
+    Pending(u64),
+}
+
+/// An event scheduled on the system's wheel.
+#[derive(Debug, Clone, Copy)]
+enum PumpEvent {
+    /// Drain the channel's banked queues (armed when the channel's first
+    /// outstanding read is enqueued).
+    Drain,
+}
+
+/// Event-pump counters ([`MemorySystem::pump_stats`]): pure
+/// observability, never fed back into timing.
+#[derive(Debug, Clone, Default)]
+pub struct PumpStats {
+    /// Events accepted by the wheel (drain arms).
+    pub events_posted: u64,
+    /// Events fired by the wheel.
+    pub events_fired: u64,
+    /// Wheel slot cascades (coarse slots re-filed downward).
+    pub wheel_cascades: u64,
+    /// Bank-ready completions observed by the pipelined drains (one per
+    /// serviced read; counted off the wheel so pure observability never
+    /// costs a wheel round-trip).
+    pub bank_ready_events: u64,
+    /// Distributed-refresh slices (one tREFI each) completed across the
+    /// channel devices, blocking interludes included.
+    pub refresh_events: u64,
+    /// Calls to [`MemorySystem::advance_to_next_event`] that fired events.
+    pub advances: u64,
+    /// Histogram of virtual time skipped per advance, in ps (the idle
+    /// gaps the event pump jumps over instead of polling through).
+    pub idle_skip_ps: Log2Hist,
+}
+
 /// Result of classifying one walk-level PTE (shared by the blocking walk
 /// and the pipelined op state machine).
 enum WalkStep {
@@ -138,17 +185,24 @@ struct PendingOp {
 }
 
 /// One outstanding miss line: the controller request plus every op waiting
-/// on it. `waiters[0]` is the primary (it installs the fill); later waiters
-/// merged into the same line and only collect the latency. Request ids are
+/// on it. The primary waiter installs the fill; later waiters merged into
+/// the same line and only collect the latency. Request ids are
 /// per-controller monotonic counters, so the entry is keyed by
 /// `(channel, req_id)` — ids alone collide across channels.
+///
+/// The primary is stored inline: almost every miss has exactly one waiter,
+/// and an empty `Vec` does not allocate, so the common suspend/resolve
+/// cycle is allocation-free.
 #[derive(Debug)]
 struct MshrEntry {
     channel: u32,
     req_id: u64,
     line_addr: u64,
     is_pte: bool,
-    waiters: Vec<u64>,
+    /// The op that installs the fill.
+    primary: u64,
+    /// Ops merged into the line after the primary (latency only).
+    merged: Vec<u64>,
 }
 
 /// The single-core memory system of Table III (N-channel capable).
@@ -183,6 +237,17 @@ pub struct MemorySystem {
     /// Reusable channel-tagged retire buffer for the cross-channel merge.
     merge_buf: Vec<(u32, u64, crate::controller::DramRead)>,
     next_op_id: u64,
+    /// The event engine: per-channel drain arms, popped in
+    /// `(ps, channel, id)` order. Per-channel device clocks are
+    /// independent latency accumulators, so the wheel's `now` is a
+    /// max-progress frontier; lagging channels clamp forward
+    /// (deterministically) when they arm.
+    wheel: EventWheel<PumpEvent>,
+    /// Whether a [`PumpEvent::Drain`] is scheduled for each channel.
+    armed: Vec<bool>,
+    /// Pump observability counters (the wheel's own posted/fired/cascade
+    /// counts live in the wheel; see [`MemorySystem::pump_stats`]).
+    pump: PumpStats,
 }
 
 impl MemorySystem {
@@ -240,6 +305,9 @@ impl MemorySystem {
             drain_buf: Vec::new(),
             merge_buf: Vec::new(),
             next_op_id: 0,
+            wheel: EventWheel::new(),
+            armed: vec![false; cfg.channels],
+            pump: PumpStats::default(),
             cfg,
         }
     }
@@ -296,6 +364,16 @@ impl MemorySystem {
     fn any_queued_reads(&self) -> bool {
         self.controller.has_queued_reads()
             || self.aux.iter().any(MemoryController::has_queued_reads)
+    }
+
+    /// Total reads queued across all channels (flush diagnostics).
+    fn queued_reads_total(&self) -> usize {
+        self.controller.queued_reads()
+            + self
+                .aux
+                .iter()
+                .map(MemoryController::queued_reads)
+                .sum::<usize>()
     }
 
     /// The system's configuration.
@@ -606,8 +684,20 @@ impl MemorySystem {
     /// MSHR file must complete — not drop — the pending misses, or their
     /// fills (and any dirty lines they produce) would be lost.
     pub fn flush_caches(&mut self) {
+        // Drain through the event engine, not a blind step loop: if reads
+        // are queued but no event can fire, stepping again would spin
+        // forever — fail loudly with the stuck state instead.
         while self.any_queued_reads() {
-            self.pipe_step();
+            let progressed = self.advance_to_next_event();
+            assert!(
+                progressed,
+                "flush deadlock: {} reads queued across {} channels but no event is scheduled \
+                 ({} pending ops, {} MSHR entries)",
+                self.queued_reads_total(),
+                self.channels(),
+                self.pending.len(),
+                self.mshr.len(),
+            );
         }
         debug_assert!(
             self.pending.is_empty(),
@@ -710,44 +800,196 @@ impl MemorySystem {
         id
     }
 
-    /// Services every queued DRAM read on every channel and resumes the ops
-    /// waiting on them; resumed ops run until they complete or suspend on a
-    /// new miss. Per-channel drains are merged at retire time in integer-
-    /// picosecond order, ties broken by channel index then request id, so
-    /// the resume order is deterministic and — with one channel — identical
-    /// to the single-controller model's `(dram_ps, id)` order.
+    /// Issues a demand access on the event-driven pipeline, resolving
+    /// synchronous completions inline.
+    ///
+    /// Equivalent to [`Self::pipe_issue`] followed by checking whether the
+    /// op already completed — same stats, same cache/TLB side effects,
+    /// same cycle counts — but a TLB hit that also hits the caches skips
+    /// the op machinery entirely (no id, no completion-buffer round trip),
+    /// which is the overwhelmingly common case the per-step polling
+    /// pipeline made every access pay for. Ops that complete synchronously
+    /// never consume an op id; ids stay monotonic across the ops that do
+    /// suspend, which is all the MSHR merge order needs.
+    pub fn pipe_issue_event(&mut self, va: VirtAddr, write: bool) -> IssueOutcome {
+        if write {
+            self.stats.stores += 1;
+        } else {
+            self.stats.loads += 1;
+        }
+        if let Some(leaf) = self.tlb.lookup(va.vpn()) {
+            // Translated without a walk: probe the hierarchy directly.
+            let pa = leaf.target(va.page_offset());
+            match self.probe_caches(pa, write, false) {
+                Ok((_, c)) => {
+                    return IssueOutcome::Done(AccessOutcome::Ok {
+                        cycles: self.cfg.tlb_latency_cycles + c,
+                        llc_miss: false,
+                    });
+                }
+                Err(c) => {
+                    let id = self.next_op_id;
+                    self.next_op_id += 1;
+                    let op = PendingOp {
+                        id,
+                        va,
+                        write,
+                        cycles: self.cfg.tlb_latency_cycles + c,
+                        state: OpState::AwaitData { pa },
+                    };
+                    self.suspend(op, pa, false);
+                    return IssueOutcome::Pending(id);
+                }
+            }
+        }
+        self.stats.walks += 1;
+        let id = self.next_op_id;
+        self.next_op_id += 1;
+        let op = PendingOp {
+            id,
+            va,
+            write,
+            cycles: self.cfg.tlb_latency_cycles,
+            state: OpState::Walk {
+                table: self.root,
+                level: 3,
+            },
+        };
+        self.drive(op);
+        // `drive` either suspended the op or pushed its outcome last.
+        if let Some(&(cid, out)) = self.completed.last() {
+            if cid == id {
+                self.completed.pop();
+                return IssueOutcome::Done(out);
+            }
+        }
+        IssueOutcome::Pending(id)
+    }
+
+    /// Steps the pipeline once (compatibility shim over the event engine:
+    /// exactly [`Self::advance_to_next_event`], discarding the progress
+    /// flag).
     pub fn pipe_step(&mut self) {
+        let _ = self.advance_to_next_event();
+    }
+
+    /// Pumps the event engine one round: jumps virtual time to the next
+    /// scheduled events, drains every channel whose arm fired, merges the
+    /// completions, and resumes the ops waiting on them (resumed ops run
+    /// until they complete or suspend on a new miss, arming the next
+    /// round). Returns `false` — having done nothing — when no events are
+    /// scheduled.
+    ///
+    /// Completions retire in integer-picosecond order, ties broken by
+    /// channel index then request id — the same `(ps, channel, id)` total
+    /// order the wheel itself pops in — so the resume order is
+    /// deterministic and, with one channel, identical to the
+    /// single-controller model's `(dram_ps, id)` order.
+    pub fn advance_to_next_event(&mut self) -> bool {
+        if self.wheel.is_empty() {
+            return false;
+        }
+        let from_ps = self.wheel.now_ps();
         let mut drained = std::mem::take(&mut self.drain_buf);
+        if self.aux.is_empty() {
+            // Single-channel fast path: at most one drain arm can ever be
+            // scheduled, and a drain's output is already in `(dram_ps,
+            // id)` completion order, so the cross-channel tag/merge/sort
+            // is skipped — the resume order is identical by construction.
+            let Some((_, PumpEvent::Drain)) = self.wheel.pop() else {
+                unreachable!("non-empty wheel");
+            };
+            debug_assert!(self.wheel.is_empty(), "one channel, one arm");
+            self.armed[0] = false;
+            drained.clear();
+            self.controller.drain_reads(&mut drained);
+            self.pump.bank_ready_events += drained.len() as u64;
+            self.record_advance(from_ps);
+            for (req_id, read) in &drained {
+                self.resolve_completion(0, *req_id, read);
+            }
+            self.drain_buf = drained;
+            return true;
+        }
         let mut merged = std::mem::take(&mut self.merge_buf);
         merged.clear();
-        for ch in 0..self.channels() {
+        // One round = everything currently scheduled. Arms posted by the
+        // resumes below land in the wheel for the next round.
+        while let Some((key, PumpEvent::Drain)) = self.wheel.pop() {
+            let ch = key.channel as usize;
+            self.armed[ch] = false;
             drained.clear();
             self.channel_mut(ch).drain_reads(&mut drained);
-            let ch = u32::try_from(ch).expect("channel index");
-            merged.extend(drained.drain(..).map(|(req_id, read)| (ch, req_id, read)));
+            self.pump.bank_ready_events += drained.len() as u64;
+            merged.extend(
+                drained
+                    .drain(..)
+                    .map(|(req_id, read)| (key.channel, req_id, read)),
+            );
         }
-        merged.sort_by_key(|a| (a.2.dram_ps, a.0, a.1));
+        self.record_advance(from_ps);
+        if merged.len() > 1 {
+            merged.sort_by_key(|a| (a.2.dram_ps, a.0, a.1));
+        }
         for (ch, req_id, read) in &merged {
-            let Some(pos) = self
-                .mshr
-                .iter()
-                .position(|e| e.channel == *ch && e.req_id == *req_id)
-            else {
-                continue;
-            };
-            let entry = self.mshr.remove(pos);
-            for (i, op_id) in entry.waiters.iter().enumerate() {
-                let pos = self
-                    .pending
-                    .iter()
-                    .position(|p| p.id == *op_id)
-                    .expect("MSHR waiter must be pending");
-                let op = self.pending.remove(pos);
-                self.resume(op, read, i == 0);
-            }
+            self.resolve_completion(*ch, *req_id, read);
         }
         self.drain_buf = drained;
         self.merge_buf = merged;
+        true
+    }
+
+    /// Counts one pump round and the virtual time it skipped.
+    fn record_advance(&mut self, from_ps: u128) {
+        self.pump.advances += 1;
+        let skipped = self.wheel.now_ps() - from_ps;
+        self.pump
+            .idle_skip_ps
+            .record(u64::try_from(skipped).unwrap_or(u64::MAX));
+    }
+
+    /// Retires one completed read: pops its MSHR entry and resumes every
+    /// waiter (the primary installs the fill, merged waiters only collect
+    /// the latency).
+    fn resolve_completion(&mut self, ch: u32, req_id: u64, read: &crate::controller::DramRead) {
+        let Some(pos) = self
+            .mshr
+            .iter()
+            .position(|e| e.channel == ch && e.req_id == req_id)
+        else {
+            return;
+        };
+        let entry = self.mshr.remove(pos);
+        for (i, op_id) in std::iter::once(entry.primary)
+            .chain(entry.merged.iter().copied())
+            .enumerate()
+        {
+            let pos = self
+                .pending
+                .iter()
+                .position(|p| p.id == op_id)
+                .expect("MSHR waiter must be pending");
+            let op = self.pending.remove(pos);
+            self.resume(op, read, i == 0);
+        }
+    }
+
+    /// Event-pump counters (wheel traffic, device completions, idle
+    /// skips). Refresh slices are sampled from the channel devices, so
+    /// the count covers the whole run, blocking interludes included.
+    #[must_use]
+    pub fn pump_stats(&self) -> PumpStats {
+        let wheel = self.wheel.stats();
+        let refresh_events = (0..self.channels())
+            .map(|ch| self.channel(ch).device().stats().refresh_slices)
+            .sum();
+        PumpStats {
+            events_posted: wheel.posted,
+            events_fired: wheel.fired,
+            wheel_cascades: wheel.cascades,
+            refresh_events,
+            ..self.pump.clone()
+        }
     }
 
     /// Ops issued but not yet completed.
@@ -861,7 +1103,7 @@ impl MemorySystem {
             .iter_mut()
             .find(|e| e.line_addr == line_addr && e.is_pte == is_pte)
         {
-            entry.waiters.push(op.id);
+            entry.merged.push(op.id);
         } else {
             let ch = self.chan_of(addr);
             let req_id = self.channel_mut(ch).enqueue_read(addr, is_pte);
@@ -870,9 +1112,25 @@ impl MemorySystem {
                 req_id,
                 line_addr,
                 is_pte,
-                waiters: vec![op.id],
+                primary: op.id,
+                merged: Vec::new(),
             });
             self.stats.mshr_hwm = self.stats.mshr_hwm.max(self.mshr.len() as u64);
+            // First outstanding read on this channel: arm its drain on
+            // the wheel at the channel device's current time (clamped to
+            // the wheel's frontier if this channel lags).
+            if !self.armed[ch] {
+                self.armed[ch] = true;
+                let ps = self.channel(ch).device().now_ps();
+                self.wheel.post(
+                    EventKey {
+                        ps,
+                        channel: u32::try_from(ch).expect("channel index"),
+                        id: req_id,
+                    },
+                    PumpEvent::Drain,
+                );
+            }
         }
         self.pending.push(op);
     }

@@ -13,10 +13,26 @@
 //! the two from drifting apart; the identity tests
 //! (`tests/pipeline_identity.rs`, `tests/controller_cycles.rs`) pin the
 //! extraction bit-for-bit.
+//!
+//! Issue goes through [`MemorySystem::pipe_issue_event`]: an access that
+//! completes synchronously (TLB + cache hit — the overwhelmingly common
+//! case) folds into the clock at issue and never occupies the window,
+//! while misses suspend and retire through
+//! [`MemorySystem::advance_to_next_event`] — the event pump that jumps
+//! virtual time to the next DRAM completion instead of stepping and
+//! re-scanning. The fold is a running max, so resolving hits at issue
+//! time is order-independent and leaves the final cycle count identical.
+//! [`WindowedDriver::new_polling`] keeps the pre-event discipline (every
+//! op through the op machinery and the completion buffer) as a benchmark
+//! control. Both modes issue the same accesses and verify the same MACs
+//! against the same DRAM reads; at `mlp > 1` their cycle counts diverge,
+//! because the polling discipline composes windows differently (a hit
+//! occupies a slot instead of folding at issue), so only the event
+//! discipline's totals are pinned.
 
 use std::collections::VecDeque;
 
-use memsys::system::AccessOutcome;
+use memsys::system::{AccessOutcome, IssueOutcome};
 use memsys::MemorySystem;
 use pagetable::addr::VirtAddr;
 
@@ -39,6 +55,11 @@ pub(crate) struct WindowedDriver {
     /// of ops), so a linear-scanned Vec beats a HashMap on the per-op hot
     /// path — and its capacity is reused for the whole run.
     outcomes: Vec<(u64, AccessOutcome)>,
+    /// Benchmark control: issue every op through the op machinery
+    /// ([`MemorySystem::pipe_issue`]) instead of resolving synchronous
+    /// completions at issue. Identical simulated outcomes, legacy host
+    /// cost.
+    polling: bool,
 }
 
 impl WindowedDriver {
@@ -51,6 +72,16 @@ impl WindowedDriver {
             finish_prev: 0,
             inflight: VecDeque::new(),
             outcomes: Vec::new(),
+            polling: false,
+        }
+    }
+
+    /// A driver using the pre-event per-op polling discipline (benchmark
+    /// control for event-vs-polling host-cost rows).
+    pub(crate) fn new_polling(window: usize, tick: u64, scale: u64) -> Self {
+        Self {
+            polling: true,
+            ..Self::new(window, tick, scale)
         }
     }
 
@@ -60,12 +91,23 @@ impl WindowedDriver {
     }
 
     /// Issues one memory op; blocks (retiring oldest-first) while the
-    /// window is full.
+    /// window is full. Synchronous completions fold into the clock at
+    /// issue and never enter the window.
     pub(crate) fn mem_op(&mut self, sys: &mut MemorySystem, va: VirtAddr, write: bool) {
-        let id = sys.pipe_issue(va, write);
-        self.inflight.push_back((id, self.clock));
-        while self.inflight.len() >= self.window {
-            self.retire_one(sys);
+        if self.polling {
+            let id = sys.pipe_issue(va, write);
+            self.track(sys, id);
+            return;
+        }
+        match sys.pipe_issue_event(va, write) {
+            IssueOutcome::Done(out) => {
+                debug_assert!(out.is_ok(), "unexpected fault: {out:?}");
+                // Folding at issue instead of retire is exact: the fold
+                // is a running max over finish times, so its result does
+                // not depend on the order hits and misses reach it.
+                self.fold(self.clock, out.cycles());
+            }
+            IssueOutcome::Pending(id) => self.track(sys, id),
         }
     }
 
@@ -89,6 +131,13 @@ impl WindowedDriver {
         self.clock.max(self.finish_prev)
     }
 
+    fn track(&mut self, sys: &mut MemorySystem, id: u64) {
+        self.inflight.push_back((id, self.clock));
+        while self.inflight.len() >= self.window {
+            self.retire_one(sys);
+        }
+    }
+
     fn retire_one(&mut self, sys: &mut MemorySystem) {
         let (id, t_issue) = self
             .inflight
@@ -99,12 +148,21 @@ impl WindowedDriver {
             if let Some(pos) = self.outcomes.iter().position(|(cid, _)| *cid == id) {
                 break self.outcomes.swap_remove(pos).1;
             }
-            sys.pipe_step();
+            let progressed = sys.advance_to_next_event();
+            assert!(
+                progressed,
+                "event pump stalled: op {id} in flight but no event is scheduled"
+            );
         };
         debug_assert!(out.is_ok(), "unexpected fault: {out:?}");
-        // At a window of 1 this reproduces the blocking `+=` chain exactly:
-        // `finish_prev <= t_issue` always holds, so the max is the sum.
-        let finish = (t_issue + out.cycles() * self.scale).max(self.finish_prev);
+        self.fold(t_issue, out.cycles());
+    }
+
+    /// Folds one finished op into the in-order retire horizon. At a
+    /// window of 1 this reproduces the blocking `+=` chain exactly:
+    /// `finish_prev <= t_issue` always holds, so the max is the sum.
+    fn fold(&mut self, t_issue: u64, cycles: u64) {
+        let finish = (t_issue + cycles * self.scale).max(self.finish_prev);
         self.finish_prev = finish;
         self.clock = self.clock.max(finish);
     }

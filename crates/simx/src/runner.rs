@@ -248,6 +248,40 @@ pub fn run<S: OpSource>(machine: &mut Machine<S>, instructions: u64) -> RunResul
     )
 }
 
+/// Runs `instructions` like [`run`], but issuing every memory op through
+/// the per-op polling discipline the event engine replaced (no
+/// synchronous-completion fast path). The access stream, MAC
+/// computations, and DRAM reads match [`run`] exactly, but cycle counts
+/// and IPC diverge at `mlp > 1`: hits occupy window slots here instead
+/// of folding at issue, so windows compose differently. Kept as the
+/// event-vs-polling benchmark control (`bench memsys`'s `mlp4-poll`
+/// row).
+pub fn run_polling<S: OpSource>(machine: &mut Machine<S>, instructions: u64) -> RunResult {
+    let stats_before = machine.sys.stats();
+    let mac_before = read_mac_total(machine);
+    let mut mem_ops = 0u64;
+    let mut driver = WindowedDriver::new_polling(machine.sys.config().mlp, 1, 1);
+    for _ in 0..instructions {
+        driver.tick_instruction();
+        let (va, write) = match machine.source.next_op() {
+            Op::Compute => continue,
+            Op::Load(va) => (va, false),
+            Op::Store(va) => (va, true),
+        };
+        mem_ops += 1;
+        driver.mem_op(&mut machine.sys, va, write);
+    }
+    driver.drain(&mut machine.sys);
+    finalize_result(
+        machine,
+        instructions,
+        driver.clock(),
+        mem_ops,
+        stats_before,
+        mac_before,
+    )
+}
+
 /// Runs `instructions` on a built machine with the legacy fully-blocking
 /// core: every memory operation completes inline before the next
 /// instruction. Kept as the differential reference for the `mlp = 1`

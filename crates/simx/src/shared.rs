@@ -6,7 +6,10 @@
 //! share one LLC and one or more DRAM channels, and requests that overlap
 //! in time queue behind each other at their line's channel (lines spread by
 //! the [`ChannelInterleave`]). Each core is an O3-overlap in-order pipeline
-//! as in the per-core model. All clocks run in integer milli-cycles, so
+//! as in the per-core model. Core pipelines run in integer milli-cycles;
+//! the channel serialization point runs in integer picoseconds — the same
+//! timeline the DRAM devices and the event wheel use — with a single
+//! rounding point per request ([`clock::millicycles_to_ps`]), so
 //! interleavings and totals are exact at any horizon.
 //!
 //! The two models bracket the paper's result; the `multicore` experiment
@@ -14,6 +17,7 @@
 
 use dram::{ChannelInterleave, DramDevice, DramGeometry, DramTiming, RowhammerConfig};
 use memsys::cache::Cache;
+use memsys::config::clock;
 use memsys::mmucache::MmuCache;
 use memsys::system::OsPort;
 use memsys::tlb::Tlb;
@@ -83,12 +87,15 @@ pub struct SharedSystem<S: OpSource = TraceGenerator> {
     controllers: Vec<MemoryController>,
     interleave: ChannelInterleave,
     cfg: SharedConfig,
-    /// Per-channel serialization point, in milli-cycles.
-    channel_free_at: Vec<u64>,
+    /// Per-channel serialization point, in integer picoseconds (the same
+    /// timeline as the DRAM devices behind the controllers).
+    channel_free_at: Vec<u128>,
     /// Unhidden fraction of a stall, in milli-cycles per cycle.
     keep_millis: u64,
-    /// Channel hold per request, in milli-cycles.
-    occupancy_mc: u64,
+    /// Channel hold per request, in integer picoseconds.
+    occupancy_ps: u128,
+    /// Core clock in kHz (converts milli-cycles ↔ picoseconds).
+    core_khz: u64,
     /// DRAM requests that waited on their channel.
     pub queued_requests: u64,
     /// Total DRAM requests.
@@ -191,7 +198,8 @@ impl<S: OpSource> SharedSystem<S> {
             controllers,
             interleave: ChannelInterleave::new(u32::try_from(channels).expect("channels")),
             keep_millis: ((1.0 - cfg.o3_overlap) * 1000.0).round() as u64,
-            occupancy_mc: (cfg.burst_occupancy_ns * mem_cfg.core_ghz * 1000.0).round() as u64,
+            occupancy_ps: clock::ns_to_ps(cfg.burst_occupancy_ns),
+            core_khz: clock::ghz_to_khz(mem_cfg.core_ghz),
             cfg,
             channel_free_at: vec![0; channels],
             queued_requests: 0,
@@ -241,20 +249,25 @@ impl<S: OpSource> SharedSystem<S> {
             }
             return (line, cycles, ReadVerdict::Forwarded);
         }
-        // DRAM: serialize on the line's channel.
+        // DRAM: serialize on the line's channel, on the ps timeline. The
+        // core's milli-cycle clock converts once per request; everything
+        // past that point (wait, burst, occupancy) stays in integer ps.
         self.dram_requests += 1;
         let ch = self.interleave.channel_of(addr) as usize;
-        let now = self.cores[ci].now_mc + cycles * 1000;
-        let wait = self.channel_free_at[ch].saturating_sub(now);
-        if wait > 0 {
+        let now_ps = clock::millicycles_to_ps(self.cores[ci].now_mc + cycles * 1000, self.core_khz);
+        let wait_ps = self.channel_free_at[ch].saturating_sub(now_ps);
+        if wait_ps > 0 {
             self.queued_requests += 1;
         }
         let read = self.controllers[ch].read_line(addr, is_pte);
         // MAC computation happens in the controller after the data burst:
         // it delays *this* requester but does not hold the channel.
         let channel_cycles = read.latency_cycles - read.mac_cycles;
-        self.channel_free_at[ch] = now + wait + channel_cycles * 1000 + self.occupancy_mc;
-        cycles += wait / 1000 + read.latency_cycles;
+        self.channel_free_at[ch] = now_ps
+            + wait_ps
+            + clock::cycles_to_ps(channel_cycles, self.core_khz)
+            + self.occupancy_ps;
+        cycles += clock::ps_to_cycles(wait_ps, self.core_khz) + read.latency_cycles;
         if read.verdict == ReadVerdict::CheckFailed {
             return (read.line, cycles, read.verdict);
         }
